@@ -1,0 +1,167 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* predicate cap ∈ {5, 15, 35, none-with-guard} vs. runtime;
+* 3σ trimming on/off vs. cluster MBR width under outliers;
+* estimated (sampling + doubling) vs. exact content statistics;
+* consolidation on/off vs. distance quality;
+* DBSCAN eps sensitivity.
+"""
+
+import math
+import time
+
+from repro.algebra.cnf import CNFConversionError
+from repro.clustering import aggregate_cluster, partitioned_dbscan
+from repro.core import AccessAreaExtractor, process_log
+from repro.distance import QueryDistance
+from repro.schema import (CONTENT_BOUNDS, StatisticsCatalog,
+                          skyserver_schema)
+from repro.workload import WorkloadConfig, generate_workload
+from .conftest import write_artifact
+
+
+def test_ablation_predicate_cap(benchmark, out_dir):
+    """Smaller caps truncate more but never blow up; no cap risks it."""
+    schema = skyserver_schema()
+
+    def many_predicates(n):
+        parts = [f"(ra > {i} AND dec < {i})" for i in range(n)]
+        return "SELECT * FROM PhotoObjAll WHERE " + " OR ".join(parts)
+
+    def sweep():
+        rows = []
+        for cap in (5, 15, 35):
+            extractor = AccessAreaExtractor(schema, predicate_cap=cap)
+            start = time.perf_counter()
+            area = extractor.extract(many_predicates(50)).area
+            elapsed = time.perf_counter() - start
+            rows.append((cap, area.cnf.count_predicates(), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"cap={cap:>3}: {preds:>4} predicates kept, "
+             f"{elapsed * 1e3:7.1f} ms" for cap, preds, elapsed in rows]
+    uncapped = AccessAreaExtractor(schema, predicate_cap=None)
+    try:
+        uncapped.extract(many_predicates(50))
+        lines.append("cap=∞  : completed (unexpected at this size)")
+    except CNFConversionError:
+        lines.append("cap=∞  : CNFConversionError (resource guard)")
+    art = "\n".join(lines)
+    write_artifact(out_dir, "ablation_predicate_cap.txt", art)
+    print("\n" + art)
+
+    kept = [preds for _, preds, _ in rows]
+    assert kept == sorted(kept)  # larger cap keeps more structure
+
+
+def test_ablation_sigma_trimming(benchmark, bench_result, out_dir):
+    """3σ trimming shields cluster MBRs from stray outlier bounds."""
+    result = bench_result
+    family5 = [s.area for s in result.sample if s.family_id == 5][:40]
+    assert len(family5) >= 10
+    # Poison the cluster with one absurd bound (a stray query).
+    outlier = AccessAreaExtractor(result.schema).extract(
+        "SELECT * FROM PhotoObjAll WHERE ra <= 359.9 AND dec <= 10").area
+    members = family5 + [outlier]
+
+    def run_both():
+        trimmed = aggregate_cluster(0, members, result.stats, sigma=3.0)
+        untrimmed = aggregate_cluster(0, members, result.stats,
+                                      sigma=math.inf)
+        return trimmed, untrimmed
+
+    trimmed, untrimmed = benchmark.pedantic(run_both, rounds=1,
+                                            iterations=1)
+    from repro.algebra.predicates import ColumnRef
+    ra = ColumnRef("PhotoObjAll", "ra")
+    trimmed_hi = trimmed.bound_for(ra).interval.hi
+    untrimmed_hi = untrimmed.bound_for(ra).interval.hi
+    art = (f"ra upper bound with 3σ trim : {trimmed_hi:.1f}\n"
+           f"ra upper bound untrimmed    : {untrimmed_hi:.1f}")
+    write_artifact(out_dir, "ablation_sigma.txt", art)
+    print("\n" + art)
+    assert untrimmed_hi >= 359.0
+    assert trimmed_hi < 250.0
+
+
+def test_ablation_estimated_vs_exact_stats(benchmark, bench_result,
+                                           out_dir):
+    """Sampling+doubling vs. exact content: clustering must agree broadly."""
+    result = bench_result
+    exact_stats = StatisticsCatalog.from_exact_content(
+        result.schema, CONTENT_BOUNDS)
+    for extracted in result.report.extracted:
+        exact_stats.observe_cnf(extracted.area.cnf)
+    areas = [s.area for s in result.sample]
+
+    clustering = benchmark.pedantic(
+        lambda: partitioned_dbscan(
+            areas, QueryDistance(exact_stats,
+                                 resolution=result.config.resolution),
+            eps=result.config.eps, min_pts=result.config.min_pts),
+        rounds=1, iterations=1)
+
+    estimated_n = result.n_clusters
+    exact_n = clustering.n_clusters
+    art = (f"clusters with estimated stats : {estimated_n}\n"
+           f"clusters with exact stats     : {exact_n}")
+    write_artifact(out_dir, "ablation_stats_estimation.txt", art)
+    print("\n" + art)
+    assert abs(exact_n - estimated_n) <= 0.5 * estimated_n
+
+
+def test_ablation_consolidation(benchmark, out_dir):
+    """Consolidation compacts constraints without changing coverage."""
+    workload = generate_workload(WorkloadConfig(n_queries=1200, seed=41))
+    statements = workload.log.statements()
+    schema = skyserver_schema()
+
+    def run_both():
+        on = process_log(statements,
+                         AccessAreaExtractor(schema, consolidate=True),
+                         keep_failures=False)
+        off = process_log(statements,
+                          AccessAreaExtractor(schema, consolidate=False),
+                          keep_failures=False)
+        return on, off
+
+    on, off = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    preds_on = sum(a.cnf.count_predicates() for a in on.areas())
+    preds_off = sum(a.cnf.count_predicates() for a in off.areas())
+    art = (f"predicates with consolidation    : {preds_on:,}\n"
+           f"predicates without consolidation : {preds_off:,}\n"
+           f"extraction counts equal          : "
+           f"{on.extraction_count == off.extraction_count}")
+    write_artifact(out_dir, "ablation_consolidation.txt", art)
+    print("\n" + art)
+    assert on.extraction_count == off.extraction_count
+    assert preds_on <= preds_off
+
+
+def test_ablation_eps_sensitivity(benchmark, bench_result, out_dir):
+    """Smaller eps fragments, larger eps merges — monotone cluster counts
+    are the sanity check for the chosen operating point."""
+    result = bench_result
+    areas = [s.area for s in result.sample][:900]
+    distance = QueryDistance(result.stats,
+                             resolution=result.config.resolution)
+
+    def sweep():
+        counts = {}
+        for eps in (0.05, 0.12, 0.3):
+            clustering = partitioned_dbscan(areas, distance, eps=eps,
+                                            min_pts=5)
+            counts[eps] = (clustering.n_clusters,
+                           clustering.noise_count)
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    art = "\n".join(
+        f"eps={eps}: {n} clusters, {noise} noise"
+        for eps, (n, noise) in sorted(counts.items()))
+    write_artifact(out_dir, "ablation_eps.txt", art)
+    print("\n" + art)
+    # Noise shrinks as eps grows.
+    noises = [counts[eps][1] for eps in (0.05, 0.12, 0.3)]
+    assert noises[0] >= noises[1] >= noises[2]

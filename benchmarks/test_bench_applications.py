@@ -1,0 +1,88 @@
+"""Application-layer benchmarks: recommendation, categorization, sessions.
+
+These exercise the library's downstream-facing extensions (Sections 3.2
+related work and 6.3 expert feedback) on the case-study output.
+"""
+
+from collections import Counter
+
+from repro.analysis import (IntentKind, SkyAreaKind, categorize,
+                            split_sessions)
+from repro.core import AccessAreaExtractor
+from repro.recommend import InterestRecommender
+from .conftest import write_artifact
+
+
+def test_recommender(benchmark, bench_result, out_dir):
+    result = bench_result
+    extractor = AccessAreaExtractor(result.schema)
+
+    def fit_and_query():
+        recommender = InterestRecommender(
+            result.stats, extractor=extractor,
+            resolution=result.config.resolution).fit(
+            [s.area for s in result.sample], result.clustering)
+        recs = recommender.recommend_for_sql(
+            "SELECT * FROM SpecObjAll WHERE plate BETWEEN 400 AND 900 "
+            "AND class = 'star'", k=3)
+        return recommender, recs
+
+    recommender, recs = benchmark.pedantic(fit_and_query, rounds=1,
+                                           iterations=1)
+    lines = [f"indexed interest areas: {recommender.n_clusters}", ""]
+    for rec in recs:
+        lines.append(f"d={rec.distance:.2f} n={rec.popularity}: "
+                     f"{rec.suggested_sql[:90]}")
+    art = "\n".join(lines)
+    write_artifact(out_dir, "recommender.txt", art)
+    print("\n" + art)
+
+    assert recommender.n_clusters >= 20
+    assert recs
+    # The nearest interest must share the query's relation.
+    assert "SpecObjAll" in recs[0].aggregated.relations
+
+
+def test_query_categorization(benchmark, bench_result, out_dir):
+    result = bench_result
+
+    def run():
+        sky = Counter()
+        intent = Counter()
+        for extracted in result.report.extracted[:3000]:
+            category = categorize(extracted.area)
+            sky[category.sky_area] += 1
+            intent[category.intent] += 1
+        return sky, intent
+
+    sky, intent = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["sky-area kinds:"]
+    lines += [f"  {kind.value:<22}: {count:,}"
+              for kind, count in sky.most_common()]
+    lines.append("intent kinds:")
+    lines += [f"  {kind.value:<22}: {count:,}"
+              for kind, count in intent.most_common()]
+    art = "\n".join(lines)
+    write_artifact(out_dir, "categorization.txt", art)
+    print("\n" + art)
+
+    assert sky[SkyAreaKind.RECTANGULAR] > 0
+    assert intent[IntentKind.RETRIEVE] > 0  # the point-lookup families
+    assert intent[IntentKind.SEARCH] > 0
+
+
+def test_session_statistics(benchmark, bench_result, out_dir):
+    result = bench_result
+
+    def run():
+        return split_sessions(result.workload.log.entries, idle_gap=300)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    art = stats.describe()
+    write_artifact(out_dir, "sessions.txt", art)
+    print("\n" + art)
+
+    assert stats.n_sessions >= stats.n_users
+    # Mostly single-query users (the paper's cardinality ≈ users
+    # observation), plus some repeat-user bursts.
+    assert stats.single_query_sessions > 0.5 * stats.n_sessions

@@ -1,0 +1,81 @@
+"""Trend-mining benchmark: drifting interests across log windows.
+
+Uses the drift-enabled workload (emerging family 9, fading family 10) to
+verify the trend report's shape and times the windowed mining pass.
+Also exercises OPTICS as the alternative density clusterer: one ordering
+run serves several extraction radii.
+"""
+
+from repro.clustering import OPTICS, extract_dbscan, partitioned_dbscan
+from repro.core import AccessAreaExtractor, process_log
+from repro.analysis import TrendKind, mine_drift, split_by_time
+from repro.distance import QueryDistance
+from repro.schema import (StatisticsCatalog, skyserver_schema)
+from repro.schema.skyserver import CONTENT_BOUNDS
+from repro.workload import WorkloadConfig, generate_workload
+from .conftest import write_artifact
+
+
+def test_interest_drift(benchmark, out_dir):
+    schema = skyserver_schema()
+    workload = generate_workload(WorkloadConfig(
+        n_queries=2500, seed=5,
+        emerging_families=(9,), fading_families=(10,)))
+    extractor = AccessAreaExtractor(schema)
+    report = process_log(workload.log.statements(), extractor,
+                         keep_failures=False)
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    for extracted in report.extracted:
+        stats.observe_cnf(extracted.area.cnf)
+    pairs = [(item.area, workload.log[item.index].timestamp)
+             for item in report.extracted]
+    windows = split_by_time(pairs, 2)
+
+    drift = benchmark.pedantic(
+        lambda: mine_drift(windows, stats, eps=0.12, min_pts=5),
+        rounds=1, iterations=1)
+
+    art = drift.describe(limit=12)
+    write_artifact(out_dir, "interest_drift.txt", art)
+    print("\n" + art)
+
+    emerged_relations = {
+        r for t in drift.emerged()
+        for r in t.current.aggregated.relations
+    }
+    vanished_relations = {
+        r for t in drift.vanished()
+        for r in t.previous.aggregated.relations
+    }
+    assert "SpecObjAll" in emerged_relations
+    assert "DBObjects" in vanished_relations
+    # Stable families persist across windows.
+    assert len(drift.persisted()) >= 10
+
+
+def test_optics_multi_radius(benchmark, bench_result, out_dir):
+    """One OPTICS run serves several radii; each cut matches DBSCAN."""
+    result = bench_result
+    # One partition's worth of areas (same table set) keeps the O(n²)
+    # ordering affordable while staying a real population.
+    photoz = [s.area for s in result.sample
+              if s.area.relations == ("Photoz",)][:250]
+    distance = QueryDistance(result.stats,
+                             resolution=result.config.resolution)
+
+    optics = benchmark.pedantic(
+        lambda: OPTICS(max_eps=1.0, min_pts=5).fit(photoz, distance),
+        rounds=1, iterations=1)
+
+    lines = ["eps -> clusters (OPTICS cut vs direct DBSCAN)"]
+    for eps in (0.05, 0.12, 0.3):
+        cut = extract_dbscan(optics, eps=eps)
+        direct = partitioned_dbscan(photoz, distance, eps=eps, min_pts=5) \
+            if eps < 0.5 else None
+        direct_n = direct.n_clusters if direct else "-"
+        lines.append(f"{eps:>5} -> {cut.n_clusters} vs {direct_n}")
+        if direct is not None:
+            assert cut.n_clusters == direct.n_clusters, eps
+    art = "\n".join(lines)
+    write_artifact(out_dir, "optics_multi_radius.txt", art)
+    print("\n" + art)

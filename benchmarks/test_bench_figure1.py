@@ -1,0 +1,67 @@
+"""E2-E4 — Figure 1: content scatter vs. accessed areas in three subspaces.
+
+Each test regenerates one panel's data series, renders it as ASCII, and
+asserts the geometric relationships the paper's plots show.
+"""
+
+from repro.analysis import figure1a, figure1b, figure1c
+from repro.schema import skyserver as sky
+from .conftest import write_artifact
+
+
+def test_figure1a_plate_mjd(benchmark, bench_result, out_dir):
+    """Content fills a diagonal band; the accessed box is a small corner."""
+    fig = benchmark.pedantic(figure1a, args=(bench_result,),
+                             rounds=1, iterations=1)
+    art = fig.render_ascii()
+    write_artifact(out_dir, "figure1a.txt", art)
+    print("\n" + art)
+
+    assert fig.points
+    inside = [r for r in fig.rects if not r.empty]
+    assert inside, "no accessed plate/mjd area"
+    # The cluster-9 analogue: an early-survey box within the content band.
+    early = [r for r in inside if r.x_hi <= 3300 and r.y_hi <= 52_300]
+    assert early, [str(r) for r in inside]
+    box = early[0]
+    content_area = (sky.PLATE_HI - sky.PLATE_LO) * (sky.MJD_HI - sky.MJD_LO)
+    box_area = (box.x_hi - box.x_lo) * (box.y_hi - box.y_lo)
+    assert box_area < 0.25 * content_area
+
+
+def test_figure1b_photo_radec(benchmark, bench_result, out_dir):
+    """Accessed areas span both content and the empty far south."""
+    fig = benchmark.pedantic(figure1b, args=(bench_result,),
+                             rounds=1, iterations=1)
+    art = fig.render_ascii()
+    write_artifact(out_dir, "figure1b.txt", art)
+    print("\n" + art)
+
+    min_content_dec = min(p[1] for p in fig.points)
+    assert min_content_dec >= sky.PHOTO_DEC_LO
+
+    south = [r for r in fig.empty_rects if r.y_hi <= -40]
+    assert south, "Figure 1(b)'s southern empty access area missing"
+    # The empty rectangle lies entirely below the content footprint.
+    assert all(r.y_hi < min_content_dec for r in south)
+
+    inside = [r for r in fig.rects if not r.empty]
+    assert inside, "the equatorial in-content window missing"
+
+
+def test_figure1c_zoospec(benchmark, bench_result, out_dir):
+    """Non-contiguous access: a northern in-content window plus a larger
+    southern empty window reaching the out-of-domain dec = -100."""
+    fig = benchmark.pedantic(figure1c, args=(bench_result,),
+                             rounds=1, iterations=1)
+    art = fig.render_ascii()
+    write_artifact(out_dir, "figure1c.txt", art)
+    print("\n" + art)
+
+    north = [r for r in fig.rects if not r.empty]
+    south = [r for r in fig.empty_rects if r.y_hi < 0]
+    assert north and south
+    # Non-contiguity: a gap separates the two access areas.
+    assert max(r.y_hi for r in south) < min(r.y_lo for r in north)
+    # The paper's database-improvement hint: queries at dec = -100.
+    assert min(r.y_lo for r in south) <= -99.0

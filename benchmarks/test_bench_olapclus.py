@@ -1,0 +1,71 @@
+"""E6 — Section 6.4: OLAPClus fragmentation of point-lookup families.
+
+The paper: "OLAPClus produces approximately 100,000 clusters for Cluster 1
+of our method ... for each of the Clusters 2-4, OLAPClus outputs about
+50,000 clusters."  The shape: exact matching yields roughly one group per
+distinct predicate signature, while the overlap distance yields one (or a
+handful of) cluster(s) per family.
+"""
+
+from repro.baselines import fragmentation, olapclus_cluster
+from .conftest import write_artifact
+
+
+def _family_sample(result, family_id):
+    return [
+        (i, s.area) for i, s in enumerate(result.sample)
+        if s.family_id == family_id
+    ]
+
+
+def test_olapclus_fragmentation(benchmark, bench_result, out_dir):
+    result = bench_result
+    lines = [f"{'family':>6} | {'queries':>7} | {'ours':>5} | "
+             f"{'OLAPClus groups':>15} | factor"]
+
+    def run_all():
+        rows = []
+        for family_id in (1, 2, 3, 4):
+            sample = _family_sample(result, family_id)
+            areas = [a for _, a in sample]
+            olap_groups = fragmentation(areas, min_pts=2)
+            ours = len({
+                result.clustering.labels[i] for i, _ in sample
+                if result.clustering.labels[i] >= 0
+            })
+            rows.append((family_id, len(areas), ours, olap_groups))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for family_id, n, ours, olap in rows:
+        factor = olap / max(ours, 1)
+        lines.append(f"{family_id:>6} | {n:>7} | {ours:>5} | "
+                     f"{olap:>15} | {factor:8.1f}x")
+        # OLAPClus shatters; our method stays compact.
+        assert olap >= 10 * max(ours, 1), (family_id, ours, olap)
+        assert 1 <= ours <= 6, (family_id, ours)
+
+    art = "\n".join(lines)
+    write_artifact(out_dir, "olapclus_fragmentation.txt", art)
+    print("\n" + art)
+
+
+def test_olapclus_on_full_point_lookup_population(benchmark, bench_result,
+                                                  out_dir):
+    """Family 1 in isolation: one overlap cluster vs. ~n exact groups."""
+    result = bench_result
+    areas = [s.area for s in result.sample if s.family_id == 1]
+    assert len(areas) >= 50
+
+    clustering = benchmark.pedantic(
+        lambda: olapclus_cluster(areas, min_pts=2), rounds=1, iterations=1)
+
+    groups = clustering.n_clusters + clustering.noise_count
+    art = (f"family-1 point lookups : {len(areas)}\n"
+           f"OLAPClus groups        : {groups}\n"
+           f"paper analogue         : 179,072 queries -> ~100,000 clusters")
+    write_artifact(out_dir, "olapclus_family1.txt", art)
+    print("\n" + art)
+    # Nearly every distinct constant is its own group (>80%).
+    assert groups > 0.8 * len(areas)

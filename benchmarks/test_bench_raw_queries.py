@@ -1,0 +1,99 @@
+"""E7 — Section 6.5: the overlap distance on raw (untransformed) queries.
+
+The paper swaps the exact matching of OLAPClus for d_conj but keeps
+predicates as-is and finds that this "breaks Clusters 2, 5, 8, 9, 11, 12,
+18, 19, 20, and 22" — exactly the families whose statements use the
+transform-requiring forms of Sections 4.2-4.4 (HAVING aggregates,
+NOT-wrapped ranges, EXISTS nesting).
+
+We cluster each family's raw areas and report which families split
+(more clusters than our method finds) or shed members to noise.
+"""
+
+from repro.baselines import raw_area_of_statement
+from repro.clustering import partitioned_dbscan
+from repro.distance import QueryDistance
+from repro.sqlparser import parse
+from .conftest import write_artifact
+
+#: families whose generators emit transform-required phrasings
+TRANSFORM_FAMILIES = (2, 5, 8, 9, 11, 12, 18, 19, 20, 22)
+#: families with plain phrasing only — raw should NOT break these
+PLAIN_FAMILIES = (3, 4, 7, 13)
+
+
+def _cluster_raw(result, family_id, limit=160):
+    statements = [e.sql for e in result.workload.log
+                  if e.family_id == family_id][:limit]
+    areas = []
+    for sql in statements:
+        areas.append(raw_area_of_statement(parse(sql), result.schema))
+    distance = QueryDistance(result.stats,
+                             resolution=result.config.resolution)
+    clustering = partitioned_dbscan(areas, distance,
+                                    eps=result.config.eps,
+                                    min_pts=result.config.min_pts)
+    return len(areas), clustering
+
+
+def _ours(result, family_id):
+    labels = {
+        result.clustering.labels[i]
+        for i, s in enumerate(result.sample)
+        if s.family_id == family_id and result.clustering.labels[i] >= 0
+    }
+    return len(labels)
+
+
+def test_raw_queries_break_transformed_families(benchmark, bench_result,
+                                                out_dir):
+    result = bench_result
+
+    def evaluate():
+        rows = []
+        for family_id in TRANSFORM_FAMILIES:
+            n, clustering = _cluster_raw(result, family_id)
+            rows.append((family_id, n, _ours(result, family_id),
+                         clustering.n_clusters, clustering.noise_count))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    lines = [f"{'family':>6} | {'queries':>7} | {'ours':>4} | "
+             f"{'raw clusters':>12} | {'raw noise':>9} | broken?"]
+    broken = []
+    for family_id, n, ours, raw_clusters, raw_noise in rows:
+        is_broken = raw_clusters > ours or raw_noise > 0.15 * n
+        broken.append((family_id, is_broken))
+        lines.append(f"{family_id:>6} | {n:>7} | {ours:>4} | "
+                     f"{raw_clusters:>12} | {raw_noise:>9} | "
+                     f"{'YES' if is_broken else 'no'}")
+    art = "\n".join(lines) + (
+        "\n\npaper: raw-query clustering breaks clusters "
+        "2, 5, 8, 9, 11, 12, 18, 19, 20, 22")
+    write_artifact(out_dir, "raw_query_breakage.txt", art)
+    print("\n" + art)
+
+    broken_count = sum(1 for _, b in broken if b)
+    assert broken_count >= 0.7 * len(TRANSFORM_FAMILIES), broken
+
+
+def test_raw_queries_keep_plain_families(benchmark, bench_result, out_dir):
+    """Families with no transform-required phrasing survive raw mode —
+    the breakage is attributable to the missing transformation."""
+    result = bench_result
+
+    def evaluate():
+        return [(fid, *_cluster_raw(result, fid)) for fid in PLAIN_FAMILIES]
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    lines = []
+    for family_id, n, clustering in rows:
+        lines.append(f"family {family_id}: {n} queries -> "
+                     f"{clustering.n_clusters} raw clusters, "
+                     f"{clustering.noise_count} noise")
+        assert clustering.n_clusters <= 3
+        assert clustering.noise_count <= 0.15 * n
+    art = "\n".join(lines)
+    write_artifact(out_dir, "raw_query_plain_families.txt", art)
+    print("\n" + art)

@@ -1,0 +1,103 @@
+"""E9 — Section 6.6 (quality + efficiency vs. re-querying).
+
+Re-issuing queries against the database (and MBR-ing the results):
+
+* misses every empty-area cluster (18-24): those queries return no rows;
+* fails outright on server-error queries (LIMIT dialect, size caps);
+* costs far more wall-clock than log-only extraction.
+"""
+
+import random
+import time
+
+from repro.baselines import RequeryBaseline, requery_log
+from repro.core import AccessAreaExtractor, process_log
+from repro.workload import LogEntry
+from .conftest import write_artifact
+
+EMPTY_FAMILIES = (18, 19, 20, 21, 22, 23, 24)
+
+
+def test_requery_misses_empty_areas(benchmark, bench_result, out_dir):
+    result = bench_result
+    rng = random.Random(5)
+    entries = [e for e in result.workload.log
+               if e.family_id in EMPTY_FAMILIES]
+    entries = rng.sample(entries, min(150, len(entries)))
+    baseline = RequeryBaseline(result.db)
+
+    report = benchmark.pedantic(
+        lambda: requery_log(baseline, [e.sql for e in entries]),
+        rounds=1, iterations=1)
+
+    art = (f"empty-area queries re-issued : {report.total}\n"
+           f"returned rows (visible)      : {report.succeeded}\n"
+           f"empty results (invisible)    : {report.empty_results}\n"
+           f"errors                       : {report.errored}\n"
+           "paper: clusters 18-24 are missed entirely by re-querying")
+    write_artifact(out_dir, "requery_empty_areas.txt", art)
+    print("\n" + art)
+
+    assert report.empty_results >= 0.9 * report.total
+    # Our extraction recovers those same families as clusters:
+    recovered_empty = {row.dominant_family for row in result.rows
+                       if row.dominant_family in EMPTY_FAMILIES
+                       and row.purity > 0.8}
+    assert len(recovered_empty) >= 5
+
+
+def test_requery_fails_on_error_queries(benchmark, bench_result, out_dir):
+    result = bench_result
+    entries = [e for e in result.workload.log
+               if e.family_id == LogEntry.ERROR][:60]
+    baseline = RequeryBaseline(result.db)
+
+    report = benchmark.pedantic(
+        lambda: requery_log(baseline, [e.sql for e in entries]),
+        rounds=1, iterations=1)
+
+    extractor = AccessAreaExtractor(result.schema)
+    ours = process_log([e.sql for e in entries], extractor)
+
+    art = (f"server-error queries     : {report.total}\n"
+           f"re-query areas obtained  : {report.succeeded}\n"
+           f"re-query errors          : {report.errored}\n"
+           f"our extraction succeeded : {ours.extraction_count}")
+    write_artifact(out_dir, "requery_error_queries.txt", art)
+    print("\n" + art)
+
+    assert report.errored >= 0.9 * report.total
+    assert ours.extraction_rate == 1.0
+
+
+def test_requery_runtime_vs_extraction(benchmark, bench_result, out_dir):
+    """Extraction is much cheaper than executing against the database."""
+    result = bench_result
+    rng = random.Random(6)
+    entries = [e for e in result.workload.log
+               if e.family_id in (5, 7, 9, 14)]
+    statements = [e.sql for e in rng.sample(entries,
+                                            min(80, len(entries)))]
+    baseline = RequeryBaseline(result.db)
+    extractor = AccessAreaExtractor(result.schema)
+
+    start = time.perf_counter()
+    requery_log(baseline, statements)
+    requery_seconds = time.perf_counter() - start
+
+    extract_report = benchmark.pedantic(
+        lambda: process_log(statements, extractor),
+        rounds=1, iterations=1)
+    extract_seconds = sum(
+        summary.total
+        for summary in extract_report.stage_timings.values())
+
+    speedup = requery_seconds / max(extract_seconds, 1e-9)
+    art = (f"statements        : {len(statements)}\n"
+           f"re-query wall     : {requery_seconds:.3f}s\n"
+           f"extraction wall   : {extract_seconds:.3f}s\n"
+           f"speedup           : {speedup:.0f}x "
+           "(paper: orders of magnitude)")
+    write_artifact(out_dir, "requery_runtime.txt", art)
+    print("\n" + art)
+    assert speedup > 5

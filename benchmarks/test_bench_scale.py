@@ -1,0 +1,61 @@
+"""Extraction scaling: throughput must stay flat as the log grows.
+
+The paper processes 12.4M statements; per-statement work must be
+independent of log size for that to be feasible.  We measure throughput
+at three log sizes and require the largest run to stay within 2.5x of the
+per-query cost of the smallest (allowing cache/GC noise).
+"""
+
+import time
+
+from repro.core import AccessAreaExtractor, process_log
+from repro.schema import skyserver_schema
+from repro.workload import WorkloadConfig, generate_workload
+from .conftest import write_artifact
+
+SIZES = (2000, 8000, 20_000)
+
+
+def test_extraction_scaling(benchmark, out_dir):
+    schema = skyserver_schema()
+    logs = {
+        size: generate_workload(
+            WorkloadConfig(n_queries=size, seed=61)).log.statements()
+        for size in SIZES
+    }
+
+    def measure(statements):
+        extractor = AccessAreaExtractor(schema)
+        start = time.perf_counter()
+        report = process_log(statements, extractor, keep_failures=False)
+        elapsed = time.perf_counter() - start
+        return report, elapsed
+
+    results = {}
+    for size in SIZES[:-1]:
+        results[size] = measure(logs[size])
+    # The benchmark fixture times the largest run.
+    report, elapsed = benchmark.pedantic(
+        lambda: measure(logs[SIZES[-1]]), rounds=1, iterations=1)
+    results[SIZES[-1]] = (report, elapsed)
+
+    lines = [f"{'log size':>9} | {'seconds':>8} | {'q/s':>8} | rate"]
+    per_query = {}
+    for size in SIZES:
+        rep, secs = results[size]
+        throughput = rep.total / secs
+        per_query[size] = secs / rep.total
+        lines.append(f"{size:>9,} | {secs:>8.2f} | {throughput:>8,.0f} "
+                     f"| {rep.extraction_rate:.2%}")
+    projected = per_query[SIZES[-1]] * 12_400_000
+    lines.append("")
+    lines.append(f"projected 12.4M-statement log: {projected / 60:.1f} "
+                 "minutes on this machine")
+    art = "\n".join(lines)
+    write_artifact(out_dir, "scaling.txt", art)
+    print("\n" + art)
+
+    # Per-query cost roughly flat: no superlinear behaviour.
+    assert per_query[SIZES[-1]] < 2.5 * per_query[SIZES[0]]
+    for size in SIZES:
+        assert results[size][0].extraction_rate > 0.99

@@ -1,0 +1,89 @@
+"""E1 — Table 1: clusters of aggregated access areas.
+
+Regenerates the paper's headline table (cardinality, area coverage,
+object coverage, access-area description per cluster) on the synthetic
+log and checks the qualitative shapes:
+
+* the planted interest families come back as clusters;
+* hot clusters cover a small fraction of the content (most Table 1 rows
+  sit between <0.001 and ~0.4 coverage);
+* the empty-area families (18-24) produce clusters with 0.0 / 0.0.
+
+The timed section is cluster aggregation + coverage computation (the
+post-clustering analytics the table consists of).
+"""
+
+from repro.analysis import format_summary, format_table1
+from repro.clustering import aggregate_cluster, area_coverage, \
+    object_coverage
+from .conftest import write_artifact
+
+
+def test_table1(benchmark, bench_result, out_dir):
+    result = bench_result
+
+    def rebuild_table_rows():
+        rows = []
+        for cid, indices in result.clustering.clusters().items():
+            members = [result.sample[i].area for i in indices]
+            agg = aggregate_cluster(cid, members, result.stats,
+                                    sigma=result.config.sigma)
+            rows.append((agg, area_coverage(agg, result.stats),
+                         object_coverage(agg, result.db)))
+        return rows
+
+    rows = benchmark.pedantic(rebuild_table_rows, rounds=1, iterations=1)
+    assert len(rows) == len(result.rows)
+
+    table = format_table1(result.rows, show_truth=True)
+    summary = format_summary(result)
+    write_artifact(out_dir, "table1.txt", summary + "\n\n" + table)
+    print("\n" + summary + "\n\n" + table)
+
+    # -- shape assertions vs. the paper ------------------------------------
+    recovered = result.recovered_families()
+    assert len(recovered) >= 20, f"only recovered {sorted(recovered)}"
+
+    # Hot families occupy small fractions of the content.
+    hot = [row for row in result.rows
+           if 1 <= row.dominant_family <= 17 and row.purity > 0.9]
+    assert hot
+    assert sum(1 for row in hot if row.area_coverage < 0.5) >= \
+        0.7 * len(hot)
+
+    # Empty-area families report 0.0 / 0.0 — including sub-percent rows.
+    empty = [row for row in result.rows
+             if row.dominant_family >= 18 and row.purity > 0.9]
+    assert empty
+    for row in empty:
+        assert row.area_coverage <= 0.01, row.description
+        assert row.object_coverage <= 0.01, row.description
+
+    # Cardinality ordering roughly follows the planted Table-1 ordering:
+    # family 1's biggest cluster outweighs family 24's.
+    fam_card = {}
+    for row in result.rows:
+        if row.purity > 0.9:
+            fam_card[row.dominant_family] = max(
+                fam_card.get(row.dominant_family, 0), row.cardinality)
+    if 1 in fam_card and 24 in fam_card:
+        assert fam_card[1] > fam_card[24]
+
+    # Users-per-cluster ≈ cardinality (the paper's observation).
+    for row in result.rows[:10]:
+        assert row.n_users >= 0.7 * row.cardinality
+
+
+def test_table1_multi_relation_clusters(benchmark, bench_result):
+    """Clusters 16/17 analogues: join families keep their join predicate."""
+    result = bench_result
+
+    def find_join_rows():
+        return [row for row in result.rows
+                if row.dominant_family in (16, 17) and row.purity > 0.9]
+
+    join_rows = benchmark.pedantic(find_join_rows, rounds=1, iterations=1)
+    assert join_rows, "join families not recovered"
+    for row in join_rows:
+        assert len(row.aggregated.relations) == 2
+        assert row.aggregated.joins, row.description

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Baseline showdown: our method vs. OLAPClus vs. raw-query clustering.
+
+A compact rendition of Sections 6.4 and 6.5: generate one hot point-lookup
+population and one transform-heavy range population, then cluster them
+three ways and compare the outcomes.
+
+Run:  python examples/baseline_showdown.py
+"""
+
+import random
+
+from repro import AccessAreaExtractor, skyserver_schema
+from repro.baselines import (fragmentation, olapclus_cluster,
+                             raw_access_area)
+from repro.clustering import partitioned_dbscan
+from repro.distance import QueryDistance
+from repro.schema import CONTENT_BOUNDS, StatisticsCatalog
+
+HOT_LO, HOT_HI = 1_237_657_855_534_432_934, 1_237_666_210_342_830_434
+
+
+def point_lookups(rng, n):
+    return [f"SELECT z FROM Photoz WHERE objid = "
+            f"{rng.randint(HOT_LO, HOT_HI)}" for _ in range(n)]
+
+
+def transform_heavy_ranges(rng, n):
+    statements = []
+    for _ in range(n):
+        a = rng.randint(3_520_000, 3_560_000) * 10 ** 12
+        b = rng.randint(5_740_000, 5_788_000) * 10 ** 12
+        style = rng.random()
+        if style < 0.35:
+            statements.append(
+                f"SELECT specobjid, COUNT(*) FROM galSpecLine "
+                f"WHERE specobjid >= {a} AND specobjid <= {b} "
+                f"GROUP BY specobjid "
+                f"HAVING COUNT(*) > {rng.randint(1, 10 ** 6)}")
+        elif style < 0.6:
+            statements.append(
+                f"SELECT * FROM galSpecLine "
+                f"WHERE NOT (specobjid < {a} OR specobjid > {b})")
+        else:
+            statements.append(
+                f"SELECT * FROM galSpecLine "
+                f"WHERE specobjid BETWEEN {a} AND {b}")
+    return statements
+
+
+def main() -> None:
+    rng = random.Random(17)
+    schema = skyserver_schema()
+    extractor = AccessAreaExtractor(schema)
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+
+    for title, statements in [
+        # Point lookups need density for DBSCAN chaining; the real log has
+        # 179k of them — 500 is the laptop-scale stand-in.
+        ("hot point lookups (Table 1 Cluster 1 analogue)",
+         point_lookups(rng, 500)),
+        ("transform-heavy id ranges (Cluster 19 analogue)",
+         transform_heavy_ranges(rng, 150)),
+    ]:
+        print(f"=== {title} — {len(statements)} queries ===")
+        areas = [extractor.extract(sql).area for sql in statements]
+        for area in areas:
+            stats.observe_cnf(area.cnf)
+        distance = QueryDistance(stats, resolution=0.05)
+
+        ours = partitioned_dbscan(areas, distance, eps=0.12, min_pts=5)
+        print(f"  our method        : {ours.n_clusters} cluster(s), "
+              f"{ours.noise_count} noise")
+
+        olap = olapclus_cluster(areas, min_pts=2)
+        print(f"  OLAPClus (exact)  : "
+              f"{fragmentation(areas, min_pts=2)} groups "
+              f"({olap.n_clusters} clusters + {olap.noise_count} noise)")
+
+        raw_areas = [raw_access_area(sql, schema) for sql in statements]
+        raw = partitioned_dbscan(raw_areas, distance, eps=0.12, min_pts=5)
+        print(f"  raw + overlap     : {raw.n_clusters} cluster(s), "
+              f"{raw.noise_count} noise")
+        print()
+
+    print("Shapes to compare with the paper:")
+    print("  - OLAPClus shatters point lookups (~1 group per constant;")
+    print("    the paper reports ~100,000 clusters for Cluster 1);")
+    print("  - raw-query clustering splits / sheds the transform-heavy")
+    print("    family (the paper's broken Clusters 2, 5, 8, 9, ...);")
+    print("  - the access-area method keeps one cluster per interest.")
+
+
+if __name__ == "__main__":
+    main()

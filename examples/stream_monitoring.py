@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Stream monitoring: the operator's live view of a query log.
+
+Section 4 of the paper sketches extracting access areas "from an
+incoming stream of logged queries, to detect changes in this data stream
+and to notify the system operator about the occurrence of new predicates
+and query types".  This example replays a synthetic log through the
+:class:`StreamMonitor`, printing notifications as they fire, then shows
+the user analytics (bots vs. mortals, test vs. final queries).
+
+Run:  python examples/stream_monitoring.py [n_queries]
+"""
+
+import sys
+
+from repro import AccessAreaExtractor, StatisticsCatalog, skyserver_schema
+from repro.analysis import (UserQuery, analyze_users,
+                            classify_test_queries, format_user_report)
+from repro.core.stream import StreamMonitor
+from repro.schema.skyserver import CONTENT_BOUNDS
+from repro.workload import WorkloadConfig, generate_workload
+
+
+def main() -> None:
+    n_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    schema = skyserver_schema()
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    workload = generate_workload(WorkloadConfig(n_queries=n_queries,
+                                                seed=77))
+
+    printed = 0
+
+    def notify(event) -> None:
+        nonlocal printed
+        if printed < 20:
+            print(f"  {event}")
+            printed += 1
+        elif printed == 20:
+            print("  ... (further events suppressed)")
+            printed += 1
+
+    print(f"Replaying {len(workload.log):,} statements "
+          "(warmup: 300) ...")
+    monitor = StreamMonitor(AccessAreaExtractor(schema), stats=stats,
+                            on_event=notify, warmup=300)
+    monitor.process_many(workload.log.statements())
+    print()
+    print(monitor.summary())
+    print()
+
+    # -- user analytics over the same stream -------------------------------
+    print("User analytics (bot/mortal split):")
+    extractor = AccessAreaExtractor(schema)
+    queries: list[UserQuery] = []
+    for entry in workload.log.entries[:2000]:
+        try:
+            area = extractor.extract(entry.sql).area
+        except Exception:
+            continue
+        queries.append(UserQuery(entry.user, area, entry.sql))
+    analytics = analyze_users(queries, bot_min_queries=5,
+                              bot_repetition=0.6)
+    print(format_user_report(analytics, top=8))
+    print()
+
+    heavy_users = sorted(analytics.profiles.values(),
+                         key=lambda p: p.query_count, reverse=True)
+    if heavy_users:
+        user = heavy_users[0].user
+        own = [q for q in queries if q.user == user]
+        roles = classify_test_queries(own)
+        finals = sum(1 for r in roles if r.is_final)
+        print(f"test-vs-final for {user}: {len(roles) - finals} test "
+              f"queries, {finals} final queries")
+
+
+if __name__ == "__main__":
+    main()

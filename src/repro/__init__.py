@@ -1,0 +1,51 @@
+"""repro — access-area mining from SQL query logs.
+
+A full reproduction of "Identifying User Interests within the Data Space —
+a Case Study with SkyServer" (EDBT 2015): a state-independent notion of
+query *access areas*, their extraction from SQL logs (joins, aggregates,
+nested queries), an overlap-based distance for clustering them with
+DBSCAN, and the paper's complete evaluation harness against a synthetic
+SkyServer substrate.
+
+Typical use::
+
+    from repro import AccessAreaExtractor, skyserver_schema
+
+    extractor = AccessAreaExtractor(skyserver_schema())
+    area = extractor.extract(
+        "SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200").area
+    print(area.describe())
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .analysis import (CaseStudyConfig, CaseStudyResult, run_case_study)
+from .clustering import (DBSCAN, AggregatedArea, aggregate_cluster,
+                         area_coverage, object_coverage, partitioned_dbscan)
+from .core import (AccessArea, AccessAreaExtractor, ExtractionResult,
+                   LogProcessingReport, process_log)
+from .distance import PredicateDistance, QueryDistance
+from .engine import Database, QueryExecutor
+from .schema import (Column, ColumnType, Relation, Schema,
+                     StatisticsCatalog, skyserver_schema)
+from .sqlparser import parse
+from .workload import (QueryLog, WorkloadConfig, build_database,
+                       generate_workload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaseStudyConfig", "CaseStudyResult", "run_case_study",
+    "DBSCAN", "AggregatedArea", "aggregate_cluster", "area_coverage",
+    "object_coverage", "partitioned_dbscan",
+    "AccessArea", "AccessAreaExtractor", "ExtractionResult",
+    "LogProcessingReport", "process_log",
+    "PredicateDistance", "QueryDistance",
+    "Database", "QueryExecutor",
+    "Column", "ColumnType", "Relation", "Schema", "StatisticsCatalog",
+    "skyserver_schema",
+    "parse",
+    "QueryLog", "WorkloadConfig", "build_database", "generate_workload",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Boolean/interval algebra underlying access-area extraction.
+
+Public surface:
+
+* :class:`Interval` / :class:`IntervalSet` — one-dimensional footprints;
+* :class:`ColumnRef`, :class:`Op`, :class:`ColumnConstantPredicate`,
+  :class:`ColumnColumnPredicate` — atomic predicates (Section 2.1);
+* :data:`TRUE` / :data:`FALSE`, :func:`atom`, :func:`make_and`,
+  :func:`make_or`, :func:`make_not` — expression construction;
+* :func:`to_nnf`, :func:`to_cnf`, :class:`CNF`, :class:`Clause` — normal
+  forms (Section 2.4, Section 6.6 predicate cap);
+* :func:`consolidate` — redundancy/merge/contradiction cleanup
+  (Section 4.5).
+"""
+
+from .boolexpr import (FALSE, TRUE, And, Atom, BoolExpr, Not, Or, atom,
+                       make_and, make_not, make_or, relations_of)
+from .cnf import (CNF, DEFAULT_PREDICATE_CAP, Clause, CNFConversionError,
+                  to_cnf, truncate_predicates)
+from .consolidate import (ConsolidationResult, ConsolidationStats,
+                          consolidate)
+from .intervals import NEG_INF, POS_INF, Interval, IntervalSet
+from .nnf import to_nnf
+from .predicates import (ColumnColumnPredicate, ColumnConstantPredicate,
+                         ColumnRef, Constant, Op, Predicate)
+
+__all__ = [
+    "FALSE", "TRUE", "And", "Atom", "BoolExpr", "Not", "Or", "atom",
+    "make_and", "make_not", "make_or", "relations_of",
+    "CNF", "DEFAULT_PREDICATE_CAP", "Clause", "CNFConversionError",
+    "to_cnf", "truncate_predicates",
+    "ConsolidationResult", "ConsolidationStats", "consolidate",
+    "NEG_INF", "POS_INF", "Interval", "IntervalSet",
+    "to_nnf",
+    "ColumnColumnPredicate", "ColumnConstantPredicate", "ColumnRef",
+    "Constant", "Op", "Predicate",
+]

@@ -1,0 +1,178 @@
+"""Boolean expression trees over atomic predicates.
+
+Query constraints (the paper's ``P``) are represented as trees of
+:class:`And` / :class:`Or` / :class:`Not` nodes whose leaves are
+:class:`Atom` wrappers around :class:`~repro.algebra.predicates.Predicate`
+instances, plus the constants :data:`TRUE` and :data:`FALSE`.
+
+The trees are immutable.  Conversion to negation normal form and to CNF
+lives in :mod:`repro.algebra.nnf` and :mod:`repro.algebra.cnf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .predicates import Predicate
+
+
+class BoolExpr:
+    """Base class for Boolean expression nodes."""
+
+    def atoms(self) -> Iterator[Predicate]:
+        """Yield every predicate leaf (with repetition)."""
+        raise NotImplementedError
+
+    def count_atoms(self) -> int:
+        return sum(1 for _ in self.atoms())
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return make_and([self, other])
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return make_or([self, other])
+
+    def __invert__(self) -> "BoolExpr":
+        return make_not(self)
+
+
+@dataclass(frozen=True)
+class _Constant(BoolExpr):
+    value: bool
+
+    def atoms(self) -> Iterator[Predicate]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Constant(True)
+FALSE = _Constant(False)
+
+
+@dataclass(frozen=True)
+class Atom(BoolExpr):
+    """A leaf holding one atomic predicate."""
+
+    predicate: Predicate
+
+    def atoms(self) -> Iterator[Predicate]:
+        yield self.predicate
+
+    def __str__(self) -> str:
+        return str(self.predicate)
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    child: BoolExpr
+
+    def atoms(self) -> Iterator[Predicate]:
+        return self.child.atoms()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.child})"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    children: tuple[BoolExpr, ...]
+
+    def atoms(self) -> Iterator[Predicate]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __str__(self) -> str:
+        return " AND ".join(_parenthesize(c) for c in self.children)
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    children: tuple[BoolExpr, ...]
+
+    def atoms(self) -> Iterator[Predicate]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __str__(self) -> str:
+        return " OR ".join(_parenthesize(c) for c in self.children)
+
+
+def _parenthesize(expr: BoolExpr) -> str:
+    if isinstance(expr, (And, Or)):
+        return f"({expr})"
+    return str(expr)
+
+
+def make_and(children: Iterable[BoolExpr]) -> BoolExpr:
+    """Build a flattened AND, simplifying constants.
+
+    Nested ANDs are merged, ``TRUE`` children dropped, and a ``FALSE``
+    child collapses the whole node.
+    """
+    flat: list[BoolExpr] = []
+    for child in children:
+        if child is FALSE or child == FALSE:
+            return FALSE
+        if child is TRUE or child == TRUE:
+            continue
+        if isinstance(child, And):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(children: Iterable[BoolExpr]) -> BoolExpr:
+    """Build a flattened OR, simplifying constants (dual of make_and)."""
+    flat: list[BoolExpr] = []
+    for child in children:
+        if child is TRUE or child == TRUE:
+            return TRUE
+        if child is FALSE or child == FALSE:
+            continue
+        if isinstance(child, Or):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def make_not(child: BoolExpr) -> BoolExpr:
+    """Build a NOT, simplifying constants, double negation, and atoms.
+
+    Atom negation rewrites the operator directly (``NOT a > 5`` becomes
+    ``a <= 5``), which is the paper's Section 4.1 NOT handling.
+    """
+    if child is TRUE or child == TRUE:
+        return FALSE
+    if child is FALSE or child == FALSE:
+        return TRUE
+    if isinstance(child, Not):
+        return child.child
+    if isinstance(child, Atom):
+        return Atom(child.predicate.negate())
+    return Not(child)
+
+
+def atom(predicate: Predicate) -> Atom:
+    """Convenience constructor for a predicate leaf."""
+    return Atom(predicate)
+
+
+def relations_of(expr: BoolExpr) -> frozenset[str]:
+    """All relation names referenced by predicates in the expression."""
+    names: set[str] = set()
+    for pred in expr.atoms():
+        names.update(pred.relations)
+    return frozenset(names)

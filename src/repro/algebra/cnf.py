@@ -1,0 +1,249 @@
+"""Conjunctive normal form (CNF) of query constraints.
+
+The intermediate format of Section 2.4 requires the constraint on the
+universal relation to be a conjunction of disjunctions of atomic
+predicates.  This module provides:
+
+* :class:`Clause` — one disjunction of atomic predicates;
+* :class:`CNF` — a conjunction of clauses;
+* :func:`to_cnf` — conversion of an arbitrary Boolean expression by
+  NNF-rewriting followed by distribution of OR over AND.
+
+Distribution is worst-case exponential — the paper reports that "the
+necessary system resources grow exponentially with the number of
+predicates" and works around it by "only consider[ing] the first 35
+predicates of any query" (Section 6.6).  :func:`to_cnf` reproduces exactly
+that workaround through ``max_predicates``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .boolexpr import (FALSE, TRUE, And, Atom, BoolExpr, Or, make_and,
+                       make_or)
+from .nnf import to_nnf
+from .predicates import Predicate
+
+#: The paper's workaround cap on the number of predicates fed to the CNF
+#: converter (Section 6.6).
+DEFAULT_PREDICATE_CAP = 35
+
+
+class CNFConversionError(Exception):
+    """Raised when a constraint cannot be converted within resource limits."""
+
+
+#: Memoized predicate renderings: predicates are immutable and shared
+#: across many clauses during CNF distribution, where canonicalization
+#: would otherwise re-render them millions of times.
+_PSTR_CACHE: dict[Predicate, str] = {}
+
+
+def _pstr(pred: Predicate) -> str:
+    text = _PSTR_CACHE.get(pred)
+    if text is None:
+        text = str(pred)
+        _PSTR_CACHE[pred] = text
+    return text
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of atomic predicates.
+
+    Duplicate predicates are collapsed; order is canonical (sorted by
+    string form) so that equal clauses compare and hash equal.
+    """
+
+    predicates: tuple[Predicate, ...]
+
+    @staticmethod
+    def of(predicates: Iterable[Predicate]) -> "Clause":
+        unique = {_pstr(p): p for p in predicates}
+        return Clause(tuple(unique[key] for key in sorted(unique)))
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self.predicates)
+
+    @property
+    def is_unit(self) -> bool:
+        return len(self.predicates) == 1
+
+    def subsumes(self, other: "Clause") -> bool:
+        """True when this clause's predicate set is a subset of other's.
+
+        A subset clause is logically *stronger*: if it holds, the superset
+        clause holds too, so the superset is redundant in a CNF.
+        """
+        return set(self.predicates) <= set(other.predicates)
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return "FALSE"
+        if self.is_unit:
+            return str(self.predicates[0])
+        return "(" + " OR ".join(str(p) for p in self.predicates) + ")"
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A conjunction of clauses.  The empty CNF means TRUE."""
+
+    clauses: tuple[Clause, ...]
+
+    @staticmethod
+    def of(clauses: Iterable[Clause]) -> "CNF":
+        unique = {str(c): c for c in clauses}
+        return CNF(tuple(unique[key] for key in sorted(unique)))
+
+    @staticmethod
+    def true() -> "CNF":
+        return CNF(())
+
+    @property
+    def is_true(self) -> bool:
+        return not self.clauses
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def predicates(self) -> Iterator[Predicate]:
+        for clause in self.clauses:
+            yield from clause
+
+    def count_predicates(self) -> int:
+        return sum(len(c) for c in self.clauses)
+
+    def conjoin(self, other: "CNF") -> "CNF":
+        return CNF.of((*self.clauses, *other.clauses))
+
+    def to_boolexpr(self) -> BoolExpr:
+        return make_and(
+            make_or(Atom(p) for p in clause) for clause in self.clauses)
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return "TRUE"
+        return " AND ".join(str(c) for c in self.clauses)
+
+
+def truncate_predicates(expr: BoolExpr, cap: int) -> BoolExpr:
+    """Keep only the first ``cap`` predicate leaves of ``expr``.
+
+    Excess leaves are replaced by TRUE, which *widens* the constraint —
+    a conservative over-approximation of the access area, matching the
+    paper's workaround semantics ("only considers the first 35 predicates
+    of any query").
+    """
+    counter = {"seen": 0}
+
+    def rewrite(node: BoolExpr) -> BoolExpr:
+        if isinstance(node, Atom):
+            counter["seen"] += 1
+            return node if counter["seen"] <= cap else TRUE
+        if isinstance(node, And):
+            return make_and(rewrite(c) for c in node.children)
+        if isinstance(node, Or):
+            return make_or(rewrite(c) for c in node.children)
+        return node
+
+    return rewrite(expr)
+
+
+def to_cnf(expr: BoolExpr,
+           max_predicates: int | None = DEFAULT_PREDICATE_CAP,
+           max_clauses: int = 200_000) -> CNF:
+    """Convert a Boolean expression into CNF.
+
+    Parameters
+    ----------
+    expr:
+        Arbitrary expression tree (NOT nodes allowed; they are pushed to
+        the leaves first).
+    max_predicates:
+        The paper's predicate cap; ``None`` disables truncation.
+    max_clauses:
+        Hard safety limit on the intermediate clause count; exceeding it
+        raises :class:`CNFConversionError` instead of exhausting memory.
+    """
+    expr = to_nnf(expr)
+    if max_predicates is not None and expr.count_atoms() > max_predicates:
+        expr = to_nnf(truncate_predicates(expr, max_predicates))
+    clauses = _distribute(expr, max_clauses)
+    if clauses is None:
+        return CNF((Clause(()),))  # unsatisfiable: the empty clause
+    return CNF.of(_drop_subsumed(clauses))
+
+
+def _distribute(expr: BoolExpr, max_clauses: int) -> list[Clause] | None:
+    """Return the clause list of ``expr`` (already in NNF).
+
+    ``None`` encodes FALSE (an unsatisfiable constraint); an empty list
+    encodes TRUE.
+    """
+    if expr is TRUE:
+        return []
+    if expr is FALSE:
+        return None
+    if isinstance(expr, Atom):
+        return [Clause.of([expr.predicate])]
+    if isinstance(expr, And):
+        out: list[Clause] = []
+        for child in expr.children:
+            sub = _distribute(child, max_clauses)
+            if sub is None:
+                return None
+            out.extend(sub)
+            if len(out) > max_clauses:
+                raise CNFConversionError(
+                    f"CNF exceeded {max_clauses} clauses")
+        return out
+    if isinstance(expr, Or):
+        # Cross product of the children's clause lists.
+        product: list[Clause] = [Clause(())]
+        for child in expr.children:
+            sub = _distribute(child, max_clauses)
+            if sub is None:
+                continue  # FALSE is the identity of OR
+            if not sub:
+                return []  # TRUE absorbs the whole disjunction
+            next_product: list[Clause] = []
+            for left in product:
+                for right in sub:
+                    next_product.append(
+                        Clause.of((*left.predicates, *right.predicates)))
+                    if len(next_product) > max_clauses:
+                        raise CNFConversionError(
+                            f"CNF exceeded {max_clauses} clauses")
+            product = next_product
+        if product == [Clause(())]:
+            # Every child was FALSE.
+            return None
+        return product
+    raise TypeError(f"unexpected node in NNF: {type(expr).__name__}")
+
+
+#: Above this clause count the quadratic subsumption sweep is skipped —
+#: keeping redundant clauses is sound, just less tidy.
+_SUBSUMPTION_LIMIT = 2000
+
+
+def _drop_subsumed(clauses: list[Clause]) -> list[Clause]:
+    """Remove clauses that are supersets of another clause."""
+    unique = list(set(clauses))
+    if len(unique) > _SUBSUMPTION_LIMIT:
+        return sorted(unique, key=str)
+    kept: list[Clause] = []
+    # Sort by length so potential subsumers come first.
+    for clause in sorted(unique, key=len):
+        if not any(prev.subsumes(clause) for prev in kept):
+            kept.append(clause)
+    return kept

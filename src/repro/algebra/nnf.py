@@ -1,0 +1,46 @@
+"""Negation normal form (NNF).
+
+Pushing NOT operators down to the leaves is the first half of the paper's
+CNF conversion (Section 4.1: "For predicates containing the NOT operator,
+we transform them by inverting the respective predicate").  Because every
+atomic predicate has a closed negation (``<`` ↔ ``>=`` etc.), NNF trees
+contain no :class:`~repro.algebra.boolexpr.Not` nodes at all.
+"""
+
+from __future__ import annotations
+
+from .boolexpr import (FALSE, TRUE, And, Atom, BoolExpr, Not, Or, make_and,
+                       make_not, make_or)
+
+
+def to_nnf(expr: BoolExpr) -> BoolExpr:
+    """Rewrite ``expr`` into an equivalent NOT-free expression.
+
+    De Morgan's laws are applied to AND/OR nodes; atoms are negated by
+    inverting their comparison operator.
+    """
+    if expr is TRUE or expr is FALSE or isinstance(expr, Atom):
+        return expr
+    if isinstance(expr, And):
+        return make_and(to_nnf(c) for c in expr.children)
+    if isinstance(expr, Or):
+        return make_or(to_nnf(c) for c in expr.children)
+    if isinstance(expr, Not):
+        return _negate(expr.child)
+    return expr
+
+
+def _negate(expr: BoolExpr) -> BoolExpr:
+    if expr is TRUE:
+        return FALSE
+    if expr is FALSE:
+        return TRUE
+    if isinstance(expr, Atom):
+        return make_not(expr)
+    if isinstance(expr, Not):
+        return to_nnf(expr.child)
+    if isinstance(expr, And):
+        return make_or(_negate(c) for c in expr.children)
+    if isinstance(expr, Or):
+        return make_and(_negate(c) for c in expr.children)
+    raise TypeError(f"cannot negate {type(expr).__name__}")

@@ -1,0 +1,238 @@
+"""Atomic predicates over database columns.
+
+The paper's intermediate format constrains the universal relation with a
+CNF over *atomic* predicates.  Two kinds occur in the SkyServer log and are
+modelled here:
+
+* **column-constant** predicates ``a θ c`` (Section 2.1) with
+  ``θ ∈ {<, <=, =, >, >=, <>}``, over numeric or categorical columns;
+* **column-column** predicates ``a1 θ a2`` (join conditions pushed into the
+  WHERE clause, Section 4.2).
+
+Predicates are immutable and hashable so they can live in sets (used by
+consolidation and by the OLAPClus baseline's exact matching).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from .intervals import NEG_INF, POS_INF, Interval, IntervalSet
+
+
+class Op(enum.Enum):
+    """Comparison operators of column-constant atomic predicates."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    GT = ">"
+    GE = ">="
+    NE = "<>"
+
+    def negate(self) -> "Op":
+        """The operator of the logically negated predicate."""
+        return _NEGATIONS[self]
+
+    def flip(self) -> "Op":
+        """The operator obtained by swapping the two operands."""
+        return _FLIPS[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_NEGATIONS = {
+    Op.LT: Op.GE,
+    Op.LE: Op.GT,
+    Op.EQ: Op.NE,
+    Op.GT: Op.LE,
+    Op.GE: Op.LT,
+    Op.NE: Op.EQ,
+}
+
+_FLIPS = {
+    Op.LT: Op.GT,
+    Op.LE: Op.GE,
+    Op.EQ: Op.EQ,
+    Op.GT: Op.LT,
+    Op.GE: Op.LE,
+    Op.NE: Op.NE,
+}
+
+Constant = Union[int, float, str, bool]
+
+
+@dataclass(frozen=True, eq=True)
+class ColumnRef:
+    """A fully qualified column reference ``relation.column``.
+
+    ``relation`` is the *real* relation name: alias resolution happens
+    during extraction (Section 4.5 cleanup step), before predicates are
+    built.
+    """
+
+    relation: str
+    column: str
+
+    def __hash__(self) -> int:
+        # Cached: refs are hashed millions of times by the distance memo.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.relation, self.column))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.relation}.{self.column}"
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for atomic predicates."""
+
+    def negate(self) -> "Predicate":
+        raise NotImplementedError
+
+    @property
+    def columns(self) -> tuple[ColumnRef, ...]:
+        raise NotImplementedError
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(ref.relation for ref in self.columns)
+
+
+@dataclass(frozen=True, eq=True)
+class ColumnConstantPredicate(Predicate):
+    """``a θ c`` where ``a`` is a column and ``c`` a constant."""
+
+    ref: ColumnRef
+    op: Op
+    value: Constant
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.ref, self.op, self.value))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def negate(self) -> "ColumnConstantPredicate":
+        return ColumnConstantPredicate(self.ref, self.op.negate(), self.value)
+
+    @property
+    def columns(self) -> tuple[ColumnRef, ...]:
+        return (self.ref,)
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, (int, float)) and not isinstance(
+            self.value, bool)
+
+    def to_interval_set(self) -> IntervalSet:
+        """Footprint of this predicate on the column's domain axis.
+
+        Only meaningful for numeric constants.  ``<>`` yields the two
+        open rays around the excluded point.
+        """
+        if not self.is_numeric:
+            raise TypeError(f"non-numeric predicate {self} has no interval")
+        # Keep ints exact: SkyServer objid/specobjid constants exceed the
+        # float64 mantissa, and the rebuilt predicates must round-trip.
+        c = self.value
+        if self.op is Op.LT:
+            return IntervalSet([Interval(NEG_INF, c, True, True)])
+        if self.op is Op.LE:
+            return IntervalSet([Interval(NEG_INF, c, True, False)])
+        if self.op is Op.EQ:
+            return IntervalSet([Interval.point(c)])
+        if self.op is Op.GT:
+            return IntervalSet([Interval(c, POS_INF, True, True)])
+        if self.op is Op.GE:
+            return IntervalSet([Interval(c, POS_INF, False, True)])
+        return IntervalSet([
+            Interval(NEG_INF, c, True, True),
+            Interval(c, POS_INF, True, True),
+        ])
+
+    def evaluate(self, value: Constant) -> bool:
+        """Evaluate the predicate against a concrete column value."""
+        return _compare(value, self.op, self.value)
+
+    def __str__(self) -> str:
+        value = repr(self.value) if isinstance(self.value, str) else self.value
+        return f"{self.ref} {self.op} {value}"
+
+
+@dataclass(frozen=True, eq=True)
+class ColumnColumnPredicate(Predicate):
+    """``a1 θ a2`` — typically a join condition pushed into the WHERE."""
+
+    left: ColumnRef
+    op: Op
+    right: ColumnRef
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.left, self.op, self.right))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __post_init__(self) -> None:
+        # Canonical operand order so that T.u = S.u and S.u = T.u compare
+        # (and hash) equal, which exact-match baselines rely on.
+        if (self.right.qualified, ) < (self.left.qualified, ):
+            left, right = self.right, self.left
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+            object.__setattr__(self, "op", self.op.flip())
+
+    def negate(self) -> "ColumnColumnPredicate":
+        return ColumnColumnPredicate(self.left, self.op.negate(), self.right)
+
+    @property
+    def columns(self) -> tuple[ColumnRef, ...]:
+        return (self.left, self.right)
+
+    @property
+    def is_equijoin(self) -> bool:
+        return self.op is Op.EQ
+
+    def evaluate(self, left_value: Constant, right_value: Constant) -> bool:
+        return _compare(left_value, self.op, right_value)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def _compare(left: Constant, op: Op, right: Constant) -> bool:
+    """Three-valued-free comparison used by the predicate evaluator.
+
+    ``None`` (SQL NULL) never satisfies any comparison, matching SQL's
+    WHERE semantics where UNKNOWN filters the row out.
+    """
+    if left is None or right is None:
+        return False
+    if isinstance(left, str) != isinstance(right, str):
+        # Mixed-type comparison: fall back to string comparison, which is
+        # what the log's sloppy queries effectively get from the server.
+        left, right = str(left), str(right)
+    if op is Op.LT:
+        return left < right
+    if op is Op.LE:
+        return left <= right
+    if op is Op.EQ:
+        return left == right
+    if op is Op.GT:
+        return left > right
+    if op is Op.GE:
+        return left >= right
+    return left != right

@@ -1,0 +1,165 @@
+"""SDSS-Log-Viewer-style query categorization (related work, Section 3.2).
+
+Zhang's SDSS Log Viewer classifies SkyServer queries by the *kind of sky
+area* they touch — Rectangular Sky Area, Circular Sky Area, Single
+Point/Object, Other — and by *intent* — Scan, Search, Retrieve.  Both
+classifications are implementable on top of this library's AST and
+access areas, and make a useful triage layer before clustering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra.predicates import ColumnConstantPredicate, Op
+from ..core.area import AccessArea
+from ..sqlparser import ast
+
+#: column names treated as sky coordinates
+_SKY_COLUMNS = frozenset({"ra", "dec", "l", "b"})
+
+#: SkyServer UDFs implying a circular (cone) search
+_CONE_FUNCTIONS = frozenset({
+    "fgetnearbyobjeq", "fgetnearestobjeq", "fgetobjfromrect",
+    "fgetnearbyspecobjeq", "fgetnearbyframeeq",
+})
+
+
+class SkyAreaKind(enum.Enum):
+    RECTANGULAR = "rectangular-sky-area"
+    CIRCULAR = "circular-sky-area"
+    SINGLE_POINT = "single-point"
+    OTHER = "other"
+
+
+class IntentKind(enum.Enum):
+    SCAN = "scan"          # no selective constraint: sweep the table(s)
+    SEARCH = "search"      # constrained, exploring a region
+    RETRIEVE = "retrieve"  # pin-point lookups of known objects
+
+
+@dataclass(frozen=True)
+class QueryCategory:
+    sky_area: SkyAreaKind
+    intent: IntentKind
+
+    def __str__(self) -> str:
+        return f"{self.sky_area.value} / {self.intent.value}"
+
+
+def categorize(area: AccessArea,
+               statement: Optional[ast.SelectStatement] = None
+               ) -> QueryCategory:
+    """Classify one extracted query."""
+    return QueryCategory(
+        sky_area=_sky_area_kind(area, statement),
+        intent=_intent_kind(area),
+    )
+
+
+def _sky_area_kind(area: AccessArea,
+                   statement: Optional[ast.SelectStatement]
+                   ) -> SkyAreaKind:
+    if statement is not None and _calls_cone_function(statement):
+        return SkyAreaKind.CIRCULAR
+
+    sky_preds = [
+        pred for pred in area.cnf.predicates()
+        if isinstance(pred, ColumnConstantPredicate)
+        and pred.ref.column.lower() in _SKY_COLUMNS
+        and pred.is_numeric
+    ]
+    if not sky_preds:
+        return SkyAreaKind.OTHER
+
+    by_column: dict[str, list[ColumnConstantPredicate]] = {}
+    for pred in sky_preds:
+        by_column.setdefault(pred.ref.column.lower(), []).append(pred)
+
+    point_columns = sum(
+        1 for preds in by_column.values()
+        if any(p.op is Op.EQ for p in preds))
+    if point_columns == len(by_column) and len(by_column) >= 2:
+        return SkyAreaKind.SINGLE_POINT
+
+    bounded_columns = sum(
+        1 for preds in by_column.values()
+        if _has_two_sided_bounds(preds) or any(p.op is Op.EQ
+                                               for p in preds))
+    if bounded_columns >= 2:
+        return SkyAreaKind.RECTANGULAR
+    if by_column:
+        # Bounded in one coordinate only: a band, still rectangular in
+        # the Log Viewer's taxonomy.
+        return SkyAreaKind.RECTANGULAR
+    return SkyAreaKind.OTHER
+
+
+def _has_two_sided_bounds(preds: list[ColumnConstantPredicate]) -> bool:
+    lower = any(p.op in (Op.GT, Op.GE) for p in preds)
+    upper = any(p.op in (Op.LT, Op.LE) for p in preds)
+    return lower and upper
+
+
+def _calls_cone_function(statement: ast.SelectStatement) -> bool:
+    found = False
+
+    def visit_expr(expr: ast.Expr) -> None:
+        nonlocal found
+        if isinstance(expr, ast.FunctionCall):
+            name = expr.name.split(".")[-1].lower()
+            if name in _CONE_FUNCTIONS:
+                found = True
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.Arithmetic):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.UnaryMinus):
+            visit_expr(expr.operand)
+
+    for item in statement.select_items:
+        if not isinstance(item.expr, ast.Star):
+            visit_expr(item.expr)
+    if statement.where is not None:
+        _visit_condition_exprs(statement.where, visit_expr)
+    return found
+
+
+def _visit_condition_exprs(cond: ast.Condition, visit) -> None:
+    if isinstance(cond, (ast.AndCondition, ast.OrCondition)):
+        for child in cond.children:
+            _visit_condition_exprs(child, visit)
+    elif isinstance(cond, ast.NotCondition):
+        _visit_condition_exprs(cond.child, visit)
+    elif isinstance(cond, ast.Comparison):
+        visit(cond.left)
+        visit(cond.right)
+    elif isinstance(cond, ast.Between):
+        visit(cond.expr)
+    elif isinstance(cond, (ast.InList, ast.Like, ast.IsNull)):
+        visit(cond.expr)
+
+
+def _intent_kind(area: AccessArea) -> IntentKind:
+    predicates = list(area.cnf.predicates())
+    if not predicates:
+        return IntentKind.SCAN
+    # Pin-point: equality on an identifier-like column.
+    id_lookups = [
+        pred for pred in predicates
+        if isinstance(pred, ColumnConstantPredicate)
+        and pred.op is Op.EQ
+        and pred.ref.column.lower().endswith("id")
+    ]
+    if id_lookups:
+        return IntentKind.RETRIEVE
+    return IntentKind.SEARCH
+
+
+def categorize_sql(sql: str, extractor) -> QueryCategory:
+    """Extract then categorize (convenience)."""
+    result = extractor.extract(sql)
+    return categorize(result.area, result.statement)

@@ -1,0 +1,77 @@
+"""CSV export of the experiment artifacts.
+
+Downstream users plot the Table-1 and Figure-1 series with their own
+tooling; these helpers write them in flat CSV form.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+from .experiments import CaseStudyResult
+from .figures import FigureData
+
+
+def export_table1_csv(result: CaseStudyResult, path: str | Path) -> None:
+    """One row per cluster: the Table 1 columns plus diagnostics."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "cluster_id", "cardinality", "n_users", "area_coverage",
+            "object_coverage", "density_contrast", "relations",
+            "access_area", "dominant_family", "purity",
+        ])
+        for row in result.rows:
+            density = ("inf" if math.isinf(row.density_contrast)
+                       else f"{row.density_contrast:.4f}")
+            writer.writerow([
+                row.cluster_id, row.cardinality, row.n_users,
+                f"{row.area_coverage:.6f}",
+                f"{row.object_coverage:.6f}",
+                density,
+                ";".join(row.aggregated.relations),
+                row.description,
+                row.dominant_family,
+                f"{row.purity:.4f}",
+            ])
+
+
+def export_figure_csv(figure: FigureData, points_path: str | Path,
+                      rects_path: str | Path) -> None:
+    """Two files per panel: the content scatter and the access rects."""
+    with open(points_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([figure.x_label, figure.y_label])
+        for x, y in figure.points:
+            writer.writerow([x, y])
+    with open(rects_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x_lo", "x_hi", "y_lo", "y_hi", "label",
+                         "empty"])
+        for rect in figure.rects:
+            writer.writerow([rect.x_lo, rect.x_hi, rect.y_lo, rect.y_hi,
+                             rect.label, int(rect.empty)])
+
+
+def export_extraction_report_csv(result: CaseStudyResult,
+                                 path: str | Path) -> None:
+    """Per-stage timing summary plus the failure taxonomy."""
+    report = result.report
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "value"])
+        writer.writerow(["total", report.total])
+        writer.writerow(["extracted", report.extraction_count])
+        writer.writerow(["extraction_rate",
+                         f"{report.extraction_rate:.6f}"])
+        writer.writerow(["parse_errors", report.parse_errors])
+        writer.writerow(["lex_errors", report.lex_errors])
+        writer.writerow(["unsupported_statements",
+                         report.unsupported_statements])
+        writer.writerow(["cnf_failures", report.cnf_failures])
+        for stage, summary in report.stage_timings.items():
+            writer.writerow([f"{stage}_min_s", f"{summary.minimum:.9f}"])
+            writer.writerow([f"{stage}_mean_s", f"{summary.mean:.9f}"])
+            writer.writerow([f"{stage}_max_s", f"{summary.maximum:.9f}"])

@@ -1,0 +1,164 @@
+"""Figure 1 data series: content scatter vs. accessed areas.
+
+Each figure function returns the raw series (content points plus access
+rectangles) and an ASCII rendering so the benchmark harness can print the
+same picture the paper plots:
+
+* 1(a) — SpecObjAll ``plate`` × ``mjd``: the content diagonal band and a
+  small accessed sub-box inside it;
+* 1(b) — PhotoObjAll ``ra`` × ``dec``: content everywhere north of the
+  survey edge, accessed areas both inside and in the empty far south;
+* 1(c) — zooSpec ``ra`` × ``dec``: a northern content stripe and
+  non-contiguous accessed areas, the southern one entirely empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.predicates import ColumnRef
+from ..engine.database import Database
+from .experiments import CaseStudyResult, ClusterRow
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned accessed rectangle in the plotted subspace."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    label: str
+    empty: bool  # True when the rectangle misses the content entirely
+
+
+@dataclass
+class FigureData:
+    """One Figure-1 panel."""
+
+    title: str
+    x_label: str
+    y_label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    rects: list[Rect] = field(default_factory=list)
+
+    @property
+    def empty_rects(self) -> list[Rect]:
+        return [r for r in self.rects if r.empty]
+
+    def render_ascii(self, width: int = 72, height: int = 20) -> str:
+        """Plot content ('.') and rectangle borders ('#') on a text grid."""
+        xs = [p[0] for p in self.points] + \
+            [v for r in self.rects for v in (r.x_lo, r.x_hi)]
+        ys = [p[1] for p in self.points] + \
+            [v for r in self.rects for v in (r.y_lo, r.y_hi)]
+        if not xs or not ys:
+            return f"{self.title}: (no data)"
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+
+        def cell(x: float, y: float) -> tuple[int, int]:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y_hi - y) / y_span * (height - 1))
+            return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+        for x, y in self.points:
+            row, col = cell(x, y)
+            grid[row][col] = "."
+        for rect in self.rects:
+            mark = "#" if not rect.empty else "E"
+            for x in _steps(rect.x_lo, rect.x_hi, width):
+                for y in (rect.y_lo, rect.y_hi):
+                    row, col = cell(x, y)
+                    grid[row][col] = mark
+            for y in _steps(rect.y_lo, rect.y_hi, height):
+                for x in (rect.x_lo, rect.x_hi):
+                    row, col = cell(x, y)
+                    grid[row][col] = mark
+        lines = [f"{self.title}   (y={self.y_label}, x={self.x_label}; "
+                 f"'.'=content, '#'=accessed, 'E'=accessed empty area)"]
+        lines += ["".join(row) for row in grid]
+        return "\n".join(lines)
+
+
+def _steps(lo: float, hi: float, count: int) -> list[float]:
+    if count <= 1 or hi <= lo:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _content_points(db: Database, relation: str, x_col: str, y_col: str,
+                    limit: int = 600) -> list[tuple[float, float]]:
+    table = db.table(relation)
+    points = []
+    for row in table.rows[:limit]:
+        x = table.get_value(row, x_col)
+        y = table.get_value(row, y_col)
+        if x is not None and y is not None:
+            points.append((float(x), float(y)))
+    return points
+
+
+def _rects_from_rows(rows: list[ClusterRow], relation: str, x_col: str,
+                     y_col: str) -> list[Rect]:
+    x_ref = ColumnRef(relation, x_col)
+    y_ref = ColumnRef(relation, y_col)
+    rects = []
+    for row in rows:
+        xb = row.aggregated.bound_for(x_ref)
+        yb = row.aggregated.bound_for(y_ref)
+        if xb is None or yb is None:
+            continue
+        rects.append(Rect(
+            x_lo=float(xb.interval.lo), x_hi=float(xb.interval.hi),
+            y_lo=float(yb.interval.lo), y_hi=float(yb.interval.hi),
+            label=f"cluster {row.cluster_id} (n={row.cardinality})",
+            empty=row.is_empty_area,
+        ))
+    return rects
+
+
+def _rows_on(result: CaseStudyResult, relation: str) -> list[ClusterRow]:
+    return [
+        row for row in result.rows
+        if any(r.lower() == relation.lower()
+               for r in row.aggregated.relations)
+    ]
+
+
+def figure1a(result: CaseStudyResult) -> FigureData:
+    """SpecObjAll plate × mjd: content band + accessed sub-area."""
+    rows = _rows_on(result, "SpecObjAll")
+    return FigureData(
+        title="Figure 1(a): SpecObjAll.plate vs SpecObjAll.mjd",
+        x_label="plate", y_label="mjd",
+        points=_content_points(result.db, "SpecObjAll", "plate", "mjd"),
+        rects=_rects_from_rows(rows, "SpecObjAll", "plate", "mjd"),
+    )
+
+
+def figure1b(result: CaseStudyResult) -> FigureData:
+    """PhotoObjAll ra × dec: content + empty-south access area."""
+    rows = _rows_on(result, "PhotoObjAll")
+    return FigureData(
+        title="Figure 1(b): PhotoObjAll.ra vs PhotoObjAll.dec",
+        x_label="ra", y_label="dec",
+        points=_content_points(result.db, "PhotoObjAll", "ra", "dec"),
+        rects=_rects_from_rows(rows, "PhotoObjAll", "ra", "dec"),
+    )
+
+
+def figure1c(result: CaseStudyResult) -> FigureData:
+    """zooSpec ra × dec: non-contiguous empty access areas."""
+    rows = _rows_on(result, "zooSpec")
+    return FigureData(
+        title="Figure 1(c): zooSpec.ra vs zooSpec.dec",
+        x_label="ra", y_label="dec",
+        points=_content_points(result.db, "zooSpec", "ra", "dec"),
+        rects=_rects_from_rows(rows, "zooSpec", "ra", "dec"),
+    )

@@ -1,0 +1,159 @@
+"""User and session analytics (Section 6.3 follow-ups).
+
+The paper's astronomer distinguished numerous exploratory **test
+queries** from the few decisive **final queries** and asked for "ways to
+differentiate between these categories, possibly based on the metadata
+available"; the related work (Singh et al.) separates **bots** from
+**mortals** by their repetition patterns.  This module implements both
+heuristics over extracted areas plus per-user activity profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..baselines.signatures import area_signature
+from ..core.area import AccessArea
+
+
+@dataclass(frozen=True)
+class UserQuery:
+    """One extracted query attributed to a user."""
+
+    user: str
+    area: AccessArea
+    sql: str = ""
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Aggregate behaviour of one user."""
+
+    user: str
+    query_count: int
+    distinct_signatures: int
+    relations: frozenset[str]
+    max_signature_repeats: int
+
+    @property
+    def repetition_ratio(self) -> float:
+        """1.0 = every query identical; → 0 for all-distinct users."""
+        if self.query_count <= 1:
+            return 0.0
+        return 1.0 - (self.distinct_signatures - 1) / (self.query_count - 1)
+
+
+@dataclass
+class UserAnalytics:
+    """Classified view of a query population."""
+
+    profiles: dict[str, UserProfile] = field(default_factory=dict)
+    #: users issuing many near-identical statements (likely automated)
+    bots: list[str] = field(default_factory=list)
+    #: users with few, varied statements (likely human explorers)
+    mortals: list[str] = field(default_factory=list)
+
+    def profile(self, user: str) -> UserProfile:
+        return self.profiles[user]
+
+
+def analyze_users(queries: Sequence[UserQuery],
+                  bot_min_queries: int = 20,
+                  bot_repetition: float = 0.5) -> UserAnalytics:
+    """Build per-user profiles and the bot/mortal split.
+
+    A *bot* issues at least ``bot_min_queries`` statements with a
+    repetition ratio of at least ``bot_repetition`` — the Singh-et-al.
+    style template-hammering pattern.  Everyone else is a mortal.
+    """
+    by_user: dict[str, list[UserQuery]] = {}
+    for query in queries:
+        by_user.setdefault(query.user, []).append(query)
+
+    analytics = UserAnalytics()
+    for user, items in by_user.items():
+        signatures = Counter(area_signature(q.area) for q in items)
+        relations: set[str] = set()
+        for q in items:
+            relations.update(q.area.relations)
+        profile = UserProfile(
+            user=user,
+            query_count=len(items),
+            distinct_signatures=len(signatures),
+            relations=frozenset(relations),
+            max_signature_repeats=max(signatures.values()),
+        )
+        analytics.profiles[user] = profile
+        if (profile.query_count >= bot_min_queries
+                and profile.repetition_ratio >= bot_repetition):
+            analytics.bots.append(user)
+        else:
+            analytics.mortals.append(user)
+    analytics.bots.sort()
+    analytics.mortals.sort()
+    return analytics
+
+
+@dataclass(frozen=True)
+class QueryRole:
+    """Test-vs-final classification of one user's query."""
+
+    query: UserQuery
+    is_final: bool
+    burst_size: int  # how many same-signature-family queries it belongs to
+
+
+def classify_test_queries(queries: Sequence[UserQuery],
+                          burst_threshold: int = 3) -> list[QueryRole]:
+    """Split a single user's (ordered) queries into test vs. final.
+
+    Heuristic: consecutive runs of queries over the same relation set are
+    exploration bursts; within a burst everything except the last
+    statement is a *test query*, the last is the candidate *final query*.
+    Runs shorter than ``burst_threshold`` are all final (no evidence of
+    iteration).
+    """
+    roles: list[QueryRole] = []
+    index = 0
+    n = len(queries)
+    while index < n:
+        start = index
+        tables = queries[index].area.table_set
+        while index + 1 < n and queries[index + 1].area.table_set == tables:
+            index += 1
+        burst = queries[start:index + 1]
+        if len(burst) >= burst_threshold:
+            for position, query in enumerate(burst):
+                roles.append(QueryRole(
+                    query=query,
+                    is_final=(position == len(burst) - 1),
+                    burst_size=len(burst),
+                ))
+        else:
+            for query in burst:
+                roles.append(QueryRole(query, True, len(burst)))
+        index += 1
+    return roles
+
+
+def format_user_report(analytics: UserAnalytics, top: int = 10) -> str:
+    """Readable summary of the bot/mortal split."""
+    heavy = sorted(analytics.profiles.values(),
+                   key=lambda p: p.query_count, reverse=True)[:top]
+    lines = [
+        f"users analysed : {len(analytics.profiles):,}",
+        f"bots           : {len(analytics.bots):,}",
+        f"mortals        : {len(analytics.mortals):,}",
+        "",
+        f"{'user':<14} {'queries':>8} {'distinct':>9} "
+        f"{'repetition':>11} class",
+    ]
+    for profile in heavy:
+        kind = "bot" if profile.user in analytics.bots else "mortal"
+        lines.append(
+            f"{profile.user:<14} {profile.query_count:>8,} "
+            f"{profile.distinct_signatures:>9,} "
+            f"{profile.repetition_ratio:>10.0%} {kind}")
+    return "\n".join(lines)

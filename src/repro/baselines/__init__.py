@@ -1,0 +1,14 @@
+"""Comparison baselines of Sections 6.4–6.6."""
+
+from .olapclus import ExactMatchDistance, fragmentation, olapclus_cluster
+from .raw import raw_access_area, raw_area_of_statement
+from .requery import (RequeryBaseline, RequeryOutcome, RequeryReport,
+                      requery_log)
+from .signatures import area_signature
+
+__all__ = [
+    "ExactMatchDistance", "fragmentation", "olapclus_cluster",
+    "raw_access_area", "raw_area_of_statement",
+    "RequeryBaseline", "RequeryOutcome", "RequeryReport", "requery_log",
+    "area_signature",
+]

@@ -1,0 +1,215 @@
+"""Raw-query predicate extraction (the Section 6.5 baseline).
+
+Equation (1) suggests the overlap distance could be computed on raw
+queries directly, skipping the intermediate-format transformation.  This
+module implements that shortcut: predicates are collected **as they appear
+syntactically** —
+
+* NOT is *not* pushed down (``NOT (v < a OR v > b)`` contributes the
+  complement's atoms, a misleading area);
+* HAVING aggregate comparisons are kept as pseudo-column atoms
+  (``SUM(v) > c``) instead of the Lemma mappings;
+* nested subquery predicates are collected but their relations are *not*
+  added to the FROM set;
+* outer-join conditions are taken as-is.
+
+The paper shows this "breaks Clusters 2, 5, 8, 9, 11, 12, 18, 19, 20, and
+22" and yields clusters whose members' Boolean expressions are too
+heterogeneous to aggregate (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.cnf import CNF, Clause
+from ..algebra.predicates import (ColumnColumnPredicate,
+                                  ColumnConstantPredicate, ColumnRef, Op,
+                                  Predicate)
+from ..core.area import AccessArea
+from ..core.context import ExtractionContext
+from ..schema.database import Schema
+from ..sqlparser import ast, parse
+
+_OPS = {"<": Op.LT, "<=": Op.LE, "=": Op.EQ,
+        ">": Op.GT, ">=": Op.GE, "<>": Op.NE}
+
+
+def raw_access_area(sql: str, schema: Optional[Schema] = None) -> AccessArea:
+    """Parse ``sql`` and collect its predicates without transformation."""
+    statement = parse(sql)
+    return raw_area_of_statement(statement, schema)
+
+
+def raw_area_of_statement(statement: ast.SelectStatement,
+                          schema: Optional[Schema] = None) -> AccessArea:
+    ctx = ExtractionContext(schema)
+    predicates: list[Predicate] = []
+    for ref in statement.table_refs():
+        ctx.register_table(ref.name, ref.alias)
+    from_relations = tuple(ctx.relations)
+    _collect_from(statement.from_items, ctx, predicates)
+    if statement.where is not None:
+        _collect(statement.where, ctx, predicates)
+    if statement.having is not None:
+        _collect_having(statement.having, ctx, predicates)
+    cnf = CNF.of(Clause.of([pred]) for pred in predicates)
+    return AccessArea(from_relations, cnf, notes=("raw",))
+
+
+def _collect_from(items, ctx: ExtractionContext,
+                  out: list[Predicate]) -> None:
+    for item in items:
+        if isinstance(item, ast.Join):
+            _collect_from((item.left, item.right), ctx, out)
+            if item.condition is not None:
+                _collect(item.condition, ctx, out)
+
+
+def _collect(cond: ast.Condition, ctx: ExtractionContext,
+             out: list[Predicate]) -> None:
+    if isinstance(cond, (ast.AndCondition, ast.OrCondition)):
+        for child in cond.children:
+            _collect(child, ctx, out)
+        return
+    if isinstance(cond, ast.NotCondition):
+        # As-is: descend without inverting — the defining raw behaviour.
+        _collect(cond.child, ctx, out)
+        return
+    if isinstance(cond, ast.Comparison):
+        pred = _comparison_predicate(cond, ctx)
+        if pred is not None:
+            out.append(pred)
+        if isinstance(cond.right, ast.ScalarSubquery):
+            _collect_subquery(cond.right.query, ctx, out)
+        if isinstance(cond.left, ast.ScalarSubquery):
+            _collect_subquery(cond.left.query, ctx, out)
+        return
+    if isinstance(cond, ast.Between):
+        ref = _ref(cond.expr, ctx)
+        low = _const(cond.low)
+        high = _const(cond.high)
+        if ref is not None and low is not None:
+            out.append(ColumnConstantPredicate(ref, Op.GE, low))
+        if ref is not None and high is not None:
+            out.append(ColumnConstantPredicate(ref, Op.LE, high))
+        return
+    if isinstance(cond, ast.InList):
+        ref = _ref(cond.expr, ctx)
+        if ref is not None:
+            for value in cond.values:
+                constant = _const(value)
+                if constant is not None:
+                    out.append(
+                        ColumnConstantPredicate(ref, Op.EQ, constant))
+        return
+    if isinstance(cond, ast.InSubquery):
+        _collect_subquery(cond.query, ctx, out)
+        return
+    if isinstance(cond, ast.Exists):
+        _collect_subquery(cond.query, ctx, out)
+        return
+    if isinstance(cond, ast.QuantifiedComparison):
+        _collect_subquery(cond.query, ctx, out)
+        return
+    if isinstance(cond, ast.Like):
+        ref = _ref(cond.expr, ctx)
+        if ref is not None and "%" not in cond.pattern \
+                and "_" not in cond.pattern:
+            out.append(ColumnConstantPredicate(ref, Op.EQ, cond.pattern))
+        return
+    # IS NULL and anything else contributes nothing.
+
+
+def _collect_subquery(stmt: ast.SelectStatement, ctx: ExtractionContext,
+                      out: list[Predicate]) -> None:
+    """Collect subquery predicates WITHOUT enlarging the FROM set."""
+    sub = ctx.child()
+    for ref in stmt.table_refs():
+        sub.aliases[(ref.alias or ref.name).lower()] = \
+            sub.canonical_relation(ref.name)
+    _collect_from(stmt.from_items, sub, out)
+    if stmt.where is not None:
+        _collect(stmt.where, sub, out)
+    if stmt.having is not None:
+        _collect_having(stmt.having, sub, out)
+
+
+def _collect_having(cond: ast.Condition, ctx: ExtractionContext,
+                    out: list[Predicate]) -> None:
+    if isinstance(cond, (ast.AndCondition, ast.OrCondition)):
+        for child in cond.children:
+            _collect_having(child, ctx, out)
+        return
+    if isinstance(cond, ast.NotCondition):
+        _collect_having(cond.child, ctx, out)
+        return
+    if isinstance(cond, ast.Comparison):
+        pseudo = _aggregate_pseudo_predicate(cond, ctx)
+        if pseudo is not None:
+            out.append(pseudo)
+            return
+    _collect(cond, ctx, out)
+
+
+def _aggregate_pseudo_predicate(
+        cond: ast.Comparison,
+        ctx: ExtractionContext) -> Predicate | None:
+    """``SUM(v) > c`` as-is: an atom on the pseudo column ``SUM(v)``."""
+    call, other, op_text = cond.left, cond.right, cond.op
+    if not isinstance(call, ast.FunctionCall):
+        call, other = cond.right, cond.left
+        op_text = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+            op_text, op_text)
+    if not isinstance(call, ast.FunctionCall):
+        return None
+    constant = _const(other)
+    op = _OPS.get(op_text)
+    if constant is None or op is None:
+        return None
+    relation = "(aggregate)"
+    column = str(call)
+    if call.args and isinstance(call.args[0], ast.ColumnExpr):
+        arg = call.args[0]
+        inner = ctx.resolve_column(arg.table, arg.name)
+        if inner is not None:
+            relation = inner.relation
+            column = f"{call.upper_name}({inner.column})"
+    return ColumnConstantPredicate(ColumnRef(relation, column), op, constant)
+
+
+def _comparison_predicate(cond: ast.Comparison,
+                          ctx: ExtractionContext) -> Predicate | None:
+    left_ref = _ref(cond.left, ctx)
+    right_ref = _ref(cond.right, ctx)
+    op = _OPS.get(cond.op)
+    if op is None:
+        return None
+    if left_ref is not None and right_ref is not None:
+        return ColumnColumnPredicate(left_ref, op, right_ref)
+    if left_ref is not None:
+        constant = _const(cond.right)
+        if constant is not None:
+            return ColumnConstantPredicate(left_ref, op, constant)
+        return None
+    if right_ref is not None:
+        constant = _const(cond.left)
+        if constant is not None:
+            return ColumnConstantPredicate(right_ref, op.flip(), constant)
+    return None
+
+
+def _ref(expr: ast.Expr, ctx: ExtractionContext) -> ColumnRef | None:
+    if isinstance(expr, ast.ColumnExpr):
+        return ctx.resolve_column(expr.table, expr.name)
+    return None
+
+
+def _const(expr: ast.Expr):
+    if isinstance(expr, ast.Literal) and expr.value is not None:
+        return expr.value
+    if isinstance(expr, ast.UnaryMinus) and \
+            isinstance(expr.operand, ast.Literal) and \
+            isinstance(expr.operand.value, (int, float)):
+        return -expr.operand.value
+    return None

@@ -1,0 +1,157 @@
+"""The re-querying baseline (Sections 2.2 Option (a) and 6.6).
+
+Instead of analysing the SQL text, re-issue each query against a database
+state and take the minimum bounding box of its result set as the "access
+area".  The paper uses this strawman to demonstrate two failures of
+result-based definitions:
+
+* queries over **empty areas** return no rows, so Clusters 18–24 are
+  invisible to this approach;
+* the 1.2M queries that **error** on the server (dialect, result cap)
+  yield nothing at all;
+
+plus a large runtime penalty (executing beats parsing by orders of
+magnitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algebra.cnf import CNF, Clause
+from ..algebra.predicates import ColumnConstantPredicate, ColumnRef, Op
+from ..core.area import AccessArea
+from ..engine.database import Database
+from ..engine.executor import ExecutionError, QueryExecutor
+from ..sqlparser import SqlError, ast, parse
+
+
+@dataclass(frozen=True)
+class RequeryOutcome:
+    """Result of re-issuing one query."""
+
+    sql: str
+    area: Optional[AccessArea]  # None on failure or empty result
+    error: Optional[str] = None
+    empty_result: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.area is not None
+
+
+@dataclass
+class RequeryBaseline:
+    """Re-executes queries and derives result-set MBR areas."""
+
+    db: Database
+    executor: QueryExecutor = field(init=False)
+
+    def __post_init__(self) -> None:
+        # A tight intermediate-result budget stands in for the server's
+        # resource governor: runaway cross products error out quickly,
+        # like the "limit is top 500000" failures the paper counts.
+        self.executor = QueryExecutor(self.db,
+                                      max_intermediate_rows=600_000)
+
+    def area_of(self, sql: str) -> RequeryOutcome:
+        try:
+            statement = parse(sql)
+        except SqlError as exc:
+            return RequeryOutcome(sql, None, error=f"parse: {exc}")
+        try:
+            result = self.executor.execute(statement)
+        except ExecutionError as exc:
+            return RequeryOutcome(sql, None, error=str(exc))
+        if not result.rows:
+            return RequeryOutcome(sql, None, empty_result=True)
+        area = self._mbr_area(statement, result.rows)
+        return RequeryOutcome(sql, area)
+
+    def _mbr_area(self, statement: ast.SelectStatement,
+                  rows: list[dict]) -> AccessArea:
+        binding_to_relation = {
+            (ref.alias or ref.name).lower(): ref.name
+            for ref in statement.table_refs()
+        }
+        relations = tuple({ref.name for ref in statement.table_refs()})
+
+        mins: dict[ColumnRef, float] = {}
+        maxs: dict[ColumnRef, float] = {}
+        for row in rows:
+            for key, value in row.items():
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool):
+                    continue
+                ref = self._resolve_output_column(
+                    key, binding_to_relation, relations)
+                if ref is None:
+                    continue
+                if ref not in mins or value < mins[ref]:
+                    mins[ref] = value
+                if ref not in maxs or value > maxs[ref]:
+                    maxs[ref] = value
+
+        clauses = []
+        for ref in sorted(mins, key=str):
+            clauses.append(Clause.of(
+                [ColumnConstantPredicate(ref, Op.GE, mins[ref])]))
+            clauses.append(Clause.of(
+                [ColumnConstantPredicate(ref, Op.LE, maxs[ref])]))
+        return AccessArea(relations, CNF.of(clauses), notes=("requery",))
+
+    def _resolve_output_column(
+            self, key: str, binding_to_relation: dict[str, str],
+            relations: tuple[str, ...]) -> ColumnRef | None:
+        if "." in key:
+            binding, column = key.split(".", 1)
+            relation = binding_to_relation.get(binding.lower())
+            if relation is None:
+                return None
+            return ColumnRef(self._canonical(relation), column)
+        if len(relations) == 1:
+            table = self.db.table(relations[0]) \
+                if self.db.has_table(relations[0]) else None
+            if table is not None and table.relation.has_column(key):
+                return ColumnRef(table.name, key)
+        return None
+
+    def _canonical(self, relation: str) -> str:
+        if self.db.has_table(relation):
+            return self.db.table(relation).name
+        return relation
+
+
+@dataclass
+class RequeryReport:
+    """Aggregate outcome over a log."""
+
+    outcomes: list[RequeryOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for o in self.outcomes if o.succeeded)
+
+    @property
+    def errored(self) -> int:
+        return sum(1 for o in self.outcomes if o.error is not None)
+
+    @property
+    def empty_results(self) -> int:
+        return sum(1 for o in self.outcomes if o.empty_result)
+
+    def areas(self) -> list[AccessArea]:
+        return [o.area for o in self.outcomes if o.area is not None]
+
+
+def requery_log(baseline: RequeryBaseline,
+                statements: list[str]) -> RequeryReport:
+    report = RequeryReport()
+    for sql in statements:
+        report.outcomes.append(baseline.area_of(sql))
+    return report

@@ -1,0 +1,12 @@
+"""Canonical string signatures of access areas (exact-match helpers)."""
+
+from __future__ import annotations
+
+from ..core.area import AccessArea
+
+
+def area_signature(area: AccessArea) -> str:
+    """A canonical form: equal signatures ⇔ exact-match distance 0."""
+    tables = ",".join(sorted(t.lower() for t in area.relations))
+    clauses = sorted(str(clause) for clause in area.cnf)
+    return tables + "|" + "&".join(clauses)

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``extract`` — print the access area of one SQL statement;
+* ``generate`` — write a synthetic SkyServer-style log (JSONL);
+* ``process`` — batch-extract a log file and print the Section 6.1 report;
+* ``stream`` — monitor a log file incrementally, printing novelty events;
+* ``casestudy`` — run the full pipeline and print the Table-1 report.
+
+Examples::
+
+    repro-skyserver extract "SELECT * FROM Photoz WHERE z < 0.1"
+    repro-skyserver generate --queries 5000 --out log.jsonl
+    repro-skyserver process log.jsonl
+    repro-skyserver stream log.jsonl --warmup 200
+    repro-skyserver casestudy --queries 4000 --sample 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_summary, format_table1
+from .analysis.experiments import CaseStudyConfig, run_case_study
+from .core import AccessAreaExtractor, process_log
+from .core.stream import StreamMonitor
+from .schema import StatisticsCatalog, skyserver_schema
+from .schema.skyserver import CONTENT_BOUNDS
+from .sqlparser import SqlError
+from .workload import QueryLog, WorkloadConfig, generate_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyserver",
+        description="Access-area mining from SQL query logs "
+                    "(EDBT 2015 SkyServer reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = sub.add_parser(
+        "extract", help="extract the access area of one SQL statement")
+    p_extract.add_argument("sql", help="the SELECT statement")
+    p_extract.add_argument("--no-consolidate", action="store_true",
+                           help="skip the consolidation stage")
+
+    p_generate = sub.add_parser(
+        "generate", help="generate a synthetic SkyServer-style query log")
+    p_generate.add_argument("--queries", type=int, default=5000)
+    p_generate.add_argument("--seed", type=int, default=13)
+    p_generate.add_argument("--out", required=True,
+                            help="output JSONL path")
+
+    p_process = sub.add_parser(
+        "process", help="batch-extract a JSONL log file")
+    p_process.add_argument("log", help="JSONL log path")
+    p_process.add_argument("--failures", type=int, default=5,
+                           help="failure examples to print")
+
+    p_stream = sub.add_parser(
+        "stream", help="monitor a JSONL log incrementally")
+    p_stream.add_argument("log", help="JSONL log path")
+    p_stream.add_argument("--warmup", type=int, default=100)
+    p_stream.add_argument("--events", type=int, default=30,
+                          help="max events to print")
+
+    p_case = sub.add_parser(
+        "casestudy", help="run the full case-study pipeline")
+    p_case.add_argument("--queries", type=int, default=4000)
+    p_case.add_argument("--sample", type=int, default=1500)
+    p_case.add_argument("--eps", type=float, default=0.12)
+    p_case.add_argument("--min-pts", type=int, default=5)
+    p_case.add_argument("--seed", type=int, default=13)
+    p_case.add_argument("--rows", type=int, default=24,
+                        help="table rows to print")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "extract":
+        return _cmd_extract(args)
+    if command == "generate":
+        return _cmd_generate(args)
+    if command == "process":
+        return _cmd_process(args)
+    if command == "stream":
+        return _cmd_stream(args)
+    return _cmd_casestudy(args)
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    extractor = AccessAreaExtractor(
+        skyserver_schema(), consolidate=not args.no_consolidate)
+    try:
+        result = extractor.extract(args.sql)
+    except SqlError as exc:
+        print(f"cannot extract: {exc}", file=sys.stderr)
+        return 1
+    area = result.area
+    print(f"relations : {', '.join(area.relations) or '(none)'}")
+    print(f"area      : {area.cnf}")
+    if area.notes:
+        print(f"notes     : {'; '.join(area.notes)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = generate_workload(
+        WorkloadConfig(n_queries=args.queries, seed=args.seed))
+    workload.log.save(args.out)
+    print(f"wrote {len(workload.log):,} statements to {args.out}")
+    return 0
+
+
+def _cmd_process(args: argparse.Namespace) -> int:
+    log = QueryLog.load(args.log)
+    extractor = AccessAreaExtractor(skyserver_schema())
+    report = process_log(log.statements_with_users(), extractor)
+    print(f"statements       : {report.total:,}")
+    print(f"areas extracted  : {report.extraction_count:,} "
+          f"({report.extraction_rate:.2%})")
+    print(f"  parse errors   : {report.parse_errors}")
+    print(f"  lex errors     : {report.lex_errors}")
+    print(f"  unsupported    : {report.unsupported_statements}")
+    print(f"  CNF failures   : {report.cnf_failures}")
+    for index, kind, message in report.failures[:args.failures]:
+        print(f"  e.g. [{kind}] {log[index].sql[:60]!r}: {message[:50]}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    log = QueryLog.load(args.log)
+    schema = skyserver_schema()
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    printed = 0
+
+    def emit(event) -> None:
+        nonlocal printed
+        if printed < args.events:
+            print(event)
+            printed += 1
+
+    monitor = StreamMonitor(
+        AccessAreaExtractor(schema), stats=stats, on_event=emit,
+        warmup=args.warmup)
+    monitor.process_many(log.statements())
+    print()
+    print(monitor.summary())
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    config = CaseStudyConfig(
+        workload=WorkloadConfig(n_queries=args.queries, seed=args.seed),
+        sample_size=args.sample,
+        eps=args.eps,
+        min_pts=args.min_pts,
+    )
+    result = run_case_study(config)
+    print(format_summary(result))
+    print()
+    print(format_table1(result.rows, max_rows=args.rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

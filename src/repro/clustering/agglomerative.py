@@ -1,0 +1,90 @@
+"""Single-linkage agglomerative clustering (Section 7 future work).
+
+The paper plans to "experiment with different clustering techniques on
+our data sets of extracted access areas".  This module provides the
+natural alternative to DBSCAN: threshold-based single linkage — two
+areas belong to one cluster when a chain of pairwise distances below the
+threshold connects them, and components smaller than ``min_size`` are
+noise.
+
+Implemented with union-find over the sub-threshold pairs; like the
+DBSCAN path, it exploits the ``d >= d_tables >= 0.5`` bound to partition
+by relation set first when the threshold allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.area import AccessArea
+from .dbscan import NOISE, DBSCANResult
+
+Distance = Callable[[AccessArea, AccessArea], float]
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+@dataclass
+class SingleLinkage:
+    """Threshold single-linkage clustering of access areas."""
+
+    threshold: float
+    min_size: int = 2
+
+    def fit(self, areas: Sequence[AccessArea],
+            distance: Distance) -> DBSCANResult:
+        n = len(areas)
+        uf = _UnionFind(n)
+        if self.threshold < 0.5:
+            partitions: dict[frozenset[str], list[int]] = {}
+            for index, area in enumerate(areas):
+                key = frozenset(t.lower() for t in area.table_set)
+                partitions.setdefault(key, []).append(index)
+            groups = list(partitions.values())
+        else:
+            groups = [list(range(n))]
+
+        for indices in groups:
+            for pos, i in enumerate(indices):
+                for j in indices[pos + 1:]:
+                    if uf.find(i) == uf.find(j):
+                        continue
+                    if distance(areas[i], areas[j]) <= self.threshold:
+                        uf.union(i, j)
+
+        components: dict[int, list[int]] = {}
+        for index in range(n):
+            components.setdefault(uf.find(index), []).append(index)
+
+        labels = [NOISE] * n
+        cluster_id = 0
+        for root in sorted(components, key=lambda r: components[r][0]):
+            members = components[root]
+            if len(members) >= self.min_size:
+                for index in members:
+                    labels[index] = cluster_id
+                cluster_id += 1
+        return DBSCANResult(labels)

@@ -1,0 +1,102 @@
+"""Area and object coverage of aggregated access areas (Section 6.2).
+
+* **Area coverage** — ``v_access / v_content`` where ``v_access`` is the
+  volume of the aggregated area *inside* the content MBR and
+  ``v_content`` the content MBR volume, over the columns the cluster
+  constrains.  An area entirely in empty space has coverage 0.0
+  (Clusters 18–24 of Table 1).
+* **Object coverage** — ``n_access / n_content``: the fraction of actual
+  database objects falling into the aggregated area.  For multi-relation
+  areas the fractions multiply (objects of the universal relation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.intervals import Interval
+from ..engine.database import Database
+from ..schema.statistics import StatisticsCatalog
+from .aggregation import AggregatedArea
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    area_coverage: float
+    object_coverage: float
+
+
+def area_coverage(agg: AggregatedArea, stats: StatisticsCatalog) -> float:
+    """Fraction of the content MBR volume covered by the aggregated area.
+
+    Computed over the constrained numeric columns; a cluster constraining
+    no numeric column covers the whole (projected) content, i.e. 1.0.
+    """
+    fraction = 1.0
+    for bounds in agg.bounds:
+        content = stats.content_interval(bounds.ref)
+        width = content.width
+        if width <= 0:
+            # Degenerate content axis: covered iff the point is inside.
+            fraction *= 1.0 if bounds.interval.contains(content.lo) else 0.0
+            continue
+        overlap = bounds.interval.overlap_width(content)
+        fraction *= overlap / width
+        if fraction == 0.0:
+            return 0.0
+    return fraction
+
+
+def object_coverage(agg: AggregatedArea, db: Database) -> float:
+    """Fraction of database objects inside the aggregated area."""
+    fraction = 1.0
+    for relation in agg.relations:
+        if not db.has_table(relation):
+            return 0.0
+        table = db.table(relation)
+        total = len(table)
+        if total == 0:
+            return 0.0
+        matching = sum(
+            1 for row in table if _row_in_area(agg, relation, table, row))
+        fraction *= matching / total
+        if fraction == 0.0:
+            return 0.0
+    return fraction
+
+
+def _row_in_area(agg: AggregatedArea, relation: str, table, row) -> bool:
+    for bounds in agg.bounds:
+        if bounds.ref.relation.lower() != relation.lower():
+            continue
+        try:
+            value = table.get_value(row, bounds.ref.column)
+        except KeyError:
+            continue
+        if value is None or not _contains(bounds.interval, value):
+            return False
+    for cat in agg.categorical:
+        if cat.ref.relation.lower() != relation.lower():
+            continue
+        try:
+            value = table.get_value(row, cat.ref.column)
+        except KeyError:
+            continue
+        if value is None or str(value) not in cat.values:
+            return False
+    return True
+
+
+def _contains(interval: Interval, value) -> bool:
+    try:
+        return interval.contains(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+def coverage(agg: AggregatedArea, stats: StatisticsCatalog,
+             db: Database) -> CoverageReport:
+    return CoverageReport(
+        area_coverage=area_coverage(agg, stats),
+        object_coverage=object_coverage(agg, db),
+    )

@@ -1,0 +1,143 @@
+"""DBSCAN (Ester et al., KDD 1996) over an arbitrary distance callable.
+
+The paper clusters transformed queries with an off-the-shelf DBSCAN; this
+is a from-scratch, dependency-free implementation with the textbook
+semantics: core points have at least ``min_pts`` neighbours within
+``eps`` (neighbourhoods include the point itself), clusters grow by
+density-reachability, and non-reachable points are labelled noise (-1).
+
+Distances may be supplied as a callable (evaluated lazily, memoized per
+pair) or as a precomputed square matrix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+NOISE = -1
+_UNVISITED = -2
+
+Distance = Callable[[object, object], float]
+
+
+@dataclass
+class DBSCANResult:
+    """Cluster labels plus convenience accessors."""
+
+    labels: list[int]
+
+    @property
+    def n_clusters(self) -> int:
+        return len({label for label in self.labels if label >= 0})
+
+    @property
+    def noise_count(self) -> int:
+        return sum(1 for label in self.labels if label == NOISE)
+
+    def members(self, cluster: int) -> list[int]:
+        return [i for i, label in enumerate(self.labels) if label == cluster]
+
+    def clusters(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {}
+        for index, label in enumerate(self.labels):
+            if label >= 0:
+                out.setdefault(label, []).append(index)
+        return out
+
+
+@dataclass
+class DBSCAN:
+    """Density-based clustering with pluggable distances.
+
+    ``eps`` — neighbourhood radius; ``min_pts`` — minimum neighbourhood
+    size (including the point itself) for a core point.
+    """
+
+    eps: float
+    min_pts: int = 5
+    _cache: dict[tuple[int, int], float] = field(default_factory=dict,
+                                                 repr=False)
+
+    def fit(self, items: Sequence, distance: Optional[Distance] = None,
+            matrix: Optional[np.ndarray] = None) -> DBSCANResult:
+        """Cluster ``items``; exactly one of ``distance``/``matrix``."""
+        if (distance is None) == (matrix is None):
+            raise ValueError("provide exactly one of distance or matrix")
+        n = len(items)
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.shape != (n, n):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} does not match {n} items")
+
+        labels = [_UNVISITED] * n
+        cluster_id = 0
+        for point in range(n):
+            if labels[point] != _UNVISITED:
+                continue
+            neighbors = self._region_query(point, items, distance, matrix)
+            if len(neighbors) < self.min_pts:
+                labels[point] = NOISE
+                continue
+            self._expand(point, neighbors, cluster_id, labels, items,
+                         distance, matrix)
+            cluster_id += 1
+        return DBSCANResult(labels)
+
+    # -- internals ---------------------------------------------------------
+
+    def _expand(self, point: int, neighbors: list[int], cluster_id: int,
+                labels: list[int], items: Sequence,
+                distance: Optional[Distance],
+                matrix: Optional[np.ndarray]) -> None:
+        labels[point] = cluster_id
+        queue = deque(neighbors)
+        while queue:
+            current = queue.popleft()
+            if labels[current] == NOISE:
+                labels[current] = cluster_id  # border point
+            if labels[current] != _UNVISITED:
+                continue
+            labels[current] = cluster_id
+            current_neighbors = self._region_query(
+                current, items, distance, matrix)
+            if len(current_neighbors) >= self.min_pts:
+                queue.extend(current_neighbors)
+
+    def _region_query(self, point: int, items: Sequence,
+                      distance: Optional[Distance],
+                      matrix: Optional[np.ndarray]) -> list[int]:
+        if matrix is not None:
+            return list(np.flatnonzero(matrix[point] <= self.eps))
+        neighbors: list[int] = []
+        for other in range(len(items)):
+            if self._distance(point, other, items, distance) <= self.eps:
+                neighbors.append(other)
+        return neighbors
+
+    def _distance(self, i: int, j: int, items: Sequence,
+                  distance: Distance) -> float:
+        if i == j:
+            return 0.0
+        key = (i, j) if i < j else (j, i)
+        value = self._cache.get(key)
+        if value is None:
+            value = distance(items[i], items[j])
+            self._cache[key] = value
+        return value
+
+
+def pairwise_matrix(items: Sequence, distance: Distance) -> np.ndarray:
+    """Full symmetric distance matrix (for small inputs / inspection)."""
+    n = len(items)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = distance(items[i], items[j])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix

@@ -1,0 +1,146 @@
+"""OPTICS (Ankerst et al., SIGMOD 1999) over access-area distances.
+
+DBSCAN's fixed ``eps`` is its known weakness — the eps-sensitivity
+ablation shows cluster counts swinging with the radius.  OPTICS computes
+the density *ordering* once (up to ``max_eps``) and lets any smaller
+radius be extracted afterwards without re-running the distance
+computation: the natural next step for the paper's "different clustering
+techniques" future work.
+
+The implementation is the textbook one: reachability distances over a
+priority queue, plus :func:`extract_dbscan` which cuts the reachability
+plot at a chosen eps to obtain the DBSCAN-equivalent labelling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .dbscan import NOISE, DBSCANResult
+
+Distance = Callable[[object, object], float]
+
+_UNDEFINED = math.inf
+
+
+@dataclass
+class OPTICSResult:
+    """The cluster ordering with core/reachability distances."""
+
+    ordering: list[int]
+    reachability: list[float]  # indexed by item position, not ordering
+    core_distance: list[float]
+
+    def reachability_plot(self) -> list[tuple[int, float]]:
+        """(item index, reachability) pairs in cluster order."""
+        return [(index, self.reachability[index])
+                for index in self.ordering]
+
+
+@dataclass
+class OPTICS:
+    """Density ordering up to ``max_eps`` with ``min_pts`` density."""
+
+    max_eps: float
+    min_pts: int = 5
+
+    def fit(self, items: Sequence, distance: Distance) -> OPTICSResult:
+        n = len(items)
+        processed = [False] * n
+        reachability = [_UNDEFINED] * n
+        core_distance = [_UNDEFINED] * n
+        ordering: list[int] = []
+
+        memo: dict[tuple[int, int], float] = {}
+
+        def dist(i: int, j: int) -> float:
+            key = (i, j) if i < j else (j, i)
+            value = memo.get(key)
+            if value is None:
+                value = distance(items[i], items[j])
+                memo[key] = value
+            return value
+
+        def neighbors(point: int) -> list[tuple[int, float]]:
+            out = []
+            for other in range(n):
+                if other == point:
+                    continue
+                d = dist(point, other)
+                if d <= self.max_eps:
+                    out.append((other, d))
+            return out
+
+        for start in range(n):
+            if processed[start]:
+                continue
+            processed[start] = True
+            ordering.append(start)
+            near = neighbors(start)
+            core_distance[start] = self._core_distance(near)
+            if math.isinf(core_distance[start]):
+                continue
+            seeds: list[tuple[float, int]] = []
+            self._update(start, near, core_distance, reachability,
+                         processed, seeds)
+            while seeds:
+                _, current = heapq.heappop(seeds)
+                if processed[current]:
+                    continue
+                processed[current] = True
+                ordering.append(current)
+                current_near = neighbors(current)
+                core_distance[current] = self._core_distance(current_near)
+                if not math.isinf(core_distance[current]):
+                    self._update(current, current_near, core_distance,
+                                 reachability, processed, seeds)
+        return OPTICSResult(ordering, reachability, core_distance)
+
+    def _core_distance(self,
+                       near: list[tuple[int, float]]) -> float:
+        # min_pts includes the point itself, matching our DBSCAN.
+        if len(near) + 1 < self.min_pts:
+            return _UNDEFINED
+        distances = sorted(d for _, d in near)
+        return distances[self.min_pts - 2]
+
+    @staticmethod
+    def _update(center: int, near: list[tuple[int, float]],
+                core_distance: list[float], reachability: list[float],
+                processed: list[bool],
+                seeds: list[tuple[float, int]]) -> None:
+        core = core_distance[center]
+        for other, d in near:
+            if processed[other]:
+                continue
+            new_reach = max(core, d)
+            if new_reach < reachability[other]:
+                reachability[other] = new_reach
+                heapq.heappush(seeds, (new_reach, other))
+
+
+def extract_dbscan(result: OPTICSResult, eps: float,
+                   min_pts_unused: int = 0) -> DBSCANResult:
+    """Cut the reachability plot at ``eps``.
+
+    Produces the DBSCAN clustering at radius ``eps`` (for any
+    ``eps <= max_eps``), following the extraction rule of the OPTICS
+    paper: a reachability above eps starts a new cluster when the point
+    itself is core at eps, otherwise the point is noise.
+    """
+    n = len(result.reachability)
+    labels = [NOISE] * n
+    cluster_id = -1
+    for index in result.ordering:
+        if result.reachability[index] > eps:
+            if result.core_distance[index] <= eps:
+                cluster_id += 1
+                labels[index] = cluster_id
+            else:
+                labels[index] = NOISE
+        else:
+            labels[index] = cluster_id if cluster_id >= 0 else NOISE
+    return DBSCANResult(labels)

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: access-area extraction.
+
+Public surface:
+
+* :class:`AccessArea` — the intermediate-format area model;
+* :class:`AccessAreaExtractor` / :class:`ExtractionResult` — the per-query
+  pipeline (parse → extract → CNF → consolidate) with stage timings;
+* :func:`process_log` / :class:`LogProcessingReport` — batch processing
+  with the Section 6.1 failure taxonomy;
+* :func:`aggregate_constraint` — the Lemma 1-3 HAVING mappings.
+"""
+
+from .aggregates import (SUPPORTED_AGGREGATES, aggregate_constraint,
+                         effective_domain)
+from .area import AccessArea, empty_area, unconstrained
+from .context import ExtractionContext
+from .extractor import (AccessAreaExtractor, ExtractionResult, StageTimings,
+                        having_to_expr)
+from .pipeline import (ExtractedQuery, LogProcessingReport,
+                       StageTimingSummary, process_log)
+from .stream import (EventKind, StreamEvent, StreamMonitor, StreamState)
+from .transform import condition_to_expr, flatten_subquery, from_items_to_expr
+
+__all__ = [
+    "SUPPORTED_AGGREGATES", "aggregate_constraint", "effective_domain",
+    "AccessArea", "empty_area", "unconstrained",
+    "ExtractionContext",
+    "AccessAreaExtractor", "ExtractionResult", "StageTimings",
+    "having_to_expr",
+    "ExtractedQuery", "LogProcessingReport", "StageTimingSummary",
+    "process_log",
+    "EventKind", "StreamEvent", "StreamMonitor", "StreamState",
+    "condition_to_expr", "flatten_subquery", "from_items_to_expr",
+]

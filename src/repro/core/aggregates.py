@@ -1,0 +1,196 @@
+"""Access-area mappings for aggregate HAVING clauses (Section 4.3).
+
+For a query ``... GROUP BY ... HAVING AGG(a) θ c``, the access area is not
+obtained by copying the HAVING predicate: one must reason about which
+tuples can influence the aggregate in *some* database state (Lemmas 1–3
+and their analogues).  :func:`aggregate_constraint` implements that
+reasoning for SUM, COUNT, MIN, MAX, and AVG.
+
+The key quantity is the **effective domain** ``[inf, supp]`` of the
+aggregated column: the declared column domain intersected with any
+conjunctive WHERE constraint on the same column — this is exactly how
+Lemma 1 (plain domain) generalizes to Lemmas 2 and 3 (domain narrowed by
+``T.v < c1`` / ``T.v > c1``).
+
+Each rule returns the *extra* constraint contributed by the HAVING clause
+(``TRUE`` = no constraint, i.e. the lemmas' "access area is T" cases;
+``FALSE`` = empty access area).  The caller conjoins it with the WHERE
+constraint, reproducing e.g. Lemma 2's ``σ_{v<c1 ∧ v>c2}``.
+"""
+
+from __future__ import annotations
+
+from ..algebra.boolexpr import FALSE, TRUE, BoolExpr, atom
+from ..algebra.intervals import NEG_INF, POS_INF, Interval
+from ..algebra.predicates import ColumnConstantPredicate, ColumnRef, Op
+
+#: Aggregate functions covered by the mapping; the paper notes MAX does
+#: not occur in the SkyServer log but covers it anyway — so do we.
+SUPPORTED_AGGREGATES = frozenset({"SUM", "COUNT", "MIN", "MAX", "AVG"})
+
+
+def aggregate_constraint(func: str, ref: ColumnRef | None, op: Op,
+                         constant: float,
+                         effective_domain: Interval) -> BoolExpr:
+    """The access-area constraint of ``HAVING func(ref) op constant``.
+
+    ``ref`` is ``None`` for ``COUNT(*)``.  ``effective_domain`` is the
+    reachable value range of the aggregated column (see module docstring);
+    for COUNT it is irrelevant.
+    """
+    func = func.upper()
+    if func not in SUPPORTED_AGGREGATES:
+        return TRUE
+    if func == "COUNT":
+        return _count_rule(op, constant)
+    if ref is None:
+        return TRUE
+    if func == "SUM":
+        return _sum_rule(ref, op, constant, effective_domain)
+    if func == "MIN":
+        return _min_rule(ref, op, constant, effective_domain)
+    if func == "MAX":
+        return _max_rule(ref, op, constant, effective_domain)
+    return _avg_rule(op, constant, effective_domain)
+
+
+# ---------------------------------------------------------------------------
+# COUNT: group sizes can be any k >= 1 in some state, independent of the
+# tuple's values, so the HAVING clause either never constrains (some k >= 1
+# satisfies it) or empties the area (no k >= 1 does).
+# ---------------------------------------------------------------------------
+
+def _count_rule(op: Op, c: float) -> BoolExpr:
+    if op is Op.GT or op is Op.GE:
+        return TRUE  # pick k large enough
+    if op is Op.LT:
+        return TRUE if c > 1 else FALSE
+    if op is Op.LE:
+        return TRUE if c >= 1 else FALSE
+    if op is Op.EQ:
+        return TRUE if c >= 1 and float(c).is_integer() else FALSE
+    return TRUE  # <>: pick any k != c
+
+
+# ---------------------------------------------------------------------------
+# SUM (Lemmas 1-3).  With supp > 0 the sum can be pushed arbitrarily high by
+# adding same-group tuples, and with inf < 0 arbitrarily low; only when the
+# domain is one-signed does the tuple's own value constrain membership.
+# ---------------------------------------------------------------------------
+
+def _sum_rule(ref: ColumnRef, op: Op, c: float,
+              dom: Interval) -> BoolExpr:
+    inf, supp = dom.lo, dom.hi
+    if op in (Op.GT, Op.GE):
+        if supp > 0:
+            return TRUE  # Lemma 1 case 1 / Lemma 3
+        # supp <= 0: sums only decrease as tuples are added, so the best
+        # achievable sum for a group containing t is t.v itself.
+        if c < inf or (c == inf and op is Op.GE and not dom.lo_open):
+            return TRUE  # Lemma 1: c below the whole domain
+        if c > supp or (c == supp and op is Op.GT):
+            return FALSE  # Lemma 1: unreachable threshold
+        return atom(ColumnConstantPredicate(
+            ref, op, c))  # Lemma 1: σ_{v > c}
+    if op in (Op.LT, Op.LE):
+        if inf < 0:
+            return TRUE  # dual of Lemma 1 case 1
+        # inf >= 0: sums only increase; minimal sum for t's group is t.v.
+        if c > supp or (c == supp and op is Op.LE and not dom.hi_open):
+            return TRUE
+        if c < inf or (c == inf and op is Op.LT):
+            return FALSE
+        return atom(ColumnConstantPredicate(ref, op, c))
+    if op is Op.EQ:
+        if inf < 0 < supp:
+            return TRUE  # sums can be tuned onto any target
+        if inf >= 0:
+            if c < inf:
+                return FALSE
+            return atom(ColumnConstantPredicate(ref, Op.LE, c))
+        if c > supp:
+            return FALSE
+        return atom(ColumnConstantPredicate(ref, Op.GE, c))
+    return TRUE  # <>: almost any group misses the exact value
+
+
+# ---------------------------------------------------------------------------
+# MIN / MAX: min of a group containing t is at most t.v and can be lowered
+# at will (down to inf); max is at least t.v and can be raised (up to supp).
+# ---------------------------------------------------------------------------
+
+def _min_rule(ref: ColumnRef, op: Op, c: float, dom: Interval) -> BoolExpr:
+    if op in (Op.GT, Op.GE):
+        # min > c forces every member above c, including t.
+        if c >= dom.hi:
+            return FALSE if (c > dom.hi or op is Op.GT) else \
+                atom(ColumnConstantPredicate(ref, Op.GE, c))
+        return atom(ColumnConstantPredicate(ref, op, c))
+    if op in (Op.LT, Op.LE):
+        # Any tuple's group min can be pulled below c if the domain allows.
+        reachable = dom.lo < c or (dom.lo == c and op is Op.LE
+                                   and not dom.lo_open)
+        return TRUE if reachable else FALSE
+    if op is Op.EQ:
+        if not dom.contains(c):
+            return FALSE
+        return atom(ColumnConstantPredicate(ref, Op.GE, c))
+    return TRUE
+
+
+def _max_rule(ref: ColumnRef, op: Op, c: float, dom: Interval) -> BoolExpr:
+    if op in (Op.LT, Op.LE):
+        if c <= dom.lo:
+            return FALSE if (c < dom.lo or op is Op.LT) else \
+                atom(ColumnConstantPredicate(ref, Op.LE, c))
+        return atom(ColumnConstantPredicate(ref, op, c))
+    if op in (Op.GT, Op.GE):
+        reachable = dom.hi > c or (dom.hi == c and op is Op.GE
+                                   and not dom.hi_open)
+        return TRUE if reachable else FALSE
+    if op is Op.EQ:
+        if not dom.contains(c):
+            return FALSE
+        return atom(ColumnConstantPredicate(ref, Op.LE, c))
+    return TRUE
+
+
+# ---------------------------------------------------------------------------
+# AVG: the average of a group containing t can be steered to any interior
+# point of the domain by adding enough tuples, regardless of t's value.
+# ---------------------------------------------------------------------------
+
+def _avg_rule(op: Op, c: float, dom: Interval) -> BoolExpr:
+    inf, supp = dom.lo, dom.hi
+    if op in (Op.GT, Op.GE):
+        reachable = supp > c or (supp == c and op is Op.GE
+                                 and not dom.hi_open)
+        return TRUE if reachable else FALSE
+    if op in (Op.LT, Op.LE):
+        reachable = inf < c or (inf == c and op is Op.LE
+                                and not dom.lo_open)
+        return TRUE if reachable else FALSE
+    if op is Op.EQ:
+        return TRUE if dom.contains(c) else FALSE
+    return TRUE
+
+
+def effective_domain(declared: Interval | None,
+                     where_footprint: Interval | None) -> Interval:
+    """Combine the declared domain with the WHERE narrowing (Lemmas 2/3).
+
+    Missing information defaults to the full real line, matching the
+    paper's simplifying assumption that domains are "large enough such
+    that ... [they] can be considered as (-inf, +inf)".
+    """
+    dom = declared if declared is not None else \
+        Interval(NEG_INF, POS_INF, True, True)
+    if where_footprint is not None:
+        narrowed = dom.intersect(where_footprint)
+        if narrowed is not None:
+            return narrowed
+        # Contradictory WHERE: keep a degenerate empty-ish marker by
+        # returning the where footprint itself; the caller's WHERE part
+        # already collapses the area.
+        return where_footprint
+    return dom

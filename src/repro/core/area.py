@@ -1,0 +1,113 @@
+"""The access-area model (Definitions 1–4 / intermediate format).
+
+An :class:`AccessArea` is the materialized intermediate format of
+Section 2.4: the sorted list of relations of the universal relation
+``U = R1 × … × RN`` plus a CNF constraint ``F(p1, …, pK)`` over atomic
+predicates.  The access area it denotes is ``σ_F(R1 × … × RN)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.cnf import CNF, Clause
+from ..algebra.intervals import Interval, IntervalSet
+from ..algebra.predicates import ColumnConstantPredicate, ColumnRef
+
+
+@dataclass(frozen=True)
+class AccessArea:
+    """One query's access area in intermediate format.
+
+    ``relations`` are real (alias-resolved) relation names, sorted
+    alphabetically — the Section 4.5 cleanup ordering.  ``cnf`` is the
+    constraint on the universal relation; the empty CNF means the whole
+    universal relation is accessed.
+    """
+
+    relations: tuple[str, ...]
+    cnf: CNF
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(dict.fromkeys(self.relations)))
+        object.__setattr__(self, "relations", ordered)
+
+    @property
+    def is_unconstrained(self) -> bool:
+        return self.cnf.is_true
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the constraint is unsatisfiable (empty access area)."""
+        return any(len(clause) == 0 for clause in self.cnf)
+
+    @property
+    def table_set(self) -> frozenset[str]:
+        """``q.FROM`` of the distance function (Section 5.1)."""
+        return frozenset(self.relations)
+
+    def column_footprints(self) -> dict[ColumnRef, IntervalSet]:
+        """Per-column numeric footprint implied by *unit* clauses.
+
+        Unit clauses constrain their column everywhere in the area, so
+        intersecting them per column yields the projection of the access
+        area onto each constrained axis.  Non-unit clauses and non-numeric
+        predicates do not narrow any single axis and are skipped — a
+        conservative over-approximation.
+
+        The result is computed once and cached (the area is immutable;
+        aggregation and density analysis call this repeatedly).
+        """
+        cached = getattr(self, "_footprints_cache", None)
+        if cached is not None:
+            return cached
+        footprints = self._compute_footprints()
+        object.__setattr__(self, "_footprints_cache", footprints)
+        return footprints
+
+    def _compute_footprints(self) -> dict[ColumnRef, IntervalSet]:
+        footprints: dict[ColumnRef, IntervalSet] = {}
+        for clause in self.cnf:
+            if not clause.is_unit:
+                continue
+            pred = clause.predicates[0]
+            if not (isinstance(pred, ColumnConstantPredicate)
+                    and pred.is_numeric):
+                continue
+            fp = pred.to_interval_set()
+            if pred.ref in footprints:
+                footprints[pred.ref] = footprints[pred.ref].intersect(fp)
+            else:
+                footprints[pred.ref] = fp
+        return footprints
+
+    def footprint_hull(self, ref: ColumnRef) -> Interval | None:
+        """Bounding interval of the area's footprint on one column."""
+        footprint = self.column_footprints().get(ref)
+        if footprint is None:
+            return None
+        return footprint.hull()
+
+    def describe(self) -> str:
+        """Human-readable Boolean-expression form, Table-1 style."""
+        if self.is_empty:
+            return "∅"
+        where = str(self.cnf)
+        tables = ", ".join(self.relations) or "(no relations)"
+        if self.cnf.is_true:
+            return tables
+        return f"{where}  [on {tables}]"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def unconstrained(relations: tuple[str, ...] | list[str]) -> AccessArea:
+    """The access area of a constraint-free query (e.g. full outer join)."""
+    return AccessArea(tuple(relations), CNF.true())
+
+
+def empty_area(relations: tuple[str, ...] | list[str]) -> AccessArea:
+    """An unsatisfiable access area (contradictory constraints)."""
+    return AccessArea(tuple(relations), CNF((Clause(()),)))

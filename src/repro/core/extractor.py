@@ -1,0 +1,258 @@
+"""The access-area extractor: the paper's end-to-end per-query pipeline.
+
+Section 4.5 / 6.6 describe four stages, each timed separately here:
+
+1. **Parsing** — SQL text → AST (:mod:`repro.sqlparser`);
+2. **Extraction** — AST → universal-relation constraint
+   (:mod:`repro.core.transform`, :mod:`repro.core.aggregates`);
+3. **CNF** — constraint → conjunctive normal form with the 35-predicate
+   workaround (:mod:`repro.algebra.cnf`);
+4. **Consolidation** — redundancy removal / merging / contradiction check
+   (:mod:`repro.algebra.consolidate`).
+
+The output is an :class:`~repro.core.area.AccessArea` whose relation list
+is alias-resolved and alphabetically ordered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra.boolexpr import TRUE, BoolExpr, make_and, make_not, make_or
+from ..algebra.cnf import CNF, DEFAULT_PREDICATE_CAP, to_cnf
+from ..algebra.consolidate import consolidate as consolidate_cnf
+from ..algebra.intervals import Interval
+from ..algebra.nnf import to_nnf
+from ..algebra.boolexpr import And, Atom
+from ..algebra.predicates import ColumnConstantPredicate, ColumnRef, Op
+from ..schema.database import Schema
+from ..sqlparser import ast, parse
+from .aggregates import (SUPPORTED_AGGREGATES, aggregate_constraint,
+                         effective_domain)
+from .area import AccessArea
+from .context import ExtractionContext
+from .transform import condition_to_expr, from_items_to_expr, _operand
+
+_OPS = {"<": Op.LT, "<=": Op.LE, "=": Op.EQ,
+        ">": Op.GT, ">=": Op.GE, "<>": Op.NE}
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds spent in each pipeline stage (Section 6.6)."""
+
+    parse: float = 0.0
+    extract: float = 0.0
+    cnf: float = 0.0
+    consolidate: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.extract + self.cnf + self.consolidate
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """An extracted access area plus per-stage timings."""
+
+    area: AccessArea
+    timings: StageTimings
+    statement: Optional[ast.SelectStatement] = None
+
+
+@dataclass
+class AccessAreaExtractor:
+    """Extracts access areas from SQL text.
+
+    Parameters mirror the paper's knobs: ``predicate_cap`` is the CNF
+    workaround limit (35 in the paper, ``None`` to disable) and
+    ``consolidate`` toggles the Section 4.5 cleanup (an ablation target).
+    """
+
+    schema: Optional[Schema] = None
+    predicate_cap: Optional[int] = DEFAULT_PREDICATE_CAP
+    consolidate: bool = True
+
+    def extract(self, sql: str) -> ExtractionResult:
+        """Full pipeline on one SQL string.
+
+        Raises the :mod:`repro.sqlparser.errors` exceptions on statements
+        outside the grammar, and
+        :class:`~repro.algebra.cnf.CNFConversionError` when the CNF blows
+        past resource limits — the paper's unparseable/pathological
+        classes.
+        """
+        start = time.perf_counter()
+        statement = parse(sql)
+        parse_time = time.perf_counter() - start
+        return self.extract_statement(statement, parse_time)
+
+    def extract_statement(self, statement: ast.SelectStatement,
+                          parse_time: float = 0.0) -> ExtractionResult:
+        start = time.perf_counter()
+        ctx = ExtractionContext(self.schema)
+        expr = self._statement_to_expr(statement, ctx)
+        extract_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cnf = to_cnf(expr, max_predicates=self.predicate_cap)
+        cnf_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if self.consolidate:
+            result = consolidate_cnf(cnf)
+            cnf = result.cnf
+        consolidate_time = time.perf_counter() - start
+
+        area = AccessArea(tuple(ctx.relations), cnf, tuple(ctx.notes))
+        timings = StageTimings(parse_time, extract_time, cnf_time,
+                               consolidate_time)
+        return ExtractionResult(area, timings, statement)
+
+    def _statement_to_expr(self, statement: ast.SelectStatement,
+                           ctx: ExtractionContext) -> BoolExpr:
+        join_expr = from_items_to_expr(statement.from_items, ctx)
+        where_expr = TRUE
+        if statement.where is not None:
+            where_expr = condition_to_expr(statement.where, ctx)
+        having_expr = TRUE
+        if statement.having is not None:
+            having_expr = having_to_expr(statement, where_expr, ctx)
+        return make_and([join_expr, where_expr, having_expr])
+
+
+# ---------------------------------------------------------------------------
+# HAVING handling (Section 4.3) — lives here because it needs both the
+# transform machinery and the WHERE constraint for effective domains.
+# ---------------------------------------------------------------------------
+
+def having_to_expr(statement: ast.SelectStatement, where_expr: BoolExpr,
+                   ctx: ExtractionContext) -> BoolExpr:
+    """Map a HAVING clause to its access-area constraint."""
+    footprints = _conjunctive_footprints(where_expr)
+    return _having_condition(statement.having, statement, footprints, ctx)
+
+
+def _having_condition(cond: ast.Condition, statement: ast.SelectStatement,
+                      footprints: dict[ColumnRef, Interval],
+                      ctx: ExtractionContext) -> BoolExpr:
+    if isinstance(cond, ast.AndCondition):
+        return make_and(_having_condition(c, statement, footprints, ctx)
+                        for c in cond.children)
+    if isinstance(cond, ast.OrCondition):
+        return make_or(_having_condition(c, statement, footprints, ctx)
+                       for c in cond.children)
+    if isinstance(cond, ast.NotCondition):
+        return make_not(_having_condition(
+            cond.child, statement, footprints, ctx))
+    if isinstance(cond, ast.Comparison):
+        mapped = _having_comparison(cond, footprints, ctx)
+        if mapped is not None:
+            return mapped
+    if isinstance(cond, ast.Between) and _is_aggregate_call(cond.expr):
+        # HAVING AGG(a) BETWEEN c1 AND c2 → the two bound comparisons.
+        low = _having_comparison(
+            ast.Comparison(cond.expr, ">=", cond.low), footprints, ctx)
+        high = _having_comparison(
+            ast.Comparison(cond.expr, "<=", cond.high), footprints, ctx)
+        combined = make_and([expr for expr in (low, high)
+                             if expr is not None])
+        return make_not(combined) if cond.negated else combined
+    # Plain (non-aggregate) HAVING conditions behave like WHERE conditions.
+    return condition_to_expr(cond, ctx)
+
+
+def _having_comparison(cond: ast.Comparison,
+                       footprints: dict[ColumnRef, Interval],
+                       ctx: ExtractionContext) -> BoolExpr | None:
+    """``AGG(a) θ c`` → the Lemma mapping; None when not an aggregate."""
+    left, op_text, right = cond.left, cond.op, cond.right
+    if _is_aggregate_call(right) and not _is_aggregate_call(left):
+        left, right = right, left
+        op_text = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+            op_text, op_text)
+    if not _is_aggregate_call(left):
+        return None
+    call = left
+    assert isinstance(call, ast.FunctionCall)
+    constant = _operand(right, ctx)
+    if not isinstance(constant, (int, float)) or isinstance(constant, bool):
+        ctx.note("non-constant aggregate comparison widened to TRUE")
+        return TRUE
+    op = _OPS.get(op_text)
+    if op is None:
+        return TRUE
+
+    ref: ColumnRef | None = None
+    if call.args and not isinstance(call.args[0], ast.Star):
+        operand = _operand(call.args[0], ctx)
+        if isinstance(operand, ColumnRef):
+            ref = operand
+    if ref is not None and not _in_from(ref, ctx):
+        # "we check if a belongs to some relation in the FROM clause.
+        #  If it does not, we ignore it."
+        ctx.note(f"aggregate over column {ref} outside FROM ignored")
+        return TRUE
+
+    declared = _declared_domain(ref, ctx)
+    where_fp = footprints.get(ref) if ref is not None else None
+    dom = effective_domain(declared, where_fp)
+    return aggregate_constraint(call.upper_name, ref, op, constant, dom)
+
+
+def _is_aggregate_call(expr: ast.Expr) -> bool:
+    return (isinstance(expr, ast.FunctionCall)
+            and expr.upper_name in SUPPORTED_AGGREGATES)
+
+
+def _in_from(ref: ColumnRef, ctx: ExtractionContext) -> bool:
+    return ref.relation.lower() in (r.lower() for r in ctx.relations)
+
+
+def _declared_domain(ref: ColumnRef | None,
+                     ctx: ExtractionContext) -> Interval | None:
+    if ref is None or ctx.schema is None:
+        return None
+    if not ctx.schema.has_relation(ref.relation):
+        return None
+    column = ctx.schema.relation(ref.relation).find_column(ref.column)
+    if column is None or not column.is_numeric:
+        return None
+    return column.effective_domain
+
+
+def _conjunctive_footprints(
+        where_expr: BoolExpr) -> dict[ColumnRef, Interval]:
+    """Single-interval footprint per column from top-level AND atoms.
+
+    This is the WHERE narrowing that upgrades Lemma 1 to Lemmas 2/3.
+    Disjunctive structure is ignored (conservative: wider domains only
+    make the aggregate rules *less* constraining).
+    """
+    expr = to_nnf(where_expr)
+    atoms: list[ColumnConstantPredicate] = []
+    if isinstance(expr, Atom):
+        candidates = [expr]
+    elif isinstance(expr, And):
+        candidates = [c for c in expr.children if isinstance(c, Atom)]
+    else:
+        candidates = []
+    for leaf in candidates:
+        pred = leaf.predicate
+        if isinstance(pred, ColumnConstantPredicate) and pred.is_numeric:
+            atoms.append(pred)
+
+    footprints: dict[ColumnRef, Interval] = {}
+    for pred in atoms:
+        hull = pred.to_interval_set().hull()
+        if hull is None:
+            continue
+        if pred.ref in footprints:
+            narrowed = footprints[pred.ref].intersect(hull)
+            if narrowed is not None:
+                footprints[pred.ref] = narrowed
+        else:
+            footprints[pred.ref] = hull
+    return footprints

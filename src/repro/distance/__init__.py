@@ -1,0 +1,11 @@
+"""The access-area distance function of Section 5."""
+
+from .alternatives import FootprintDistance, WeightedQueryDistance
+from .predicate_distance import (DEFAULT_RESOLUTION, PredicateDistance)
+from .query_distance import QueryDistance, jaccard_distance
+
+__all__ = [
+    "DEFAULT_RESOLUTION", "PredicateDistance",
+    "QueryDistance", "jaccard_distance",
+    "FootprintDistance", "WeightedQueryDistance",
+]

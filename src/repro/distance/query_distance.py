@@ -1,0 +1,92 @@
+"""The query distance ``d = d_tables + d_conj`` (Section 5).
+
+``d_tables`` is the Jaccard distance of the relation sets (with the
+paper's corner case: two queries accessing no table at all are distance
+0).  ``d_conj``/``d_disj`` are symmetric best-match averages: every clause
+(resp. predicate) is matched with its closest counterpart on the other
+side, and the match distances are averaged over both directions.
+
+An empty CNF (an unconstrained query) matches nothing: against another
+empty CNF the distance is 0, against a non-empty one every clause pays
+the maximal unit cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.cnf import CNF, Clause
+from ..core.area import AccessArea
+from ..schema.statistics import StatisticsCatalog
+from .predicate_distance import DEFAULT_RESOLUTION, PredicateDistance
+
+
+def jaccard_distance(a: frozenset, b: frozenset) -> float:
+    """``1 − |a ∩ b| / |a ∪ b|``, with the both-empty corner case = 0."""
+    union = a | b
+    if not union:
+        return 0.0
+    return 1.0 - len(a & b) / len(union)
+
+
+@dataclass
+class QueryDistance:
+    """Distance between access areas in intermediate format.
+
+    The value ranges over ``[0, 2]``: one unit from the table part and
+    one from the constraint part.
+    """
+
+    stats: StatisticsCatalog
+    resolution: float = DEFAULT_RESOLUTION
+    _pred: PredicateDistance = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._pred = PredicateDistance(self.stats, self.resolution)
+
+    def __call__(self, q1: AccessArea, q2: AccessArea) -> float:
+        return self.distance(q1, q2)
+
+    def distance(self, q1: AccessArea, q2: AccessArea) -> float:
+        return (self.d_tables(q1, q2) + self.d_conj(q1.cnf, q2.cnf))
+
+    # -- components -----------------------------------------------------------
+
+    def d_tables(self, q1: AccessArea, q2: AccessArea) -> float:
+        """Jaccard distance of the FROM relation sets (Section 5.1)."""
+        return jaccard_distance(q1.table_set, q2.table_set)
+
+    def d_conj(self, b1: CNF, b2: CNF) -> float:
+        """Symmetric best-match average over clauses (Section 5.2)."""
+        n1, n2 = len(b1), len(b2)
+        if n1 == 0 and n2 == 0:
+            return 0.0
+        if n1 == 0 or n2 == 0:
+            return 1.0
+        total = 0.0
+        for o1 in b1:
+            total += min(self.d_disj(o1, o2) for o2 in b2)
+        for o2 in b2:
+            total += min(self.d_disj(o1, o2) for o1 in b1)
+        return total / (n1 + n2)
+
+    def d_disj(self, o1: Clause, o2: Clause) -> float:
+        """Symmetric best-match average over atomic predicates."""
+        n1, n2 = len(o1), len(o2)
+        if n1 == 1 and n2 == 1:
+            # The dominant case (unit clauses): both direction sums
+            # collapse to the single pairwise distance.
+            return self._pred.distance(o1.predicates[0], o2.predicates[0])
+        if n1 == 0 and n2 == 0:
+            return 0.0
+        if n1 == 0 or n2 == 0:
+            return 1.0
+        total = 0.0
+        for p1 in o1:
+            total += min(self._pred.distance(p1, p2) for p2 in o2)
+        for p2 in o2:
+            total += min(self._pred.distance(p1, p2) for p1 in o1)
+        return total / (n1 + n2)
+
+    def d_pred(self, p1, p2) -> float:
+        return self._pred.distance(p1, p2)

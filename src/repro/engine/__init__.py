@@ -1,0 +1,19 @@
+"""In-memory relational engine (the synthetic SkyServer substrate).
+
+Provides the two capabilities the original study obtained from the live
+CasJobs database: sampling column values to estimate ``content(a)``
+(Section 5.3), and re-executing logged queries for the re-query baseline
+(Section 6.6) — including SkyServer's dialect and result-size errors.
+"""
+
+from .database import Database
+from .executor import (DialectError, ExecutionError, QueryExecutor,
+                       ResultLimitError, ResultSet, UnknownColumnError,
+                       UnknownRelationError)
+from .table import Row, Table
+
+__all__ = [
+    "Database", "Table", "Row",
+    "QueryExecutor", "ResultSet", "ExecutionError", "DialectError",
+    "ResultLimitError", "UnknownColumnError", "UnknownRelationError",
+]

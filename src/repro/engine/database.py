@@ -1,0 +1,64 @@
+"""The in-memory database: schema + tables + sampling.
+
+Plays the role of the live SkyServer CasJobs database in the original
+study: it provides the content sample used to estimate ``content(a)``
+(Section 5.3) and the state against which the re-query baseline executes
+(Section 6.6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..schema.database import Schema
+from .table import Row, Table
+
+
+@dataclass
+class Database:
+    """Schema-validated collection of in-memory tables."""
+
+    schema: Schema
+    seed: int = 0
+    _tables: dict[str, Table] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for relation in self.schema:
+            self._tables[relation.name.lower()] = Table(relation)
+        self._rng = random.Random(self.seed)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise KeyError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def insert(self, relation: str, rows: Iterable[Mapping]) -> None:
+        self.table(relation).insert_many(rows)
+
+    def row_count(self, relation: str) -> int:
+        return len(self.table(relation))
+
+    def rows(self, relation: str) -> list[Row]:
+        return self.table(relation).rows
+
+    def sample_column(self, relation: str, column: str,
+                      size: int = 100) -> list:
+        """A uniform random sample of a column's values.
+
+        This is the "querying a sample of its data, e.g., 100 rows"
+        primitive of Section 5.3.  Deterministic given the database seed.
+        """
+        values = self.table(relation).column_values(column)
+        if len(values) <= size:
+            return list(values)
+        return self._rng.sample(values, size)
+
+    @property
+    def tables(self) -> tuple[Table, ...]:
+        return tuple(self._tables.values())

@@ -1,0 +1,553 @@
+"""A miniature SQL executor over the in-memory database.
+
+Supports the query shapes the access-area study needs to *re-execute*
+(the Section 6.6 baseline): selections, comma/CROSS/INNER/OUTER/NATURAL
+joins, GROUP BY + HAVING aggregates, nested EXISTS / IN / ANY / ALL /
+scalar subqueries with correlation, DISTINCT, TOP, and ORDER BY.
+
+It also reproduces SkyServer's operational failure modes, which the paper
+leans on (1.2M error queries): a strict-MSSQL dialect check that rejects
+MySQL ``LIMIT``, and a result-row cap mirroring the "limit is top 500000"
+server error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sqlparser import ast, parse
+from .database import Database
+from .table import Row
+
+
+class ExecutionError(Exception):
+    """Base class of simulated server-side failures."""
+
+
+class DialectError(ExecutionError):
+    """MySQL-isms rejected by the MSSQL server (e.g. LIMIT)."""
+
+
+class ResultLimitError(ExecutionError):
+    """The SkyServer "limit is top 500000" error."""
+
+
+class UnknownRelationError(ExecutionError):
+    pass
+
+
+class UnknownColumnError(ExecutionError):
+    pass
+
+
+@dataclass
+class ResultSet:
+    """Execution output: flat rows keyed by output-column label."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+
+@dataclass
+class _Env:
+    """A binding scope: alias/table-binding → current row.
+
+    Chained through ``parent`` for correlated subqueries.
+    """
+
+    bindings: dict[str, tuple[str, Row]]  # binding -> (relation, row)
+    parent: Optional["_Env"] = None
+
+    def resolve(self, table: Optional[str], column: str,
+                executor: "QueryExecutor") -> Any:
+        env: Optional[_Env] = self
+        while env is not None:
+            value = env._lookup(table, column, executor)
+            if value is not _MISSING:
+                return value
+            env = env.parent
+        raise UnknownColumnError(
+            f"cannot resolve column {table + '.' if table else ''}{column}")
+
+    def _lookup(self, table: Optional[str], column: str,
+                executor: "QueryExecutor") -> Any:
+        if table is not None:
+            entry = _ci_get(self.bindings, table)
+            if entry is None:
+                return _MISSING
+            relation, row = entry
+            if not executor.db.table(relation).relation.has_column(column):
+                return _MISSING
+            return _row_get(row, column)
+        for relation, row in self.bindings.values():
+            if executor.db.table(relation).relation.has_column(column):
+                return _row_get(row, column)
+        return _MISSING
+
+
+_MISSING = object()
+
+
+def _ci_get(mapping: dict[str, Any], key: str) -> Any:
+    lowered = key.lower()
+    for k, v in mapping.items():
+        if k.lower() == lowered:
+            return v
+    return None
+
+
+def _row_get(row: Row, column: str) -> Any:
+    lowered = column.lower()
+    for k, v in row.items():
+        if k.lower() == lowered:
+            return v
+    return None
+
+
+_AGGREGATES = {"SUM", "COUNT", "MIN", "MAX", "AVG"}
+
+
+@dataclass
+class QueryExecutor:
+    """Executes parsed SELECT statements against a :class:`Database`."""
+
+    db: Database
+    max_result_rows: int = 500_000
+    strict_mssql: bool = True
+    max_intermediate_rows: int = 5_000_000
+
+    def execute_sql(self, sql: str) -> ResultSet:
+        return self.execute(parse(sql))
+
+    def execute(self, stmt: ast.SelectStatement,
+                outer: Optional[_Env] = None) -> ResultSet:
+        if self.strict_mssql and stmt.limit is not None:
+            raise DialectError("LIMIT is not valid Transact-SQL")
+        contexts = self._build_from(stmt, outer)
+        if stmt.where is not None:
+            contexts = [env for env in contexts
+                        if self._eval_condition(stmt.where, env)]
+        if stmt.group_by or self._has_aggregate(stmt):
+            rows, columns = self._execute_grouped(stmt, contexts, outer)
+        else:
+            rows, columns = self._project(stmt, contexts)
+        if stmt.distinct:
+            rows = _distinct(rows)
+        rows = self._order(stmt, rows)
+        if stmt.top is not None:
+            rows = rows[:stmt.top]
+        if len(rows) > self.max_result_rows:
+            raise ResultLimitError(
+                f"limit is top {self.max_result_rows}")
+        return ResultSet(columns, rows)
+
+    # -- FROM ---------------------------------------------------------------
+
+    def _build_from(self, stmt: ast.SelectStatement,
+                    outer: Optional[_Env]) -> list[_Env]:
+        if not stmt.from_items:
+            return [_Env({}, outer)]
+        contexts: list[dict[str, tuple[str, Row]]] = [{}]
+        for item in stmt.from_items:
+            item_rows = self._from_item_rows(item, outer)
+            merged: list[dict[str, tuple[str, Row]]] = []
+            for left in contexts:
+                for right in item_rows:
+                    merged.append({**left, **right})
+                    if len(merged) > self.max_intermediate_rows:
+                        raise ExecutionError("intermediate result too large")
+            contexts = merged
+        return [_Env(bindings, outer) for bindings in contexts]
+
+    def _from_item_rows(
+            self, item: ast.FromItem,
+            outer: Optional[_Env]) -> list[dict[str, tuple[str, Row]]]:
+        if isinstance(item, ast.TableRef):
+            if not self.db.has_table(item.name):
+                raise UnknownRelationError(f"unknown relation {item.name}")
+            table = self.db.table(item.name)
+            return [{item.binding: (table.name, row)} for row in table]
+        return self._join_rows(item, outer)
+
+    def _join_rows(
+            self, join: ast.Join,
+            outer: Optional[_Env]) -> list[dict[str, tuple[str, Row]]]:
+        left_rows = self._from_item_rows(join.left, outer)
+        right_rows = self._from_item_rows(join.right, outer)
+        jt = join.join_type
+
+        if jt is ast.JoinType.NATURAL:
+            condition = None
+            common = self._natural_common_columns(left_rows, right_rows)
+        else:
+            condition = join.condition
+            common = []
+
+        matched_right: set[int] = set()
+        out: list[dict[str, tuple[str, Row]]] = []
+        left_matched_flags: list[bool] = []
+        for left in left_rows:
+            matched = False
+            for r_index, right in enumerate(right_rows):
+                combined = {**left, **right}
+                if self._join_match(condition, common, combined, outer):
+                    out.append(combined)
+                    matched = True
+                    matched_right.add(r_index)
+            left_matched_flags.append(matched)
+
+        if jt in (ast.JoinType.LEFT, ast.JoinType.FULL):
+            null_right = self._null_bindings(right_rows)
+            for left, matched in zip(left_rows, left_matched_flags):
+                if not matched:
+                    out.append({**left, **null_right})
+        if jt in (ast.JoinType.RIGHT, ast.JoinType.FULL):
+            null_left = self._null_bindings(left_rows)
+            for r_index, right in enumerate(right_rows):
+                if r_index not in matched_right:
+                    out.append({**null_left, **right})
+        return out
+
+    def _join_match(self, condition: Optional[ast.Condition],
+                    common: list[str],
+                    bindings: dict[str, tuple[str, Row]],
+                    outer: Optional[_Env]) -> bool:
+        env = _Env(bindings, outer)
+        if condition is not None:
+            return self._eval_condition(condition, env)
+        if common:
+            items = list(bindings.values())
+            if len(items) < 2:
+                return True
+            for column in common:
+                values = {_row_get(row, column) for _, row in items
+                          if _row_get(row, column) is not None}
+                if len(values) > 1:
+                    return False
+            return True
+        return True  # CROSS JOIN
+
+    @staticmethod
+    def _natural_common_columns(left_rows, right_rows) -> list[str]:
+        def columns_of(rows) -> set[str]:
+            cols: set[str] = set()
+            for bindings in rows[:1]:
+                for _, row in bindings.values():
+                    cols.update(k.lower() for k in row)
+            return cols
+
+        return sorted(columns_of(left_rows) & columns_of(right_rows))
+
+    @staticmethod
+    def _null_bindings(rows) -> dict[str, tuple[str, Row]]:
+        if not rows:
+            return {}
+        template = rows[0]
+        return {
+            binding: (relation, {k: None for k in row})
+            for binding, (relation, row) in template.items()
+        }
+
+    # -- projection ----------------------------------------------------------
+
+    def _project(self, stmt: ast.SelectStatement,
+                 contexts: list[_Env]) -> tuple[list[dict], list[str]]:
+        columns = self._output_columns(stmt, contexts)
+        rows: list[dict] = []
+        for env in contexts:
+            out: dict[str, Any] = {}
+            for item in stmt.select_items:
+                if isinstance(item.expr, ast.Star):
+                    out.update(self._expand_star(item.expr, env))
+                else:
+                    label = item.alias or str(item.expr)
+                    out[label] = self._eval_expr(item.expr, env)
+            rows.append(out)
+        return rows, columns
+
+    def _output_columns(self, stmt: ast.SelectStatement,
+                        contexts: list[_Env]) -> list[str]:
+        columns: list[str] = []
+        sample = contexts[0] if contexts else None
+        for item in stmt.select_items:
+            if isinstance(item.expr, ast.Star):
+                if sample is not None:
+                    columns.extend(self._expand_star(item.expr, sample))
+            else:
+                columns.append(item.alias or str(item.expr))
+        return columns
+
+    def _expand_star(self, star: ast.Star, env: _Env) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for binding, (relation, row) in env.bindings.items():
+            if star.table is not None and \
+                    binding.lower() != star.table.lower():
+                continue
+            for key, value in row.items():
+                out[f"{binding}.{key}"] = value
+        return out
+
+    # -- grouping ------------------------------------------------------------
+
+    def _has_aggregate(self, stmt: ast.SelectStatement) -> bool:
+        def is_agg(expr: ast.Expr) -> bool:
+            return (isinstance(expr, ast.FunctionCall)
+                    and expr.upper_name in _AGGREGATES)
+
+        return any(is_agg(item.expr) for item in stmt.select_items
+                   if not isinstance(item.expr, ast.Star))
+
+    def _execute_grouped(
+            self, stmt: ast.SelectStatement, contexts: list[_Env],
+            outer: Optional[_Env]) -> tuple[list[dict], list[str]]:
+        groups: dict[tuple, list[_Env]] = {}
+        for env in contexts:
+            key = tuple(
+                _hashable(self._eval_expr(g, env)) for g in stmt.group_by)
+            groups.setdefault(key, []).append(env)
+        if not stmt.group_by and not groups:
+            groups[()] = []  # aggregates over an empty input: one group
+
+        rows: list[dict] = []
+        for key, members in groups.items():
+            if stmt.having is not None and not self._eval_condition(
+                    stmt.having, members[0] if members else _Env({}, outer),
+                    group=members):
+                continue
+            out: dict[str, Any] = {}
+            representative = members[0] if members else _Env({}, outer)
+            for item in stmt.select_items:
+                if isinstance(item.expr, ast.Star):
+                    out.update(self._expand_star(item.expr, representative))
+                    continue
+                label = item.alias or str(item.expr)
+                out[label] = self._eval_expr(
+                    item.expr, representative, group=members)
+            rows.append(out)
+        columns = [item.alias or str(item.expr)
+                   for item in stmt.select_items
+                   if not isinstance(item.expr, ast.Star)]
+        return rows, columns
+
+    # -- ORDER BY --------------------------------------------------------------
+
+    def _order(self, stmt: ast.SelectStatement,
+               rows: list[dict]) -> list[dict]:
+        if not stmt.order_by:
+            return rows
+
+        def sort_key(row: dict):
+            key = []
+            for item in stmt.order_by:
+                label = str(item.expr)
+                value = row.get(label)
+                if value is None and isinstance(item.expr, ast.ColumnExpr):
+                    value = _row_get(row, item.expr.name)
+                key.append(_SortValue(value, item.descending))
+            return key
+
+        return sorted(rows, key=sort_key)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _eval_condition(self, cond: ast.Condition, env: _Env,
+                        group: Optional[list[_Env]] = None) -> bool:
+        if isinstance(cond, ast.AndCondition):
+            return all(self._eval_condition(c, env, group)
+                       for c in cond.children)
+        if isinstance(cond, ast.OrCondition):
+            return any(self._eval_condition(c, env, group)
+                       for c in cond.children)
+        if isinstance(cond, ast.NotCondition):
+            return not self._eval_condition(cond.child, env, group)
+        if isinstance(cond, ast.Comparison):
+            left = self._eval_expr(cond.left, env, group)
+            right = self._eval_expr(cond.right, env, group)
+            return _compare(left, cond.op, right)
+        if isinstance(cond, ast.Between):
+            value = self._eval_expr(cond.expr, env, group)
+            low = self._eval_expr(cond.low, env, group)
+            high = self._eval_expr(cond.high, env, group)
+            if value is None or low is None or high is None:
+                return False
+            result = low <= value <= high
+            return not result if cond.negated else result
+        if isinstance(cond, ast.InList):
+            value = self._eval_expr(cond.expr, env, group)
+            members = [self._eval_expr(v, env, group) for v in cond.values]
+            result = value is not None and value in members
+            return not result if cond.negated else result
+        if isinstance(cond, ast.InSubquery):
+            value = self._eval_expr(cond.expr, env, group)
+            result_set = self.execute(cond.query, outer=env)
+            members = {next(iter(row.values()), None)
+                       for row in result_set.rows}
+            result = value is not None and value in members
+            return not result if cond.negated else result
+        if isinstance(cond, ast.Exists):
+            result_set = self.execute(cond.query, outer=env)
+            result = len(result_set) > 0
+            return not result if cond.negated else result
+        if isinstance(cond, ast.QuantifiedComparison):
+            value = self._eval_expr(cond.expr, env, group)
+            result_set = self.execute(cond.query, outer=env)
+            members = [next(iter(row.values()), None)
+                       for row in result_set.rows]
+            comparisons = [_compare(value, cond.op, m) for m in members]
+            if cond.quantifier == "ANY":
+                return any(comparisons)
+            return all(comparisons)
+        if isinstance(cond, ast.Like):
+            value = self._eval_expr(cond.expr, env, group)
+            result = isinstance(value, str) and \
+                _like_match(value, cond.pattern)
+            return not result if cond.negated else result
+        if isinstance(cond, ast.IsNull):
+            value = self._eval_expr(cond.expr, env, group)
+            result = value is None
+            return not result if cond.negated else result
+        raise ExecutionError(f"unsupported condition {type(cond).__name__}")
+
+    # -- scalar expressions ----------------------------------------------------------
+
+    def _eval_expr(self, expr: ast.Expr, env: _Env,
+                   group: Optional[list[_Env]] = None) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnExpr):
+            return env.resolve(expr.table, expr.name, self)
+        if isinstance(expr, ast.FunctionCall):
+            if expr.upper_name in _AGGREGATES:
+                return self._eval_aggregate(expr, env, group)
+            raise ExecutionError(f"unknown function {expr.name}")
+        if isinstance(expr, ast.Arithmetic):
+            left = self._eval_expr(expr.left, env, group)
+            right = self._eval_expr(expr.right, env, group)
+            if left is None or right is None:
+                return None
+            return _arith(expr.op, left, right)
+        if isinstance(expr, ast.UnaryMinus):
+            value = self._eval_expr(expr.operand, env, group)
+            return None if value is None else -value
+        if isinstance(expr, ast.ScalarSubquery):
+            result_set = self.execute(expr.query, outer=env)
+            if not result_set.rows:
+                return None
+            return next(iter(result_set.rows[0].values()), None)
+        if isinstance(expr, ast.Star):
+            return None
+        raise ExecutionError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_aggregate(self, call: ast.FunctionCall, env: _Env,
+                        group: Optional[list[_Env]]) -> Any:
+        members = group if group is not None else [env]
+        name = call.upper_name
+        if name == "COUNT" and (not call.args
+                                or isinstance(call.args[0], ast.Star)):
+            return len(members)
+        if not call.args:
+            raise ExecutionError(f"{name} requires an argument")
+        values = [self._eval_expr(call.args[0], member) for member in members]
+        values = [v for v in values if v is not None]
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "MIN":
+            return min(values)
+        if name == "MAX":
+            return max(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        raise ExecutionError(f"unknown aggregate {name}")
+
+
+@dataclass(frozen=True)
+class _SortValue:
+    """Total-order wrapper tolerating None and mixed types."""
+
+    value: Any
+    descending: bool
+
+    def __lt__(self, other: "_SortValue") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return not self.descending
+        if b is None:
+            return self.descending
+        try:
+            less = a < b
+        except TypeError:
+            less = str(a) < str(b)
+        return bool(less) != self.descending
+
+
+def _compare(left: Any, op: str, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if isinstance(left, str) != isinstance(right, str):
+        left, right = str(left), str(right)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == "=":
+        return left == right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "<>":
+        return left != right
+    raise ExecutionError(f"unknown comparison operator {op}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None if isinstance(right, int) else math.inf
+        return left / right
+    if op == "%":
+        return left % right if right != 0 else None
+    raise ExecutionError(f"unknown arithmetic operator {op}")
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE with % and _ wildcards (case-insensitive, MSSQL-style)."""
+    import re
+
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, value, re.IGNORECASE) is not None
+
+
+def _distinct(rows: list[dict]) -> list[dict]:
+    seen: set = set()
+    out: list[dict] = []
+    for row in rows:
+        key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value

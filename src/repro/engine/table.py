@@ -1,0 +1,63 @@
+"""In-memory tables backing the synthetic SkyServer database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..schema.relation import Relation
+
+Row = dict[str, Any]
+
+
+@dataclass
+class Table:
+    """Rows of one relation, stored as dictionaries keyed by column name.
+
+    Column names in rows use the relation's declared capitalization;
+    lookups through :meth:`get_value` are case-insensitive.
+    """
+
+    relation: Relation
+    rows: list[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._canonical = {c.name.lower(): c.name for c in self.relation}
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        normalized: Row = {}
+        for key, value in row.items():
+            canonical = self._canonical.get(key.lower())
+            if canonical is None:
+                raise KeyError(
+                    f"no column {key!r} in relation {self.name}")
+            normalized[canonical] = value
+        self.rows.append(normalized)
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def get_value(self, row: Row, column: str) -> Any:
+        canonical = self._canonical.get(column.lower())
+        if canonical is None:
+            raise KeyError(
+                f"no column {column!r} in relation {self.name}")
+        return row.get(canonical)
+
+    def column_values(self, column: str) -> list:
+        canonical = self._canonical.get(column.lower())
+        if canonical is None:
+            raise KeyError(
+                f"no column {column!r} in relation {self.name}")
+        return [row.get(canonical) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)

@@ -1,0 +1,5 @@
+"""Query recommendation over mined interest areas (QueRIE-style)."""
+
+from .recommender import InterestRecommender, Recommendation
+
+__all__ = ["InterestRecommender", "Recommendation"]

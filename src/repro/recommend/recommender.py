@@ -1,0 +1,149 @@
+"""Interest-area query recommendation (QueRIE-style, on access areas).
+
+The paper's related work covers QueRIE — "designed to work directly with
+SkyServer query logs" — and its own expert feedback notes the mined
+areas "might not only be useful for the data owner, but for users as
+well: They help to explore the database ... offer orientation in the
+sense 'Which parts of the data do others deem important?'".
+
+:class:`InterestRecommender` operationalizes that: fitted on the
+clustered access areas of the community, it takes a user's query (or its
+area) and returns the nearest aggregated interest areas — each with its
+popularity, a representative medoid query, and ready-to-run SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..clustering.aggregation import AggregatedArea, aggregate_cluster
+from ..clustering.dbscan import DBSCANResult
+from ..core.area import AccessArea
+from ..core.extractor import AccessAreaExtractor
+from ..distance.query_distance import QueryDistance
+from ..schema.statistics import StatisticsCatalog
+
+Distance = Callable[[AccessArea, AccessArea], float]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One suggested interest area."""
+
+    aggregated: AggregatedArea
+    distance: float
+    popularity: int  # cluster cardinality
+    suggested_sql: str
+    medoid: AccessArea
+
+    def describe(self) -> str:
+        return (f"(d={self.distance:.2f}, {self.popularity} queries) "
+                f"{self.aggregated.describe()}")
+
+
+@dataclass
+class _FittedCluster:
+    aggregated: AggregatedArea
+    medoid: AccessArea
+    members: list[AccessArea]
+
+
+@dataclass
+class InterestRecommender:
+    """Recommends community interest areas near a user's query."""
+
+    stats: StatisticsCatalog
+    extractor: Optional[AccessAreaExtractor] = None
+    resolution: float = 0.05
+    min_cluster_size: int = 5
+    _clusters: list[_FittedCluster] = field(default_factory=list,
+                                            repr=False)
+
+    def __post_init__(self) -> None:
+        self._distance: Distance = QueryDistance(self.stats,
+                                                 self.resolution)
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, areas: Sequence[AccessArea],
+            clustering: DBSCANResult,
+            sigma: float = 3.0) -> "InterestRecommender":
+        """Index the clusters of a finished clustering run."""
+        self._clusters = []
+        for cluster_id, indices in clustering.clusters().items():
+            members = [areas[i] for i in indices]
+            if len(members) < self.min_cluster_size:
+                continue
+            aggregated = aggregate_cluster(cluster_id, members,
+                                           self.stats, sigma=sigma)
+            medoid = self._medoid(members)
+            self._clusters.append(
+                _FittedCluster(aggregated, medoid, members))
+        self._clusters.sort(key=lambda c: c.aggregated.cardinality,
+                            reverse=True)
+        return self
+
+    def _medoid(self, members: list[AccessArea],
+                sample_cap: int = 25) -> AccessArea:
+        """The member minimizing total distance to the others (sampled)."""
+        candidates = members[:sample_cap]
+        best, best_cost = candidates[0], float("inf")
+        for candidate in candidates:
+            cost = sum(self._distance(candidate, other)
+                       for other in candidates)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        return best
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    # -- recommendation ----------------------------------------------------------
+
+    def recommend(self, area: AccessArea, k: int = 5,
+                  max_distance: float = 2.0,
+                  exclude_exact: bool = True) -> list[Recommendation]:
+        """The ``k`` interest areas nearest to ``area``.
+
+        ``exclude_exact`` drops clusters whose medoid is at distance ~0 —
+        the user is already there, recommending it adds nothing.
+        """
+        scored: list[Recommendation] = []
+        for cluster in self._clusters:
+            distance = self._distance(area, cluster.medoid)
+            if distance > max_distance:
+                continue
+            if exclude_exact and distance < 1e-9:
+                continue
+            scored.append(Recommendation(
+                aggregated=cluster.aggregated,
+                distance=distance,
+                popularity=cluster.aggregated.cardinality,
+                suggested_sql=cluster.aggregated.to_sql(),
+                medoid=cluster.medoid,
+            ))
+        scored.sort(key=lambda r: (r.distance, -r.popularity))
+        return scored[:k]
+
+    def recommend_for_sql(self, sql: str, k: int = 5) -> \
+            list[Recommendation]:
+        """Convenience wrapper: extract then recommend."""
+        if self.extractor is None:
+            raise ValueError("recommender was built without an extractor")
+        area = self.extractor.extract(sql).area
+        return self.recommend(area, k)
+
+    def popular(self, k: int = 5) -> list[Recommendation]:
+        """The globally most popular interest areas (cold start)."""
+        out = []
+        for cluster in self._clusters[:k]:
+            out.append(Recommendation(
+                aggregated=cluster.aggregated,
+                distance=float("nan"),
+                popularity=cluster.aggregated.cardinality,
+                suggested_sql=cluster.aggregated.to_sql(),
+                medoid=cluster.medoid,
+            ))
+        return out

@@ -1,0 +1,14 @@
+"""Schema metadata: relations, columns, domains, and column statistics."""
+
+from .column import Column, ColumnType
+from .database import Schema
+from .relation import Relation
+from .skyserver import (CONTENT_BOUNDS, content_bounds, skyserver_schema)
+from .statistics import (CategoricalColumnStats, NumericColumnStats,
+                         StatisticsCatalog)
+
+__all__ = [
+    "Column", "ColumnType", "Schema", "Relation",
+    "CONTENT_BOUNDS", "content_bounds", "skyserver_schema",
+    "CategoricalColumnStats", "NumericColumnStats", "StatisticsCatalog",
+]

@@ -1,0 +1,73 @@
+"""Column metadata: types and domains.
+
+The paper's data space (Section 2.1) is the Cartesian product of column
+*domains* — determined by the schema, not by the content.  Numeric columns
+carry an interval domain derived from their SQL type; categorical columns
+carry a (possibly open-ended) value vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algebra.intervals import Interval
+
+
+class ColumnType(enum.Enum):
+    """SQL types occurring in the SkyServer tables we model."""
+
+    BIGINT = "bigint"
+    INT = "int"
+    SMALLINT = "smallint"
+    REAL = "real"
+    FLOAT = "float"
+    VARCHAR = "varchar"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is not ColumnType.VARCHAR
+
+
+#: Type-level domains, per Section 5.2: "since a typically has a data type,
+#: dom(a) and hence access(a) are intervals with finite bounds".
+_TYPE_DOMAINS = {
+    ColumnType.BIGINT: Interval(-(2 ** 63), 2 ** 63 - 1),
+    ColumnType.INT: Interval(-(2 ** 31), 2 ** 31 - 1),
+    ColumnType.SMALLINT: Interval(-(2 ** 15), 2 ** 15 - 1),
+    ColumnType.REAL: Interval(-3.4e38, 3.4e38),
+    ColumnType.FLOAT: Interval(-1.7e308, 1.7e308),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a relation.
+
+    ``domain`` may *narrow* the type-level domain for semantically bounded
+    columns (e.g. ``ra`` in ``[0, 360]``); when omitted, the SQL type's
+    full range applies.  ``categories`` is the closed vocabulary of a
+    categorical column, when known.
+    """
+
+    name: str
+    ctype: ColumnType
+    domain: Optional[Interval] = None
+    categories: tuple[str, ...] = field(default=())
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype.is_numeric
+
+    @property
+    def effective_domain(self) -> Interval:
+        """The numeric domain (declared narrowing or full type range)."""
+        if not self.is_numeric:
+            raise TypeError(f"column {self.name} is categorical")
+        if self.domain is not None:
+            return self.domain
+        return _TYPE_DOMAINS[self.ctype]
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ctype.value}"

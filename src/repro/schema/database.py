@@ -1,0 +1,58 @@
+"""Schema registry: the set of relations forming the data space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .column import Column
+from .relation import Relation
+
+
+@dataclass
+class Schema:
+    """A database schema — the object that *defines* the data space.
+
+    Relation lookup is case-insensitive and also resolves through aliases
+    registered during query analysis.  The schema intentionally knows
+    nothing about content; content lives in :mod:`repro.engine`.
+    """
+
+    name: str = "DB"
+    _relations: dict[str, Relation] = field(default_factory=dict)
+
+    def add(self, relation: Relation) -> None:
+        key = relation.name.lower()
+        if key in self._relations:
+            raise ValueError(f"duplicate relation {relation.name}")
+        self._relations[key] = relation
+
+    def has_relation(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise KeyError(f"no relation {name!r} in schema {self.name}") \
+                from None
+
+    def canonical_name(self, name: str) -> str:
+        """The declared capitalization of a relation name."""
+        return self.relation(name).name
+
+    def column(self, relation_name: str, column_name: str) -> Column:
+        return self.relation(relation_name).column(column_name)
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return tuple(self._relations.values())
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_relation(name)

@@ -1,0 +1,56 @@
+"""Relation (table) metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .column import Column
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named relation with an ordered set of columns.
+
+    Column lookup is case-insensitive, matching SQL Server's default
+    collation behaviour that SkyServer users rely on (``photoobjall.RA``
+    and ``PhotoObjAll.ra`` are the same column).
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        lowered = [c.name.lower() for c in self.columns]
+        if len(set(lowered)) != len(lowered):
+            raise ValueError(f"duplicate column names in {self.name}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return self.find_column(name) is not None
+
+    def find_column(self, name: str) -> Column | None:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        return None
+
+    def column(self, name: str) -> Column:
+        found = self.find_column(name)
+        if found is None:
+            raise KeyError(f"no column {name!r} in relation {self.name}")
+        return found
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"{self.name}({cols})"

@@ -1,0 +1,241 @@
+"""A DR9-like SkyServer schema and its content footprint.
+
+Defines the relations that appear in Table 1 of the paper, with column
+types and semantically bounded domains (angles, probabilities).  The
+module also exports :data:`CONTENT_BOUNDS` — the minimum bounding box of
+the *synthetic* database content per numeric column — which the content
+generator (:mod:`repro.workload.content`) and the Figure-1 analysis use as
+one source of truth.
+
+The numbers mirror the real DR9 footprint closely enough for every paper
+observation to reproduce:
+
+* ``objid`` / ``specobjid`` content occupies a narrow band of the huge
+  BIGINT domain, so Table 1's id-range clusters have small area coverage
+  and the specobjid ranges of Clusters 19-21 fall in empty space;
+* ``SpecObjAll`` content spans plate ``[266, 5141]`` × mjd
+  ``[51578, 55752]`` (Figure 1(a) / Example 1);
+* the photometric survey footprint leaves the far southern sky
+  (``dec < -30``) empty, making Cluster 18's area empty (Figure 1(b));
+* ``zooSpec`` coverage is a northern stripe, so Cluster 22's southern
+  window is empty and non-contiguous with content (Figure 1(c));
+* ``Photoz.z`` content lies in ``[0, 1]``: Clusters 23 (negative z) and
+  24 (z in [3, 6.5]) are empty areas.
+"""
+
+from __future__ import annotations
+
+from ..algebra.intervals import Interval
+from .column import Column, ColumnType
+from .database import Schema
+from .relation import Relation
+
+# -- Content footprint constants (minimum bounding boxes) --------------------
+
+#: First DR9 photometric object id (real SDSS skyVersion/rerun encoding
+#: puts DR8/9 objids at ~1.2376e18).
+OBJID_LO = 1_237_645_879_551_000_000
+OBJID_HI = 1_237_680_000_000_000_000
+
+#: DR9 spectroscopic ids: legacy plates up to ~3.3e18.  Clusters 19-21
+#: query [3.52e18, 5.79e18], which is *empty* under this bound.
+SPECOBJID_LO = 299_489_677_444_933_632
+SPECOBJID_HI = 3_300_000_000_000_000_000
+
+PLATE_LO, PLATE_HI = 266, 5141
+MJD_LO, MJD_HI = 51578, 55752
+
+#: Photometric footprint: full RA circle, but no far-southern coverage.
+PHOTO_DEC_LO, PHOTO_DEC_HI = -25.0, 85.0
+
+#: Galaxy-Zoo (zooSpec) footprint: the SDSS Legacy northern stripe.
+ZOO_DEC_LO, ZOO_DEC_HI = -11.0, 70.0
+
+#: Photometric-redshift estimates: non-negative and below ~1.
+PHOTOZ_LO, PHOTOZ_HI = 0.0, 1.0
+
+#: Spectroscopic redshift content range.
+SPECZ_LO, SPECZ_HI = -0.011, 7.1
+
+
+def skyserver_schema() -> Schema:
+    """Build the DR9-like schema used throughout the case study."""
+    schema = Schema("SkyServerDR9")
+
+    ra = Column("ra", ColumnType.FLOAT, Interval(0.0, 360.0))
+    dec = Column("dec", ColumnType.FLOAT, Interval(-90.0, 90.0))
+
+    schema.add(Relation("PhotoObjAll", (
+        Column("objid", ColumnType.BIGINT),
+        ra, dec,
+        Column("type", ColumnType.INT, Interval(0, 9)),
+        Column("mode", ColumnType.INT, Interval(1, 3)),
+        Column("u", ColumnType.REAL, Interval(-10.0, 40.0)),
+        Column("g", ColumnType.REAL, Interval(-10.0, 40.0)),
+        Column("r", ColumnType.REAL, Interval(-10.0, 40.0)),
+        Column("i", ColumnType.REAL, Interval(-10.0, 40.0)),
+        Column("z", ColumnType.REAL, Interval(-10.0, 40.0)),
+    )))
+
+    schema.add(Relation("SpecObjAll", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("bestobjid", ColumnType.BIGINT),
+        Column("plate", ColumnType.INT, Interval(1, 20_000)),
+        Column("mjd", ColumnType.INT, Interval(40_000, 80_000)),
+        Column("fiberid", ColumnType.INT, Interval(1, 1000)),
+        ra, dec,
+        Column("z", ColumnType.REAL, Interval(-1.0, 10.0)),
+        Column("zerr", ColumnType.REAL, Interval(0.0, 10.0)),
+        Column("class", ColumnType.VARCHAR,
+               categories=("star", "galaxy", "qso")),
+    )))
+
+    schema.add(Relation("SpecPhotoAll", (
+        Column("objid", ColumnType.BIGINT),
+        Column("specobjid", ColumnType.BIGINT),
+        ra, dec,
+        Column("z", ColumnType.REAL, Interval(-1.0, 10.0)),
+        Column("class", ColumnType.VARCHAR,
+               categories=("star", "galaxy", "qso")),
+    )))
+
+    schema.add(Relation("Photoz", (
+        Column("objid", ColumnType.BIGINT),
+        Column("z", ColumnType.REAL, Interval(-1.0, 10.0)),
+        Column("zerr", ColumnType.REAL, Interval(0.0, 10.0)),
+        Column("photoerrorclass", ColumnType.INT, Interval(-10, 10)),
+    )))
+
+    schema.add(Relation("galSpecLine", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("h_alpha_flux", ColumnType.REAL),
+        Column("h_beta_flux", ColumnType.REAL),
+        Column("oiii_5007_flux", ColumnType.REAL),
+    )))
+
+    schema.add(Relation("galSpecInfo", (
+        Column("specobjid", ColumnType.BIGINT),
+        ra, dec,
+        Column("targettype", ColumnType.VARCHAR,
+               categories=("galaxy", "qa", "sky")),
+    )))
+
+    schema.add(Relation("galSpecExtra", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("bptclass", ColumnType.INT, Interval(-1, 4)),
+        Column("lgm_tot_p50", ColumnType.REAL, Interval(0.0, 15.0)),
+    )))
+
+    schema.add(Relation("galSpecIndx", (
+        Column("specObjID", ColumnType.BIGINT),
+        Column("lick_hd_a", ColumnType.REAL),
+    )))
+
+    schema.add(Relation("sppLines", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("gwholemask", ColumnType.INT, Interval(0, 1023)),
+        Column("gwholeside", ColumnType.REAL, Interval(0.0, 400.0)),
+        Column("caiikside", ColumnType.REAL, Interval(0.0, 400.0)),
+    )))
+
+    schema.add(Relation("sppParams", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("fehadop", ColumnType.REAL, Interval(-5.0, 1.0)),
+        Column("loggadop", ColumnType.REAL, Interval(0.0, 5.0)),
+        Column("teffadop", ColumnType.REAL, Interval(3000.0, 10_000.0)),
+    )))
+
+    schema.add(Relation("zooSpec", (
+        Column("specobjid", ColumnType.BIGINT),
+        Column("objid", ColumnType.BIGINT),
+        ra, dec,
+        Column("p_el", ColumnType.REAL, Interval(0.0, 1.0)),
+        Column("p_cs", ColumnType.REAL, Interval(0.0, 1.0)),
+    )))
+
+    schema.add(Relation("emissionLinesPort", (
+        Column("specObjID", ColumnType.BIGINT),
+        ra, dec,
+        Column("bpt", ColumnType.VARCHAR,
+               categories=("Star Forming", "Seyfert", "LINER",
+                           "Composite", "BLANK")),
+    )))
+
+    schema.add(Relation("stellarMassPCAWisc", (
+        Column("specObjID", ColumnType.BIGINT),
+        ra, dec,
+        Column("mstellar_median", ColumnType.REAL, Interval(0.0, 15.0)),
+    )))
+
+    schema.add(Relation("AtlasOutline", (
+        Column("objid", ColumnType.BIGINT),
+        Column("span", ColumnType.INT, Interval(0, 10_000)),
+    )))
+
+    schema.add(Relation("DBObjects", (
+        Column("name", ColumnType.VARCHAR),
+        Column("type", ColumnType.VARCHAR,
+               categories=("U", "V", "P", "F", "S")),
+        Column("access", ColumnType.VARCHAR, categories=("U", "A")),
+    )))
+
+    return schema
+
+
+#: Minimum bounding box of the synthetic content per (relation, column).
+#: Only numeric columns that matter for Table 1 / Figure 1 are listed;
+#: the content generator fills the rest from the declared domains.
+CONTENT_BOUNDS: dict[tuple[str, str], Interval] = {
+    ("PhotoObjAll", "objid"): Interval(OBJID_LO, OBJID_HI),
+    ("PhotoObjAll", "ra"): Interval(0.0, 360.0),
+    ("PhotoObjAll", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("SpecObjAll", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("SpecObjAll", "bestobjid"): Interval(OBJID_LO, OBJID_HI),
+    ("SpecObjAll", "plate"): Interval(PLATE_LO, PLATE_HI),
+    ("SpecObjAll", "mjd"): Interval(MJD_LO, MJD_HI),
+    ("SpecObjAll", "ra"): Interval(0.0, 360.0),
+    ("SpecObjAll", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("SpecObjAll", "z"): Interval(SPECZ_LO, SPECZ_HI),
+    ("SpecPhotoAll", "objid"): Interval(OBJID_LO, OBJID_HI),
+    ("SpecPhotoAll", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("SpecPhotoAll", "ra"): Interval(0.0, 360.0),
+    ("SpecPhotoAll", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("SpecPhotoAll", "z"): Interval(SPECZ_LO, SPECZ_HI),
+    ("Photoz", "objid"): Interval(OBJID_LO, OBJID_HI),
+    ("Photoz", "z"): Interval(PHOTOZ_LO, PHOTOZ_HI),
+    ("galSpecLine", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("galSpecInfo", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("galSpecInfo", "ra"): Interval(0.0, 360.0),
+    ("galSpecInfo", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("galSpecExtra", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("galSpecExtra", "bptclass"): Interval(-1, 4),
+    ("galSpecIndx", "specObjID"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("sppLines", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("sppLines", "gwholemask"): Interval(0, 1023),
+    ("sppLines", "gwholeside"): Interval(0.0, 400.0),
+    ("sppParams", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("sppParams", "fehadop"): Interval(-4.0, 0.6),
+    ("sppParams", "loggadop"): Interval(0.2, 5.0),
+    ("zooSpec", "specobjid"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("zooSpec", "objid"): Interval(OBJID_LO, OBJID_HI),
+    ("zooSpec", "ra"): Interval(0.0, 360.0),
+    ("zooSpec", "dec"): Interval(ZOO_DEC_LO, ZOO_DEC_HI),
+    ("emissionLinesPort", "specObjID"): Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("emissionLinesPort", "ra"): Interval(0.0, 360.0),
+    ("emissionLinesPort", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("stellarMassPCAWisc", "specObjID"):
+        Interval(SPECOBJID_LO, SPECOBJID_HI),
+    ("stellarMassPCAWisc", "ra"): Interval(0.0, 360.0),
+    ("stellarMassPCAWisc", "dec"): Interval(PHOTO_DEC_LO, PHOTO_DEC_HI),
+    ("AtlasOutline", "objid"): Interval(OBJID_LO, OBJID_HI),
+    ("AtlasOutline", "span"): Interval(0, 3000),
+}
+
+
+def content_bounds(relation: str, column: str) -> Interval | None:
+    """Case-insensitive lookup into :data:`CONTENT_BOUNDS`."""
+    target = (relation.lower(), column.lower())
+    for (rel, col), interval in CONTENT_BOUNDS.items():
+        if (rel.lower(), col.lower()) == target:
+            return interval
+    return None

@@ -1,0 +1,19 @@
+"""SQL front-end: tokenizer, AST, and SELECT parser.
+
+Stands in for the JSqlParser dependency of the original system
+(Section 4.5).  The grammar covers the statement shapes that occur in the
+SkyServer query log; everything else raises one of the error types in
+:mod:`repro.sqlparser.errors`, reproducing the parse-failure taxonomy of
+Section 6.1.
+"""
+
+from . import ast
+from .errors import (LexError, ParseError, SqlError,
+                     UnsupportedStatementError)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+
+__all__ = [
+    "ast", "parse", "tokenize", "Token", "TokenType",
+    "SqlError", "LexError", "ParseError", "UnsupportedStatementError",
+]

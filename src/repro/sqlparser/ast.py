@@ -1,0 +1,348 @@
+"""Abstract syntax tree of the supported SELECT dialect.
+
+The node set covers the constructs occurring in the SkyServer query log
+(Section 4 of the paper): plain selects, every JOIN flavour, GROUP BY /
+HAVING with one aggregate comparison, nested subqueries under EXISTS / IN /
+ANY / ALL / scalar comparison, BETWEEN, LIKE, IS NULL, and arithmetic
+expressions inside comparisons.  ORDER BY is parsed but deliberately
+discarded downstream ("the ORDER BY clause is not relevant for our
+purpose", Section 2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# --------------------------------------------------------------------------
+# Scalar expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class of scalar expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnExpr(Expr):
+    """A possibly qualified column reference (``T.u`` or ``u``)."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A numeric, string, boolean, or NULL constant."""
+
+    value: Union[int, float, str, bool, None]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``T.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """``f(arg, ...)`` — aggregates and SkyServer UDF-looking calls."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    @property
+    def upper_name(self) -> str:
+        return self.name.upper()
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic (``+ - * / %``) inside a scalar expression."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"-{self.operand}"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A subquery used as a scalar value, e.g. ``T.u = (SELECT ...)``."""
+
+    query: "SelectStatement"
+
+    def __str__(self) -> str:
+        return f"({self.query})"
+
+
+# --------------------------------------------------------------------------
+# Conditions (Boolean-valued)
+# --------------------------------------------------------------------------
+
+class Condition:
+    """Base class of Boolean conditions."""
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``left θ right`` with θ in {<, <=, =, >, >=, <>}."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Condition):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr} {neg}BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Condition):
+    expr: Expr
+    values: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.expr} {neg}IN ({vals})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Condition):
+    expr: Expr
+    query: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr} {neg}IN ({self.query})"
+
+
+@dataclass(frozen=True)
+class Exists(Condition):
+    query: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{neg}EXISTS ({self.query})"
+
+
+@dataclass(frozen=True)
+class QuantifiedComparison(Condition):
+    """``expr θ ANY|ALL|SOME (subquery)``."""
+
+    expr: Expr
+    op: str
+    quantifier: str  # "ANY" | "ALL" (SOME normalizes to ANY)
+    query: "SelectStatement"
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.op} {self.quantifier} ({self.query})"
+
+
+@dataclass(frozen=True)
+class Like(Condition):
+    expr: Expr
+    pattern: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr} {neg}LIKE '{self.pattern}'"
+
+
+@dataclass(frozen=True)
+class IsNull(Condition):
+    expr: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr} IS {neg}NULL"
+
+
+@dataclass(frozen=True)
+class NotCondition(Condition):
+    child: Condition
+
+    def __str__(self) -> str:
+        return f"NOT ({self.child})"
+
+
+@dataclass(frozen=True)
+class AndCondition(Condition):
+    children: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({c})" for c in self.children)
+
+
+@dataclass(frozen=True)
+class OrCondition(Condition):
+    children: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({c})" for c in self.children)
+
+
+# --------------------------------------------------------------------------
+# FROM clause
+# --------------------------------------------------------------------------
+
+class JoinType(enum.Enum):
+    CROSS = "CROSS"
+    INNER = "INNER"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    FULL = "FULL"
+    NATURAL = "NATURAL"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base relation occurrence, possibly aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name that qualifies columns of this occurrence."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join between two FROM items."""
+
+    left: "FromItem"
+    right: "FromItem"
+    join_type: JoinType
+    condition: Optional[Condition] = None  # None for CROSS / NATURAL
+
+    def __str__(self) -> str:
+        cond = f" ON {self.condition}" if self.condition else ""
+        return f"{self.left} {self.join_type.value} JOIN {self.right}{cond}"
+
+
+FromItem = Union[TableRef, Join]
+
+
+# --------------------------------------------------------------------------
+# Select statement
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} DESC" if self.descending else str(self.expr)
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One parsed SELECT query (possibly nested inside another)."""
+
+    select_items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...] = ()
+    where: Optional[Condition] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Condition] = None
+    order_by: tuple[OrderItem, ...] = ()
+    top: Optional[int] = None
+    distinct: bool = False
+    #: MySQL-dialect LIMIT value; kept so a strict-MSSQL executor can
+    #: reject the statement the way the real SkyServer does (Section 6.6).
+    limit: Optional[int] = None
+
+    def table_refs(self) -> list[TableRef]:
+        """All base-relation occurrences in this statement's FROM clause
+        (not descending into subqueries)."""
+        refs: list[TableRef] = []
+        for item in self.from_items:
+            _collect_refs(item, refs)
+        return refs
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        if self.top is not None:
+            parts.append(f"TOP {self.top}")
+        parts.append(", ".join(str(s) for s in self.select_items))
+        if self.from_items:
+            parts.append("FROM " + ", ".join(str(f) for f in self.from_items))
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        return " ".join(parts)
+
+
+def _collect_refs(item: FromItem, out: list[TableRef]) -> None:
+    if isinstance(item, TableRef):
+        out.append(item)
+    else:
+        _collect_refs(item.left, out)
+        _collect_refs(item.right, out)

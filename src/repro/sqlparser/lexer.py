@@ -1,0 +1,163 @@
+"""Tokenizer for the SkyServer SELECT dialect.
+
+Handles the lexical variety found in public SkyServer logs: case-insensitive
+keywords, ``[bracketed]`` and ``"quoted"`` identifiers, single-quoted
+strings with ``''`` escapes, integer / decimal / scientific literals,
+line (``--``) and block (``/* */``) comments, and the full comparison
+operator set including the MSSQL ``!=`` spelling of ``<>``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (upper-case canonical form).
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS",
+    "NULL", "ANY", "ALL", "SOME", "AS", "JOIN", "INNER", "LEFT", "RIGHT",
+    "FULL", "OUTER", "CROSS", "NATURAL", "ON", "TOP", "DISTINCT", "UNION",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "INTO", "LIMIT", "OFFSET",
+    # Statement starters we must recognize to classify unsupported input:
+    "CREATE", "INSERT", "UPDATE", "DELETE", "DROP", "DECLARE", "ALTER",
+    "EXEC", "EXECUTE", "SET", "TRUNCATE", "WITH", "USE", "GRANT",
+})
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = set("(),.*;+-/%")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:
+        return f"{self.type.value}:{self.value}"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`LexError` on illegal input."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch == "[":
+            end = sql.find("]", i + 1)
+            if end == -1:
+                raise LexError("unterminated bracketed identifier", i)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise LexError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "@" or ch == "#":
+            value, i = _read_word(sql, i)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, value, i))
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched_op is not None:
+            canonical = "<>" if matched_op == "!=" else matched_op
+            tokens.append(Token(TokenType.OPERATOR, canonical, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"illegal character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escaping; returns (value, next)."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        if sql[i] == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(sql[i])
+        i += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            seen_dot = True
+        i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            i = j
+            while i < n and sql[i].isdigit():
+                i += 1
+    return sql[start:i], i
+
+
+def _read_word(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    while i < n and (sql[i].isalnum() or sql[i] in "_@#$"):
+        i += 1
+    return sql[start:i], i

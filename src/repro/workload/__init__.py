@@ -1,0 +1,22 @@
+"""Synthetic SkyServer substrate: content, query templates, log generator.
+
+Substitutes for the non-redistributable SkyServer DR9 SQL log and the
+live CasJobs database (see DESIGN.md, "Gates and substitutions").
+"""
+
+from .content import ContentConfig, build_database
+from .generator import (GeneratedWorkload, WorkloadConfig,
+                        family_allocation, generate_workload)
+from .log import LogEntry, QueryLog
+from .templates import (QueryFamily, generate_error_query,
+                        generate_malformed_statement, generate_noise_query,
+                        table1_families)
+
+__all__ = [
+    "ContentConfig", "build_database",
+    "GeneratedWorkload", "WorkloadConfig", "family_allocation",
+    "generate_workload",
+    "LogEntry", "QueryLog",
+    "QueryFamily", "generate_error_query", "generate_malformed_statement",
+    "generate_noise_query", "table1_families",
+]

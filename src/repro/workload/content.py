@@ -1,0 +1,247 @@
+"""Synthetic SkyServer content generator.
+
+Fills the DR9-like schema with content whose *shape* matches the real
+survey as the paper depicts it:
+
+* ``SpecObjAll`` plate/mjd form a diagonal band inside the
+  ``[266, 5141] × [51578, 55752]`` box (Figure 1(a));
+* the photometric footprint covers the full RA circle but no far-southern
+  declinations (Figure 1(b) — queries below dec −30 hit empty space);
+* ``zooSpec`` is confined to the northern Legacy stripe (Figure 1(c));
+* id columns occupy the narrow DR9 band of the BIGINT axis;
+* ``Photoz.z`` stays in ``[0, 1]`` so negative and very high redshift
+  windows are empty (Clusters 23/24).
+
+All generation is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..engine.database import Database
+from ..schema import skyserver
+from ..schema.database import Schema
+from ..schema.skyserver import skyserver_schema
+
+
+@dataclass(frozen=True)
+class ContentConfig:
+    """Row counts of the synthetic database."""
+
+    photo_rows: int = 3000
+    spec_rows: int = 2500
+    satellite_rows: int = 1500  # per spectro satellite table
+    seed: int = 7
+
+
+def build_database(config: ContentConfig | None = None,
+                   schema: Schema | None = None) -> Database:
+    """Create and populate the synthetic SkyServer database."""
+    config = config or ContentConfig()
+    schema = schema or skyserver_schema()
+    db = Database(schema, seed=config.seed)
+    rng = random.Random(config.seed)
+
+    photo = _photo_rows(rng, config.photo_rows)
+    db.insert("PhotoObjAll", photo)
+
+    spec = _spec_rows(rng, config.spec_rows, photo)
+    db.insert("SpecObjAll", spec)
+
+    db.insert("SpecPhotoAll", [
+        {
+            "objid": s["bestobjid"], "specobjid": s["specobjid"],
+            "ra": s["ra"], "dec": s["dec"], "z": s["z"],
+            "class": s["class"],
+        }
+        for s in rng.sample(spec, min(len(spec), config.satellite_rows))
+    ])
+
+    db.insert("Photoz", [
+        {
+            "objid": p["objid"],
+            "z": min(skyserver.PHOTOZ_HI,
+                     max(skyserver.PHOTOZ_LO, rng.lognormvariate(-1.5, 0.7))),
+            "zerr": rng.uniform(0.01, 0.2),
+            "photoerrorclass": rng.randint(-5, 5),
+        }
+        for p in rng.sample(photo, min(len(photo), config.satellite_rows))
+    ])
+
+    galaxies = [s for s in spec if s["class"] == "galaxy"] or spec
+    stars = [s for s in spec if s["class"] == "star"] or spec
+
+    def spec_sample(pool: list[dict]) -> list[dict]:
+        k = min(len(pool), config.satellite_rows)
+        return rng.sample(pool, k)
+
+    db.insert("galSpecLine", [
+        {
+            "specobjid": s["specobjid"],
+            "h_alpha_flux": rng.gauss(120.0, 80.0),
+            "h_beta_flux": rng.gauss(40.0, 30.0),
+            "oiii_5007_flux": rng.gauss(60.0, 50.0),
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("galSpecInfo", [
+        {
+            "specobjid": s["specobjid"], "ra": s["ra"], "dec": s["dec"],
+            "targettype": rng.choices(
+                ["galaxy", "qa", "sky"], weights=[90, 5, 5])[0],
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("galSpecExtra", [
+        {
+            "specobjid": s["specobjid"],
+            "bptclass": rng.choices(
+                [-1, 0, 1, 2, 3, 4], weights=[25, 10, 35, 10, 12, 8])[0],
+            "lgm_tot_p50": rng.uniform(7.0, 12.5),
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("galSpecIndx", [
+        {"specObjID": s["specobjid"], "lick_hd_a": rng.gauss(2.0, 3.0)}
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("sppLines", [
+        {
+            "specobjid": s["specobjid"],
+            "gwholemask": rng.choices(
+                [0, 1, 2, 4, 8], weights=[70, 10, 10, 5, 5])[0],
+            "gwholeside": abs(rng.gauss(30.0, 40.0)),
+            "caiikside": abs(rng.gauss(25.0, 30.0)),
+        }
+        for s in spec_sample(stars)
+    ])
+    db.insert("sppParams", [
+        {
+            "specobjid": s["specobjid"],
+            "fehadop": min(0.6, max(-4.0, rng.gauss(-0.8, 0.7))),
+            "loggadop": min(5.0, max(0.2, rng.gauss(3.2, 0.9))),
+            "teffadop": min(10_000.0, max(3000.0, rng.gauss(5500.0, 900.0))),
+        }
+        for s in spec_sample(stars)
+    ])
+    db.insert("zooSpec", [
+        {
+            "specobjid": s["specobjid"], "objid": s["bestobjid"],
+            "ra": s["ra"],
+            "dec": rng.uniform(skyserver.ZOO_DEC_LO, skyserver.ZOO_DEC_HI),
+            "p_el": rng.random(), "p_cs": rng.random(),
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("emissionLinesPort", [
+        {
+            "specObjID": s["specobjid"], "ra": s["ra"], "dec": s["dec"],
+            "bpt": rng.choices(
+                ["Star Forming", "Seyfert", "LINER", "Composite", "BLANK"],
+                weights=[50, 10, 10, 15, 15])[0],
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("stellarMassPCAWisc", [
+        {
+            "specObjID": s["specobjid"], "ra": s["ra"], "dec": s["dec"],
+            "mstellar_median": rng.uniform(7.5, 12.0),
+        }
+        for s in spec_sample(galaxies)
+    ])
+    db.insert("AtlasOutline", [
+        {"objid": p["objid"], "span": rng.randint(0, 3000)}
+        for p in rng.sample(photo, min(len(photo), config.satellite_rows))
+    ])
+    db.insert("DBObjects", _dbobjects_rows(rng))
+    return db
+
+
+def _photo_rows(rng: random.Random, count: int) -> list[dict]:
+    """Photometric objects: full RA circle, northern-weighted dec."""
+    rows = []
+    objid_step = (skyserver.OBJID_HI - skyserver.OBJID_LO) // max(count, 1)
+    for index in range(count):
+        dec_band = rng.random()
+        if dec_band < 0.75:
+            dec = rng.uniform(0.0, 60.0)
+        elif dec_band < 0.92:
+            dec = rng.uniform(skyserver.PHOTO_DEC_LO, 0.0)
+        else:
+            dec = rng.uniform(60.0, skyserver.PHOTO_DEC_HI)
+        rows.append({
+            "objid": skyserver.OBJID_LO + index * objid_step
+            + rng.randint(0, max(objid_step - 1, 1)),
+            "ra": rng.uniform(0.0, 360.0),
+            "dec": dec,
+            "type": rng.choices([3, 6], weights=[60, 40])[0],
+            "mode": rng.choices([1, 2], weights=[85, 15])[0],
+            "u": rng.gauss(20.5, 1.5),
+            "g": rng.gauss(19.5, 1.5),
+            "r": rng.gauss(18.8, 1.5),
+            "i": rng.gauss(18.4, 1.5),
+            "z": rng.gauss(18.1, 1.5),
+        })
+    # Pin the exact content MBR corners so CONTENT_BOUNDS is tight.
+    rows[0].update(objid=skyserver.OBJID_LO, ra=0.0,
+                   dec=skyserver.PHOTO_DEC_LO)
+    rows[-1].update(objid=skyserver.OBJID_HI, ra=360.0,
+                    dec=skyserver.PHOTO_DEC_HI)
+    return rows
+
+
+def _spec_rows(rng: random.Random, count: int,
+               photo: list[dict]) -> list[dict]:
+    """Spectra: plate/mjd diagonal band, id band, class mixture."""
+    rows = []
+    plate_span = skyserver.PLATE_HI - skyserver.PLATE_LO
+    mjd_span = skyserver.MJD_HI - skyserver.MJD_LO
+    id_span = skyserver.SPECOBJID_HI - skyserver.SPECOBJID_LO
+    for _ in range(count):
+        plate = rng.randint(skyserver.PLATE_LO, skyserver.PLATE_HI)
+        progress = (plate - skyserver.PLATE_LO) / plate_span
+        mjd = int(skyserver.MJD_LO + progress * mjd_span
+                  + rng.gauss(0, mjd_span * 0.03))
+        mjd = min(skyserver.MJD_HI, max(skyserver.MJD_LO, mjd))
+        specobjid = int(skyserver.SPECOBJID_LO + progress * id_span
+                        + rng.randint(0, id_span // 1000))
+        specobjid = min(skyserver.SPECOBJID_HI, specobjid)
+        photo_row = rng.choice(photo)
+        rows.append({
+            "specobjid": specobjid,
+            "bestobjid": photo_row["objid"],
+            "plate": plate,
+            "mjd": mjd,
+            "fiberid": rng.randint(1, 1000),
+            "ra": photo_row["ra"],
+            "dec": photo_row["dec"],
+            "z": min(skyserver.SPECZ_HI,
+                     max(skyserver.SPECZ_LO, rng.lognormvariate(-1.8, 1.0))),
+            "zerr": rng.uniform(1e-5, 1e-3),
+            "class": rng.choices(["galaxy", "star", "qso"],
+                                 weights=[68, 22, 10])[0],
+        })
+    rows[0].update(plate=skyserver.PLATE_LO, mjd=skyserver.MJD_LO,
+                   specobjid=skyserver.SPECOBJID_LO)
+    rows[-1].update(plate=skyserver.PLATE_HI, mjd=skyserver.MJD_HI,
+                    specobjid=skyserver.SPECOBJID_HI)
+    return rows
+
+
+def _dbobjects_rows(rng: random.Random) -> list[dict]:
+    names = [
+        "PhotoObjAll", "SpecObjAll", "Photoz", "galSpecLine", "galSpecInfo",
+        "fGetNearbyObjEq", "fPhotoTypeN", "spSpecZ", "PhotoTag", "Frame",
+        "Field", "Mask", "Region", "SiteConstants", "RunQA",
+    ]
+    rows = []
+    for name in names:
+        rows.append({
+            "name": name,
+            "type": rng.choices(["U", "V", "P", "F", "S"],
+                                weights=[40, 25, 10, 20, 5])[0],
+            "access": rng.choices(["U", "A"], weights=[80, 20])[0],
+        })
+    return rows

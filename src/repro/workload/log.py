@@ -1,0 +1,127 @@
+"""Query-log container and serialization.
+
+A :class:`QueryLog` is the reproduction's stand-in for the SkyServer SQL
+log files: an ordered list of statements with the metadata the study uses
+(user identifier) plus ground-truth labels (family id) that exist only in
+the synthetic setting and are used for evaluation, never by the method
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged statement."""
+
+    sql: str
+    user: str
+    #: ground-truth family id (Table 1 cluster number); 0 = noise,
+    #: -1 = error query, -2 = malformed statement
+    family_id: int = 0
+    #: seconds since the start of the log (0.0 when unknown)
+    timestamp: float = 0.0
+
+    NOISE = 0
+    ERROR = -1
+    MALFORMED = -2
+
+
+@dataclass
+class QueryLog:
+    """An ordered collection of log entries."""
+
+    entries: list[LogEntry] = field(default_factory=list)
+
+    def append(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> LogEntry:
+        return self.entries[index]
+
+    def statements(self) -> list[str]:
+        return [entry.sql for entry in self.entries]
+
+    def statements_with_users(self) -> list[tuple[str, str]]:
+        return [(entry.sql, entry.user) for entry in self.entries]
+
+    def users(self) -> set[str]:
+        return {entry.user for entry in self.entries}
+
+    def family_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for entry in self.entries:
+            counts[entry.family_id] = counts.get(entry.family_id, 0) + 1
+        return counts
+
+    def filter_family(self, family_id: int) -> "QueryLog":
+        return QueryLog([e for e in self.entries
+                         if e.family_id == family_id])
+
+    def sample(self, size: int, rng) -> "QueryLog":
+        """A uniform random sub-log (the paper clusters a sample too)."""
+        if size >= len(self.entries):
+            return QueryLog(list(self.entries))
+        return QueryLog(rng.sample(self.entries, size))
+
+    # -- persistence (JSON lines) --------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(json.dumps({
+                    "sql": entry.sql,
+                    "user": entry.user,
+                    "family_id": entry.family_id,
+                    "timestamp": entry.timestamp,
+                }) + "\n")
+
+    @staticmethod
+    def load(path: str | Path) -> "QueryLog":
+        log = QueryLog()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                log.append(LogEntry(
+                    sql=record["sql"],
+                    user=record.get("user", "anonymous"),
+                    family_id=int(record.get("family_id", 0)),
+                    timestamp=float(record.get("timestamp", 0.0)),
+                ))
+        return log
+
+    # -- plain text (one statement per line, real-log style) -----------------
+
+    def save_plain(self, path: str | Path) -> None:
+        """One statement per line; newlines inside statements collapse.
+
+        Real public SQL logs ship as flat text without metadata — this
+        format round-trips the statements only (users become anonymous).
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in self.entries:
+                handle.write(" ".join(entry.sql.split()) + "\n")
+
+    @staticmethod
+    def load_plain(path: str | Path) -> "QueryLog":
+        log = QueryLog()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                sql = line.strip()
+                if sql and not sql.startswith("#"):
+                    log.append(LogEntry(sql=sql, user="anonymous"))
+        return log

@@ -1,0 +1,412 @@
+"""Query-family templates mirroring Table 1 of the paper.
+
+Each :class:`QueryFamily` generates SQL statements whose access areas fall
+into one planted interest area — one per Table 1 cluster (1–24), keeping
+the paper's relation, column, range, and cardinality structure.  Families
+vary their surface syntax (BETWEEN vs. bound pairs, aliases, TOP, ORDER
+BY) and a configurable fraction of "transform-required" phrasings
+(HAVING aggregates, NOT-wrapped ranges, EXISTS nesting, outer joins) —
+the forms Sections 4.2–4.4 exist for, and the reason the raw-query
+baseline of Section 6.5 breaks exactly those clusters.
+
+Cardinalities are the paper's Table 1 numbers; the generator scales them
+down (sub-linearly) to the configured log size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..schema import skyserver as sky
+
+SqlGenerator = Callable[[random.Random], str]
+
+
+@dataclass(frozen=True)
+class QueryFamily:
+    """One planted user-interest area."""
+
+    family_id: int
+    name: str
+    relations: tuple[str, ...]
+    cardinality: int  # the paper's Table 1 cardinality
+    generate: SqlGenerator
+    empty_area: bool = False
+    #: fraction of statements phrased in a transform-required form
+    transformed_fraction: float = 0.0
+
+
+def _jitter(rng: random.Random, lo: float, hi: float,
+            fraction: float = 0.04) -> tuple[float, float]:
+    """A sub-window of [lo, hi] — queries in a family overlap, not match."""
+    span = hi - lo
+    a = rng.uniform(lo, lo + fraction * span)
+    b = rng.uniform(hi - fraction * span, hi)
+    return a, b
+
+
+def _int_jitter(rng: random.Random, lo: int, hi: int,
+                fraction: float = 0.04) -> tuple[int, int]:
+    a, b = _jitter(rng, lo, hi, fraction)
+    return int(a), int(b)
+
+
+# ---------------------------------------------------------------------------
+# Families 1-6: hot id ranges (point lookups and range scans)
+# ---------------------------------------------------------------------------
+
+#: Table 1 Cluster 1 hot range on Photoz.objid.
+C1_LO, C1_HI = 1_237_657_855_534_432_934, 1_237_666_210_342_830_434
+C2_LO, C2_HI = 1_115_887_524_498_139_136, 2_183_177_975_464_224_768
+C3_LO, C3_HI = 1_345_591_721_622_267_904, 2_007_633_797_213_874_176
+C4_LO, C4_HI = 1_416_192_325_597_030_400, 2_183_213_984_470_034_432
+C6_LO, C6_HI = 1_228_357_946_564_438_016, 2_069_493_422_263_134_208
+C13_THRESHOLD = 1_237_676_243_900_255_188
+C19_LO, C19_HI = 3_519_644_828_126_257_152, 5_788_299_621_113_984_000
+C21_LO, C21_HI = 4_037_480_726_273_651_712, 5_788_299_621_113_984_000
+
+
+def _gen_photoz_objid(rng: random.Random) -> str:
+    c = rng.randint(C1_LO, C1_HI)
+    style = rng.random()
+    if style < 0.75:
+        return f"SELECT z FROM Photoz WHERE objid = {c}"
+    if style < 0.9:
+        return f"SELECT p.z, p.zerr FROM Photoz p WHERE p.objid = {c}"
+    return (f"SELECT TOP 10 z FROM Photoz WHERE objid = {c} "
+            f"ORDER BY z DESC")
+
+
+def _id_range_family(table: str, column: str, lo: int, hi: int,
+                     transformed: float = 0.0) -> SqlGenerator:
+    def generate(rng: random.Random) -> str:
+        a, b = _int_jitter(rng, lo, hi)
+        roll = rng.random()
+        if roll < transformed:
+            variant = rng.random()
+            if variant < 0.5:
+                # Lemma 3 shape: lower-bounded WHERE + SUM HAVING, whose
+                # exact access area is just the WHERE range.
+                k = rng.randint(1, 1_000_000)
+                return (f"SELECT {column}, COUNT(*) FROM {table} "
+                        f"WHERE {column} >= {a} AND {column} <= {b} "
+                        f"GROUP BY {column} HAVING COUNT(*) > {k}")
+            # NOT-wrapped complement phrasing of the same range.
+            return (f"SELECT * FROM {table} "
+                    f"WHERE NOT ({column} < {a} OR {column} > {b})")
+        if roll < transformed + 0.5:
+            return (f"SELECT * FROM {table} "
+                    f"WHERE {column} BETWEEN {a} AND {b}")
+        return (f"SELECT * FROM {table} "
+                f"WHERE {column} >= {a} AND {column} <= {b}")
+
+    return generate
+
+
+# ---------------------------------------------------------------------------
+# Families 5, 7, 8, 11, 12, 14: sky windows
+# ---------------------------------------------------------------------------
+
+def _gen_photoobj_radec(rng: random.Random) -> str:
+    ra = rng.uniform(195.0, 210.0)
+    dec = rng.uniform(7.0, 10.0)
+    roll = rng.random()
+    if roll < 0.2:
+        # Transform-required phrasing: correlated EXISTS over SpecObjAll.
+        return (f"SELECT * FROM PhotoObjAll "
+                f"WHERE ra <= {ra:.3f} AND dec <= {dec:.3f} "
+                f"AND EXISTS (SELECT * FROM SpecObjAll "
+                f"WHERE SpecObjAll.bestobjid = PhotoObjAll.objid)")
+    if roll < 0.6:
+        return (f"SELECT ra, dec FROM PhotoObjAll "
+                f"WHERE ra <= {ra:.3f} AND dec <= {dec:.3f}")
+    return (f"SELECT p.objid, p.ra, p.dec FROM PhotoObjAll p "
+            f"WHERE p.ra <= {ra:.3f} AND p.dec <= {dec:.3f}")
+
+
+def _ra_window_family(table: str, lo: float, hi: float,
+                      transformed: float = 0.0) -> SqlGenerator:
+    def generate(rng: random.Random) -> str:
+        a, b = _jitter(rng, lo, hi)
+        roll = rng.random()
+        if roll < transformed:
+            # Lemma 2/3-style aggregate phrasing over the window.
+            c = rng.uniform(1, 500)
+            return (f"SELECT ra, AVG(dec) FROM {table} "
+                    f"WHERE ra >= {a:.2f} AND ra <= {b:.2f} "
+                    f"GROUP BY ra HAVING AVG(dec) < {c:.1f}")
+        if roll < transformed + 0.5:
+            return (f"SELECT * FROM {table} "
+                    f"WHERE ra BETWEEN {a:.2f} AND {b:.2f}")
+        return (f"SELECT ra, dec FROM {table} "
+                f"WHERE ra >= {a:.2f} AND ra <= {b:.2f}")
+
+    return generate
+
+
+def _gen_zoospec_north(rng: random.Random) -> str:
+    ra_lo, ra_hi = _jitter(rng, 2.0, 120.0)
+    dec_lo, dec_hi = _jitter(rng, 30.0, 70.0)
+    return (f"SELECT * FROM zooSpec "
+            f"WHERE ra BETWEEN {ra_lo:.2f} AND {ra_hi:.2f} "
+            f"AND dec BETWEEN {dec_lo:.2f} AND {dec_hi:.2f}")
+
+
+# ---------------------------------------------------------------------------
+# Family 9: star spectra in the early survey (plate/mjd window + class)
+# ---------------------------------------------------------------------------
+
+def _gen_star_plate_mjd(rng: random.Random) -> str:
+    plate_lo, plate_hi = _int_jitter(rng, 296, 3200)
+    mjd_lo, mjd_hi = _int_jitter(rng, 51_578, 52_178)
+    roll = rng.random()
+    if roll < 0.3:
+        # Transform-required phrasing: aggregate per plate (Section 4.3).
+        k = rng.randint(1, 100_000)
+        return (f"SELECT plate, COUNT(*) FROM SpecObjAll "
+                f"WHERE class = 'star' AND mjd >= {mjd_lo} "
+                f"AND mjd <= {mjd_hi} AND plate >= {plate_lo} "
+                f"AND plate <= {plate_hi} "
+                f"GROUP BY plate HAVING COUNT(*) > {k}")
+    return (f"SELECT * FROM SpecObjAll WHERE class = 'star' "
+            f"AND mjd BETWEEN {mjd_lo} AND {mjd_hi} "
+            f"AND plate BETWEEN {plate_lo} AND {plate_hi}")
+
+
+# ---------------------------------------------------------------------------
+# Family 10: metadata lookups on DBObjects (categorical)
+# ---------------------------------------------------------------------------
+
+def _gen_dbobjects(rng: random.Random) -> str:
+    second = rng.choice(["V", "U"])
+    if rng.random() < 0.5:
+        return (f"SELECT name FROM DBObjects WHERE access = 'U' "
+                f"AND (type = 'V' OR type = '{second}')")
+    return (f"SELECT * FROM DBObjects "
+            f"WHERE access = 'U' AND type IN ('V', '{second}')")
+
+
+# ---------------------------------------------------------------------------
+# Family 13: recent objects (one-sided objid threshold)
+# ---------------------------------------------------------------------------
+
+def _gen_atlas_recent(rng: random.Random) -> str:
+    c = C13_THRESHOLD + rng.randint(0, 2_000_000_000_000)
+    return f"SELECT * FROM AtlasOutline WHERE objid > {c}"
+
+
+# ---------------------------------------------------------------------------
+# Families 15, 23, 24: photometric redshift windows
+# ---------------------------------------------------------------------------
+
+def _z_window_family(lo: float, hi: float) -> SqlGenerator:
+    def generate(rng: random.Random) -> str:
+        a, b = _jitter(rng, lo, hi, fraction=0.1)
+        if rng.random() < 0.5:
+            return (f"SELECT objid, z FROM Photoz "
+                    f"WHERE z >= {a:.3f} AND z <= {b:.3f}")
+        return f"SELECT * FROM Photoz WHERE z BETWEEN {a:.3f} AND {b:.3f}"
+
+    return generate
+
+
+# ---------------------------------------------------------------------------
+# Families 16, 17: multi-relation spectro science queries
+# ---------------------------------------------------------------------------
+
+def _gen_bpt_join(rng: random.Random) -> str:
+    lo, hi = _int_jitter(rng, 0, 3, fraction=0.0)
+    if rng.random() < 0.5:
+        return (f"SELECT * FROM galSpecExtra JOIN galSpecIndx "
+                f"ON galSpecExtra.specobjid = galSpecIndx.specObjID "
+                f"WHERE galSpecExtra.bptclass >= {lo} "
+                f"AND galSpecExtra.bptclass <= {hi}")
+    return (f"SELECT e.specobjid FROM galSpecExtra e, galSpecIndx i "
+            f"WHERE e.bptclass BETWEEN {lo} AND {hi} "
+            f"AND e.specobjid = i.specObjID")
+
+
+def _gen_stellar_params(rng: random.Random) -> str:
+    side_lo, side_hi = _jitter(rng, 0.0, 50.0, fraction=0.1)
+    feh_lo, feh_hi = _jitter(rng, -0.3, 0.5, fraction=0.1)
+    logg_lo, logg_hi = _jitter(rng, 2.0, 3.0, fraction=0.1)
+    return (f"SELECT l.specobjid FROM sppLines l JOIN sppParams p "
+            f"ON l.specobjid = p.specobjid "
+            f"WHERE l.gwholemask = 0 "
+            f"AND l.gwholeside BETWEEN {side_lo:.1f} AND {side_hi:.1f} "
+            f"AND p.fehadop BETWEEN {feh_lo:.2f} AND {feh_hi:.2f} "
+            f"AND p.loggadop BETWEEN {logg_lo:.2f} AND {logg_hi:.2f}")
+
+
+# ---------------------------------------------------------------------------
+# Families 18-24: empty-area queries
+# ---------------------------------------------------------------------------
+
+def _gen_photoobj_south(rng: random.Random) -> str:
+    ra_lo, ra_hi = _jitter(rng, 10.0, 120.0)
+    dec_lo, dec_hi = _jitter(rng, -90.0, -50.0)
+    roll = rng.random()
+    if roll < 0.25:
+        # Transform-required: NOT-wrapped southern window.
+        return (f"SELECT * FROM PhotoObjAll "
+                f"WHERE ra >= {ra_lo:.2f} AND ra <= {ra_hi:.2f} "
+                f"AND NOT (dec < {dec_lo:.2f} OR dec > {dec_hi:.2f})")
+    return (f"SELECT objid FROM PhotoObjAll "
+            f"WHERE ra BETWEEN {ra_lo:.2f} AND {ra_hi:.2f} "
+            f"AND dec BETWEEN {dec_lo:.2f} AND {dec_hi:.2f}")
+
+
+def _gen_zoospec_south(rng: random.Random) -> str:
+    ra_lo, ra_hi = _jitter(rng, 6.0, 115.0)
+    # The paper's curiosity: users query dec = -100, below the physical
+    # minimum of -90 (Section 6.3, "hints on how the database could be
+    # improved").
+    dec_lo = -100.0 if rng.random() < 0.4 else rng.uniform(-100.0, -95.0)
+    dec_hi = rng.uniform(-20.0, -15.0)
+    if rng.random() < 0.25:
+        # Transform-required: complement phrasing of the dec window.
+        return (f"SELECT * FROM zooSpec "
+                f"WHERE ra BETWEEN {ra_lo:.2f} AND {ra_hi:.2f} "
+                f"AND NOT (dec < {dec_lo:.2f} OR dec > {dec_hi:.2f})")
+    return (f"SELECT * FROM zooSpec "
+            f"WHERE ra BETWEEN {ra_lo:.2f} AND {ra_hi:.2f} "
+            f"AND dec BETWEEN {dec_lo:.2f} AND {dec_hi:.2f}")
+
+
+# ---------------------------------------------------------------------------
+# The Table-1 family registry
+# ---------------------------------------------------------------------------
+
+def table1_families() -> list[QueryFamily]:
+    """All 24 planted families, ids matching Table 1 cluster numbers."""
+    return [
+        QueryFamily(1, "photoz-objid-lookups", ("Photoz",), 179_072,
+                    _gen_photoz_objid),
+        QueryFamily(2, "specobj-id-ranges", ("SpecObjAll",), 121_311,
+                    _id_range_family("SpecObjAll", "specobjid",
+                                     C2_LO, C2_HI, transformed=0.35),
+                    transformed_fraction=0.35),
+        QueryFamily(3, "galspecline-id-ranges", ("galSpecLine",), 92_177,
+                    _id_range_family("galSpecLine", "specobjid",
+                                     C3_LO, C3_HI)),
+        QueryFamily(4, "galspecinfo-id-ranges", ("galSpecInfo",), 90_047,
+                    _id_range_family("galSpecInfo", "specobjid",
+                                     C4_LO, C4_HI)),
+        QueryFamily(5, "photoobj-equatorial-window", ("PhotoObjAll",),
+                    90_015, _gen_photoobj_radec,
+                    transformed_fraction=0.2),
+        QueryFamily(6, "spplines-id-ranges", ("sppLines",), 82_196,
+                    _id_range_family("sppLines", "specobjid",
+                                     C6_LO, C6_HI)),
+        QueryFamily(7, "specobj-ra-window", ("SpecObjAll",), 23_021,
+                    _ra_window_family("SpecObjAll", 54.0, 115.0)),
+        QueryFamily(8, "specphoto-ra-window", ("SpecPhotoAll",), 23_021,
+                    _ra_window_family("SpecPhotoAll", 60.0, 124.0,
+                                      transformed=0.3),
+                    transformed_fraction=0.3),
+        QueryFamily(9, "early-star-spectra", ("SpecObjAll",), 18_904,
+                    _gen_star_plate_mjd, transformed_fraction=0.3),
+        QueryFamily(10, "dbobjects-metadata", ("DBObjects",), 10_141,
+                    _gen_dbobjects),
+        QueryFamily(11, "emissionlines-ra-window", ("emissionLinesPort",),
+                    4_006, _ra_window_family("emissionLinesPort",
+                                             55.0, 141.0, transformed=0.3),
+                    transformed_fraction=0.3),
+        QueryFamily(12, "stellarmass-ra-window", ("stellarMassPCAWisc",),
+                    3_785, _ra_window_family("stellarMassPCAWisc",
+                                             62.0, 138.0, transformed=0.3),
+                    transformed_fraction=0.3),
+        QueryFamily(13, "atlas-recent-objects", ("AtlasOutline",), 1_622,
+                    _gen_atlas_recent),
+        QueryFamily(14, "zoospec-northern-window", ("zooSpec",), 1_371,
+                    _gen_zoospec_north),
+        QueryFamily(15, "photoz-low-z", ("Photoz",), 1_141,
+                    _z_window_family(0.0, 0.1)),
+        QueryFamily(16, "bpt-class-join", ("galSpecExtra", "galSpecIndx"),
+                    1_102, _gen_bpt_join),
+        QueryFamily(17, "stellar-parameter-join",
+                    ("sppLines", "sppParams"), 1_035, _gen_stellar_params),
+        QueryFamily(18, "photoobj-southern-empty", ("PhotoObjAll",),
+                    48_470, _gen_photoobj_south, empty_area=True,
+                    transformed_fraction=0.25),
+        QueryFamily(19, "galspecline-future-ids", ("galSpecLine",),
+                    41_599, _id_range_family("galSpecLine", "specobjid",
+                                             C19_LO, C19_HI,
+                                             transformed=0.3),
+                    empty_area=True, transformed_fraction=0.3),
+        QueryFamily(20, "galspecinfo-future-ids", ("galSpecInfo",),
+                    18_444, _id_range_family("galSpecInfo", "specobjid",
+                                             C19_LO, C19_HI,
+                                             transformed=0.3),
+                    empty_area=True, transformed_fraction=0.3),
+        QueryFamily(21, "spplines-future-ids", ("sppLines",), 18_043,
+                    _id_range_family("sppLines", "specobjid",
+                                     C21_LO, C21_HI), empty_area=True),
+        QueryFamily(22, "zoospec-southern-empty", ("zooSpec",), 1_358,
+                    _gen_zoospec_south, empty_area=True,
+                    transformed_fraction=0.25),
+        QueryFamily(23, "photoz-negative-z", ("Photoz",), 422,
+                    _z_window_family(-0.98, -0.1), empty_area=True),
+        QueryFamily(24, "photoz-high-z", ("Photoz",), 217,
+                    _z_window_family(3.0, 6.5), empty_area=True),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Background noise and pathological statements
+# ---------------------------------------------------------------------------
+
+_NOISE_TABLES: Sequence[tuple[str, str, float, float]] = (
+    ("PhotoObjAll", "r", 10.0, 25.0),
+    ("PhotoObjAll", "ra", 0.0, 360.0),
+    ("SpecObjAll", "z", 0.0, 7.0),
+    ("SpecObjAll", "fiberid", 1, 1000),
+    ("sppParams", "teffadop", 3000.0, 10_000.0),
+    ("galSpecLine", "h_alpha_flux", -100.0, 500.0),
+    ("zooSpec", "p_el", 0.0, 1.0),
+    ("stellarMassPCAWisc", "mstellar_median", 7.0, 13.0),
+)
+
+
+def generate_noise_query(rng: random.Random) -> str:
+    """A diffuse query: values spread evenly, so no cluster forms.
+
+    This is the population the domain experts alluded to — attributes
+    "queried more frequently, but the values ... are spread more evenly
+    over the range, i.e., there is no cluster" (Section 6.3).
+    """
+    table, column, lo, hi = rng.choice(_NOISE_TABLES)
+    center = rng.uniform(lo, hi)
+    width = (hi - lo) * rng.uniform(0.001, 0.05)
+    a, b = center - width / 2, center + width / 2
+    if rng.random() < 0.3:
+        return f"SELECT * FROM {table} WHERE {column} > {a:.4f}"
+    return (f"SELECT * FROM {table} "
+            f"WHERE {column} BETWEEN {a:.4f} AND {b:.4f}")
+
+
+def generate_error_query(rng: random.Random) -> str:
+    """A parseable query that ERRORS when executed on the server.
+
+    These are the 1.2M statements the paper can still extract areas from
+    while the re-query baseline cannot (Section 6.6): the MySQL LIMIT
+    dialect and result sets beyond the TOP cap.
+    """
+    if rng.random() < 0.6:
+        n = rng.choice([10, 100, 1000])
+        return f"SELECT objid FROM PhotoObjAll LIMIT {n}"
+    return "SELECT * FROM PhotoObjAll, SpecObjAll"
+
+
+def generate_malformed_statement(rng: random.Random) -> str:
+    """A statement outside the grammar (the 0.6% of Section 6.1)."""
+    roll = rng.random()
+    if roll < 0.35:
+        return "CREATE TABLE #tmp (objid bigint, ra float)"
+    if roll < 0.6:
+        return "DECLARE @ra float SET @ra = 180.0"
+    if roll < 0.8:
+        return "SELECT FROM PhotoObjAll WHERE ra <"
+    return "SELCT * FORM PhotoObjAll"

@@ -1,0 +1,88 @@
+"""Boolean expression construction and simplification."""
+
+from repro.algebra.boolexpr import (FALSE, TRUE, And, Atom, Not, Or, atom,
+                                    make_and, make_not, make_or,
+                                    relations_of)
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+
+
+def p(col: str, op: Op, value) -> Atom:
+    return atom(ColumnConstantPredicate(ColumnRef("T", col), op, value))
+
+
+class TestConstructors:
+    def test_and_flattens(self):
+        expr = make_and([make_and([p("u", Op.GT, 1), p("v", Op.GT, 2)]),
+                         p("w", Op.GT, 3)])
+        assert isinstance(expr, And)
+        assert len(expr.children) == 3
+
+    def test_and_drops_true(self):
+        expr = make_and([TRUE, p("u", Op.GT, 1), TRUE])
+        assert isinstance(expr, Atom)
+
+    def test_and_collapses_on_false(self):
+        assert make_and([p("u", Op.GT, 1), FALSE]) is FALSE
+
+    def test_empty_and_is_true(self):
+        assert make_and([]) is TRUE
+
+    def test_or_flattens(self):
+        expr = make_or([make_or([p("u", Op.GT, 1), p("v", Op.GT, 2)]),
+                        p("w", Op.GT, 3)])
+        assert isinstance(expr, Or)
+        assert len(expr.children) == 3
+
+    def test_or_drops_false(self):
+        assert isinstance(make_or([FALSE, p("u", Op.GT, 1)]), Atom)
+
+    def test_or_collapses_on_true(self):
+        assert make_or([p("u", Op.GT, 1), TRUE]) is TRUE
+
+    def test_empty_or_is_false(self):
+        assert make_or([]) is FALSE
+
+    def test_not_constants(self):
+        assert make_not(TRUE) is FALSE
+        assert make_not(FALSE) is TRUE
+
+    def test_not_atom_inverts_operator(self):
+        expr = make_not(p("u", Op.GT, 5))
+        assert isinstance(expr, Atom)
+        assert expr.predicate.op is Op.LE
+
+    def test_double_negation(self):
+        inner = make_and([p("u", Op.GT, 1), p("v", Op.LT, 2)])
+        assert make_not(make_not(inner)) == inner
+
+    def test_not_wraps_connectives(self):
+        expr = make_not(make_and([p("u", Op.GT, 1), p("v", Op.LT, 2)]))
+        assert isinstance(expr, Not)
+
+
+class TestAccessors:
+    def test_atoms_iteration(self):
+        expr = make_and([p("u", Op.GT, 1),
+                         make_or([p("v", Op.LT, 2), p("w", Op.EQ, 3)])])
+        assert expr.count_atoms() == 3
+
+    def test_operators(self):
+        expr = p("u", Op.GT, 1) & p("v", Op.LT, 2) | p("w", Op.EQ, 3)
+        assert isinstance(expr, Or)
+
+    def test_invert_operator(self):
+        expr = ~p("u", Op.GT, 1)
+        assert isinstance(expr, Atom)
+
+    def test_relations_of(self):
+        expr = make_and([
+            p("u", Op.GT, 1),
+            atom(ColumnConstantPredicate(ColumnRef("S", "v"), Op.LT, 2)),
+        ])
+        assert relations_of(expr) == frozenset({"T", "S"})
+
+    def test_str_parenthesizes(self):
+        expr = make_and([make_or([p("u", Op.GT, 1), p("v", Op.LT, 2)]),
+                         p("w", Op.EQ, 3)])
+        assert "(" in str(expr)

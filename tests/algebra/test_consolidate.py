@@ -1,0 +1,128 @@
+"""Consolidation: redundancy removal, merging, contradiction detection."""
+
+from repro.algebra.boolexpr import atom, make_and, make_or
+from repro.algebra.cnf import to_cnf
+from repro.algebra.consolidate import consolidate
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+
+T_U = ColumnRef("T", "u")
+T_V = ColumnRef("T", "v")
+T_S = ColumnRef("T", "s")
+
+
+def p(ref, op, value):
+    return ColumnConstantPredicate(ref, op, value)
+
+
+def consolidated(expr):
+    return consolidate(to_cnf(expr))
+
+
+class TestContradictions:
+    def test_numeric_gap(self):
+        result = consolidated(make_and([atom(p(T_U, Op.GT, 5)),
+                                        atom(p(T_U, Op.LT, 3))]))
+        assert result.stats.contradiction
+
+    def test_open_boundary(self):
+        # u > 3 AND u < 3 is empty; u >= 3 AND u <= 3 is the point 3.
+        empty = consolidated(make_and([atom(p(T_U, Op.GT, 3)),
+                                       atom(p(T_U, Op.LT, 3))]))
+        assert empty.stats.contradiction
+        point = consolidated(make_and([atom(p(T_U, Op.GE, 3)),
+                                       atom(p(T_U, Op.LE, 3))]))
+        assert not point.stats.contradiction
+        assert str(point.cnf) == "T.u = 3"
+
+    def test_categorical_double_equality(self):
+        result = consolidated(make_and([atom(p(T_S, Op.EQ, "a")),
+                                        atom(p(T_S, Op.EQ, "b"))]))
+        assert result.stats.contradiction
+
+    def test_categorical_eq_vs_ne(self):
+        result = consolidated(make_and([atom(p(T_S, Op.EQ, "a")),
+                                        atom(p(T_S, Op.NE, "a"))]))
+        assert result.stats.contradiction
+
+    def test_consistent_categorical(self):
+        result = consolidated(make_and([atom(p(T_S, Op.EQ, "a")),
+                                        atom(p(T_S, Op.NE, "b"))]))
+        assert not result.stats.contradiction
+        assert "T.s = 'a'" in str(result.cnf)
+
+
+class TestMerging:
+    def test_tightens_bounds(self):
+        result = consolidated(make_and([
+            atom(p(T_U, Op.GE, 1)), atom(p(T_U, Op.GE, 3)),
+            atom(p(T_U, Op.LE, 10)), atom(p(T_U, Op.LE, 7)),
+        ]))
+        assert str(result.cnf) == "T.u <= 7 AND T.u >= 3"
+        assert result.stats.merged_bounds > 0
+
+    def test_merges_to_point(self):
+        result = consolidated(make_and([atom(p(T_U, Op.GE, 4)),
+                                        atom(p(T_U, Op.LE, 4))]))
+        assert str(result.cnf) == "T.u = 4"
+
+    def test_keeps_independent_columns(self):
+        result = consolidated(make_and([atom(p(T_U, Op.GE, 1)),
+                                        atom(p(T_V, Op.LE, 2))]))
+        assert len(result.cnf) == 2
+
+    def test_eq_with_consistent_range(self):
+        result = consolidated(make_and([atom(p(T_U, Op.EQ, 5)),
+                                        atom(p(T_U, Op.LE, 10))]))
+        assert str(result.cnf) == "T.u = 5"
+
+    def test_eq_with_contradicting_range(self):
+        result = consolidated(make_and([atom(p(T_U, Op.EQ, 50)),
+                                        atom(p(T_U, Op.LE, 10))]))
+        assert result.stats.contradiction
+
+
+class TestClauseSimplification:
+    def test_redundant_disjunct_dropped(self):
+        # (u < 5 OR u < 3): the second footprint is inside the first.
+        result = consolidated(make_or([atom(p(T_U, Op.LT, 5)),
+                                       atom(p(T_U, Op.LT, 3))]))
+        assert str(result.cnf) == "T.u < 5"
+        assert result.stats.dropped_redundant == 1
+
+    def test_tautological_clause_removed(self):
+        # (u < 5 OR u >= 5) covers the whole axis: clause is TRUE.
+        result = consolidated(make_or([atom(p(T_U, Op.LT, 5)),
+                                       atom(p(T_U, Op.GE, 5))]))
+        assert result.cnf.is_true
+        assert result.stats.removed_true_clauses == 1
+
+    def test_non_tautological_gap_kept(self):
+        # (u < 5 OR u > 5) leaves the point 5 out: not TRUE.
+        result = consolidated(make_or([atom(p(T_U, Op.LT, 5)),
+                                       atom(p(T_U, Op.GT, 5))]))
+        assert not result.cnf.is_true
+        assert len(result.cnf) == 1
+
+    def test_mixed_clause_untouched(self):
+        expr = make_or([atom(p(T_U, Op.LT, 5)), atom(p(T_S, Op.EQ, "a"))])
+        result = consolidated(expr)
+        assert len(result.cnf.clauses[0]) == 2
+
+
+class TestIdempotence:
+    def test_consolidating_twice_is_stable(self):
+        expr = make_and([
+            atom(p(T_U, Op.GE, 1)), atom(p(T_U, Op.LE, 9)),
+            make_or([atom(p(T_V, Op.LT, 2)), atom(p(T_V, Op.GT, 8))]),
+        ])
+        once = consolidate(to_cnf(expr))
+        twice = consolidate(once.cnf)
+        assert str(once.cnf) == str(twice.cnf)
+
+    def test_big_int_roundtrip(self):
+        big = 1_237_657_855_534_432_934
+        result = consolidated(make_and([atom(p(T_U, Op.GE, big)),
+                                        atom(p(T_U, Op.LE, big + 10))]))
+        text = str(result.cnf)
+        assert str(big) in text and str(big + 10) in text

@@ -1,0 +1,147 @@
+"""Interval and IntervalSet algebra."""
+
+import math
+
+import pytest
+
+from repro.algebra.intervals import Interval, IntervalSet
+
+
+class TestIntervalConstruction:
+    def test_simple(self):
+        iv = Interval(1, 5)
+        assert iv.lo == 1 and iv.hi == 5
+        assert not iv.lo_open and not iv.hi_open
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval(5, 1)
+
+    def test_degenerate_open_raises(self):
+        with pytest.raises(ValueError):
+            Interval(3, 3, lo_open=True)
+
+    def test_make_returns_none_for_empty(self):
+        assert Interval.make(5, 1) is None
+        assert Interval.make(3, 3, lo_open=True) is None
+        assert Interval.make(3, 3) == Interval.point(3)
+
+    def test_infinite_bounds_forced_open(self):
+        iv = Interval(-math.inf, 5)
+        assert iv.lo_open
+
+    def test_everything(self):
+        iv = Interval.everything()
+        assert iv.contains(0) and iv.contains(1e300)
+
+    def test_point(self):
+        iv = Interval.point(4)
+        assert iv.is_point and iv.width == 0
+        assert iv.contains(4) and not iv.contains(4.1)
+
+
+class TestIntervalOps:
+    def test_contains_open_bounds(self):
+        iv = Interval(1, 5, lo_open=True, hi_open=True)
+        assert not iv.contains(1)
+        assert not iv.contains(5)
+        assert iv.contains(3)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(2, 5).contains_interval(Interval(0, 10))
+
+    def test_contains_interval_openness(self):
+        closed = Interval(1, 5)
+        open_ = Interval(1, 5, lo_open=True)
+        assert closed.contains_interval(open_)
+        assert not open_.contains_interval(closed)
+
+    def test_intersect_overlapping(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersect_disjoint(self):
+        assert Interval(0, 2).intersect(Interval(3, 5)) is None
+
+    def test_intersect_touching_closed(self):
+        assert Interval(0, 3).intersect(Interval(3, 5)) == Interval.point(3)
+
+    def test_intersect_touching_open(self):
+        a = Interval(0, 3, hi_open=True)
+        b = Interval(3, 5)
+        assert a.intersect(b) is None
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 7)) == Interval(0, 7)
+
+    def test_overlap_width(self):
+        assert Interval(0, 5).overlap_width(Interval(3, 8)) == 2
+        assert Interval(0, 2).overlap_width(Interval(3, 8)) == 0
+
+    def test_touches_or_overlaps(self):
+        assert Interval(0, 3).touches_or_overlaps(Interval(3, 5))
+        a = Interval(0, 3, hi_open=True)
+        b = Interval(3, 5, lo_open=True)
+        assert not a.touches_or_overlaps(b)  # (..,3) and (3,..) leave a gap
+        assert a.touches_or_overlaps(Interval(3, 5))
+
+
+class TestIntervalSet:
+    def test_normalizes_merges(self):
+        s = IntervalSet([Interval(0, 2), Interval(1, 5)])
+        assert s.intervals == (Interval(0, 5),)
+
+    def test_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 2), Interval(2, 5)])
+        assert len(s) == 1
+
+    def test_keeps_disjoint(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 5)])
+        assert len(s) == 2
+        assert s.total_width == 3
+
+    def test_union(self):
+        s = IntervalSet([Interval(0, 1)]).union(Interval(0.5, 4))
+        assert s.intervals == (Interval(0, 4),)
+
+    def test_intersect(self):
+        a = IntervalSet([Interval(0, 2), Interval(4, 8)])
+        b = IntervalSet([Interval(1, 5)])
+        inter = a.intersect(b)
+        assert inter.intervals == (Interval(1, 2), Interval(4, 5))
+
+    def test_difference_splits(self):
+        s = IntervalSet([Interval(0, 10)]).difference(
+            Interval(3, 4, lo_open=True, hi_open=True))
+        assert s.intervals == (Interval(0, 3), Interval(4, 10))
+
+    def test_difference_openness_exact(self):
+        s = IntervalSet([Interval(0, 10)]).difference(Interval(3, 4))
+        first, second = s.intervals
+        assert first.hi == 3 and first.hi_open
+        assert second.lo == 4 and second.lo_open
+
+    def test_difference_everything(self):
+        s = IntervalSet([Interval(2, 5)]).difference(Interval(0, 10))
+        assert s.is_empty
+
+    def test_hull(self):
+        s = IntervalSet([Interval(0, 1), Interval(5, 9)])
+        assert s.hull() == Interval(0, 9)
+        assert IntervalSet().hull() is None
+
+    def test_contains(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert s.contains(0.5)
+        assert not s.contains(2)
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        b = IntervalSet([Interval(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert s.is_empty and s.total_width == 0
+        assert str(s) == "{}"

@@ -1,0 +1,190 @@
+"""Property-based tests of the algebra layer (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.boolexpr import FALSE, TRUE, And, Atom, Or, atom
+from repro.algebra.cnf import to_cnf
+from repro.algebra.consolidate import consolidate
+from repro.algebra.intervals import Interval, IntervalSet
+from repro.algebra.nnf import to_nnf
+from repro.algebra.boolexpr import make_and, make_not, make_or
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+
+# -- strategies ---------------------------------------------------------------
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(finite)
+    hi = draw(st.floats(min_value=lo, max_value=101, allow_nan=False))
+    if lo == hi:
+        return Interval(lo, hi)
+    return Interval(lo, hi, draw(st.booleans()), draw(st.booleans()))
+
+
+interval_sets = st.lists(intervals(), max_size=5).map(IntervalSet)
+
+_COLS = ["u", "v", "w"]
+_VALUES = [-2, 0, 1, 3]
+
+
+@st.composite
+def predicates(draw):
+    col = draw(st.sampled_from(_COLS))
+    op = draw(st.sampled_from(list(Op)))
+    value = draw(st.sampled_from(_VALUES))
+    return ColumnConstantPredicate(ColumnRef("T", col), op, value)
+
+
+@st.composite
+def bool_exprs(draw, depth=3):
+    if depth == 0:
+        return atom(draw(predicates()))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return atom(draw(predicates()))
+    if kind == 1:
+        return make_not(draw(bool_exprs(depth=depth - 1)))
+    children = draw(st.lists(bool_exprs(depth=depth - 1),
+                             min_size=1, max_size=3))
+    return make_and(children) if kind == 2 else make_or(children)
+
+
+def _eval(expr, row: dict) -> bool:
+    if expr is TRUE:
+        return True
+    if expr is FALSE:
+        return False
+    if isinstance(expr, Atom):
+        pred = expr.predicate
+        return pred.evaluate(row[pred.ref.column])
+    if isinstance(expr, And):
+        return all(_eval(c, row) for c in expr.children)
+    if isinstance(expr, Or):
+        return any(_eval(c, row) for c in expr.children)
+    # Not node
+    return not _eval(expr.child, row)
+
+
+def _rows():
+    grid = [-3, -2, -1, 0, 0.5, 1, 2, 3, 4]
+    for u in grid:
+        for v in grid[::2]:
+            for w in grid[::3]:
+                yield {"u": u, "v": v, "w": w}
+
+
+# -- interval properties ------------------------------------------------------
+
+@given(intervals(), intervals())
+def test_intersect_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(intervals(), intervals())
+def test_hull_contains_both(a, b):
+    hull = a.hull(b)
+    assert hull.contains_interval(a)
+    assert hull.contains_interval(b)
+
+
+@given(intervals(), intervals(), st.floats(min_value=-100, max_value=101,
+                                           allow_nan=False))
+def test_intersection_membership(a, b, probe):
+    inter = a.intersect(b)
+    in_both = a.contains(probe) and b.contains(probe)
+    if inter is None:
+        assert not in_both
+    else:
+        assert inter.contains(probe) == in_both
+
+
+@given(interval_sets, interval_sets,
+       st.floats(min_value=-100, max_value=101, allow_nan=False))
+def test_set_union_membership(a, b, probe):
+    assert a.union(b).contains(probe) == (a.contains(probe)
+                                          or b.contains(probe))
+
+
+@given(interval_sets, interval_sets,
+       st.floats(min_value=-100, max_value=101, allow_nan=False))
+def test_set_difference_membership(a, b, probe):
+    assert a.difference(b).contains(probe) == (a.contains(probe)
+                                               and not b.contains(probe))
+
+
+@given(interval_sets)
+def test_set_total_width_nonnegative(s):
+    assert s.total_width >= 0
+
+
+# -- predicate properties ---------------------------------------------------
+
+@given(predicates(), st.sampled_from([-3, -2, -1, 0, 0.5, 1, 2, 3, 4]))
+def test_negation_complements_evaluation(pred, probe):
+    assert pred.evaluate(probe) != pred.negate().evaluate(probe)
+
+
+@given(predicates(), st.sampled_from([-3.0, -2.0, 0.0, 0.5, 1.0, 3.5]))
+def test_footprint_matches_evaluation(pred, probe):
+    assert pred.to_interval_set().contains(probe) == pred.evaluate(probe)
+
+
+# -- normal-form semantics -----------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(bool_exprs())
+def test_nnf_preserves_semantics(expr):
+    nnf = to_nnf(expr)
+    for row in _rows():
+        assert _eval(expr, row) == _eval(nnf, row)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bool_exprs())
+def test_cnf_preserves_semantics(expr):
+    cnf = to_cnf(expr, max_predicates=None, max_clauses=500_000)
+    for row in _rows():
+        expected = _eval(expr, row)
+        actual = all(
+            any(p.evaluate(row[p.ref.column]) for p in clause)
+            for clause in cnf)
+        assert expected == actual
+
+
+@settings(max_examples=60, deadline=None)
+@given(bool_exprs())
+def test_consolidation_preserves_semantics(expr):
+    cnf = to_cnf(expr, max_predicates=None, max_clauses=500_000)
+    result = consolidate(cnf)
+    for row in _rows():
+        before = all(
+            any(p.evaluate(row[p.ref.column]) for p in clause)
+            for clause in cnf)
+        after = all(
+            any(p.evaluate(row[p.ref.column]) for p in clause)
+            for clause in result.cnf)
+        assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(bool_exprs())
+def test_cap_only_widens(expr):
+    """Truncation must over-approximate: capped TRUE ⊇ uncapped TRUE."""
+    full = to_cnf(expr, max_predicates=None, max_clauses=500_000)
+    capped = to_cnf(expr, max_predicates=3, max_clauses=500_000)
+    for row in _rows():
+        full_sat = all(
+            any(p.evaluate(row[p.ref.column]) for p in clause)
+            for clause in full)
+        capped_sat = all(
+            any(p.evaluate(row[p.ref.column]) for p in clause)
+            for clause in capped)
+        if full_sat:
+            assert capped_sat

@@ -1,0 +1,89 @@
+"""SDSS-Log-Viewer-style query categorization."""
+
+import pytest
+
+from repro.analysis import (IntentKind, SkyAreaKind, categorize_sql)
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return AccessAreaExtractor(skyserver_schema())
+
+
+class TestSkyAreaKinds:
+    def test_rectangular(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM PhotoObjAll WHERE ra BETWEEN 10 AND 20 "
+            "AND dec BETWEEN -5 AND 5", extractor)
+        assert category.sky_area is SkyAreaKind.RECTANGULAR
+
+    def test_band_counts_as_rectangular(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM SpecObjAll WHERE ra >= 54 AND ra <= 115",
+            extractor)
+        assert category.sky_area is SkyAreaKind.RECTANGULAR
+
+    def test_single_point(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM PhotoObjAll WHERE ra = 180.5 AND dec = 1.25",
+            extractor)
+        assert category.sky_area is SkyAreaKind.SINGLE_POINT
+
+    def test_circular_via_cone_udf(self, extractor):
+        category = categorize_sql(
+            "SELECT dbo.fGetNearbyObjEq(180.0, 0.5, 3.0) "
+            "FROM PhotoObjAll", extractor)
+        assert category.sky_area is SkyAreaKind.CIRCULAR
+
+    def test_no_sky_columns_is_other(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM Photoz WHERE z < 0.1", extractor)
+        assert category.sky_area is SkyAreaKind.OTHER
+
+
+class TestIntentKinds:
+    def test_scan(self, extractor):
+        category = categorize_sql("SELECT * FROM PhotoObjAll", extractor)
+        assert category.intent is IntentKind.SCAN
+
+    def test_search(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM PhotoObjAll WHERE dec < -50", extractor)
+        assert category.intent is IntentKind.SEARCH
+
+    def test_retrieve(self, extractor):
+        category = categorize_sql(
+            "SELECT z FROM Photoz WHERE objid = 1237657855534432934",
+            extractor)
+        assert category.intent is IntentKind.RETRIEVE
+
+    def test_retrieve_on_specobjid(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM SpecObjAll "
+            "WHERE specobjid = 1115887524498139136", extractor)
+        assert category.intent is IntentKind.RETRIEVE
+
+
+class TestCombined:
+    def test_str(self, extractor):
+        category = categorize_sql(
+            "SELECT * FROM PhotoObjAll WHERE ra = 1 AND dec = 2",
+            extractor)
+        assert "single-point" in str(category)
+
+    def test_distribution_over_log(self, extractor):
+        from collections import Counter
+        from repro.workload import WorkloadConfig, generate_workload
+        workload = generate_workload(WorkloadConfig(n_queries=400,
+                                                    seed=9))
+        counts = Counter()
+        for entry in workload.log:
+            try:
+                counts[categorize_sql(entry.sql, extractor).sky_area] += 1
+            except Exception:
+                continue
+        # The synthetic log contains all major kinds.
+        assert counts[SkyAreaKind.RECTANGULAR] > 0
+        assert counts[SkyAreaKind.OTHER] > 0

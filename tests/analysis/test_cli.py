@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload import WorkloadConfig, generate_workload
+
+
+class TestExtract:
+    def test_extract_prints_area(self, capsys):
+        code = main(["extract",
+                     "SELECT * FROM Photoz WHERE z BETWEEN 0 AND 0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Photoz" in out
+        assert "Photoz.z <= 0.1" in out
+
+    def test_extract_failure_exit_code(self, capsys):
+        code = main(["extract", "CREATE TABLE x (a int)"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "cannot extract" in err
+
+    def test_no_consolidate_flag(self, capsys):
+        code = main(["extract", "--no-consolidate",
+                     "SELECT * FROM Photoz WHERE z > 5 AND z < 1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FALSE" not in out  # contradiction left in place
+
+
+class TestGenerateAndProcess:
+    def test_generate_then_process(self, tmp_path, capsys):
+        path = tmp_path / "log.jsonl"
+        assert main(["generate", "--queries", "300",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+
+        assert main(["process", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "areas extracted" in out
+        assert "99" in out  # the >99% rate
+
+    def test_stream_command(self, tmp_path, capsys):
+        path = tmp_path / "log.jsonl"
+        workload = generate_workload(WorkloadConfig(n_queries=200, seed=3))
+        workload.log.save(path)
+        assert main(["stream", str(path), "--warmup", "50",
+                     "--events", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "statements processed" in out
+
+
+class TestCaseStudy:
+    @pytest.mark.slow
+    def test_casestudy_command(self, capsys):
+        code = main(["casestudy", "--queries", "800", "--sample", "400",
+                     "--rows", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clusters found" in out
+        assert "Cluster" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,70 @@
+"""The case-study driver: headline Section 6 observations at small scale."""
+
+from repro.analysis import CaseStudyConfig
+
+
+class TestExtractionHeadlines:
+    def test_extraction_rate_above_99_percent(self, small_case_study):
+        # Section 6.1: >99.4% of statements yield an access area.
+        assert small_case_study.report.extraction_rate > 0.98
+
+    def test_failure_taxonomy_present(self, small_case_study):
+        report = small_case_study.report
+        assert report.parse_errors > 0
+        assert report.unsupported_statements > 0
+
+
+class TestClusteringHeadlines:
+    def test_clusters_found(self, small_case_study):
+        assert small_case_study.n_clusters >= 15
+
+    def test_most_families_recovered(self, small_case_study):
+        recovered = small_case_study.recovered_families()
+        assert len(recovered) >= 18  # of 24 planted
+
+    def test_empty_area_clusters_exist(self, small_case_study):
+        empty = [row for row in small_case_study.rows
+                 if row.is_empty_area and row.dominant_family >= 18]
+        assert empty, "no empty-area cluster recovered"
+
+    def test_empty_area_clusters_have_zero_object_coverage(
+            self, small_case_study):
+        for row in small_case_study.rows:
+            if row.dominant_family in range(19, 25) and row.purity > 0.9:
+                assert row.object_coverage <= 0.01
+
+    def test_hot_clusters_cover_fraction_of_content(self,
+                                                    small_case_study):
+        # Table 1's headline: interest areas are small parts of content.
+        fractions = [
+            row.area_coverage for row in small_case_study.rows
+            if 1 <= row.dominant_family <= 9 and row.purity > 0.9
+        ]
+        assert fractions
+        assert min(fractions) < 0.5
+
+    def test_cardinality_tracks_users(self, small_case_study):
+        # "most queries in each cluster are issued by different users"
+        for row in small_case_study.rows[:10]:
+            assert row.n_users >= 0.7 * row.cardinality
+
+    def test_rows_sorted_by_cardinality(self, small_case_study):
+        cards = [row.cardinality for row in small_case_study.rows]
+        assert cards == sorted(cards, reverse=True)
+
+
+class TestResultAccessors:
+    def test_rows_for_family(self, small_case_study):
+        rows = small_case_study.rows_for_family(1)
+        assert all(row.dominant_family == 1 for row in rows)
+
+    def test_cluster_members_consistent(self, small_case_study):
+        clusters = small_case_study.clustering.clusters()
+        total = sum(len(v) for v in clusters.values())
+        total += small_case_study.clustering.noise_count
+        assert total == len(small_case_study.sample)
+
+    def test_config_defaults(self):
+        config = CaseStudyConfig()
+        assert config.eps < 0.5  # partitioned DBSCAN validity
+        assert config.predicate_cap == 35

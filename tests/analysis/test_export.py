@@ -1,0 +1,72 @@
+"""CSV export of experiment artifacts."""
+
+import csv
+
+from repro.analysis import (export_extraction_report_csv,
+                            export_figure_csv, export_table1_csv,
+                            figure1b)
+
+
+def _read(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestTable1Export:
+    def test_one_row_per_cluster(self, small_case_study, tmp_path):
+        path = tmp_path / "table1.csv"
+        export_table1_csv(small_case_study, path)
+        rows = _read(path)
+        assert rows[0][0] == "cluster_id"
+        assert len(rows) == 1 + len(small_case_study.rows)
+
+    def test_coverage_values_parse(self, small_case_study, tmp_path):
+        path = tmp_path / "table1.csv"
+        export_table1_csv(small_case_study, path)
+        rows = _read(path)
+        header = rows[0]
+        area_index = header.index("area_coverage")
+        for row in rows[1:]:
+            value = float(row[area_index])
+            assert 0.0 <= value <= 1.0
+
+    def test_density_column_handles_inf(self, small_case_study, tmp_path):
+        path = tmp_path / "table1.csv"
+        export_table1_csv(small_case_study, path)
+        rows = _read(path)
+        density_index = rows[0].index("density_contrast")
+        for row in rows[1:]:
+            assert row[density_index] == "inf" or \
+                float(row[density_index]) >= 0
+
+
+class TestFigureExport:
+    def test_points_and_rects(self, small_case_study, tmp_path):
+        figure = figure1b(small_case_study)
+        points_path = tmp_path / "points.csv"
+        rects_path = tmp_path / "rects.csv"
+        export_figure_csv(figure, points_path, rects_path)
+        points = _read(points_path)
+        assert points[0] == ["ra", "dec"]
+        assert len(points) == 1 + len(figure.points)
+        rects = _read(rects_path)
+        assert rects[0][:4] == ["x_lo", "x_hi", "y_lo", "y_hi"]
+        assert len(rects) == 1 + len(figure.rects)
+
+    def test_empty_flag_roundtrip(self, small_case_study, tmp_path):
+        figure = figure1b(small_case_study)
+        rects_path = tmp_path / "rects.csv"
+        export_figure_csv(figure, tmp_path / "p.csv", rects_path)
+        rects = _read(rects_path)
+        empties = [row for row in rects[1:] if row[5] == "1"]
+        assert len(empties) == len(figure.empty_rects)
+
+
+class TestReportExport:
+    def test_metrics_present(self, small_case_study, tmp_path):
+        path = tmp_path / "report.csv"
+        export_extraction_report_csv(small_case_study, path)
+        rows = dict((row[0], row[1]) for row in _read(path)[1:])
+        assert int(rows["total"]) == small_case_study.report.total
+        assert float(rows["extraction_rate"]) > 0.98
+        assert "parse_mean_s" in rows

@@ -1,0 +1,67 @@
+"""Figure 1 data series and ASCII rendering."""
+
+from repro.analysis import figure1a, figure1b, figure1c
+from repro.analysis.figures import FigureData, Rect
+from repro.schema import skyserver as sky
+
+
+class TestFigure1a:
+    def test_content_band(self, small_case_study):
+        fig = figure1a(small_case_study)
+        assert fig.points, "no content points"
+        xs = [p[0] for p in fig.points]
+        ys = [p[1] for p in fig.points]
+        assert min(xs) >= sky.PLATE_LO and max(xs) <= sky.PLATE_HI
+        assert min(ys) >= sky.MJD_LO and max(ys) <= sky.MJD_HI
+
+    def test_accessed_subarea_inside_content(self, small_case_study):
+        fig = figure1a(small_case_study)
+        inside = [r for r in fig.rects if not r.empty]
+        assert inside, "no accessed plate/mjd rectangle"
+        rect = inside[0]
+        assert rect.x_lo >= sky.PLATE_LO and rect.x_hi <= sky.PLATE_HI
+
+
+class TestFigure1b:
+    def test_empty_southern_rect(self, small_case_study):
+        fig = figure1b(small_case_study)
+        empty = fig.empty_rects
+        assert empty, "the Figure 1(b) empty-area rectangle is missing"
+        assert any(r.y_hi <= -40 for r in empty)
+
+    def test_content_stops_north_of_empty_area(self, small_case_study):
+        fig = figure1b(small_case_study)
+        min_content_dec = min(p[1] for p in fig.points)
+        assert min_content_dec >= sky.PHOTO_DEC_LO
+
+
+class TestFigure1c:
+    def test_non_contiguous_access(self, small_case_study):
+        fig = figure1c(small_case_study)
+        # Northern in-content window plus southern empty window.
+        assert any(not r.empty for r in fig.rects)
+        assert any(r.empty for r in fig.rects)
+
+    def test_southern_rect_below_content(self, small_case_study):
+        fig = figure1c(small_case_study)
+        south = [r for r in fig.empty_rects if r.y_hi < 0]
+        assert south
+        assert min(r.y_lo for r in south) <= -95  # the dec=-100 queries
+
+
+class TestAsciiRendering:
+    def test_render_contains_marks(self, small_case_study):
+        fig = figure1b(small_case_study)
+        text = fig.render_ascii(width=60, height=16)
+        assert "." in text
+        assert "E" in text or "#" in text
+        assert len(text.splitlines()) == 17
+
+    def test_render_empty_figure(self):
+        fig = FigureData("empty", "x", "y")
+        assert "(no data)" in fig.render_ascii()
+
+    def test_render_rect_only(self):
+        fig = FigureData("r", "x", "y",
+                         rects=[Rect(0, 1, 0, 1, "c", empty=False)])
+        assert "#" in fig.render_ascii(width=20, height=8)

@@ -1,0 +1,117 @@
+"""Interest-area recommendation (QueRIE-style)."""
+
+import math
+
+import pytest
+
+from repro.algebra.intervals import Interval
+from repro.clustering import partitioned_dbscan
+from repro.core import AccessAreaExtractor
+from repro.recommend import InterestRecommender
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    schema = Schema("rec")
+    schema.add(Relation("T", (
+        Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    schema.add(Relation("S", (
+        Column("y", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    stats = StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+        ("S", "y"): Interval(0.0, 100.0),
+    })
+    extractor = AccessAreaExtractor(schema)
+    areas = []
+    # Popular cluster: T.x around [10, 20] (12 queries).
+    for i in range(12):
+        areas.append(extractor.extract(
+            f"SELECT * FROM T WHERE x BETWEEN {10 + i * 0.1:.1f} "
+            f"AND {20 + i * 0.1:.1f}").area)
+    # Second cluster: T.x around [60, 70] (8 queries).
+    for i in range(8):
+        areas.append(extractor.extract(
+            f"SELECT * FROM T WHERE x BETWEEN {60 + i * 0.1:.1f} "
+            f"AND {70 + i * 0.1:.1f}").area)
+    # Cluster on another relation (6 queries).
+    for i in range(6):
+        areas.append(extractor.extract(
+            f"SELECT * FROM S WHERE y BETWEEN {40 + i * 0.1:.1f} "
+            f"AND {50 + i * 0.1:.1f}").area)
+    distance_stats = stats
+    clustering = partitioned_dbscan(
+        areas,
+        __import__("repro.distance", fromlist=["QueryDistance"])
+        .QueryDistance(distance_stats, resolution=0.02),
+        eps=0.2, min_pts=4)
+    recommender = InterestRecommender(stats, extractor=extractor,
+                                      resolution=0.02,
+                                      min_cluster_size=4)
+    recommender.fit(areas, clustering)
+    return recommender
+
+
+class TestFitting:
+    def test_clusters_indexed(self, fitted):
+        assert fitted.n_clusters == 3
+
+    def test_popular_ordering(self, fitted):
+        top = fitted.popular(k=3)
+        assert [r.popularity for r in top] == \
+            sorted((r.popularity for r in top), reverse=True)
+        assert top[0].popularity == 12
+
+
+class TestRecommendation:
+    def test_nearest_cluster_first(self, fitted):
+        area = fitted.extractor.extract(
+            "SELECT * FROM T WHERE x BETWEEN 12 AND 19").area
+        recs = fitted.recommend(area, k=3)
+        assert recs
+        first = recs[0].aggregated
+        assert first.bounds[0].interval.lo < 25  # the [10,20] cluster
+
+    def test_other_relation_ranked_last(self, fitted):
+        area = fitted.extractor.extract(
+            "SELECT * FROM T WHERE x BETWEEN 12 AND 19").area
+        recs = fitted.recommend(area, k=3, max_distance=2.0)
+        assert recs[-1].aggregated.relations == ("S",)
+
+    def test_recommend_for_sql(self, fitted):
+        recs = fitted.recommend_for_sql(
+            "SELECT * FROM T WHERE x BETWEEN 58 AND 72", k=1)
+        assert recs
+        assert recs[0].aggregated.bounds[0].interval.lo > 50
+
+    def test_max_distance_filters(self, fitted):
+        area = fitted.extractor.extract(
+            "SELECT * FROM T WHERE x BETWEEN 12 AND 19").area
+        recs = fitted.recommend(area, k=5, max_distance=0.3)
+        assert all(r.distance <= 0.3 for r in recs)
+
+    def test_suggested_sql_is_executable_syntax(self, fitted):
+        from repro.sqlparser import parse
+        for rec in fitted.popular(k=3):
+            parse(rec.suggested_sql)  # must not raise
+
+    def test_exclude_exact_drops_own_cluster(self, fitted):
+        medoid = fitted.popular(k=1)[0].medoid
+        recs = fitted.recommend(medoid, k=5, exclude_exact=True)
+        assert all(r.distance > 1e-9 for r in recs)
+
+    def test_describe(self, fitted):
+        rec = fitted.popular(k=1)[0]
+        text = rec.describe()
+        assert "queries" in text
+
+    def test_requires_extractor_for_sql(self):
+        schema = Schema("empty")
+        stats = StatisticsCatalog.from_exact_content(schema, {})
+        bare = InterestRecommender(stats)
+        with pytest.raises(ValueError):
+            bare.recommend_for_sql("SELECT 1")
+
+    def test_popular_distance_is_nan(self, fitted):
+        assert math.isnan(fitted.popular(k=1)[0].distance)

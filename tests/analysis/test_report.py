@@ -1,0 +1,54 @@
+"""Report formatting."""
+
+from repro.analysis import format_summary, format_table1
+from repro.analysis.report import _cov
+
+
+class TestTable1Format:
+    def test_contains_all_columns(self, small_case_study):
+        text = format_table1(small_case_study.rows, max_rows=5)
+        assert "Cluster" in text and "Cardinality" in text
+        assert "Area" in text and "Object" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + min(5, len(small_case_study.rows))
+
+    def test_show_truth_appends_diagnostics(self, small_case_study):
+        text = format_table1(small_case_study.rows, max_rows=3,
+                             show_truth=True)
+        assert "[" in text.splitlines()[-1]
+
+    def test_all_rows_by_default(self, small_case_study):
+        text = format_table1(small_case_study.rows)
+        assert len(text.splitlines()) == 2 + len(small_case_study.rows)
+
+
+class TestSummary:
+    def test_summary_fields(self, small_case_study):
+        text = format_summary(small_case_study)
+        assert "areas extracted" in text
+        assert "clusters found" in text
+        assert "empty-area clusters" in text
+
+
+class TestDensityColumn:
+    def test_density_column_rendered(self, small_case_study):
+        text = format_table1(small_case_study.rows, max_rows=5,
+                             show_density=True)
+        assert "Density" in text.splitlines()[0]
+        assert "x" in text.splitlines()[2] or "inf" in text
+
+    def test_density_off_by_default(self, small_case_study):
+        text = format_table1(small_case_study.rows, max_rows=3)
+        assert "Density" not in text
+
+
+class TestCoverageFormatting:
+    def test_zero(self):
+        assert _cov(0.0) == "0.0"
+
+    def test_tiny_values_marked(self):
+        # Table 1 Cluster 17 prints "<0.001".
+        assert _cov(0.0004) == "<0.001"
+
+    def test_regular(self):
+        assert _cov(0.24) == "0.24"

@@ -1,0 +1,93 @@
+"""Session splitting and statistics."""
+
+from repro.analysis import split_sessions
+from repro.workload import LogEntry, QueryLog, WorkloadConfig, \
+    generate_workload
+
+
+def entry(user, t, sql="SELECT * FROM T"):
+    return LogEntry(sql, user, 0, timestamp=t)
+
+
+class TestSplitting:
+    def test_gap_splits(self):
+        entries = [entry("u", 0), entry("u", 10), entry("u", 5000),
+                   entry("u", 5010)]
+        stats = split_sessions(entries, idle_gap=1800)
+        assert stats.n_sessions == 2
+        assert [s.size for s in stats.sessions] == [2, 2]
+
+    def test_no_gap_one_session(self):
+        entries = [entry("u", t) for t in range(0, 100, 10)]
+        stats = split_sessions(entries, idle_gap=1800)
+        assert stats.n_sessions == 1
+        assert stats.sessions[0].duration == 90
+
+    def test_users_independent(self):
+        entries = [entry("a", 0), entry("b", 1), entry("a", 2),
+                   entry("b", 3)]
+        stats = split_sessions(entries)
+        assert stats.n_sessions == 2
+        assert stats.n_users == 2
+
+    def test_unsorted_input_handled(self):
+        entries = [entry("u", 50), entry("u", 0), entry("u", 25)]
+        stats = split_sessions(entries)
+        session = stats.sessions[0]
+        assert session.start == 0 and session.end == 50
+
+    def test_custom_gap(self):
+        entries = [entry("u", 0), entry("u", 100)]
+        assert split_sessions(entries, idle_gap=50).n_sessions == 2
+        assert split_sessions(entries, idle_gap=200).n_sessions == 1
+
+
+class TestStatistics:
+    def test_means(self):
+        entries = [entry("u", 0), entry("u", 10),
+                   entry("v", 0)]
+        stats = split_sessions(entries)
+        assert stats.mean_session_size == 1.5
+        assert stats.mean_session_duration == 5.0
+        assert stats.single_query_sessions == 1
+
+    def test_histogram(self):
+        entries = ([entry("u", t) for t in range(7)]
+                   + [entry("v", 0)])
+        stats = split_sessions(entries)
+        histogram = stats.size_histogram(buckets=(1, 2, 5, 10))
+        assert histogram["1-1"] == 1
+        assert histogram["5-9"] == 1
+
+    def test_describe(self):
+        stats = split_sessions([entry("u", 0)])
+        assert "sessions" in stats.describe()
+
+    def test_empty(self):
+        stats = split_sessions([])
+        assert stats.n_sessions == 0
+        assert stats.mean_session_size == 0.0
+
+
+class TestGeneratedLogSessions:
+    def test_workload_timestamps_monotone(self):
+        workload = generate_workload(WorkloadConfig(n_queries=300,
+                                                    seed=4))
+        times = [e.timestamp for e in workload.log]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_sessions_from_generated_log(self):
+        workload = generate_workload(
+            WorkloadConfig(n_queries=500, seed=4,
+                           repeat_user_fraction=0.3))
+        stats = split_sessions(workload.log.entries, idle_gap=120)
+        assert stats.n_sessions >= stats.n_users
+        assert stats.mean_session_size >= 1.0
+
+    def test_timestamp_roundtrip(self, tmp_path):
+        log = QueryLog([entry("u", 42.5)])
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        loaded = QueryLog.load(path)
+        assert loaded[0].timestamp == 42.5

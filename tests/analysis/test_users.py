@@ -1,0 +1,101 @@
+"""User analytics: bot/mortal split and test-vs-final classification."""
+
+from repro.analysis import (UserQuery, analyze_users,
+                            classify_test_queries, format_user_report)
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+
+EXTRACTOR = AccessAreaExtractor(skyserver_schema())
+
+
+def uq(user, sql):
+    return UserQuery(user, EXTRACTOR.extract(sql).area, sql)
+
+
+def _bot_queries(n=25):
+    return [uq("bot1", "SELECT z FROM Photoz WHERE objid = 12345")
+            for _ in range(n)]
+
+
+def _mortal_queries():
+    return [
+        uq("alice", "SELECT * FROM Photoz WHERE z < 0.1"),
+        uq("alice", "SELECT * FROM SpecObjAll WHERE plate > 300"),
+        uq("alice", "SELECT * FROM zooSpec WHERE dec > 30"),
+    ]
+
+
+class TestAnalyzeUsers:
+    def test_bot_detected(self):
+        analytics = analyze_users(_bot_queries() + _mortal_queries())
+        assert analytics.bots == ["bot1"]
+        assert "alice" in analytics.mortals
+
+    def test_profiles(self):
+        analytics = analyze_users(_bot_queries(25) + _mortal_queries())
+        bot = analytics.profile("bot1")
+        assert bot.query_count == 25
+        assert bot.distinct_signatures == 1
+        assert bot.repetition_ratio == 1.0
+        alice = analytics.profile("alice")
+        assert alice.repetition_ratio == 0.0
+        assert len(alice.relations) == 3
+
+    def test_varied_heavy_user_is_mortal(self):
+        queries = [
+            uq("prof", f"SELECT z FROM Photoz WHERE objid = {i}")
+            for i in range(30)
+        ]
+        analytics = analyze_users(queries)
+        # Many queries but all-distinct constants: below the repetition
+        # threshold under exact signatures.
+        assert analytics.bots == ["prof"] or analytics.mortals == ["prof"]
+        profile = analytics.profile("prof")
+        assert profile.distinct_signatures == 30
+        assert profile.repetition_ratio == 0.0
+        assert "prof" in analytics.mortals
+
+    def test_single_query_user(self):
+        analytics = analyze_users(_mortal_queries()[:1])
+        assert analytics.profile("alice").repetition_ratio == 0.0
+
+    def test_report_format(self):
+        analytics = analyze_users(_bot_queries() + _mortal_queries())
+        text = format_user_report(analytics)
+        assert "bot1" in text and "bots" in text
+
+
+class TestTestQueryClassification:
+    def test_burst_marks_test_queries(self):
+        queries = [
+            uq("u", f"SELECT * FROM Photoz WHERE z < 0.{i}")
+            for i in range(1, 6)
+        ] + [uq("u", "SELECT * FROM SpecObjAll WHERE plate > 300")]
+        roles = classify_test_queries(queries, burst_threshold=3)
+        photoz_roles = roles[:5]
+        assert [r.is_final for r in photoz_roles] == \
+            [False, False, False, False, True]
+        assert all(r.burst_size == 5 for r in photoz_roles)
+        assert roles[5].is_final  # short run: no iteration evidence
+
+    def test_short_runs_all_final(self):
+        queries = [
+            uq("u", "SELECT * FROM Photoz WHERE z < 0.1"),
+            uq("u", "SELECT * FROM SpecObjAll WHERE plate > 300"),
+        ]
+        roles = classify_test_queries(queries)
+        assert all(r.is_final for r in roles)
+
+    def test_empty_input(self):
+        assert classify_test_queries([]) == []
+
+    def test_multiple_bursts(self):
+        queries = (
+            [uq("u", f"SELECT * FROM Photoz WHERE z < 0.{i}")
+             for i in range(1, 5)]
+            + [uq("u", f"SELECT * FROM zooSpec WHERE dec > {i}")
+               for i in range(3)]
+        )
+        roles = classify_test_queries(queries, burst_threshold=3)
+        finals = [r for r in roles if r.is_final]
+        assert len(finals) == 2

@@ -1,0 +1,102 @@
+"""OLAPClus baseline (Section 6.4): exact matching fragments point lookups."""
+
+import random
+
+import pytest
+
+from repro.baselines import (ExactMatchDistance, area_signature,
+                             fragmentation, olapclus_cluster)
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return AccessAreaExtractor(skyserver_schema())
+
+
+def lookup_areas(extractor, n, distinct_constants):
+    rng = random.Random(7)
+    constants = [1_237_660_000_000_000_000 + i
+                 for i in range(distinct_constants)]
+    return [
+        extractor.extract(
+            f"SELECT z FROM Photoz WHERE objid = "
+            f"{rng.choice(constants)}").area
+        for _ in range(n)
+    ]
+
+
+class TestExactMatchDistance:
+    def test_identical_zero(self, extractor):
+        areas = lookup_areas(extractor, 2, 1)
+        assert ExactMatchDistance().distance(areas[0], areas[1]) == 0.0
+
+    def test_different_constants_maximal_conj(self, extractor):
+        d = ExactMatchDistance()
+        a1 = extractor.extract(
+            "SELECT * FROM Photoz WHERE objid = 1").area
+        a2 = extractor.extract(
+            "SELECT * FROM Photoz WHERE objid = 2").area
+        # Same table (d_tables 0) but no predicate matches (d_conj 1).
+        assert d.distance(a1, a2) == 1.0
+
+    def test_different_tables(self, extractor):
+        d = ExactMatchDistance()
+        a1 = extractor.extract("SELECT * FROM Photoz").area
+        a2 = extractor.extract("SELECT * FROM SpecObjAll").area
+        assert d.distance(a1, a2) == 1.0
+
+    def test_overlapping_ranges_not_matched(self, extractor):
+        # The defining OLAPClus weakness: overlap does not count.
+        d = ExactMatchDistance()
+        a1 = extractor.extract(
+            "SELECT * FROM Photoz WHERE z >= 0 AND z <= 0.5").area
+        a2 = extractor.extract(
+            "SELECT * FROM Photoz WHERE z >= 0.01 AND z <= 0.49").area
+        assert d.distance(a1, a2) == 1.0
+
+
+class TestSignature:
+    def test_signature_equality_iff_distance_zero(self, extractor):
+        areas = lookup_areas(extractor, 20, 5)
+        d = ExactMatchDistance()
+        for a in areas[:8]:
+            for b in areas[:8]:
+                same_sig = area_signature(a) == area_signature(b)
+                assert same_sig == (d.distance(a, b) == 0.0)
+
+
+class TestFragmentation:
+    def test_shatters_distinct_constants(self, extractor):
+        # 60 queries over 30 distinct constants: OLAPClus sees ~30 groups.
+        areas = lookup_areas(extractor, 60, 30)
+        groups = fragmentation(areas, min_pts=2)
+        distinct = len({area_signature(a) for a in areas})
+        assert groups == distinct
+        assert groups >= 20
+
+    def test_our_method_would_find_one(self, extractor):
+        # Contrast: the same population has ONE dense signature-region
+        # under the overlap distance (verified in integration tests);
+        # here we only check OLAPClus produces >> 1.
+        areas = lookup_areas(extractor, 60, 30)
+        result = olapclus_cluster(areas, min_pts=2)
+        assert result.n_clusters + result.noise_count > 10
+
+    def test_duplicates_do_cluster(self, extractor):
+        areas = lookup_areas(extractor, 40, 2)
+        result = olapclus_cluster(areas, min_pts=2)
+        assert result.n_clusters == 2
+        assert result.noise_count == 0
+
+    def test_min_pts_respected(self, extractor):
+        # Five all-distinct constants: every area is its own signature.
+        areas = [
+            extractor.extract(
+                f"SELECT z FROM Photoz WHERE objid = {10 ** 18 + i}").area
+            for i in range(5)
+        ]
+        result = olapclus_cluster(areas, min_pts=2)
+        assert result.n_clusters == 0
+        assert result.noise_count == 5

@@ -1,0 +1,103 @@
+"""Raw-query extraction (Section 6.5): predicates as-is, no transformation."""
+
+import pytest
+
+from repro.baselines import raw_access_area
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return skyserver_schema()
+
+
+@pytest.fixture(scope="module")
+def extractor(schema):
+    return AccessAreaExtractor(schema)
+
+
+class TestAsIsSemantics:
+    def test_simple_query_matches_transformed(self, schema, extractor):
+        sql = "SELECT * FROM Photoz WHERE z >= 0 AND z <= 0.1"
+        raw = raw_access_area(sql, schema)
+        ours = extractor.extract(sql).area
+        assert {str(p) for p in raw.cnf.predicates()} == \
+            {str(p) for p in ours.cnf.predicates()}
+
+    def test_not_is_not_pushed(self, schema, extractor):
+        sql = ("SELECT * FROM Photoz WHERE NOT (z < 0.2 OR z > 0.8)")
+        raw = raw_access_area(sql, schema)
+        ours = extractor.extract(sql).area
+        raw_preds = {str(p) for p in raw.cnf.predicates()}
+        our_preds = {str(p) for p in ours.cnf.predicates()}
+        # Raw keeps the complement's atoms; the transformation inverts.
+        assert "Photoz.z < 0.2" in raw_preds
+        assert "Photoz.z >= 0.2" in our_preds
+        assert raw_preds != our_preds
+
+    def test_having_kept_as_pseudo_predicate(self, schema):
+        raw = raw_access_area(
+            "SELECT plate, COUNT(*) FROM SpecObjAll GROUP BY plate "
+            "HAVING COUNT(*) > 42", schema)
+        preds = [str(p) for p in raw.cnf.predicates()]
+        assert any("COUNT" in p and "42" in p for p in preds)
+
+    def test_having_with_column_argument(self, schema):
+        raw = raw_access_area(
+            "SELECT plate, SUM(mjd) FROM SpecObjAll GROUP BY plate "
+            "HAVING SUM(mjd) > 1000", schema)
+        preds = [str(p) for p in raw.cnf.predicates()]
+        assert any("SUM(mjd)" in p for p in preds)
+
+    def test_subquery_relations_not_added(self, schema):
+        raw = raw_access_area(
+            "SELECT * FROM PhotoObjAll WHERE ra < 10 AND EXISTS "
+            "(SELECT * FROM SpecObjAll WHERE "
+            "SpecObjAll.bestobjid = PhotoObjAll.objid)", schema)
+        assert raw.relations == ("PhotoObjAll",)
+        # ... but the inner predicates are still collected as-is.
+        preds = [str(p) for p in raw.cnf.predicates()]
+        assert any("bestobjid" in p for p in preds)
+
+    def test_between_split_syntactically(self, schema):
+        raw = raw_access_area(
+            "SELECT * FROM Photoz WHERE z BETWEEN 0 AND 0.1", schema)
+        preds = {str(p) for p in raw.cnf.predicates()}
+        assert preds == {"Photoz.z >= 0", "Photoz.z <= 0.1"}
+
+    def test_flat_conjunction_structure(self, schema):
+        # Raw CNF is all-unit clauses: OR structure is flattened away.
+        raw = raw_access_area(
+            "SELECT * FROM Photoz WHERE z < 0.1 OR z > 0.9", schema)
+        assert all(clause.is_unit for clause in raw.cnf)
+        assert len(raw.cnf) == 2
+
+    def test_outer_join_condition_as_is(self, schema):
+        raw = raw_access_area(
+            "SELECT * FROM galSpecExtra FULL OUTER JOIN galSpecIndx "
+            "ON galSpecExtra.specobjid = galSpecIndx.specObjID", schema)
+        # The transformation drops this condition (Example 2); raw keeps it.
+        assert len(raw.cnf) == 1
+
+    def test_marked_as_raw(self, schema):
+        raw = raw_access_area("SELECT * FROM Photoz", schema)
+        assert "raw" in raw.notes
+
+
+class TestClusterBreakage:
+    def test_phrasings_disagree_under_raw(self, schema):
+        """The §6.5 mechanism: equivalent queries get different raw areas."""
+        plain = "SELECT * FROM Photoz WHERE z >= 0.2 AND z <= 0.8"
+        not_phrased = "SELECT * FROM Photoz WHERE NOT (z < 0.2 OR z > 0.8)"
+        raw_plain = raw_access_area(plain, schema)
+        raw_not = raw_access_area(not_phrased, schema)
+        assert {str(p) for p in raw_plain.cnf.predicates()} != \
+            {str(p) for p in raw_not.cnf.predicates()}
+
+    def test_transformation_reconciles_phrasings(self, schema, extractor):
+        plain = extractor.extract(
+            "SELECT * FROM Photoz WHERE z >= 0.2 AND z <= 0.8").area
+        not_phrased = extractor.extract(
+            "SELECT * FROM Photoz WHERE NOT (z < 0.2 OR z > 0.8)").area
+        assert str(plain.cnf) == str(not_phrased.cnf)

@@ -1,0 +1,80 @@
+"""Re-query baseline (Section 6.6): result MBRs, empty areas, errors."""
+
+import pytest
+
+from repro.baselines import RequeryBaseline, requery_log
+from repro.algebra.predicates import ColumnRef
+from repro.engine import Database
+from repro.schema import Column, ColumnType, Relation, Schema
+from repro.algebra.intervals import Interval
+
+
+@pytest.fixture()
+def baseline():
+    schema = Schema("rq")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT, Interval(0.0, 1000.0)),
+        Column("v", ColumnType.FLOAT, Interval(0.0, 1000.0)),
+    )))
+    db = Database(schema)
+    db.insert("T", [{"u": float(i), "v": float(100 - i)}
+                    for i in range(101)])
+    return RequeryBaseline(db)
+
+
+class TestResultMBR:
+    def test_mbr_of_result(self, baseline):
+        outcome = baseline.area_of(
+            "SELECT u, v FROM T WHERE u >= 10 AND u <= 20")
+        assert outcome.succeeded
+        hull = outcome.area.footprint_hull(ColumnRef("T", "u"))
+        assert hull == Interval(10.0, 20.0)
+
+    def test_mbr_reflects_content_not_intent(self, baseline):
+        # The user asked for u <= 500 but content stops at 100: the
+        # result-based area underestimates the intent.
+        outcome = baseline.area_of("SELECT u FROM T WHERE u <= 500")
+        hull = outcome.area.footprint_hull(ColumnRef("T", "u"))
+        assert hull.hi == 100.0
+
+    def test_star_output(self, baseline):
+        outcome = baseline.area_of("SELECT * FROM T WHERE u = 5")
+        assert outcome.succeeded
+        assert outcome.area.footprint_hull(ColumnRef("T", "v")) == \
+            Interval.point(95.0)
+
+
+class TestFailureModes:
+    def test_empty_area_query_invisible(self, baseline):
+        # The decisive weakness: empty-area intent yields nothing.
+        outcome = baseline.area_of("SELECT * FROM T WHERE u > 900")
+        assert not outcome.succeeded
+        assert outcome.empty_result
+
+    def test_dialect_error(self, baseline):
+        outcome = baseline.area_of("SELECT * FROM T LIMIT 10")
+        assert outcome.error is not None
+        assert "LIMIT" in outcome.error
+
+    def test_parse_error(self, baseline):
+        outcome = baseline.area_of("SELCT * FROM T")
+        assert outcome.error is not None and outcome.area is None
+
+    def test_unknown_relation(self, baseline):
+        outcome = baseline.area_of("SELECT * FROM Galaxies")
+        assert outcome.error is not None
+
+
+class TestReport:
+    def test_aggregate_counts(self, baseline):
+        report = requery_log(baseline, [
+            "SELECT * FROM T WHERE u <= 10",     # ok
+            "SELECT * FROM T WHERE u > 900",     # empty
+            "SELECT * FROM T LIMIT 5",           # dialect error
+            "SELECT u FROM T WHERE u = 50",      # ok
+        ])
+        assert report.total == 4
+        assert report.succeeded == 2
+        assert report.empty_results == 1
+        assert report.errored == 1
+        assert len(report.areas()) == 2

@@ -1,0 +1,81 @@
+"""Single-linkage agglomerative clustering."""
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import SingleLinkage, partitioned_dbscan
+from repro.distance import QueryDistance
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+def _stats():
+    schema = Schema("agg2")
+    for name in ("T", "S"):
+        schema.add(Relation(name, (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+        ("S", "x"): Interval(0.0, 100.0),
+    })
+
+
+def window(relation, lo, hi):
+    ref = ColumnRef(relation, "x")
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+class TestSingleLinkage:
+    def test_two_clusters(self):
+        areas = ([window("T", 10 + i * 0.1, 20) for i in range(5)]
+                 + [window("T", 70 + i * 0.1, 80) for i in range(5)])
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = SingleLinkage(threshold=0.3).fit(areas, distance)
+        assert result.n_clusters == 2
+
+    def test_chaining_merges(self):
+        # A corridor of windows: single linkage merges the whole chain.
+        areas = [window("T", i * 3.0, i * 3.0 + 10) for i in range(12)]
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = SingleLinkage(threshold=0.35).fit(areas, distance)
+        assert result.n_clusters == 1
+
+    def test_min_size_noise(self):
+        areas = [window("T", 10, 20)] * 5 + [window("T", 90, 95)]
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = SingleLinkage(threshold=0.2, min_size=2).fit(
+            areas, distance)
+        assert result.labels[-1] == -1
+        assert result.n_clusters == 1
+
+    def test_partitions_by_table_set(self):
+        areas = ([window("T", 10, 20)] * 3 + [window("S", 10, 20)] * 3)
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = SingleLinkage(threshold=0.2).fit(areas, distance)
+        assert result.n_clusters == 2
+        assert result.labels[0] != result.labels[3]
+
+    def test_large_threshold_skips_partitioning(self):
+        areas = [window("T", 10, 20), window("S", 10, 20)]
+        distance = QueryDistance(_stats(), resolution=0.0)
+        # Threshold above the table-Jaccard bound: cross-table merges
+        # become possible (here d ≈ 1 + 0.99, so 2.0 merges everything).
+        result = SingleLinkage(threshold=2.0, min_size=1).fit(
+            areas, distance)
+        assert result.n_clusters == 1
+
+    def test_agrees_with_dbscan_on_clean_data(self):
+        areas = ([window("T", 10 + i * 0.05, 20 + i * 0.05)
+                  for i in range(8)]
+                 + [window("T", 70 + i * 0.05, 80 + i * 0.05)
+                    for i in range(8)])
+        distance = QueryDistance(_stats(), resolution=0.0)
+        linkage = SingleLinkage(threshold=0.12, min_size=4).fit(
+            areas, distance)
+        dbscan = partitioned_dbscan(areas, distance, eps=0.12, min_pts=4)
+        assert linkage.n_clusters == dbscan.n_clusters == 2

@@ -1,0 +1,189 @@
+"""Cluster aggregation: MBRs, 3σ trimming, categorical/join constraints."""
+
+import math
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnColumnPredicate,
+                                      ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import aggregate_all, aggregate_cluster
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+T_U = ColumnRef("T", "u")
+T_S = ColumnRef("T", "s")
+
+
+def window(lo, hi):
+    return AccessArea(("T",), CNF.of([
+        Clause.of([ColumnConstantPredicate(T_U, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(T_U, Op.LE, hi)]),
+    ]))
+
+
+def _stats():
+    schema = Schema("agg")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT, Interval(0.0, 100.0)),
+        Column("s", ColumnType.VARCHAR, categories=("a", "b")),
+    )))
+    return StatisticsCatalog.from_exact_content(
+        schema, {("T", "u"): Interval(0.0, 100.0)})
+
+
+class TestMBR:
+    def test_mbr_of_windows(self):
+        members = [window(1, 9), window(2, 8), window(1.5, 9.5)]
+        agg = aggregate_cluster(0, members)
+        bound = agg.bound_for(T_U)
+        assert bound.interval == Interval(1, 9.5)
+        assert agg.cardinality == 3
+
+    def test_majority_relations(self):
+        members = [window(1, 9), window(2, 8),
+                   AccessArea(("S",), CNF.true())]
+        agg = aggregate_cluster(0, members)
+        assert agg.relations == ("T",)
+
+    def test_point_lookups_aggregate_to_range(self):
+        members = [
+            AccessArea(("T",), CNF.of([Clause.of([
+                ColumnConstantPredicate(T_U, Op.EQ, value)])]))
+            for value in [5, 7, 6, 5.5, 6.5]
+        ]
+        agg = aggregate_cluster(0, members)
+        assert agg.bound_for(T_U).interval == Interval(5, 7)
+
+
+class TestSigmaTrimming:
+    def test_outlier_bound_trimmed(self):
+        members = [window(10, 20) for _ in range(30)] + [window(10, 2000)]
+        trimmed = aggregate_cluster(0, members, sigma=3.0)
+        assert trimmed.bound_for(T_U).interval.hi == 20
+
+    def test_trimming_disabled_with_inf_sigma(self):
+        members = [window(10, 20) for _ in range(30)] + [window(10, 2000)]
+        untrimmed = aggregate_cluster(0, members, sigma=math.inf)
+        assert untrimmed.bound_for(T_U).interval.hi == 2000
+
+    def test_uniform_bounds_survive(self):
+        members = [window(10, 20)] * 10
+        agg = aggregate_cluster(0, members, sigma=3.0)
+        assert agg.bound_for(T_U).interval == Interval(10, 20)
+
+
+class TestColumnSupport:
+    def test_rare_column_dropped(self):
+        extra = AccessArea(("T",), CNF.of([
+            Clause.of([ColumnConstantPredicate(T_U, Op.GE, 1)]),
+            Clause.of([ColumnConstantPredicate(
+                ColumnRef("T", "v"), Op.LE, 5)]),
+        ]))
+        members = [window(1, 9)] * 9 + [extra]
+        agg = aggregate_cluster(0, members, column_support=0.5)
+        assert agg.bound_for(ColumnRef("T", "v")) is None
+        assert agg.bound_for(T_U) is not None
+
+
+class TestOneSidedBounds:
+    def test_lower_bound_only(self):
+        members = [
+            AccessArea(("T",), CNF.of([Clause.of([
+                ColumnConstantPredicate(T_U, Op.GT, value)])]))
+            for value in [50, 52, 51]
+        ]
+        agg = aggregate_cluster(0, members, stats=_stats())
+        bound = agg.bound_for(T_U)
+        assert bound.lower_bounded and not bound.upper_bounded
+        # The open side closes at access(a).
+        assert bound.interval.hi == 100.0
+        assert ">=" in bound.describe()
+
+
+class TestCategoricalAndJoins:
+    def test_categorical_values_unioned(self):
+        def cat(value):
+            return AccessArea(("T",), CNF.of([Clause.of([
+                ColumnConstantPredicate(T_S, Op.EQ, value)])]))
+
+        agg = aggregate_cluster(0, [cat("a"), cat("a"), cat("b")])
+        assert agg.categorical[0].values == frozenset({"a", "b"})
+
+    def test_join_predicate_kept_when_common(self):
+        join = ColumnColumnPredicate(T_U, Op.EQ, ColumnRef("S", "u"))
+        members = [
+            AccessArea(("S", "T"), CNF.of([Clause.of([join])]))
+            for _ in range(4)
+        ]
+        agg = aggregate_cluster(0, members)
+        assert agg.joins == (join,)
+
+    def test_rare_join_dropped(self):
+        join = ColumnColumnPredicate(T_U, Op.EQ, ColumnRef("S", "u"))
+        with_join = AccessArea(("S", "T"), CNF.of([Clause.of([join])]))
+        members = [window(1, 9)] * 9 + [with_join]
+        agg = aggregate_cluster(0, members)
+        assert agg.joins == ()
+
+
+class TestDescribe:
+    def test_description_format(self):
+        agg = aggregate_cluster(0, [window(10, 20)] * 3)
+        assert agg.describe() == "10 <= T.u <= 20"
+
+    def test_unconstrained_cluster(self):
+        agg = aggregate_cluster(0, [AccessArea(("T",), CNF.true())] * 3)
+        assert agg.describe() == "all of T"
+
+
+class TestToSql:
+    def test_window_to_between(self):
+        agg = aggregate_cluster(0, [window(10, 20)] * 3)
+        assert agg.to_sql() == \
+            "SELECT * FROM T WHERE T.u BETWEEN 10 AND 20"
+
+    def test_unconstrained(self):
+        agg = aggregate_cluster(0, [AccessArea(("T",), CNF.true())] * 3)
+        assert agg.to_sql() == "SELECT * FROM T"
+
+    def test_categorical_in_list(self):
+        def cat(value):
+            return AccessArea(("T",), CNF.of([Clause.of([
+                ColumnConstantPredicate(T_S, Op.EQ, value)])]))
+
+        agg = aggregate_cluster(0, [cat("a"), cat("b"), cat("a")])
+        assert "T.s IN ('a', 'b')" in agg.to_sql()
+
+    def test_join_predicate_rendered(self):
+        join = ColumnColumnPredicate(T_U, Op.EQ, ColumnRef("S", "u"))
+        members = [AccessArea(("S", "T"), CNF.of([Clause.of([join])]))] * 3
+        agg = aggregate_cluster(0, members)
+        sql = agg.to_sql()
+        assert "FROM S, T" in sql and "S.u = T.u" in sql
+
+    def test_one_sided_bound(self):
+        members = [
+            AccessArea(("T",), CNF.of([Clause.of([
+                ColumnConstantPredicate(T_U, Op.GT, 50)])]))
+            for _ in range(3)
+        ]
+        agg = aggregate_cluster(0, members)  # no stats: open side stays
+        assert "T.u >= 50" in agg.to_sql()
+
+    def test_generated_sql_reparses_and_extracts(self):
+        from repro.core import AccessAreaExtractor
+        agg = aggregate_cluster(0, [window(10, 20)] * 3)
+        area = AccessAreaExtractor(None).extract(agg.to_sql()).area
+        assert str(area.cnf) == "T.u <= 20 AND T.u >= 10"
+
+
+class TestAggregateAll:
+    def test_sorted_by_cardinality(self):
+        clusters = {
+            0: [window(1, 2)] * 2,
+            1: [window(3, 4)] * 5,
+        }
+        aggs = aggregate_all(clusters)
+        assert [a.cluster_id for a in aggs] == [1, 0]

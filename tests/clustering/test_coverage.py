@@ -1,0 +1,101 @@
+"""Area and object coverage metrics (Table 1 columns 3-4)."""
+
+import pytest
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import (aggregate_cluster, area_coverage,
+                              coverage, object_coverage)
+from repro.engine import Database
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+T_U = ColumnRef("T", "u")
+
+
+@pytest.fixture()
+def setup():
+    schema = Schema("cov")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT, Interval(-1000.0, 1000.0)),
+        Column("s", ColumnType.VARCHAR, categories=("a", "b")),
+    )))
+    stats = StatisticsCatalog.from_exact_content(
+        schema, {("T", "u"): Interval(0.0, 100.0)})
+    db = Database(schema)
+    db.insert("T", [{"u": float(i), "s": "a" if i % 2 == 0 else "b"}
+                    for i in range(101)])  # u = 0..100 uniform
+    return stats, db
+
+
+def agg_window(lo, hi):
+    area = AccessArea(("T",), CNF.of([
+        Clause.of([ColumnConstantPredicate(T_U, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(T_U, Op.LE, hi)]),
+    ]))
+    return aggregate_cluster(0, [area] * 3)
+
+
+class TestAreaCoverage:
+    def test_quarter_window(self, setup):
+        stats, _ = setup
+        assert area_coverage(agg_window(0, 25), stats) == \
+            pytest.approx(0.25)
+
+    def test_window_outside_content_is_zero(self, setup):
+        stats, _ = setup
+        # Content MBR is [0, 100]; the window is in empty space.
+        assert area_coverage(agg_window(200, 300), stats) == 0.0
+
+    def test_window_partially_outside(self, setup):
+        stats, _ = setup
+        # [50, 150] overlaps [0, 100] over [50, 100]: half of content.
+        assert area_coverage(agg_window(50, 150), stats) == \
+            pytest.approx(0.5)
+
+    def test_unconstrained_is_full(self, setup):
+        stats, _ = setup
+        agg = aggregate_cluster(0, [AccessArea(("T",), CNF.true())] * 3)
+        assert area_coverage(agg, stats) == 1.0
+
+
+class TestObjectCoverage:
+    def test_fraction_of_rows(self, setup):
+        _, db = setup
+        assert object_coverage(agg_window(0, 25), db) == \
+            pytest.approx(26 / 101)
+
+    def test_empty_area_zero_objects(self, setup):
+        _, db = setup
+        assert object_coverage(agg_window(200, 300), db) == 0.0
+
+    def test_unknown_relation(self, setup):
+        _, db = setup
+        area = AccessArea(("Mystery",), CNF.true())
+        agg = aggregate_cluster(0, [area] * 2)
+        assert object_coverage(agg, db) == 0.0
+
+    def test_categorical_filter(self, setup):
+        _, db = setup
+        area = AccessArea(("T",), CNF.of([Clause.of([
+            ColumnConstantPredicate(ColumnRef("T", "s"), Op.EQ, "a")])]))
+        agg = aggregate_cluster(0, [area] * 3)
+        assert object_coverage(agg, db) == pytest.approx(51 / 101)
+
+
+class TestCombined:
+    def test_coverage_report(self, setup):
+        stats, db = setup
+        report = coverage(agg_window(0, 50), stats, db)
+        assert report.area_coverage == pytest.approx(0.5)
+        assert report.object_coverage == pytest.approx(51 / 101)
+
+    def test_empty_area_cluster_shape(self, setup):
+        # The Table 1 Clusters 18-24 signature: 0.0 / 0.0.
+        stats, db = setup
+        report = coverage(agg_window(500, 700), stats, db)
+        assert report.area_coverage == 0.0
+        assert report.object_coverage == 0.0

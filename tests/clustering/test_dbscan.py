@@ -1,0 +1,111 @@
+"""DBSCAN: textbook semantics on synthetic point sets."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, NOISE, pairwise_matrix
+
+
+def euclid(a, b):
+    return abs(a - b)
+
+
+class TestBasicClustering:
+    def test_two_blobs(self):
+        points = [0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3]
+        result = DBSCAN(eps=0.5, min_pts=3).fit(points, euclid)
+        assert result.n_clusters == 2
+        labels = result.labels
+        assert len({labels[0], labels[1], labels[2], labels[3]}) == 1
+        assert len({labels[4], labels[5], labels[6], labels[7]}) == 1
+        assert labels[0] != labels[4]
+
+    def test_noise_detection(self):
+        points = [0.0, 0.1, 0.2, 5.0, 10.0, 10.1, 10.2]
+        result = DBSCAN(eps=0.5, min_pts=3).fit(points, euclid)
+        assert result.labels[3] == NOISE
+        assert result.noise_count == 1
+
+    def test_all_noise_when_sparse(self):
+        points = [0.0, 5.0, 10.0, 15.0]
+        result = DBSCAN(eps=1.0, min_pts=2).fit(points, euclid)
+        assert result.n_clusters == 0
+        assert result.noise_count == 4
+
+    def test_min_pts_includes_self(self):
+        # Two mutually-close points are core at min_pts=2.
+        result = DBSCAN(eps=1.0, min_pts=2).fit([0.0, 0.5], euclid)
+        assert result.n_clusters == 1
+
+    def test_single_point(self):
+        result = DBSCAN(eps=1.0, min_pts=2).fit([0.0], euclid)
+        assert result.labels == [NOISE]
+
+    def test_empty_input(self):
+        result = DBSCAN(eps=1.0, min_pts=2).fit([], euclid)
+        assert result.labels == []
+
+    def test_chaining(self):
+        # Density-reachability chains through a corridor of points even
+        # though the endpoints are far apart.
+        points = [float(i) * 0.4 for i in range(20)]
+        result = DBSCAN(eps=0.5, min_pts=2).fit(points, euclid)
+        assert result.n_clusters == 1
+
+    def test_border_point_joins_cluster(self):
+        # 2.4 is within eps of a core point but is not core itself.
+        points = [0.0, 0.2, 0.4, 0.9]
+        result = DBSCAN(eps=0.5, min_pts=3).fit(points, euclid)
+        assert result.labels[3] == result.labels[0]
+
+
+class TestMatrixInput:
+    def test_precomputed_matrix_matches_callable(self):
+        points = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 9.0]
+        matrix = pairwise_matrix(points, euclid)
+        by_callable = DBSCAN(eps=0.5, min_pts=2).fit(points, euclid)
+        by_matrix = DBSCAN(eps=0.5, min_pts=2).fit(points, matrix=matrix)
+        assert by_callable.labels == by_matrix.labels
+
+    def test_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0).fit([1, 2, 3], matrix=np.zeros((2, 2)))
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0).fit([1, 2], euclid, matrix=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0).fit([1, 2])
+
+
+class TestResultAccessors:
+    def test_clusters_mapping(self):
+        points = [0.0, 0.1, 10.0, 10.1, 50.0]
+        result = DBSCAN(eps=0.5, min_pts=2).fit(points, euclid)
+        clusters = result.clusters()
+        assert sorted(len(v) for v in clusters.values()) == [2, 2]
+
+    def test_members(self):
+        points = [0.0, 0.1, 10.0]
+        result = DBSCAN(eps=0.5, min_pts=2).fit(points, euclid)
+        assert result.members(result.labels[0]) == [0, 1]
+
+    def test_distance_cache_reused(self):
+        calls = {"n": 0}
+
+        def counting(a, b):
+            calls["n"] += 1
+            return abs(a - b)
+
+        points = [0.0, 0.1, 0.2, 0.3]
+        DBSCAN(eps=1.0, min_pts=2).fit(points, counting)
+        # Each unordered pair computed at most once: C(4,2) = 6.
+        assert calls["n"] <= 6
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_zero_diagonal(self):
+        matrix = pairwise_matrix([1.0, 4.0, 6.0], euclid)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+        assert matrix[0, 1] == 3.0

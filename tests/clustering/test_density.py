@@ -1,0 +1,85 @@
+"""Density contrast (Section 6.3 refinement)."""
+
+import math
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import aggregate_cluster, density_contrast
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+T_U = ColumnRef("T", "u")
+
+
+def _stats():
+    schema = Schema("dens")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    return StatisticsCatalog.from_exact_content(
+        schema, {("T", "u"): Interval(0.0, 100.0)})
+
+
+def window(lo, hi):
+    return AccessArea(("T",), CNF.of([
+        Clause.of([ColumnConstantPredicate(T_U, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(T_U, Op.LE, hi)]),
+    ]))
+
+
+class TestContrast:
+    def test_dense_cluster_in_sparse_surroundings(self):
+        stats = _stats()
+        members = [window(40 + i * 0.1, 42 + i * 0.1) for i in range(30)]
+        # A thin background elsewhere; one query in the shell.
+        background = [window(10, 11), window(80, 81), window(43.5, 44)]
+        agg = aggregate_cluster(0, members, stats)
+        report = density_contrast(agg, members, members + background,
+                                  stats)
+        assert report.contrast > 5
+
+    def test_uniform_population_low_contrast(self):
+        stats = _stats()
+        # Same rate inside and outside: windows every 2 units everywhere.
+        population = [window(i * 2.0, i * 2.0 + 1) for i in range(50)]
+        members = population[20:25]  # an arbitrary slice of the uniform mix
+        agg = aggregate_cluster(0, members, stats)
+        report = density_contrast(agg, members, population, stats)
+        assert math.isfinite(report.contrast)
+        assert report.contrast < 5
+
+    def test_no_shell_queries_gives_infinite_contrast(self):
+        stats = _stats()
+        members = [window(40, 42)] * 10
+        agg = aggregate_cluster(0, members, stats)
+        report = density_contrast(agg, members, members, stats)
+        assert math.isinf(report.contrast)
+
+    def test_describe(self):
+        stats = _stats()
+        members = [window(40, 42)] * 5
+        agg = aggregate_cluster(7, members, stats)
+        report = density_contrast(agg, members, members, stats)
+        text = report.describe()
+        assert "cluster 7" in text and "denser" in text
+
+    def test_unconstrained_cluster(self):
+        stats = _stats()
+        members = [AccessArea(("T",), CNF.true())] * 4
+        agg = aggregate_cluster(0, members, stats)
+        report = density_contrast(agg, members, members, stats)
+        assert report.contrast == 1.0
+        assert report.columns == ()
+
+    def test_per_column_details(self):
+        stats = _stats()
+        members = [window(40, 42)] * 10
+        shell = [window(42.2, 42.4)]
+        agg = aggregate_cluster(0, members, stats)
+        report = density_contrast(agg, members, members + shell, stats)
+        column = report.columns[0]
+        assert column.inside_count == 10
+        assert column.shell_count == 1
+        assert column.contrast > 1

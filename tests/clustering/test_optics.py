@@ -1,0 +1,107 @@
+"""OPTICS ordering and DBSCAN extraction."""
+
+import math
+
+from repro.clustering import DBSCAN, OPTICS, extract_dbscan
+
+
+def euclid(a, b):
+    return abs(a - b)
+
+
+TWO_BLOBS = [0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3]
+
+
+class TestOrdering:
+    def test_all_points_ordered_once(self):
+        result = OPTICS(max_eps=5.0, min_pts=3).fit(TWO_BLOBS, euclid)
+        assert sorted(result.ordering) == list(range(len(TWO_BLOBS)))
+
+    def test_core_distances(self):
+        result = OPTICS(max_eps=5.0, min_pts=3).fit(TWO_BLOBS, euclid)
+        # Within a blob, the 2nd-nearest neighbour is 0.2 away.
+        assert math.isclose(result.core_distance[0], 0.2)
+
+    def test_sparse_points_undefined_core(self):
+        points = [0.0, 100.0, 200.0]
+        result = OPTICS(max_eps=5.0, min_pts=2).fit(points, euclid)
+        assert all(math.isinf(cd) for cd in result.core_distance)
+
+    def test_reachability_plot_shape(self):
+        result = OPTICS(max_eps=5.0, min_pts=3).fit(TWO_BLOBS, euclid)
+        plot = result.reachability_plot()
+        assert len(plot) == len(TWO_BLOBS)
+        # The jump between blobs shows as an infinite reachability at the
+        # second blob's entry point.
+        reachabilities = [r for _, r in plot]
+        assert any(math.isinf(r) for r in reachabilities)
+
+
+class TestExtraction:
+    def test_matches_dbscan_grouping(self):
+        points = TWO_BLOBS + [50.0]
+        optics = OPTICS(max_eps=5.0, min_pts=3).fit(points, euclid)
+        extracted = extract_dbscan(optics, eps=0.5)
+        direct = DBSCAN(eps=0.5, min_pts=3).fit(points, euclid)
+
+        def canonical(labels):
+            groups = {}
+            for index, label in enumerate(labels):
+                groups.setdefault(label, []).append(index)
+            noise = tuple(sorted(groups.pop(-1, [])))
+            return noise, frozenset(
+                tuple(sorted(v)) for v in groups.values())
+
+        assert canonical(extracted.labels) == canonical(direct.labels)
+
+    def test_multiple_eps_from_one_run(self):
+        # Hierarchical blobs: [0, 0.1, 0.2], [1.0, 1.1, 1.2] close pair,
+        # [10, 10.1, 10.2] far blob.
+        points = [0.0, 0.1, 0.2, 1.0, 1.1, 1.2, 10.0, 10.1, 10.2]
+        optics = OPTICS(max_eps=5.0, min_pts=3).fit(points, euclid)
+        fine = extract_dbscan(optics, eps=0.3)
+        coarse = extract_dbscan(optics, eps=1.5)
+        assert fine.n_clusters == 3
+        assert coarse.n_clusters == 2
+
+    def test_noise_extraction(self):
+        points = [0.0, 0.1, 0.2, 50.0]
+        optics = OPTICS(max_eps=100.0, min_pts=3).fit(points, euclid)
+        result = extract_dbscan(optics, eps=0.5)
+        assert result.labels[3] == -1
+
+    def test_empty_input(self):
+        optics = OPTICS(max_eps=1.0, min_pts=2).fit([], euclid)
+        assert extract_dbscan(optics, eps=0.5).labels == []
+
+
+class TestOnAccessAreas:
+    def test_access_area_clustering(self):
+        from repro.algebra.cnf import CNF, Clause
+        from repro.algebra.intervals import Interval
+        from repro.algebra.predicates import (ColumnConstantPredicate,
+                                              ColumnRef, Op)
+        from repro.core.area import AccessArea
+        from repro.distance import QueryDistance
+        from repro.schema import (Column, ColumnType, Relation, Schema,
+                                  StatisticsCatalog)
+
+        schema = Schema("o")
+        schema.add(Relation("T", (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+        stats = StatisticsCatalog.from_exact_content(
+            schema, {("T", "x"): Interval(0.0, 100.0)})
+        ref = ColumnRef("T", "x")
+
+        def window(lo, hi):
+            return AccessArea(("T",), CNF.of([
+                Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+                Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+            ]))
+
+        areas = ([window(10 + i * 0.1, 20) for i in range(5)]
+                 + [window(70 + i * 0.1, 80) for i in range(5)])
+        distance = QueryDistance(stats, resolution=0.0)
+        optics = OPTICS(max_eps=2.0, min_pts=3).fit(areas, distance)
+        result = extract_dbscan(optics, eps=0.2)
+        assert result.n_clusters == 2

@@ -1,0 +1,89 @@
+"""Table-set partitioned DBSCAN: exactness vs. plain DBSCAN."""
+
+import pytest
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import DBSCAN, partitioned_dbscan
+from repro.distance import QueryDistance
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+def _stats():
+    schema = Schema("part")
+    for name in ("T", "S"):
+        schema.add(Relation(name, (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+        ("S", "x"): Interval(0.0, 100.0),
+    })
+
+
+def window(relation, lo, hi):
+    ref = ColumnRef(relation, "x")
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+def _areas():
+    areas = []
+    for i in range(6):
+        areas.append(window("T", 10 + i * 0.1, 20 + i * 0.1))
+    for i in range(6):
+        areas.append(window("S", 50 + i * 0.1, 60 + i * 0.1))
+    for i in range(6):
+        areas.append(window("T", 80 + i * 0.1, 90 + i * 0.1))
+    areas.append(window("T", 0, 1))  # noise
+    return areas
+
+
+class TestEquivalence:
+    def test_matches_plain_dbscan_up_to_renumbering(self):
+        areas = _areas()
+        distance = QueryDistance(_stats(), resolution=0.0)
+        plain = DBSCAN(eps=0.3, min_pts=3).fit(areas, distance)
+        partitioned = partitioned_dbscan(areas, distance, eps=0.3,
+                                         min_pts=3)
+        # Same grouping structure (labels may be renumbered).
+        def canonical(labels):
+            groups = {}
+            for index, label in enumerate(labels):
+                groups.setdefault(label, []).append(index)
+            noise = tuple(sorted(groups.pop(-1, [])))
+            return noise, frozenset(
+                tuple(sorted(v)) for v in groups.values())
+
+        assert canonical(plain.labels) == canonical(partitioned.labels)
+
+    def test_three_clusters_one_noise(self):
+        areas = _areas()
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = partitioned_dbscan(areas, distance, eps=0.3, min_pts=3)
+        assert result.n_clusters == 3
+        assert result.noise_count == 1
+
+    def test_small_partition_is_noise(self):
+        areas = [window("T", 0, 1)] * 10 + [window("S", 0, 1)] * 2
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = partitioned_dbscan(areas, distance, eps=0.3, min_pts=5)
+        assert result.labels[-1] == -1
+        assert result.labels[-2] == -1
+        assert result.labels[0] >= 0
+
+    def test_eps_guard(self):
+        with pytest.raises(ValueError):
+            partitioned_dbscan([], lambda a, b: 0.0, eps=0.5)
+
+    def test_cluster_ids_globally_unique(self):
+        areas = _areas()
+        distance = QueryDistance(_stats(), resolution=0.0)
+        result = partitioned_dbscan(areas, distance, eps=0.3, min_pts=3)
+        labels = {l for l in result.labels if l >= 0}
+        assert labels == {0, 1, 2}

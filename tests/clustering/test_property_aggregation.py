@@ -1,0 +1,79 @@
+"""Property-based invariants of cluster aggregation."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.clustering import aggregate_cluster
+
+REF = ColumnRef("T", "x")
+
+
+@st.composite
+def window_areas(draw):
+    lo = draw(st.floats(min_value=0, max_value=99, allow_nan=False))
+    hi = draw(st.floats(min_value=lo, max_value=100, allow_nan=False))
+    return AccessArea(("T",), CNF.of([
+        Clause.of([ColumnConstantPredicate(REF, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(REF, Op.LE, hi)]),
+    ]))
+
+
+members_strategy = st.lists(window_areas(), min_size=1, max_size=12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(members_strategy)
+def test_untrimmed_mbr_contains_all_members(members):
+    agg = aggregate_cluster(0, members, sigma=math.inf)
+    bound = agg.bound_for(REF)
+    assert bound is not None
+    for area in members:
+        hull = area.footprint_hull(REF)
+        assert bound.interval.lo <= hull.lo
+        assert bound.interval.hi >= hull.hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(members_strategy)
+def test_trimmed_mbr_within_untrimmed(members):
+    trimmed = aggregate_cluster(0, members, sigma=3.0).bound_for(REF)
+    untrimmed = aggregate_cluster(0, members,
+                                  sigma=math.inf).bound_for(REF)
+    assert untrimmed.interval.lo <= trimmed.interval.lo
+    assert trimmed.interval.hi <= untrimmed.interval.hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(members_strategy)
+def test_cardinality_and_relations(members):
+    agg = aggregate_cluster(0, members)
+    assert agg.cardinality == len(members)
+    assert agg.relations == ("T",)
+
+
+@settings(max_examples=50, deadline=None)
+@given(members_strategy)
+def test_aggregation_order_invariant(members):
+    forward = aggregate_cluster(0, members)
+    backward = aggregate_cluster(0, list(reversed(members)))
+    assert forward.describe() == backward.describe()
+
+
+@settings(max_examples=50, deadline=None)
+@given(members_strategy)
+def test_to_sql_parses_and_reextracts(members):
+    from repro.core import AccessAreaExtractor
+    agg = aggregate_cluster(0, members)
+    area = AccessAreaExtractor(None).extract(agg.to_sql()).area
+    assert area.relations == ("T",)
+    bound = agg.bound_for(REF)
+    hull = area.footprint_hull(REF)
+    if hull is not None:
+        assert math.isclose(hull.lo, bound.interval.lo, rel_tol=1e-9)
+        assert math.isclose(hull.hi, bound.interval.hi, rel_tol=1e-9)

@@ -1,0 +1,22 @@
+"""Session-wide fixtures: one small case-study run shared by many tests."""
+
+import pytest
+
+from repro import CaseStudyConfig, run_case_study
+from repro.workload import ContentConfig, WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def small_case_study():
+    """A scaled-down but complete Section-6 pipeline run."""
+    config = CaseStudyConfig(
+        workload=WorkloadConfig(n_queries=1500, seed=13),
+        content=ContentConfig(photo_rows=1200, spec_rows=1000,
+                              satellite_rows=700, seed=7),
+        sample_size=900,
+        eps=0.12,
+        min_pts=4,
+        resolution=0.05,
+        seed=99,
+    )
+    return run_case_study(config)

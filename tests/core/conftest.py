@@ -1,0 +1,48 @@
+"""Shared fixtures: a small generic schema and an extractor over it."""
+
+import pytest
+
+from repro.algebra.intervals import Interval
+from repro.core import AccessAreaExtractor
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+@pytest.fixture()
+def schema():
+    """Relations T(u, v, s), S(u, v), R(v, x) with FLOAT domains."""
+    schema = Schema("test")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT),
+        Column("v", ColumnType.FLOAT),
+        Column("s", ColumnType.VARCHAR, categories=("a", "b", "c")),
+    )))
+    schema.add(Relation("S", (
+        Column("u", ColumnType.FLOAT),
+        Column("v", ColumnType.FLOAT),
+    )))
+    schema.add(Relation("R", (
+        Column("v", ColumnType.FLOAT),
+        Column("x", ColumnType.FLOAT),
+    )))
+    schema.add(Relation("Pos", (
+        Column("p", ColumnType.FLOAT, Interval(0.0, 100.0)),
+        Column("k", ColumnType.FLOAT, Interval(0.0, 100.0)),
+    )))
+    schema.add(Relation("Neg", (
+        Column("n", ColumnType.FLOAT, Interval(-100.0, 0.0)),
+        Column("k", ColumnType.FLOAT, Interval(-100.0, 0.0)),
+    )))
+    return schema
+
+
+@pytest.fixture()
+def extractor(schema):
+    return AccessAreaExtractor(schema)
+
+
+@pytest.fixture()
+def extract(extractor):
+    def _extract(sql: str):
+        return extractor.extract(sql).area
+
+    return _extract

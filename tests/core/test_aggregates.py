@@ -1,0 +1,228 @@
+"""Aggregate queries (Section 4.3): Lemmas 1-3 and the other aggregates.
+
+The fixture schema provides ``Pos`` (domain [0, 100]) and ``Neg``
+(domain [-100, 0]) so both signs of Lemma 1 are exercised, plus ``T``
+whose FLOAT columns act as the "large enough" (-inf, +inf)-like domain of
+Lemmas 2 and 3.
+"""
+
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import ColumnRef, Op
+from repro.core.aggregates import aggregate_constraint, effective_domain
+from repro.algebra.boolexpr import FALSE, TRUE
+
+
+REF = ColumnRef("T", "v")
+WIDE = Interval(-1e9, 1e9)
+POS = Interval(0.0, 100.0)
+NEG = Interval(-100.0, 0.0)
+
+
+class TestLemma1Sum:
+    """SELECT u, SUM(v) ... GROUP BY u HAVING SUM(v) > c."""
+
+    def test_positive_supp_unconstrained(self):
+        # Case 1: supp > 0 → access area is T.
+        assert aggregate_constraint("SUM", REF, Op.GT, 42, WIDE) is TRUE
+        assert aggregate_constraint("SUM", REF, Op.GT, 42, POS) is TRUE
+
+    def test_nonpositive_supp_unreachable(self):
+        # supp <= 0 and c > supp → empty access area.
+        assert aggregate_constraint("SUM", REF, Op.GT, 5, NEG) is FALSE
+
+    def test_nonpositive_supp_in_domain(self):
+        # supp <= 0 and c in dom → σ_{v > c}.
+        expr = aggregate_constraint("SUM", REF, Op.GT, -10, NEG)
+        assert str(expr) == "T.v > -10"
+
+    def test_nonpositive_supp_below_domain(self):
+        # c < inf → access area is T.
+        assert aggregate_constraint("SUM", REF, Op.GT, -1000, NEG) is TRUE
+
+
+class TestLemma2(object):
+    """WHERE T.v < c1 ... HAVING SUM(T.v) > c2 (via the full extractor)."""
+
+    def test_c1_positive(self, extract):
+        # c1 > 0 → access is σ_{v < c1}.
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v < 7 "
+                       "GROUP BY T.u HAVING SUM(T.v) > 100")
+        assert str(area.cnf) == "T.v < 7"
+
+    def test_c1_nonpositive_c2_nonnegative(self, extract):
+        # c1 <= 0 and c2 >= 0 → empty.
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 "
+                       "GROUP BY T.u HAVING SUM(T.v) > 5")
+        assert area.is_empty
+
+    def test_c1_nonpositive_c2_below(self, extract):
+        # c1 <= 0, c2 < 0, c2 < c1 → σ_{v < c1 ∧ v > c2}.
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 "
+                       "GROUP BY T.u HAVING SUM(T.v) > -5")
+        assert str(area.cnf) == "T.v < -1 AND T.v > -5"
+
+    def test_c1_nonpositive_c2_between(self, extract):
+        # c2 >= c1 (but negative) → still empty: a single tuple cannot
+        # reach above c2 and additions only decrease the sum.
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v < -5 "
+                       "GROUP BY T.u HAVING SUM(T.v) > -2")
+        assert area.is_empty
+
+
+class TestLemma3:
+    def test_lower_bounded_where(self, extract):
+        # WHERE v > c1 HAVING SUM(v) > c2 → σ_{v > c1} regardless of c2.
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v > 2 "
+                       "GROUP BY T.u HAVING SUM(T.v) > 1000000")
+        assert str(area.cnf) == "T.v > 2"
+
+    def test_negative_lower_bound(self, extract):
+        area = extract("SELECT T.u, SUM(T.v) FROM T WHERE T.v > -3 "
+                       "GROUP BY T.u HAVING SUM(T.v) > 50")
+        assert str(area.cnf) == "T.v > -3"
+
+
+class TestSumOtherOperators:
+    def test_less_than_with_negatives_available(self):
+        assert aggregate_constraint("SUM", REF, Op.LT, 5, WIDE) is TRUE
+
+    def test_less_than_nonnegative_domain(self):
+        expr = aggregate_constraint("SUM", REF, Op.LT, 5, POS)
+        assert str(expr) == "T.v < 5"
+
+    def test_less_than_unreachable(self):
+        assert aggregate_constraint("SUM", REF, Op.LT, -1, POS) is FALSE
+
+    def test_equality_mixed_domain(self):
+        assert aggregate_constraint("SUM", REF, Op.EQ, 17, WIDE) is TRUE
+
+    def test_equality_positive_domain(self):
+        expr = aggregate_constraint("SUM", REF, Op.EQ, 17, POS)
+        assert str(expr) == "T.v <= 17"
+
+    def test_not_equal(self):
+        assert aggregate_constraint("SUM", REF, Op.NE, 17, POS) is TRUE
+
+
+class TestCount:
+    def test_count_gt_unconstrained(self):
+        assert aggregate_constraint("COUNT", None, Op.GT, 10, WIDE) is TRUE
+
+    def test_count_lt_one_empty(self):
+        assert aggregate_constraint("COUNT", None, Op.LT, 1, WIDE) is FALSE
+
+    def test_count_le(self):
+        assert aggregate_constraint("COUNT", None, Op.LE, 1, WIDE) is TRUE
+        assert aggregate_constraint("COUNT", None, Op.LE, 0, WIDE) is FALSE
+
+    def test_count_eq(self):
+        assert aggregate_constraint("COUNT", None, Op.EQ, 3, WIDE) is TRUE
+        assert aggregate_constraint("COUNT", None, Op.EQ, 0, WIDE) is FALSE
+        assert aggregate_constraint("COUNT", None, Op.EQ, 2.5, WIDE) is FALSE
+
+    def test_count_star_in_query(self, extract):
+        area = extract("SELECT T.u, COUNT(*) FROM T GROUP BY T.u "
+                       "HAVING COUNT(*) > 5")
+        assert area.is_unconstrained
+
+
+class TestMinMax:
+    def test_min_gt_constrains(self):
+        expr = aggregate_constraint("MIN", REF, Op.GT, 4, WIDE)
+        assert str(expr) == "T.v > 4"
+
+    def test_min_lt_unconstrained_when_reachable(self):
+        assert aggregate_constraint("MIN", REF, Op.LT, 4, WIDE) is TRUE
+
+    def test_min_lt_unreachable(self):
+        assert aggregate_constraint("MIN", REF, Op.LT, -200, NEG) is FALSE
+
+    def test_min_eq(self):
+        expr = aggregate_constraint("MIN", REF, Op.EQ, 4, WIDE)
+        assert str(expr) == "T.v >= 4"
+
+    def test_max_lt_constrains(self):
+        expr = aggregate_constraint("MAX", REF, Op.LT, 4, WIDE)
+        assert str(expr) == "T.v < 4"
+
+    def test_max_gt_unconstrained_when_reachable(self):
+        assert aggregate_constraint("MAX", REF, Op.GT, 4, WIDE) is TRUE
+
+    def test_max_eq_out_of_domain(self):
+        assert aggregate_constraint("MAX", REF, Op.EQ, 200, POS) is FALSE
+
+    def test_max_in_query(self, extract):
+        area = extract("SELECT T.u, MAX(T.v) FROM T GROUP BY T.u "
+                       "HAVING MAX(T.v) < 9")
+        assert str(area.cnf) == "T.v < 9"
+
+
+class TestAvg:
+    def test_interior_target_unconstrained(self):
+        assert aggregate_constraint("AVG", REF, Op.GT, 5, WIDE) is TRUE
+
+    def test_unreachable_above(self):
+        assert aggregate_constraint("AVG", REF, Op.GT, 200, POS) is FALSE
+
+    def test_unreachable_below(self):
+        assert aggregate_constraint("AVG", REF, Op.LT, -5, POS) is FALSE
+
+    def test_eq_in_domain(self):
+        assert aggregate_constraint("AVG", REF, Op.EQ, 50, POS) is TRUE
+        assert aggregate_constraint("AVG", REF, Op.EQ, 200, POS) is FALSE
+
+
+class TestHavingEdgeCases:
+    def test_column_outside_from_ignored(self, extract):
+        # "we check if a belongs to some relation in the FROM clause.
+        #  If it does not, we ignore it."
+        area = extract("SELECT T.u, SUM(S.v) FROM T GROUP BY T.u "
+                       "HAVING SUM(S.v) > 5")
+        assert area.is_unconstrained
+        assert any("outside FROM" in note for note in area.notes)
+
+    def test_constant_on_left_side(self, extract):
+        area = extract("SELECT T.u, MIN(T.v) FROM T GROUP BY T.u "
+                       "HAVING 4 < MIN(T.v)")
+        assert str(area.cnf) == "T.v > 4"
+
+    def test_having_with_plain_predicate(self, extract):
+        area = extract("SELECT T.u FROM T GROUP BY T.u HAVING T.u > 3")
+        assert str(area.cnf) == "T.u > 3"
+
+    def test_having_conjunction(self, extract):
+        area = extract(
+            "SELECT T.u, MIN(T.v), MAX(T.v) FROM T GROUP BY T.u "
+            "HAVING MIN(T.v) > 1 AND MAX(T.v) < 9")
+        assert str(area.cnf) == "T.v < 9 AND T.v > 1"
+
+    def test_unknown_aggregate_widens(self, extract):
+        area = extract("SELECT T.u FROM T GROUP BY T.u "
+                       "HAVING STDEV(T.v) > 1")
+        assert area.is_unconstrained
+
+    def test_group_by_alone_does_not_constrain(self, extract):
+        area = extract("SELECT T.u, COUNT(*) FROM T GROUP BY T.u")
+        assert area.is_unconstrained
+
+    def test_having_between_on_aggregate(self, extract):
+        # MIN BETWEEN 1 AND 9 → MIN >= 1 constrains (σ_{v>=1});
+        # MIN <= 9 is reachable for any tuple → TRUE.
+        area = extract("SELECT T.u, MIN(T.v) FROM T GROUP BY T.u "
+                       "HAVING MIN(T.v) BETWEEN 1 AND 9")
+        assert str(area.cnf) == "T.v >= 1"
+
+    def test_having_between_on_sum_unbounded_domain(self, extract):
+        area = extract("SELECT T.u, SUM(T.v) FROM T GROUP BY T.u "
+                       "HAVING SUM(T.v) BETWEEN 5 AND 10")
+        assert area.is_unconstrained  # tunable in an unbounded domain
+
+
+class TestEffectiveDomain:
+    def test_declared_narrowed_by_where(self):
+        dom = effective_domain(Interval(-10.0, 10.0), Interval(0.0, 99.0))
+        assert dom == Interval(0.0, 10.0)
+
+    def test_missing_declared_defaults_wide(self):
+        dom = effective_domain(None, None)
+        assert dom.lo < -1e300 and dom.hi > 1e300

@@ -1,0 +1,75 @@
+"""The AccessArea model."""
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnColumnPredicate,
+                                      ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea, empty_area, unconstrained
+
+T_U = ColumnRef("T", "u")
+T_V = ColumnRef("T", "v")
+
+
+def _area(*preds):
+    return AccessArea(("T",), CNF.of([Clause.of([p]) for p in preds]))
+
+
+class TestBasics:
+    def test_relations_sorted_and_deduped(self):
+        area = AccessArea(("T", "S", "T"), CNF.true())
+        assert area.relations == ("S", "T")
+
+    def test_unconstrained(self):
+        area = unconstrained(["T", "S"])
+        assert area.is_unconstrained and not area.is_empty
+
+    def test_empty(self):
+        area = empty_area(["T"])
+        assert area.is_empty
+        assert area.describe() == "∅"
+
+    def test_table_set(self):
+        assert unconstrained(["T", "S"]).table_set == frozenset({"S", "T"})
+
+
+class TestFootprints:
+    def test_unit_clauses_intersect(self):
+        area = _area(
+            ColumnConstantPredicate(T_U, Op.GE, 1),
+            ColumnConstantPredicate(T_U, Op.LE, 9),
+            ColumnConstantPredicate(T_V, Op.GT, 5),
+        )
+        footprints = area.column_footprints()
+        assert footprints[T_U].hull() == Interval(1, 9)
+        assert footprints[T_V].intervals[0].lo == 5
+
+    def test_non_unit_clause_skipped(self):
+        area = AccessArea(("T",), CNF.of([Clause.of([
+            ColumnConstantPredicate(T_U, Op.LT, 1),
+            ColumnConstantPredicate(T_V, Op.GT, 9),
+        ])]))
+        assert area.column_footprints() == {}
+
+    def test_categorical_skipped(self):
+        area = _area(ColumnConstantPredicate(T_U, Op.EQ, "x"))
+        assert area.column_footprints() == {}
+
+    def test_join_predicate_skipped(self):
+        area = _area(ColumnColumnPredicate(T_U, Op.EQ, ColumnRef("S", "u")))
+        assert area.column_footprints() == {}
+
+    def test_footprint_hull(self):
+        area = _area(ColumnConstantPredicate(T_U, Op.EQ, 4))
+        assert area.footprint_hull(T_U) == Interval.point(4)
+        assert area.footprint_hull(T_V) is None
+
+
+class TestDescribe:
+    def test_describe_includes_tables(self):
+        area = _area(ColumnConstantPredicate(T_U, Op.GT, 1))
+        assert "T.u > 1" in area.describe()
+        assert "[on T]" in area.describe()
+
+    def test_describe_unconstrained(self):
+        assert unconstrained(["T"]).describe() == "T"

@@ -1,0 +1,106 @@
+"""ExtractionContext: alias scopes, relation registry, column resolution."""
+
+from repro.core.context import ExtractionContext
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+def _schema():
+    schema = Schema("ctx")
+    schema.add(Relation("T", (Column("u", ColumnType.INT),)))
+    schema.add(Relation("S", (Column("v", ColumnType.INT),)))
+    return schema
+
+
+class TestRelationRegistry:
+    def test_canonicalization(self):
+        ctx = ExtractionContext(_schema())
+        assert ctx.register_table("t") == "T"
+        assert ctx.relations == ["T"]
+
+    def test_unknown_relation_kept_verbatim(self):
+        ctx = ExtractionContext(_schema())
+        assert ctx.register_table("Galaxies") == "Galaxies"
+
+    def test_duplicate_occurrences_merge(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T", "a")
+        ctx.register_table("t", "b")
+        assert ctx.relations == ["T"]
+        assert ctx.aliases["a"] == "T" and ctx.aliases["b"] == "T"
+
+    def test_child_shares_relations(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T")
+        child = ctx.child()
+        child.register_table("S")
+        assert ctx.relations == ["T", "S"]
+        assert "s" not in ctx.aliases  # alias scope is per level
+
+    def test_notes_propagate_to_root(self):
+        ctx = ExtractionContext(_schema())
+        child = ctx.child().child()
+        child.note("deep note")
+        assert ctx.notes == ["deep note"]
+
+
+class TestColumnResolution:
+    def test_qualified_by_alias(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T", "x")
+        ref = ctx.resolve_column("x", "u")
+        assert ref.relation == "T" and ref.column == "u"
+
+    def test_qualified_by_table_name(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T")
+        assert ctx.resolve_column("T", "u").relation == "T"
+
+    def test_qualified_unknown_binding_treated_as_relation(self):
+        ctx = ExtractionContext(_schema())
+        ref = ctx.resolve_column("s", "v")
+        assert ref.relation == "S"  # canonicalized via schema
+
+    def test_unqualified_searches_schema(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T")
+        ctx.register_table("S")
+        assert ctx.resolve_column(None, "v").relation == "S"
+
+    def test_unqualified_unresolvable(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T")
+        ctx.register_table("S")
+        assert ctx.resolve_column(None, "nope") is None
+
+    def test_unqualified_single_unknown_relation(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("Galaxies")
+        ref = ctx.resolve_column(None, "objid")
+        assert ref.relation == "Galaxies"
+
+    def test_correlated_lookup_through_parent(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T")
+        child = ctx.child()
+        child.register_table("S")
+        # u is not in S; resolution walks out to the parent scope.
+        assert child.resolve_column(None, "u").relation == "T"
+
+    def test_alias_shadowing(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("T", "a")
+        child = ctx.child()
+        child.register_table("S", "a")
+        assert child.resolve_column("a", "v").relation == "S"
+        assert ctx.resolve_column("a", "u").relation == "T"
+
+    def test_no_schema_single_relation(self):
+        ctx = ExtractionContext(None)
+        ctx.register_table("Foo")
+        assert ctx.resolve_column(None, "x").relation == "Foo"
+
+    def test_no_schema_two_relations_unresolvable(self):
+        ctx = ExtractionContext(None)
+        ctx.register_table("Foo")
+        ctx.register_table("Bar")
+        assert ctx.resolve_column(None, "x") is None

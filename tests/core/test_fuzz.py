@@ -1,0 +1,63 @@
+"""Robustness fuzzing: the front-end must never crash uncontrolled.
+
+Feeding arbitrary text into the extractor may fail, but only ever with
+the documented error types — the batch pipeline over 12M statements
+depends on that contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cnf import CNFConversionError
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+from repro.sqlparser import SqlError, tokenize
+from repro.sqlparser.errors import LexError
+
+EXTRACTOR = AccessAreaExtractor(skyserver_schema())
+
+_sql_alphabet = st.sampled_from(
+    list("SELECTFROMWHEREANDORNT ()*,.<>='\"0123456789abcxyz_-%"))
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=_sql_alphabet, max_size=120))
+def test_extractor_fails_only_with_documented_errors(text):
+    try:
+        EXTRACTOR.extract(text)
+    except (SqlError, CNFConversionError):
+        pass  # the documented failure modes
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=80))
+def test_extractor_handles_arbitrary_unicode(text):
+    try:
+        EXTRACTOR.extract(text)
+    except (SqlError, CNFConversionError):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=100))
+def test_tokenizer_total(text):
+    try:
+        tokens = tokenize(text)
+    except LexError:
+        return
+    assert tokens  # at least EOF
+    assert tokens[-1].value == ""
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=_sql_alphabet, max_size=100))
+def test_prefixed_select_fuzz(garbage):
+    """A valid prefix plus garbage: still only documented errors."""
+    sql = "SELECT * FROM PhotoObjAll WHERE " + garbage
+    try:
+        result = EXTRACTOR.extract(sql)
+    except (SqlError, CNFConversionError):
+        return
+    # If it parsed, the area must be well-formed.
+    assert result.area.relations
+    str(result.area.cnf)

@@ -1,0 +1,109 @@
+"""Bounded-state verification of the aggregate-lemma semantics.
+
+For a candidate tuple value ``x``, the Lemma 1-3 access areas answer:
+does SOME allowed database state exist in which ``x``'s group satisfies
+the HAVING clause — i.e. the tuple *participates in an output group*?
+Over small integer domains the witness states are small, so we can
+search them exhaustively with the engine and compare against what
+:func:`aggregate_constraint` predicts.
+
+A subtlety this test documents: the paper's *literal* Definition 3
+("removing t changes the result set") would additionally count tuples
+that influence by **suppressing** a group from the output — e.g. for
+``HAVING MIN(v) > 0``, a tuple with ``v = -2`` joined by a ``v = 1``
+tuple removes that group's output row, so deleting it changes the
+result.  The paper's own Lemma proofs ("if t.v < c ... t cannot
+influence the result") explicitly use the participation reading, and so
+does this implementation; the suppression reading would make every
+aggregate HAVING constraint vacuous.  See DESIGN.md.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import AccessAreaExtractor
+from repro.engine import Database, QueryExecutor
+from repro.schema import Column, ColumnType, Relation, Schema
+from repro.algebra.intervals import Interval
+
+
+def _schema(domain: Interval) -> Schema:
+    schema = Schema("influence")
+    schema.add(Relation("G", (
+        Column("u", ColumnType.INT),
+        Column("v", ColumnType.INT, domain),
+    )))
+    return schema
+
+
+def _group_in_output(schema: Schema, values: list[int], sql: str) -> bool:
+    db = Database(schema)
+    db.insert("G", [{"u": 1, "v": value} for value in values])
+    return len(QueryExecutor(db).execute_sql(sql).rows) > 0
+
+
+def _participates(schema: Schema, domain_values: list[int], x: int,
+                  sql: str, max_extras: int = 2) -> bool:
+    """∃ state (x + up to 2 same-group extras): the group is output."""
+    for size in range(0, max_extras + 1):
+        for extras in itertools.combinations_with_replacement(
+                domain_values, size):
+            if _group_in_output(schema, [x, *extras], sql):
+                return True
+    return False
+
+
+def _predicted(schema: Schema, sql: str, x: int) -> bool:
+    area = AccessAreaExtractor(schema).extract(sql).area
+    row = {"u": 1, "v": x}
+    return all(
+        any(p.evaluate(row[p.ref.column]) for p in clause)
+        for clause in area.cnf)
+
+
+#: Configurations where witnesses of ≤2 extra tuples are provably enough.
+CASES = [
+    (Interval(-3, 0), "SUM", "HAVING SUM(G.v) > -2"),   # Lemma 1 σ_{v>c}
+    (Interval(-3, 0), "SUM", "HAVING SUM(G.v) > 1"),    # unreachable: ∅
+    (Interval(0, 3), "SUM", "HAVING SUM(G.v) > 2"),     # supp > 0: all
+    (Interval(0, 3), "SUM", "HAVING SUM(G.v) < 2"),     # inf >= 0: σ_{v<2}
+    (Interval(-3, 3), "MIN", "HAVING MIN(G.v) > 0"),    # σ_{v>0}
+    (Interval(-3, 3), "MIN", "HAVING MIN(G.v) < 0"),    # reachable: all
+    (Interval(-3, 3), "MAX", "HAVING MAX(G.v) < 1"),    # σ_{v<1}
+    (Interval(-3, 3), "MAX", "HAVING MAX(G.v) > 1"),    # reachable: all
+    (Interval(-3, 3), "COUNT", "HAVING COUNT(*) > 2"),  # all
+    (Interval(-3, 3), "COUNT", "HAVING COUNT(*) < 1"),  # ∅
+]
+
+
+@pytest.mark.parametrize("domain,func,having", CASES,
+                         ids=[c[2] for c in CASES])
+def test_prediction_matches_exhaustive_participation(domain, func, having):
+    schema = _schema(domain)
+    domain_values = list(range(int(domain.lo), int(domain.hi) + 1))
+    select = "COUNT(*)" if func == "COUNT" else f"{func}(G.v)"
+    sql = f"SELECT G.u, {select} FROM G GROUP BY G.u {having}"
+    for x in domain_values:
+        observed = _participates(schema, domain_values, x, sql)
+        predicted = _predicted(schema, sql, x)
+        assert observed == predicted, (
+            f"value {x}: engine witness search says {observed}, "
+            f"extraction predicts {predicted} for {sql}")
+
+
+def test_suppression_reading_would_be_vacuous():
+    """Documents why participation (not literal removal) semantics is
+    the right reading of Definition 3 for aggregates: under literal
+    removal, a v = -2 tuple influences ``HAVING MIN(v) > 0`` by
+    suppressing the group — so *every* tuple would influence and the
+    lemmas' σ conditions could never hold."""
+    schema = _schema(Interval(-3, 3))
+    sql = ("SELECT G.u, MIN(G.v) FROM G GROUP BY G.u "
+           "HAVING MIN(G.v) > 0")
+    # {-2, 1}: group suppressed; remove -2 → {1}: group appears.
+    assert not _group_in_output(schema, [-2, 1], sql)
+    assert _group_in_output(schema, [1], sql)
+    # Yet the lemma access area excludes v = -2 (and the paper proves it).
+    assert not _predicted(schema, sql, -2)
+    assert _predicted(schema, sql, 1)

@@ -1,0 +1,90 @@
+"""Join queries (Section 4.2, Examples 2-3)."""
+
+
+class TestInnerAndCross:
+    def test_inner_join_condition_pushed(self, extract):
+        area = extract("SELECT * FROM T JOIN S ON T.u = S.u")
+        assert area.relations == ("S", "T")
+        assert str(area.cnf) == "S.u = T.u"
+
+    def test_comma_join_equivalent(self, extract):
+        joined = extract("SELECT * FROM T JOIN S ON T.u = S.u")
+        comma = extract("SELECT * FROM T, S WHERE T.u = S.u")
+        assert str(joined.cnf) == str(comma.cnf)
+        assert joined.relations == comma.relations
+
+    def test_cross_join_unconstrained(self, extract):
+        area = extract("SELECT * FROM T CROSS JOIN S")
+        assert area.is_unconstrained
+        assert area.relations == ("S", "T")
+
+    def test_join_condition_plus_where(self, extract):
+        area = extract(
+            "SELECT * FROM T JOIN S ON T.u = S.u WHERE T.v > 3")
+        assert str(area.cnf) == "S.u = T.u AND T.v > 3"
+
+    def test_join_with_extra_on_predicate(self, extract):
+        area = extract(
+            "SELECT * FROM T JOIN S ON T.u = S.u AND S.v < 2")
+        assert str(area.cnf) == "S.u = T.u AND S.v < 2"
+
+    def test_chained_joins(self, extract):
+        area = extract(
+            "SELECT * FROM T JOIN S ON T.u = S.u JOIN R ON S.v = R.v")
+        assert area.relations == ("R", "S", "T")
+        assert "R.v = S.v" in str(area.cnf)
+
+
+class TestOuterJoins:
+    def test_full_outer_drops_condition(self, extract):
+        # Example 2: any pair can influence the result.
+        area = extract("SELECT * FROM T FULL OUTER JOIN S ON (T.u = S.u)")
+        assert area.is_unconstrained
+        assert area.relations == ("S", "T")
+
+    def test_full_outer_keeps_where(self, extract):
+        area = extract(
+            "SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u "
+            "WHERE T.v > 1")
+        assert str(area.cnf) == "T.v > 1"
+
+    def test_right_outer_equals_lemma4_flattening(self, extract):
+        # Example 3: RIGHT OUTER JOIN reduces to the nested-IN form whose
+        # Lemma-4 flattening is the join condition itself.
+        area = extract("SELECT * FROM T RIGHT OUTER JOIN S ON (T.u = S.u)")
+        nested = extract(
+            "SELECT * FROM T, S WHERE T.u IN (SELECT S.u FROM S)")
+        assert str(area.cnf) == str(nested.cnf) == "S.u = T.u"
+
+    def test_left_outer_analogous(self, extract):
+        area = extract("SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.u")
+        assert str(area.cnf) == "S.u = T.u"
+
+
+class TestNaturalJoin:
+    def test_common_columns_equated(self, extract):
+        # T and S share u and v.
+        area = extract("SELECT * FROM T NATURAL JOIN S")
+        text = str(area.cnf)
+        assert "S.u = T.u" in text and "S.v = T.v" in text
+
+    def test_no_common_columns_noted(self, extract):
+        # T and R share only v.
+        area = extract("SELECT * FROM T NATURAL JOIN R")
+        assert str(area.cnf) == "R.v = T.v"
+
+    def test_without_schema_widens(self):
+        from repro.core import AccessAreaExtractor
+        area = AccessAreaExtractor(schema=None).extract(
+            "SELECT * FROM A NATURAL JOIN B").area
+        assert area.is_unconstrained
+        assert any("NATURAL" in note for note in area.notes)
+
+
+class TestSelfJoinMerging:
+    def test_same_relation_twice_merges(self, extract):
+        # The paper excludes self-joins; two occurrences collapse into one
+        # relation of the universal relation.
+        area = extract("SELECT * FROM T a, T b WHERE a.u > 1 AND b.u < 9")
+        assert area.relations == ("T",)
+        assert str(area.cnf) == "T.u < 9 AND T.u > 1"

@@ -1,0 +1,175 @@
+"""Nested queries (Section 4.4): Lemmas 4-6, Example 4, approximations."""
+
+
+class TestLemma4:
+    def test_single_exists(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u > 3 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2)")
+        assert area.relations == ("S", "T")
+        assert str(area.cnf) == "S.u = T.u AND S.v < 2 AND T.u > 3"
+
+    def test_matches_paper_transformed_query(self, extract):
+        nested = extract(
+            "SELECT * FROM T WHERE T.u > 3 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2)")
+        flat = extract(
+            "SELECT * FROM T, S WHERE T.u > 3 AND S.u = T.u AND S.v < 2")
+        assert str(nested.cnf) == str(flat.cnf)
+        assert nested.relations == flat.relations
+
+
+class TestLemma5:
+    def test_two_exists_same_relation_and(self, extract):
+        # AND-connected EXISTS over the same relation must OR their
+        # constraints — a naive conjunction would be contradictory.
+        area = extract(
+            "SELECT * FROM T WHERE T.u > 3 "
+            "AND EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u) "
+            "AND EXISTS (SELECT * FROM S WHERE S.v >= 7 AND S.u = T.u)")
+        assert not area.is_empty
+        assert str(area.cnf) == \
+            "(S.v < 2 OR S.v >= 7) AND S.u = T.u AND T.u > 3"
+
+    def test_grouping_by_relation(self, extract):
+        # EXISTS over different relations stay conjoined.
+        area = extract(
+            "SELECT * FROM T WHERE "
+            "EXISTS (SELECT * FROM S WHERE S.u = T.u) AND "
+            "EXISTS (SELECT * FROM R WHERE R.v = T.v)")
+        assert area.relations == ("R", "S", "T")
+        assert str(area.cnf) == "R.v = T.v AND S.u = T.u"
+
+
+class TestLemma6:
+    def test_or_connected_exists(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u > 3 "
+            "OR EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u) "
+            "OR EXISTS (SELECT * FROM S WHERE S.v >= 7 AND S.u = T.u)")
+        # CNF of (T.u>3) ∨ (S.u=T.u ∧ (S.v<2 ∨ S.v>=7)).
+        assert str(area.cnf) == ("(S.u = T.u OR T.u > 3) AND "
+                                 "(S.v < 2 OR S.v >= 7 OR T.u > 3)")
+
+
+class TestExample4:
+    def test_two_level_nesting(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u > 1 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2 AND EXISTS "
+            "(SELECT * FROM R WHERE R.v = S.v AND R.x < 3))")
+        assert area.relations == ("R", "S", "T")
+        assert str(area.cnf) == ("R.v = S.v AND R.x < 3 AND "
+                                 "S.u = T.u AND S.v < 2 AND T.u > 1")
+
+    def test_matches_flat_equivalent(self, extract):
+        nested = extract(
+            "SELECT * FROM T WHERE T.u > 1 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2 AND EXISTS "
+            "(SELECT * FROM R WHERE R.v = S.v AND R.x < 3))")
+        flat = extract(
+            "SELECT * FROM T, S, R WHERE T.u > 1 AND S.u = T.u "
+            "AND S.v < 2 AND R.v = S.v AND R.x < 3")
+        assert str(nested.cnf) == str(flat.cnf)
+
+
+class TestInSubquery:
+    def test_in_becomes_exists_flattening(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u IN "
+            "(SELECT S.u FROM S WHERE S.v = 12)")
+        assert str(area.cnf) == "S.u = T.u AND S.v = 12"
+
+    def test_in_with_operator_link(self, extract):
+        # Scalar subquery comparison: implicit nesting.
+        area = extract(
+            "SELECT * FROM T WHERE T.u = "
+            "(SELECT S.u FROM S WHERE S.v = 12)")
+        assert str(area.cnf) == "S.u = T.u AND S.v = 12"
+
+    def test_scalar_with_inequality(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u < (SELECT S.u FROM S)")
+        assert str(area.cnf) == "S.u > T.u"
+
+
+class TestQuantified:
+    def test_any_keeps_operator(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u > ANY "
+            "(SELECT S.u FROM S WHERE S.v < 5)")
+        assert "S.v < 5" in str(area.cnf)
+        assert "S.u < T.u" in str(area.cnf)
+
+    def test_all_approximated(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u > ALL (SELECT S.u FROM S)")
+        assert "S.u < T.u" in str(area.cnf)
+        assert any("ALL" in note for note in area.notes)
+
+
+class TestNegatedNesting:
+    def test_not_exists_influence_symmetry(self, extract):
+        positive = extract(
+            "SELECT * FROM T WHERE EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2)")
+        negative = extract(
+            "SELECT * FROM T WHERE NOT EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2)")
+        assert str(positive.cnf) == str(negative.cnf)
+        assert any("influence" in note for note in negative.notes)
+
+    def test_not_in_subquery(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE T.u NOT IN (SELECT S.u FROM S)")
+        assert str(area.cnf) == "S.u = T.u"
+
+    def test_not_over_mixed_condition_shields_subquery(self, extract):
+        # De Morgan routes the NOT to T.u; the flattened subquery
+        # constraint (influence-symmetric) survives un-negated.
+        area = extract(
+            "SELECT * FROM T WHERE NOT (T.u > 5 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2))")
+        text = str(area.cnf)
+        assert "S.v < 2" in text  # NOT negated to S.v >= 2
+        assert "T.u <= 5" in text
+
+    def test_not_over_scalar_subquery_negates_link_only(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE NOT (T.u = "
+            "(SELECT S.u FROM S WHERE S.v = 12))")
+        assert str(area.cnf) == "S.u <> T.u AND S.v = 12"
+
+    def test_double_not_over_subquery(self, extract):
+        once = extract(
+            "SELECT * FROM T WHERE T.u > 5 OR EXISTS "
+            "(SELECT * FROM S WHERE S.v < 2)")
+        twice = extract(
+            "SELECT * FROM T WHERE NOT (NOT (T.u > 5 OR EXISTS "
+            "(SELECT * FROM S WHERE S.v < 2)))")
+        assert str(once.cnf) == str(twice.cnf)
+
+
+class TestCorrelationScoping:
+    def test_outer_column_visible_inside(self, extract):
+        # R has no column u, so the bare u resolves outward to T.u.
+        area = extract(
+            "SELECT * FROM T WHERE EXISTS "
+            "(SELECT * FROM R WHERE R.v = u)")
+        assert str(area.cnf) == "R.v = T.u"
+
+    def test_inner_alias_shadowing(self, extract):
+        area = extract(
+            "SELECT * FROM T a WHERE EXISTS "
+            "(SELECT * FROM S a WHERE a.v < 2) AND a.u > 1")
+        # Inner 'a' is S; outer 'a' is T.
+        assert str(area.cnf) == "S.v < 2 AND T.u > 1"
+
+    def test_exists_with_aggregate_subquery(self, extract):
+        # Nested aggregates combine Sections 4.3 and 4.4.
+        area = extract(
+            "SELECT * FROM T WHERE T.u > 1 AND EXISTS "
+            "(SELECT S.u FROM S WHERE S.u = T.u "
+            "GROUP BY S.u HAVING SUM(S.v) > 5)")
+        # SUM over an unbounded FLOAT domain never constrains (Lemma 1).
+        assert str(area.cnf) == "S.u = T.u AND T.u > 1"

@@ -1,0 +1,203 @@
+"""E10: extraction vs. an independent execution oracle.
+
+For queries without aggregates or nesting, the access area is exactly the
+set of tuples satisfying the WHERE constraint (Section 2.3's definition
+collapses to σ_P).  So running the query on a dense grid database and
+evaluating the extracted CNF on the same grid must select the same rows —
+across two *independent* code paths (engine evaluator vs. algebra
+predicates).  Hypothesis drives randomized WHERE clauses through both.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessAreaExtractor
+from repro.engine import Database, QueryExecutor
+from repro.schema import Column, ColumnType, Relation, Schema
+from repro.sqlparser import parse
+
+GRID = [-2, -1, 0, 1, 2, 3]
+
+
+def _schema():
+    schema = Schema("oracle")
+    schema.add(Relation("T", (Column("u", ColumnType.INT),
+                              Column("v", ColumnType.INT))))
+    return schema
+
+
+def _database(schema):
+    db = Database(schema)
+    db.insert("T", [{"u": u, "v": v}
+                    for u, v in itertools.product(GRID, GRID)])
+    return db
+
+
+SCHEMA = _schema()
+DB = _database(SCHEMA)
+EXECUTOR = QueryExecutor(DB)
+EXTRACTOR = AccessAreaExtractor(SCHEMA)
+
+# -- random WHERE clause generation ------------------------------------------
+
+_values = st.sampled_from([-2, -1, 0, 1, 2, 3])
+_columns = st.sampled_from(["u", "v"])
+_ops = st.sampled_from(["<", "<=", "=", ">", ">=", "<>"])
+
+
+@st.composite
+def _conditions(draw, depth=2):
+    if depth == 0 or draw(st.integers(0, 2)) == 0:
+        kind = draw(st.integers(0, 2))
+        col = draw(_columns)
+        if kind == 0:
+            return f"{col} {draw(_ops)} {draw(_values)}"
+        if kind == 1:
+            lo = draw(_values)
+            hi = draw(_values)
+            lo, hi = min(lo, hi), max(lo, hi)
+            return f"{col} BETWEEN {lo} AND {hi}"
+        members = draw(st.lists(_values, min_size=1, max_size=3))
+        return f"{col} IN ({', '.join(map(str, members))})"
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return f"NOT ({draw(_conditions(depth=depth - 1))})"
+    left = draw(_conditions(depth=depth - 1))
+    right = draw(_conditions(depth=depth - 1))
+    op = "AND" if kind == 1 else "OR"
+    return f"({left}) {op} ({right})"
+
+
+def _rows_from_cnf(cnf):
+    selected = set()
+    for u, v in itertools.product(GRID, GRID):
+        row = {"u": u, "v": v}
+        if all(any(p.evaluate(row[p.ref.column]) for p in clause)
+               for clause in cnf):
+            selected.add((u, v))
+    return selected
+
+
+@settings(max_examples=150, deadline=None)
+@given(_conditions())
+def test_extracted_area_matches_execution(condition):
+    sql = f"SELECT u, v FROM T WHERE {condition}"
+    executed = {(row["u"], row["v"])
+                for row in EXECUTOR.execute(parse(sql)).rows}
+    area = EXTRACTOR.extract(sql).area
+    assert _rows_from_cnf(area.cnf) == executed
+
+
+@settings(max_examples=60, deadline=None)
+@given(_conditions())
+def test_consolidation_agrees_with_unconsolidated(condition):
+    sql = f"SELECT * FROM T WHERE {condition}"
+    plain = AccessAreaExtractor(SCHEMA, consolidate=False) \
+        .extract(sql).area
+    consolidated = EXTRACTOR.extract(sql).area
+    assert _rows_from_cnf(plain.cnf) == _rows_from_cnf(consolidated.cnf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_conditions())
+def test_extraction_is_deterministic(condition):
+    sql = f"SELECT * FROM T WHERE {condition}"
+    first = EXTRACTOR.extract(sql).area
+    second = EXTRACTOR.extract(sql).area
+    assert str(first.cnf) == str(second.cnf)
+    assert first.relations == second.relations
+
+
+_join_conditions = st.lists(
+    st.tuples(st.sampled_from(["A.x", "B.x", "B.y"]),
+              st.sampled_from(["<", "<=", "=", ">", ">=", "<>"]),
+              st.sampled_from(["A.x", "B.y", "-1", "0", "2"])),
+    min_size=1, max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_join_conditions)
+def test_join_extraction_matches_execution(terms):
+    """Randomized two-relation queries: σ_P over A×B equals execution."""
+    schema = Schema("oracle3")
+    schema.add(Relation("A", (Column("x", ColumnType.INT),)))
+    schema.add(Relation("B", (Column("x", ColumnType.INT),
+                              Column("y", ColumnType.INT))))
+    grid = [-1, 0, 1, 2]
+    db = Database(schema)
+    db.insert("A", [{"x": i} for i in grid])
+    db.insert("B", [{"x": i, "y": j}
+                    for i in grid for j in grid])
+    predicates = [f"{left} {op} {right}"
+                  for left, op, right in terms
+                  if left != right]
+    if not predicates:
+        return
+    sql = "SELECT * FROM A, B WHERE " + " AND ".join(predicates)
+
+    executed = {
+        (row["A.x"], row["B.x"], row["B.y"])
+        for row in QueryExecutor(db).execute_sql(sql).rows
+    }
+    area = AccessAreaExtractor(schema).extract(sql).area
+    selected = set()
+    for ax in grid:
+        for bx in grid:
+            for by in grid:
+                values = {"A.x": ax, "B.x": bx, "B.y": by}
+                ok = True
+                for clause in area.cnf:
+                    clause_ok = False
+                    for pred in clause:
+                        if hasattr(pred, "value"):
+                            clause_ok |= pred.evaluate(
+                                values[str(pred.ref)])
+                        else:
+                            clause_ok |= pred.evaluate(
+                                values[str(pred.left)],
+                                values[str(pred.right)])
+                    if not clause_ok:
+                        ok = False
+                        break
+                if ok:
+                    selected.add((ax, bx, by))
+    assert selected == executed
+
+
+def test_join_query_against_oracle():
+    """One multi-relation spot check: join constraint equals execution."""
+    schema = Schema("oracle2")
+    schema.add(Relation("A", (Column("x", ColumnType.INT),)))
+    schema.add(Relation("B", (Column("x", ColumnType.INT),
+                              Column("y", ColumnType.INT))))
+    db = Database(schema)
+    db.insert("A", [{"x": i} for i in GRID])
+    db.insert("B", [{"x": i, "y": j}
+                    for i, j in itertools.product(GRID, GRID)])
+    sql = ("SELECT * FROM A JOIN B ON A.x = B.x WHERE B.y > 0")
+    executed = {
+        (row["A.x"], row["B.x"], row["B.y"])
+        for row in QueryExecutor(db).execute_sql(sql).rows
+    }
+    area = AccessAreaExtractor(schema).extract(sql).area
+    selected = set()
+    for ax, bx, by in itertools.product(GRID, GRID, GRID):
+        values = {"A.x": ax, "B.x": bx, "B.y": by}
+        ok = True
+        for clause in area.cnf:
+            clause_ok = False
+            for pred in clause:
+                if hasattr(pred, "value"):
+                    clause_ok |= pred.evaluate(
+                        values[str(pred.ref)])
+                else:
+                    clause_ok |= pred.evaluate(
+                        values[str(pred.left)], values[str(pred.right)])
+            if not clause_ok:
+                ok = False
+                break
+        if ok:
+            selected.add((ax, bx, by))
+    assert selected == executed

@@ -1,0 +1,76 @@
+"""Batch log processing: extraction rate, failure taxonomy, timings."""
+
+from repro.core import AccessAreaExtractor, process_log
+from repro.core.extractor import StageTimings
+
+
+class TestProcessLog:
+    def test_mixed_log(self, schema):
+        statements = [
+            "SELECT * FROM T WHERE u > 1",
+            "SELECT * FROM S WHERE v BETWEEN 1 AND 2",
+            "CREATE TABLE x (a int)",
+            "SELECT FROM WHERE",
+            "SELECT ? FROM T",
+            "DECLARE @x int",
+        ]
+        report = process_log(statements, AccessAreaExtractor(schema))
+        assert report.total == 6
+        assert report.extraction_count == 2
+        assert report.unsupported_statements == 2
+        assert report.parse_errors == 1
+        assert report.lex_errors == 1
+        assert abs(report.extraction_rate - 2 / 6) < 1e-12
+
+    def test_users_carried_through(self, schema):
+        report = process_log(
+            [("SELECT * FROM T", "alice"), ("SELECT * FROM S", "bob")],
+            AccessAreaExtractor(schema))
+        assert [e.user for e in report.extracted] == ["alice", "bob"]
+
+    def test_indices_point_into_log(self, schema):
+        report = process_log(
+            ["CREATE TABLE x (a int)", "SELECT * FROM T"],
+            AccessAreaExtractor(schema))
+        assert report.extracted[0].index == 1
+
+    def test_failures_recorded(self, schema):
+        report = process_log(["SELCT 1"], AccessAreaExtractor(schema))
+        index, kind, message = report.failures[0]
+        assert index == 0 and kind == "parse" and message
+
+    def test_failures_can_be_dropped(self, schema):
+        report = process_log(["SELCT 1"], AccessAreaExtractor(schema),
+                             keep_failures=False)
+        assert report.parse_errors == 1 and not report.failures
+
+    def test_default_extractor(self):
+        report = process_log(["SELECT * FROM T WHERE T.u > 1"])
+        assert report.extraction_count == 1
+
+    def test_areas_accessor(self, schema):
+        report = process_log(["SELECT * FROM T WHERE u > 1"],
+                             AccessAreaExtractor(schema))
+        assert len(report.areas()) == 1
+
+
+class TestTimings:
+    def test_stage_timings_collected(self, schema):
+        report = process_log(
+            ["SELECT * FROM T WHERE u > 1"] * 5,
+            AccessAreaExtractor(schema))
+        for stage in ("parse", "extract", "cnf", "consolidate"):
+            summary = report.stage_timings[stage]
+            assert summary.count == 5
+            assert summary.total >= 0
+            assert summary.minimum <= summary.maximum
+
+    def test_timing_summary_mean(self, schema):
+        report = process_log(["SELECT * FROM T"] * 3,
+                             AccessAreaExtractor(schema))
+        parse = report.stage_timings["parse"]
+        assert abs(parse.mean - parse.total / 3) < 1e-12
+
+    def test_stage_timings_total_property(self):
+        t = StageTimings(1.0, 2.0, 3.0, 4.0)
+        assert t.total == 10.0

@@ -1,0 +1,147 @@
+"""Simple queries (Section 4.1): exact access areas, BETWEEN/NOT handling."""
+
+
+class TestPlainPredicates:
+    def test_paper_example(self, extract):
+        # "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5" — adapted to
+        # the fixture schema (s is v here).
+        area = extract("SELECT u FROM T WHERE u >= 1 AND u <= 8 AND v > 5")
+        assert area.relations == ("T",)
+        assert str(area.cnf) == "T.u <= 8 AND T.u >= 1 AND T.v > 5"
+
+    def test_projection_does_not_constrain(self, extract):
+        a = extract("SELECT u FROM T WHERE u > 1")
+        b = extract("SELECT v FROM T WHERE u > 1")
+        assert str(a.cnf) == str(b.cnf)
+
+    def test_order_by_ignored(self, extract):
+        a = extract("SELECT * FROM T WHERE u > 1 ORDER BY v DESC")
+        b = extract("SELECT * FROM T WHERE u > 1")
+        assert str(a.cnf) == str(b.cnf)
+
+    def test_no_where(self, extract):
+        area = extract("SELECT * FROM T")
+        assert area.is_unconstrained and area.relations == ("T",)
+
+    def test_unqualified_column_resolved(self, extract):
+        area = extract("SELECT * FROM T WHERE u > 1")
+        pred = next(area.cnf.predicates())
+        assert pred.ref.relation == "T"
+
+    def test_alias_resolved_to_real_name(self, extract):
+        area = extract("SELECT * FROM T alias1 WHERE alias1.u > 1")
+        assert area.relations == ("T",)
+        pred = next(area.cnf.predicates())
+        assert pred.ref.relation == "T"
+
+    def test_relations_sorted(self, extract):
+        area = extract("SELECT * FROM S, R, T")
+        assert area.relations == ("R", "S", "T")
+
+
+class TestBetween:
+    def test_between_splits(self, extract):
+        area = extract("SELECT * FROM T WHERE u BETWEEN 1 AND 8")
+        assert str(area.cnf) == "T.u <= 8 AND T.u >= 1"
+
+    def test_not_between(self, extract):
+        area = extract("SELECT * FROM T WHERE u NOT BETWEEN 1 AND 8")
+        assert str(area.cnf) == "(T.u < 1 OR T.u > 8)"
+
+
+class TestNot:
+    def test_paper_not_example(self, extract):
+        # NOT (T.u > 5 AND T.v <= 10) becomes T.u <= 5 OR T.v > 10.
+        area = extract("SELECT * FROM T WHERE NOT (T.u > 5 AND T.v <= 10)")
+        assert str(area.cnf) == "(T.u <= 5 OR T.v > 10)"
+
+    def test_double_not(self, extract):
+        area = extract("SELECT * FROM T WHERE NOT (NOT (u > 5))")
+        assert str(area.cnf) == "T.u > 5"
+
+    def test_not_equality(self, extract):
+        area = extract("SELECT * FROM T WHERE NOT (u = 5)")
+        assert str(area.cnf) == "T.u <> 5"
+
+
+class TestInList:
+    def test_in_list_becomes_disjunction(self, extract):
+        area = extract("SELECT * FROM T WHERE u IN (1, 2, 3)")
+        assert str(area.cnf) == "(T.u = 1 OR T.u = 2 OR T.u = 3)"
+
+    def test_not_in_list(self, extract):
+        area = extract("SELECT * FROM T WHERE u NOT IN (1, 2)")
+        assert str(area.cnf) == "T.u <> 1 AND T.u <> 2"
+
+    def test_categorical_in(self, extract):
+        area = extract("SELECT * FROM T WHERE s IN ('a', 'b')")
+        assert str(area.cnf) == "(T.s = 'a' OR T.s = 'b')"
+
+
+class TestIntermediateFormatPassthrough:
+    def test_paper_intermediate_example(self, extract):
+        area = extract(
+            "SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5")
+        assert str(area.cnf) == "(T.u <= 5 OR T.u >= 10) AND T.v <= 5"
+
+
+class TestConsolidationInPipeline:
+    def test_contradiction_detected(self, extract):
+        area = extract("SELECT * FROM T WHERE u > 5 AND u < 3")
+        assert area.is_empty
+
+    def test_bounds_merged(self, extract):
+        area = extract("SELECT * FROM T WHERE u >= 1 AND u >= 4 AND u <= 9")
+        assert str(area.cnf) == "T.u <= 9 AND T.u >= 4"
+
+    def test_consolidation_can_be_disabled(self, schema):
+        from repro.core import AccessAreaExtractor
+        raw = AccessAreaExtractor(schema, consolidate=False)
+        area = raw.extract("SELECT * FROM T WHERE u > 5 AND u < 3").area
+        assert not area.is_empty  # contradiction left in place
+        assert len(area.cnf) == 2
+
+
+class TestWidening:
+    def test_udf_comparison_widens(self, extract):
+        area = extract("SELECT * FROM T WHERE dbo.f(u) > 5")
+        assert area.is_unconstrained
+        assert any("widened" in note for note in area.notes)
+
+    def test_column_arithmetic_widens(self, extract):
+        area = extract("SELECT * FROM T WHERE u + v > 5")
+        assert area.is_unconstrained
+
+    def test_constant_arithmetic_folds(self, extract):
+        area = extract("SELECT * FROM T WHERE u > 20 + 2")
+        assert str(area.cnf) == "T.u > 22"
+
+    def test_like_exact_becomes_equality(self, extract):
+        area = extract("SELECT * FROM T WHERE s LIKE 'abc'")
+        assert str(area.cnf) == "T.s = 'abc'"
+
+    def test_like_wildcard_widens(self, extract):
+        area = extract("SELECT * FROM T WHERE s LIKE 'ab%'")
+        assert area.is_unconstrained
+
+    def test_is_null_widens(self, extract):
+        area = extract("SELECT * FROM T WHERE u IS NULL")
+        assert area.is_unconstrained
+
+    def test_widening_is_partial(self, extract):
+        # Only the unsupported conjunct widens; the rest is kept.
+        area = extract("SELECT * FROM T WHERE u IS NULL AND v > 3")
+        assert str(area.cnf) == "T.v > 3"
+
+
+class TestUnknownSchemaObjects:
+    def test_unknown_relation_still_extracts(self, extract):
+        # "SELECT Galaxies.objid FROM Galaxies LIMIT 10" (Section 6.6).
+        area = extract("SELECT Galaxies.objid FROM Galaxies LIMIT 10")
+        assert area.relations == ("Galaxies",)
+
+    def test_no_schema_extractor(self):
+        from repro.core import AccessAreaExtractor
+        area = AccessAreaExtractor(schema=None).extract(
+            "SELECT * FROM Foo WHERE Foo.x > 1").area
+        assert str(area.cnf) == "Foo.x > 1"

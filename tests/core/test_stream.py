@@ -1,0 +1,150 @@
+"""Streaming extraction and novelty detection (Section 4 extension)."""
+
+import pytest
+
+from repro.core import AccessAreaExtractor
+from repro.core.stream import EventKind, StreamMonitor
+from repro.schema import (CONTENT_BOUNDS, StatisticsCatalog,
+                          skyserver_schema)
+
+
+@pytest.fixture()
+def monitor():
+    schema = skyserver_schema()
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    return StreamMonitor(AccessAreaExtractor(schema), stats=stats,
+                         warmup=0)
+
+
+def kinds(monitor):
+    return [event.kind for event in monitor.events]
+
+
+class TestIngestion:
+    def test_counts(self, monitor):
+        monitor.process("SELECT * FROM Photoz WHERE z < 0.1")
+        monitor.process("SELCT broken")
+        assert monitor.state.processed == 2
+        assert monitor.state.extracted == 1
+        assert monitor.state.failures == 1
+        assert monitor.state.extraction_rate == 0.5
+
+    def test_process_many_returns_areas(self, monitor):
+        areas = monitor.process_many([
+            "SELECT * FROM Photoz", "CREATE TABLE x (a int)",
+            "SELECT * FROM SpecObjAll"])
+        assert len(areas) == 2
+
+    def test_failure_returns_none(self, monitor):
+        assert monitor.process("DECLARE @x int") is None
+
+
+class TestNoveltyEvents:
+    def test_new_relation_once(self, monitor):
+        monitor.process("SELECT * FROM Photoz")
+        monitor.process("SELECT * FROM Photoz")
+        relation_events = [e for e in monitor.events
+                           if e.kind is EventKind.NEW_RELATION]
+        assert len(relation_events) == 1
+
+    def test_new_column(self, monitor):
+        monitor.process("SELECT * FROM Photoz")
+        monitor.process("SELECT * FROM Photoz WHERE z < 0.1")
+        assert EventKind.NEW_COLUMN in kinds(monitor)
+
+    def test_new_relation_combination(self, monitor):
+        monitor.process("SELECT * FROM sppLines")
+        monitor.process("SELECT * FROM sppParams")
+        monitor.process(
+            "SELECT * FROM sppLines l JOIN sppParams p "
+            "ON l.specobjid = p.specobjid")
+        assert EventKind.NEW_RELATION_SET in kinds(monitor)
+
+    def test_new_query_feature(self, monitor):
+        monitor.process("SELECT * FROM SpecObjAll WHERE plate > 300")
+        assert EventKind.NEW_QUERY_FEATURE not in kinds(monitor)
+        monitor.process("SELECT plate, COUNT(*) FROM SpecObjAll "
+                        "GROUP BY plate HAVING COUNT(*) > 5")
+        features = {e.detail for e in monitor.events
+                    if e.kind is EventKind.NEW_QUERY_FEATURE}
+        assert any("group-by" in f for f in features)
+        assert any("having" in f for f in features)
+
+    def test_feature_only_fires_once(self, monitor):
+        for _ in range(3):
+            monitor.process("SELECT * FROM Photoz WHERE z "
+                            "BETWEEN 0 AND 0.1")
+        between_events = [
+            e for e in monitor.events
+            if e.kind is EventKind.NEW_QUERY_FEATURE
+            and "between" in e.detail
+        ]
+        assert len(between_events) == 1
+
+    def test_out_of_range_constant(self, monitor):
+        # zooSpec access(dec) is the [-11, 70] stripe: 0 is inside.
+        monitor.process("SELECT * FROM zooSpec WHERE dec >= 0")
+        assert EventKind.OUT_OF_RANGE_CONSTANT not in kinds(monitor)
+        monitor.process("SELECT * FROM zooSpec WHERE dec >= -100")
+        events = [e for e in monitor.events
+                  if e.kind is EventKind.OUT_OF_RANGE_CONSTANT]
+        assert events and "-100" in events[0].detail
+
+    def test_warmup_suppresses_events(self):
+        schema = skyserver_schema()
+        quiet = StreamMonitor(AccessAreaExtractor(schema), warmup=10)
+        for _ in range(5):
+            quiet.process("SELECT * FROM Photoz WHERE z < 0.1")
+        assert not quiet.events
+
+    def test_callback_invoked(self):
+        schema = skyserver_schema()
+        seen = []
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                on_event=seen.append)
+        monitor.process("SELECT * FROM Photoz")
+        assert seen and seen[0].kind is EventKind.NEW_RELATION
+
+
+class TestFailureBurst:
+    def test_burst_detected(self):
+        schema = skyserver_schema()
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                failure_window=10,
+                                failure_burst_threshold=0.3)
+        for _ in range(10):
+            monitor.process("SELECT * FROM Photoz")
+        for _ in range(10):
+            monitor.process("SELCT broken !!!")
+        assert EventKind.FAILURE_BURST in kinds(monitor)
+
+    def test_burst_fires_once_per_episode(self):
+        schema = skyserver_schema()
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                failure_window=10,
+                                failure_burst_threshold=0.3)
+        for _ in range(30):
+            monitor.process("SELCT broken")
+        bursts = [e for e in monitor.events
+                  if e.kind is EventKind.FAILURE_BURST]
+        assert len(bursts) == 1
+
+    def test_no_burst_on_sporadic_failures(self):
+        schema = skyserver_schema()
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                failure_window=10,
+                                failure_burst_threshold=0.5)
+        for i in range(40):
+            if i % 10 == 0:
+                monitor.process("SELCT broken")
+            else:
+                monitor.process("SELECT * FROM Photoz")
+        assert EventKind.FAILURE_BURST not in kinds(monitor)
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self, monitor):
+        monitor.process("SELECT * FROM Photoz WHERE z < 0.1")
+        text = monitor.summary()
+        assert "statements processed : 1" in text
+        assert "events emitted" in text

@@ -1,0 +1,30 @@
+"""Shared statistics fixture with controlled access ranges."""
+
+import pytest
+
+from repro.algebra.intervals import Interval
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+@pytest.fixture()
+def stats():
+    """T(a, a1, a2 ∈ [0, 5]; s categorical {x, y, z}), S(b ∈ [0, 10])."""
+    schema = Schema("dist")
+    schema.add(Relation("T", (
+        Column("a", ColumnType.FLOAT, Interval(0.0, 5.0)),
+        Column("a1", ColumnType.FLOAT, Interval(0.0, 5.0)),
+        Column("a2", ColumnType.FLOAT, Interval(0.0, 5.0)),
+        Column("s", ColumnType.VARCHAR, categories=("x", "y", "z")),
+    )))
+    schema.add(Relation("S", (
+        Column("b", ColumnType.FLOAT, Interval(0.0, 10.0)),
+        Column("u", ColumnType.FLOAT, Interval(0.0, 10.0)),
+    )))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "a"): Interval(0.0, 5.0),
+        ("T", "a1"): Interval(0.0, 5.0),
+        ("T", "a2"): Interval(0.0, 5.0),
+        ("S", "b"): Interval(0.0, 10.0),
+        ("S", "u"): Interval(0.0, 10.0),
+    })

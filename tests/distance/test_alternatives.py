@@ -1,0 +1,106 @@
+"""Alternative distance functions (future-work axis)."""
+
+import pytest
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea, unconstrained
+from repro.distance import (FootprintDistance, QueryDistance,
+                            WeightedQueryDistance)
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+T_A = ColumnRef("T", "a")
+
+
+@pytest.fixture()
+def alt_stats():
+    schema = Schema("alt")
+    schema.add(Relation("T", (
+        Column("a", ColumnType.FLOAT, Interval(0.0, 10.0)),
+        Column("b", ColumnType.FLOAT, Interval(0.0, 10.0)),
+    )))
+    schema.add(Relation("S", (
+        Column("c", ColumnType.FLOAT, Interval(0.0, 10.0)),)))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "a"): Interval(0.0, 10.0),
+        ("T", "b"): Interval(0.0, 10.0),
+        ("S", "c"): Interval(0.0, 10.0),
+    })
+
+
+def area(*preds, relations=("T",)):
+    return AccessArea(tuple(relations),
+                      CNF.of([Clause.of([p]) for p in preds]))
+
+
+def cc(ref, op, value):
+    return ColumnConstantPredicate(ref, op, value)
+
+
+class TestFootprintDistance:
+    def test_identity(self, alt_stats):
+        d = FootprintDistance(alt_stats)
+        q = area(cc(T_A, Op.GE, 1), cc(T_A, Op.LE, 3))
+        assert d(q, q) == 0.0
+
+    def test_phrasing_invariance(self, alt_stats):
+        """The defining property: how a range is split into atoms does
+        not matter, only the resulting footprint."""
+        d = FootprintDistance(alt_stats, resolution=0.0)
+        two_atoms = area(cc(T_A, Op.GE, 2), cc(T_A, Op.LE, 8))
+        three_atoms = area(cc(T_A, Op.GE, 2), cc(T_A, Op.GE, 1),
+                           cc(T_A, Op.LE, 8))
+        assert d(two_atoms, three_atoms) == pytest.approx(0.0)
+
+    def test_disjoint_windows(self, alt_stats):
+        d = FootprintDistance(alt_stats, resolution=0.0)
+        q1 = area(cc(T_A, Op.GE, 0), cc(T_A, Op.LE, 2))
+        q2 = area(cc(T_A, Op.GE, 8), cc(T_A, Op.LE, 10))
+        assert d(q1, q2) == pytest.approx(1.0)
+
+    def test_column_mismatch_penalized(self, alt_stats):
+        d = FootprintDistance(alt_stats, resolution=0.0)
+        q1 = area(cc(T_A, Op.GE, 0), cc(T_A, Op.LE, 2))
+        q2 = area(cc(T_A, Op.GE, 0), cc(T_A, Op.LE, 2),
+                  cc(ColumnRef("T", "b"), Op.LE, 5))
+        value = d(q1, q2)
+        # Column a matches (0), column b unmatched (1) → mean 0.5.
+        assert value == pytest.approx(0.5)
+
+    def test_tables_term(self, alt_stats):
+        d = FootprintDistance(alt_stats)
+        q1 = unconstrained(["T"])
+        q2 = unconstrained(["S"])
+        assert d(q1, q2) == 1.0
+
+    def test_symmetry(self, alt_stats):
+        d = FootprintDistance(alt_stats)
+        q1 = area(cc(T_A, Op.GE, 1))
+        q2 = area(cc(T_A, Op.LE, 4), cc(ColumnRef("T", "b"), Op.GT, 2))
+        assert d(q1, q2) == pytest.approx(d(q2, q1))
+
+
+class TestWeightedQueryDistance:
+    def test_default_weights_match_paper_distance(self, alt_stats):
+        base = QueryDistance(alt_stats)
+        weighted = WeightedQueryDistance(alt_stats)
+        q1 = area(cc(T_A, Op.GE, 1), cc(T_A, Op.LE, 3))
+        q2 = area(cc(T_A, Op.GE, 2), cc(T_A, Op.LE, 4),
+                  relations=("T", "S"))
+        assert weighted(q1, q2) == pytest.approx(base(q1, q2))
+
+    def test_zero_table_weight_ignores_tables(self, alt_stats):
+        weighted = WeightedQueryDistance(alt_stats, w_tables=0.0)
+        q1 = area(cc(T_A, Op.GE, 1), relations=("T",))
+        q2 = area(cc(T_A, Op.GE, 1), relations=("T", "S"))
+        assert weighted(q1, q2) == pytest.approx(0.0)
+
+    def test_scaling(self, alt_stats):
+        light = WeightedQueryDistance(alt_stats, w_conj=0.5)
+        heavy = WeightedQueryDistance(alt_stats, w_conj=2.0)
+        q1 = area(cc(T_A, Op.GE, 1))
+        q2 = unconstrained(["T"])
+        assert heavy(q1, q2) == pytest.approx(4 * light(q1, q2))

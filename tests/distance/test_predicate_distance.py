@@ -1,0 +1,153 @@
+"""d_pred (Section 5.2): the paper's worked examples and the dissimilarity."""
+
+import pytest
+
+from repro.algebra.predicates import (ColumnColumnPredicate,
+                                      ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.distance import PredicateDistance
+
+T_A = ColumnRef("T", "a")
+T_A1 = ColumnRef("T", "a1")
+T_A2 = ColumnRef("T", "a2")
+T_S = ColumnRef("T", "s")
+S_B = ColumnRef("S", "b")
+
+
+def cc(ref, op, value):
+    return ColumnConstantPredicate(ref, op, value)
+
+
+class TestPaperOverlapExamples:
+    def test_same_column_example(self, stats):
+        # "assume that p1 is a < 3, p2 is a > 2, and access(a1) = [0,5].
+        #  We have d_pred(p1, p2) = 1/5 = 0.2"
+        d = PredicateDistance(stats)
+        overlap = d.paper_overlap(cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2))
+        assert overlap == pytest.approx(0.2)
+
+    def test_cross_column_example(self, stats):
+        # "assume that p1 is a1 < 3, p2 is a2 > 2, access = [0,5].
+        #  We have d_pred(p1, p2) = (3 × 3)/(5 × 5) = 0.36"
+        d = PredicateDistance(stats)
+        overlap = d.paper_overlap(cc(T_A1, Op.LT, 3), cc(T_A2, Op.GT, 2))
+        assert overlap == pytest.approx(0.36)
+
+
+class TestSameColumnNumeric:
+    def test_identical_is_zero(self, stats):
+        d = PredicateDistance(stats)
+        pred = cc(T_A, Op.LT, 3)
+        assert d.distance(pred, pred) == 0.0
+
+    def test_disjoint_is_maximal(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        assert d.distance(cc(T_A, Op.LT, 1), cc(T_A, Op.GT, 4)) == 1.0
+
+    def test_partial_overlap_in_between(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        value = d.distance(cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2))
+        # intersection (2,3) = 1, union [0,5] = 5 → 1 - 0.2 = 0.8.
+        assert value == pytest.approx(0.8)
+
+    def test_nested_rays_close(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        value = d.distance(cc(T_A, Op.LT, 4), cc(T_A, Op.LT, 5))
+        # [0,4) vs [0,5): J = 4/5 → d = 0.2.
+        assert value == pytest.approx(0.2)
+
+    def test_symmetry(self, stats):
+        d = PredicateDistance(stats)
+        p1, p2 = cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 1)
+        assert d.distance(p1, p2) == d.distance(p2, p1)
+
+
+class TestResolutionWidening:
+    def test_nearby_points_close_with_resolution(self, stats):
+        d = PredicateDistance(stats, resolution=0.2)  # margin = 0.5
+        value = d.distance(cc(T_A, Op.EQ, 2.0), cc(T_A, Op.EQ, 2.1))
+        assert value < 0.5
+
+    def test_far_points_far_even_with_resolution(self, stats):
+        d = PredicateDistance(stats, resolution=0.2)
+        assert d.distance(cc(T_A, Op.EQ, 0.5), cc(T_A, Op.EQ, 4.5)) == 1.0
+
+    def test_identical_points_zero_without_resolution(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        assert d.distance(cc(T_A, Op.EQ, 2), cc(T_A, Op.EQ, 2)) == 0.0
+
+    def test_points_outside_access_still_compare(self, stats):
+        # The zooSpec.dec = -100 style lookups beyond access(a).
+        d = PredicateDistance(stats, resolution=0.1)
+        value = d.distance(cc(T_A, Op.EQ, -7.0), cc(T_A, Op.EQ, -7.0))
+        assert value == 0.0
+
+
+class TestCategorical:
+    def test_equal_values(self, stats):
+        d = PredicateDistance(stats)
+        assert d.distance(cc(T_S, Op.EQ, "x"), cc(T_S, Op.EQ, "x")) == 0.0
+
+    def test_different_values(self, stats):
+        d = PredicateDistance(stats)
+        assert d.distance(cc(T_S, Op.EQ, "x"), cc(T_S, Op.EQ, "y")) == 1.0
+
+    def test_ne_overlaps_other_eq(self, stats):
+        d = PredicateDistance(stats)
+        # s <> 'x' has footprint {y, z}; s = 'y' is inside it.
+        value = d.distance(cc(T_S, Op.NE, "x"), cc(T_S, Op.EQ, "y"))
+        assert 0.0 < value < 1.0
+
+    def test_mixed_type_same_column_maximal(self, stats):
+        d = PredicateDistance(stats)
+        assert d.distance(cc(T_S, Op.EQ, "x"), cc(T_S, Op.EQ, 5)) == 1.0
+
+
+class TestCrossColumn:
+    def test_wide_predicates_somewhat_close(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        value = d.distance(cc(T_A1, Op.LT, 3), cc(T_A2, Op.GT, 2))
+        assert value == pytest.approx(1 - 0.36)
+
+    def test_narrow_cross_column_far(self, stats):
+        d = PredicateDistance(stats, resolution=0.0)
+        value = d.distance(cc(T_A1, Op.EQ, 3), cc(T_A2, Op.EQ, 2))
+        assert value == 1.0
+
+    def test_numeric_vs_categorical_cross(self, stats):
+        d = PredicateDistance(stats)
+        assert d.distance(cc(T_A, Op.LT, 3), cc(T_S, Op.EQ, "x")) == 1.0
+
+
+class TestColumnColumn:
+    def test_identical_join_zero(self, stats):
+        d = PredicateDistance(stats)
+        j1 = ColumnColumnPredicate(T_A, Op.EQ, S_B)
+        j2 = ColumnColumnPredicate(S_B, Op.EQ, T_A)  # canonicalized equal
+        assert d.distance(j1, j2) == 0.0
+
+    def test_same_pair_different_op(self, stats):
+        d = PredicateDistance(stats)
+        j1 = ColumnColumnPredicate(T_A, Op.EQ, S_B)
+        j2 = ColumnColumnPredicate(T_A, Op.LT, S_B)
+        assert d.distance(j1, j2) == 0.5
+
+    def test_different_pairs(self, stats):
+        d = PredicateDistance(stats)
+        j1 = ColumnColumnPredicate(T_A, Op.EQ, S_B)
+        j2 = ColumnColumnPredicate(T_A1, Op.EQ, S_B)
+        assert d.distance(j1, j2) == 1.0
+
+    def test_join_vs_constant_maximal(self, stats):
+        d = PredicateDistance(stats)
+        join = ColumnColumnPredicate(T_A, Op.EQ, S_B)
+        assert d.distance(join, cc(T_A, Op.LT, 3)) == 1.0
+
+
+class TestCaching:
+    def test_cache_used(self, stats):
+        d = PredicateDistance(stats)
+        p1, p2 = cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2)
+        first = d.distance(p1, p2)
+        assert d.distance(p1, p2) == first
+        assert len(d._cache) == 1

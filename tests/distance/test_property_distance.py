@@ -1,0 +1,89 @@
+"""Property-based checks of the distance function."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea
+from repro.distance import QueryDistance
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+def _stats():
+    schema = Schema("prop")
+    schema.add(Relation("T", (
+        Column("a", ColumnType.FLOAT, Interval(0.0, 10.0)),
+        Column("b", ColumnType.FLOAT, Interval(0.0, 10.0)),
+    )))
+    schema.add(Relation("S", (
+        Column("c", ColumnType.FLOAT, Interval(0.0, 10.0)),
+    )))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "a"): Interval(0.0, 10.0),
+        ("T", "b"): Interval(0.0, 10.0),
+        ("S", "c"): Interval(0.0, 10.0),
+    })
+
+
+STATS = _stats()
+
+_refs = st.sampled_from([ColumnRef("T", "a"), ColumnRef("T", "b"),
+                         ColumnRef("S", "c")])
+_ops = st.sampled_from([Op.LT, Op.LE, Op.EQ, Op.GT, Op.GE, Op.NE])
+_values = st.integers(min_value=0, max_value=10)
+
+predicates = st.builds(ColumnConstantPredicate, _refs, _ops, _values)
+clauses = st.lists(predicates, min_size=1, max_size=3).map(Clause.of)
+
+
+@st.composite
+def areas(draw):
+    clause_list = draw(st.lists(clauses, min_size=0, max_size=3))
+    relations = {pred.ref.relation
+                 for clause in clause_list for pred in clause}
+    if not relations:
+        relations = {draw(st.sampled_from(["T", "S"]))}
+    return AccessArea(tuple(relations), CNF.of(clause_list))
+
+
+@settings(max_examples=120, deadline=None)
+@given(areas(), areas())
+def test_symmetry(q1, q2):
+    # Symmetric up to float summation order in the best-match averages.
+    d = QueryDistance(STATS)
+    assert abs(d.distance(q1, q2) - d.distance(q2, q1)) < 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(areas())
+def test_self_distance_zero(q):
+    d = QueryDistance(STATS)
+    assert d.distance(q, q) == 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(areas(), areas())
+def test_range(q1, q2):
+    value = QueryDistance(STATS).distance(q1, q2)
+    assert 0.0 <= value <= 2.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(areas(), areas())
+def test_table_component_lower_bound(q1, q2):
+    """d >= d_tables, the invariant partitioned DBSCAN relies on."""
+    d = QueryDistance(STATS)
+    assert d.distance(q1, q2) >= d.d_tables(q1, q2) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates, predicates)
+def test_predicate_distance_range(p1, p2):
+    d = QueryDistance(STATS)
+    value = d.d_pred(p1, p2)
+    assert 0.0 <= value <= 1.0
+    assert d.d_pred(p2, p1) == value

@@ -1,0 +1,128 @@
+"""d = d_tables + d_conj (Section 5): structure and corner cases."""
+
+import pytest
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.core.area import AccessArea, unconstrained
+from repro.distance import QueryDistance, jaccard_distance
+
+T_A = ColumnRef("T", "a")
+S_B = ColumnRef("S", "b")
+
+
+def area(relations, *preds):
+    return AccessArea(tuple(relations),
+                      CNF.of([Clause.of([p]) for p in preds]))
+
+
+def cc(ref, op, value):
+    return ColumnConstantPredicate(ref, op, value)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_distance(frozenset({"a"}), frozenset({"a"})) == 0.0
+
+    def test_disjoint(self):
+        assert jaccard_distance(frozenset({"a"}), frozenset({"b"})) == 1.0
+
+    def test_partial(self):
+        value = jaccard_distance(frozenset({"a", "b"}), frozenset({"a"}))
+        assert value == pytest.approx(0.5)
+
+    def test_both_empty_corner_case(self):
+        # "In this case, we set d_tables to 0" (queries over constants).
+        assert jaccard_distance(frozenset(), frozenset()) == 0.0
+
+
+class TestDTables:
+    def test_same_tables(self, stats):
+        d = QueryDistance(stats)
+        assert d.d_tables(unconstrained(["T"]), unconstrained(["T"])) == 0.0
+
+    def test_different_tables(self, stats):
+        d = QueryDistance(stats)
+        assert d.d_tables(unconstrained(["T"]), unconstrained(["S"])) == 1.0
+
+    def test_subset_tables(self, stats):
+        d = QueryDistance(stats)
+        value = d.d_tables(unconstrained(["T"]), unconstrained(["T", "S"]))
+        assert value == pytest.approx(0.5)
+
+    def test_no_tables(self, stats):
+        d = QueryDistance(stats)
+        assert d.d_tables(unconstrained([]), unconstrained([])) == 0.0
+
+
+class TestDConj:
+    def test_identical_queries_distance_zero(self, stats):
+        d = QueryDistance(stats)
+        q = area(["T"], cc(T_A, Op.GE, 1), cc(T_A, Op.LE, 3))
+        assert d.distance(q, q) == 0.0
+
+    def test_both_unconstrained(self, stats):
+        d = QueryDistance(stats)
+        assert d.distance(unconstrained(["T"]), unconstrained(["T"])) == 0.0
+
+    def test_one_unconstrained_pays_unit(self, stats):
+        d = QueryDistance(stats)
+        q = area(["T"], cc(T_A, Op.GE, 1))
+        assert d.d_conj(unconstrained(["T"]).cnf, q.cnf) == 1.0
+
+    def test_overlapping_windows_close(self, stats):
+        d = QueryDistance(stats, resolution=0.0)
+        q1 = area(["T"], cc(T_A, Op.GE, 1.0), cc(T_A, Op.LE, 3.0))
+        q2 = area(["T"], cc(T_A, Op.GE, 1.1), cc(T_A, Op.LE, 2.9))
+        assert d.distance(q1, q2) < 0.2
+
+    def test_disjoint_windows_far(self, stats):
+        d = QueryDistance(stats, resolution=0.0)
+        q1 = area(["T"], cc(T_A, Op.EQ, 0.5))
+        q2 = area(["T"], cc(T_A, Op.EQ, 4.5))
+        assert d.distance(q1, q2) == pytest.approx(1.0)
+
+    def test_extra_clause_penalized(self, stats):
+        d = QueryDistance(stats, resolution=0.0)
+        base = area(["T"], cc(T_A, Op.GE, 1.0))
+        more = area(["T"], cc(T_A, Op.GE, 1.0),
+                    cc(ColumnRef("T", "a1"), Op.EQ, 2.0))
+        value = d.distance(base, more)
+        # The unmatched a1 clause pays ~1 over 3 clauses total.
+        assert 0.2 < value < 0.8
+
+    def test_range_upper_bound(self, stats):
+        d = QueryDistance(stats)
+        q1 = area(["T"], cc(T_A, Op.EQ, 0.5))
+        q2 = area(["S"], cc(S_B, Op.EQ, 9.5))
+        assert d.distance(q1, q2) == pytest.approx(2.0)
+
+    def test_symmetry(self, stats):
+        d = QueryDistance(stats)
+        q1 = area(["T"], cc(T_A, Op.GE, 1.0), cc(T_A, Op.LE, 3.0))
+        q2 = area(["T", "S"], cc(T_A, Op.GE, 2.0), cc(S_B, Op.LT, 5.0))
+        assert d.distance(q1, q2) == d.distance(q2, q1)
+
+    def test_callable_interface(self, stats):
+        d = QueryDistance(stats)
+        q = unconstrained(["T"])
+        assert d(q, q) == 0.0
+
+
+class TestDDisj:
+    def test_best_match_semantics(self, stats):
+        d = QueryDistance(stats, resolution=0.0)
+        clause1 = Clause.of([cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 4)])
+        clause2 = Clause.of([cc(T_A, Op.LT, 3)])
+        value = d.d_disj(clause1, clause2)
+        # LT 3 matches exactly (0); GT 4 best-matches LT 3 at 1.0;
+        # reverse direction matches at 0 → (0 + 1 + 0) / 3.
+        assert value == pytest.approx(1 / 3)
+
+    def test_empty_clause_corner(self, stats):
+        d = QueryDistance(stats)
+        empty = Clause(())
+        some = Clause.of([cc(T_A, Op.LT, 3)])
+        assert d.d_disj(empty, empty) == 0.0
+        assert d.d_disj(empty, some) == 1.0

@@ -1,0 +1,200 @@
+"""The mini SQL executor: selection, joins, grouping, subqueries, errors."""
+
+import pytest
+
+from repro.engine import (Database, DialectError, QueryExecutor,
+                          ResultLimitError)
+from repro.engine.executor import UnknownRelationError
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+@pytest.fixture()
+def db():
+    schema = Schema("test")
+    schema.add(Relation("T", (Column("u", ColumnType.INT),
+                              Column("v", ColumnType.INT),
+                              Column("s", ColumnType.VARCHAR))))
+    schema.add(Relation("S", (Column("u", ColumnType.INT),
+                              Column("w", ColumnType.INT))))
+    database = Database(schema)
+    database.insert("T", [
+        {"u": i, "v": i * 2, "s": "even" if i % 2 == 0 else "odd"}
+        for i in range(10)
+    ])
+    database.insert("S", [{"u": i, "w": i + 100}
+                          for i in range(0, 10, 2)])
+    return database
+
+
+@pytest.fixture()
+def ex(db):
+    return QueryExecutor(db)
+
+
+class TestSelection:
+    def test_where_filters(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM T WHERE u >= 5")) == 5
+
+    def test_between(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE u BETWEEN 2 AND 4")) == 3
+
+    def test_in_list(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE u IN (1, 3, 99)")) == 2
+
+    def test_string_predicate(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE s = 'even'")) == 5
+
+    def test_like(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE s LIKE 'ev%'")) == 5
+
+    def test_not(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE NOT (u < 5)")) == 5
+
+    def test_projection_labels(self, ex):
+        result = ex.execute_sql("SELECT u AS x FROM T WHERE u = 3")
+        assert result.rows == [{"x": 3}]
+
+    def test_star_is_qualified(self, ex):
+        result = ex.execute_sql("SELECT * FROM T WHERE u = 0")
+        assert "T.u" in result.rows[0]
+
+    def test_arithmetic(self, ex):
+        result = ex.execute_sql("SELECT u + v AS total FROM T WHERE u = 3")
+        assert result.rows[0]["total"] == 9
+
+    def test_distinct(self, ex):
+        result = ex.execute_sql("SELECT DISTINCT s FROM T")
+        assert len(result) == 2
+
+    def test_top_with_order(self, ex):
+        result = ex.execute_sql("SELECT TOP 3 u FROM T ORDER BY u DESC")
+        assert [r["u"] for r in result.rows] == [9, 8, 7]
+
+
+class TestJoins:
+    def test_inner_join(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T JOIN S ON T.u = S.u")) == 5
+
+    def test_comma_join_with_where(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T, S WHERE T.u = S.u")) == 5
+
+    def test_cross_join(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM T CROSS JOIN S")) == 50
+
+    def test_left_join_pads(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T LEFT JOIN S ON T.u = S.u")
+        assert len(result) == 10
+        unmatched = [r for r in result.rows if r["S.u"] is None]
+        assert len(unmatched) == 5
+
+    def test_right_join(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T RIGHT JOIN S ON T.u = S.u")) == 5
+
+    def test_full_outer_join(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u + 1")
+        # 5 matches (u = 1,3,5,7,9), 5 unmatched T, 0 unmatched S... S.u+1
+        # gives odd targets; every S row matches some T row.
+        matched = [r for r in result.rows
+                   if r["T.u"] is not None and r["S.u"] is not None]
+        assert len(matched) == 5
+        assert len(result) == 10
+
+    def test_natural_join(self, ex):
+        # Common column u.
+        assert len(ex.execute_sql("SELECT * FROM T NATURAL JOIN S")) == 5
+
+    def test_alias_resolution(self, ex):
+        result = ex.execute_sql(
+            "SELECT a.u FROM T a JOIN S b ON a.u = b.u WHERE a.u > 4")
+        assert sorted(r["a.u"] for r in result.rows) == [6, 8]
+
+
+class TestAggregates:
+    def test_group_by_having(self, ex):
+        result = ex.execute_sql(
+            "SELECT s, COUNT(*) AS n FROM T GROUP BY s HAVING COUNT(*) > 1")
+        assert {r["n"] for r in result.rows} == {5}
+
+    def test_sum_avg_min_max(self, ex):
+        result = ex.execute_sql(
+            "SELECT SUM(u) AS s, AVG(u) AS a, MIN(u) AS lo, "
+            "MAX(u) AS hi FROM T")
+        row = result.rows[0]
+        assert row == {"s": 45, "a": 4.5, "lo": 0, "hi": 9}
+
+    def test_having_filters_groups(self, ex):
+        result = ex.execute_sql(
+            "SELECT u, SUM(v) FROM T GROUP BY u HAVING SUM(v) > 10")
+        assert len(result) == 4  # u in 6..9 (v = 12, 14, 16, 18)
+
+    def test_count_on_empty(self, ex):
+        result = ex.execute_sql(
+            "SELECT COUNT(*) AS n FROM T WHERE u > 100")
+        assert result.rows[0]["n"] == 0
+
+
+class TestSubqueries:
+    def test_exists_correlated(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE u > 3 AND EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u)")
+        assert len(result) == 3  # u in {4, 6, 8}
+
+    def test_not_exists(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE NOT EXISTS "
+            "(SELECT * FROM S WHERE S.u = T.u)")
+        assert len(result) == 5  # odd u
+
+    def test_in_subquery(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE u IN (SELECT S.u FROM S WHERE w > 103)")
+        assert sorted(r["T.u"] for r in result.rows) == [4, 6, 8]
+
+    def test_scalar_subquery(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE u = (SELECT MIN(S.u) FROM S)")
+        assert len(result) == 1
+
+    def test_any(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE u > ANY (SELECT S.u FROM S WHERE w >= 106)")
+        assert sorted(r["T.u"] for r in result.rows) == [7, 8, 9]
+
+    def test_all(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T WHERE u > ALL (SELECT S.u FROM S)")
+        assert [r["T.u"] for r in result.rows] == [9]
+
+
+class TestErrors:
+    def test_limit_rejected_in_strict_mode(self, ex):
+        with pytest.raises(DialectError):
+            ex.execute_sql("SELECT * FROM T LIMIT 5")
+
+    def test_limit_allowed_when_lenient(self, db):
+        lenient = QueryExecutor(db, strict_mssql=False)
+        assert len(lenient.execute_sql("SELECT * FROM T LIMIT 5")) == 10
+
+    def test_result_cap(self, db):
+        capped = QueryExecutor(db, max_result_rows=10)
+        with pytest.raises(ResultLimitError):
+            capped.execute_sql("SELECT * FROM T, S")
+
+    def test_unknown_relation(self, ex):
+        with pytest.raises(UnknownRelationError):
+            ex.execute_sql("SELECT * FROM Galaxies")
+
+    def test_null_comparison_filters(self, ex, db):
+        db.insert("T", [{"u": None, "v": 1, "s": "x"}])
+        assert len(ex.execute_sql("SELECT * FROM T WHERE u >= 0")) == 10

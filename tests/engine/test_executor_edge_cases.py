@@ -1,0 +1,138 @@
+"""Executor corner cases beyond the main behaviour suite."""
+
+import pytest
+
+from repro.engine import Database, QueryExecutor
+from repro.engine.executor import ExecutionError
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+@pytest.fixture()
+def db():
+    schema = Schema("edge")
+    schema.add(Relation("T", (Column("u", ColumnType.INT),
+                              Column("v", ColumnType.REAL),
+                              Column("s", ColumnType.VARCHAR))))
+    schema.add(Relation("Empty", (Column("x", ColumnType.INT),)))
+    database = Database(schema)
+    database.insert("T", [
+        {"u": 1, "v": 1.5, "s": "a"},
+        {"u": 2, "v": None, "s": None},
+        {"u": 3, "v": 3.5, "s": "b"},
+    ])
+    return database
+
+
+@pytest.fixture()
+def ex(db):
+    return QueryExecutor(db)
+
+
+class TestNullSemantics:
+    def test_null_never_matches(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM T WHERE v > 0")) == 2
+        assert len(ex.execute_sql("SELECT * FROM T WHERE v <> 1.5")) == 1
+
+    def test_is_null(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM T WHERE v IS NULL")) == 1
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE s IS NOT NULL")) == 2
+
+    def test_null_in_arithmetic(self, ex):
+        result = ex.execute_sql("SELECT v + 1 AS w FROM T WHERE u = 2")
+        assert result.rows[0]["w"] is None
+
+    def test_aggregates_skip_nulls(self, ex):
+        result = ex.execute_sql(
+            "SELECT COUNT(v) AS n, SUM(v) AS s FROM T")
+        assert result.rows[0] == {"n": 2, "s": 5.0}
+
+    def test_avg_of_all_null_group(self, ex, db):
+        db.insert("T", [{"u": 9, "v": None, "s": None}])
+        result = ex.execute_sql(
+            "SELECT AVG(v) AS a FROM T WHERE u = 9")
+        assert result.rows[0]["a"] is None
+
+    def test_order_by_with_nulls(self, ex):
+        result = ex.execute_sql("SELECT u, v FROM T ORDER BY v")
+        assert [r["u"] for r in result.rows][0] == 2  # NULL sorts first
+
+
+class TestEmptyInputs:
+    def test_empty_table_scan(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM Empty")) == 0
+
+    def test_join_with_empty_table(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T, Empty WHERE T.u = Empty.x")) == 0
+
+    def test_left_join_empty_right(self, ex):
+        result = ex.execute_sql(
+            "SELECT * FROM T LEFT JOIN Empty ON T.u = Empty.x")
+        assert len(result) == 3
+
+    def test_exists_over_empty(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE EXISTS (SELECT * FROM Empty)")) == 0
+
+    def test_scalar_subquery_empty_is_null(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE u = (SELECT x FROM Empty)")) == 0
+
+    def test_all_over_empty_is_true(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE u > ALL (SELECT x FROM Empty)")) == 3
+
+    def test_any_over_empty_is_false(self, ex):
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE u > ANY (SELECT x FROM Empty)")) == 0
+
+
+class TestArithmetic:
+    def test_division_by_zero_integer(self, ex):
+        result = ex.execute_sql("SELECT u / 0 AS q FROM T WHERE u = 1")
+        assert result.rows[0]["q"] is None
+
+    def test_modulo(self, ex):
+        result = ex.execute_sql("SELECT u % 2 AS m FROM T ORDER BY u")
+        assert [r["m"] for r in result.rows] == [1, 0, 1]
+
+    def test_precedence(self, ex):
+        result = ex.execute_sql(
+            "SELECT 2 + 3 * 4 AS a FROM T WHERE u = 1")
+        assert result.rows[0]["a"] == 14
+
+
+class TestLike:
+    def test_case_insensitive(self, ex):
+        assert len(ex.execute_sql("SELECT * FROM T WHERE s LIKE 'A'")) == 1
+
+    def test_underscore_wildcard(self, ex, db):
+        db.insert("T", [{"u": 7, "v": 0.0, "s": "ab"}])
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE s LIKE '_b'")) == 1
+
+    def test_not_like(self, ex):
+        # NULL s rows never match NOT LIKE either.
+        assert len(ex.execute_sql(
+            "SELECT * FROM T WHERE NOT (s LIKE 'a%')")) == 2
+
+
+class TestMisc:
+    def test_select_without_from(self, ex):
+        result = ex.execute_sql("SELECT 1 AS one")
+        assert result.rows == [{"one": 1}]
+
+    def test_unsupported_function(self, ex):
+        with pytest.raises(ExecutionError):
+            ex.execute_sql("SELECT FLOOR(v) FROM T")
+
+    def test_group_by_string_column(self, ex):
+        result = ex.execute_sql(
+            "SELECT s, COUNT(*) AS n FROM T GROUP BY s")
+        assert len(result) == 3  # 'a', 'b', NULL groups
+
+    def test_correlated_scalar_in_projection(self, ex):
+        result = ex.execute_sql(
+            "SELECT u, (SELECT MAX(x) FROM Empty) AS m FROM T")
+        assert all(r["m"] is None for r in result.rows)

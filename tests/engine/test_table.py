@@ -1,0 +1,81 @@
+"""In-memory tables and the database container."""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+def _relation():
+    return Relation("T", (Column("u", ColumnType.INT),
+                          Column("Name", ColumnType.VARCHAR)))
+
+
+def _schema():
+    schema = Schema("test")
+    schema.add(_relation())
+    return schema
+
+
+class TestTable:
+    def test_insert_normalizes_column_case(self):
+        table = Table(_relation())
+        table.insert({"U": 1, "name": "x"})
+        assert table.rows[0] == {"u": 1, "Name": "x"}
+
+    def test_insert_unknown_column_raises(self):
+        table = Table(_relation())
+        with pytest.raises(KeyError):
+            table.insert({"nope": 1})
+
+    def test_get_value_case_insensitive(self):
+        table = Table(_relation())
+        table.insert({"u": 1, "Name": "x"})
+        assert table.get_value(table.rows[0], "NAME") == "x"
+
+    def test_column_values(self):
+        table = Table(_relation())
+        table.insert_many([{"u": i} for i in range(3)])
+        assert table.column_values("u") == [0, 1, 2]
+        assert table.column_values("name") == [None, None, None]
+
+    def test_len_and_iter(self):
+        table = Table(_relation())
+        table.insert_many([{"u": i} for i in range(5)])
+        assert len(table) == 5
+        assert sum(1 for _ in table) == 5
+
+
+class TestDatabase:
+    def test_tables_created_from_schema(self):
+        db = Database(_schema())
+        assert db.has_table("t") and db.has_table("T")
+        assert not db.has_table("S")
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            Database(_schema()).table("S")
+
+    def test_insert_and_count(self):
+        db = Database(_schema())
+        db.insert("T", [{"u": 1}, {"u": 2}])
+        assert db.row_count("T") == 2
+
+    def test_sample_column_small_table_returns_all(self):
+        db = Database(_schema())
+        db.insert("T", [{"u": i} for i in range(5)])
+        assert sorted(db.sample_column("T", "u", 100)) == [0, 1, 2, 3, 4]
+
+    def test_sample_column_respects_size(self):
+        db = Database(_schema())
+        db.insert("T", [{"u": i} for i in range(500)])
+        sample = db.sample_column("T", "u", 100)
+        assert len(sample) == 100
+
+    def test_sample_deterministic_given_seed(self):
+        def build():
+            db = Database(_schema(), seed=42)
+            db.insert("T", [{"u": i} for i in range(500)])
+            return db.sample_column("T", "u", 50)
+
+        assert build() == build()

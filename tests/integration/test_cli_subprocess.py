@@ -1,0 +1,48 @@
+"""The installed console entry point, exercised as a real subprocess."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestSubprocess:
+    def test_extract(self):
+        proc = run_cli("extract",
+                       "SELECT * FROM Photoz WHERE z BETWEEN 0 AND 0.1")
+        assert proc.returncode == 0
+        assert "Photoz.z <= 0.1" in proc.stdout
+
+    def test_extract_error_exit_code(self):
+        proc = run_cli("extract", "DROP TABLE PhotoObjAll")
+        assert proc.returncode == 1
+        assert "cannot extract" in proc.stderr
+
+    def test_generate_and_process_pipeline(self, tmp_path):
+        log_path = tmp_path / "log.jsonl"
+        proc = run_cli("generate", "--queries", "200",
+                       "--out", str(log_path))
+        assert proc.returncode == 0, proc.stderr
+        assert log_path.exists()
+
+        proc = run_cli("process", str(log_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "areas extracted" in proc.stdout
+
+    def test_help(self):
+        proc = run_cli("--help")
+        assert proc.returncode == 0
+        assert "extract" in proc.stdout and "casestudy" in proc.stdout
+
+    @pytest.mark.slow
+    def test_module_invocation_matches_entry_point(self):
+        proc = run_cli("extract", "SELECT * FROM SpecObjAll "
+                                  "WHERE plate > 300")
+        assert proc.returncode == 0
+        assert "SpecObjAll.plate > 300" in proc.stdout

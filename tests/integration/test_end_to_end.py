@@ -1,0 +1,95 @@
+"""End-to-end integration: the full pipeline and baseline comparisons."""
+
+import random
+
+from repro.baselines import (RequeryBaseline, fragmentation,
+                             raw_access_area, requery_log)
+from repro.clustering import partitioned_dbscan
+from repro.distance import QueryDistance
+from repro.workload import LogEntry
+
+
+class TestPipelineConsistency:
+    def test_sample_ground_truth_attached(self, small_case_study):
+        families = {s.family_id for s in small_case_study.sample}
+        assert families & set(range(1, 25))
+
+    def test_error_queries_extracted(self, small_case_study):
+        # MySQL-LIMIT statements still get areas (Section 6.6 "quality").
+        error_samples = [s for s in small_case_study.sample
+                        if s.family_id == LogEntry.ERROR]
+        assert error_samples
+
+    def test_access_stats_widened_by_log(self, small_case_study):
+        from repro.algebra.predicates import ColumnRef
+        ref = ColumnRef("zooSpec", "dec")
+        access = small_case_study.stats.access_interval(ref)
+        # The log queries dec = -100, below any content.
+        assert access.lo <= -100.0
+
+
+class TestOlapClusComparison:
+    def test_fragmentation_vs_our_single_cluster(self, small_case_study):
+        """Section 6.4 at small scale: one overlap cluster, many
+        exact-match groups for the point-lookup family."""
+        family1 = [s.area for s in small_case_study.sample
+                   if s.family_id == 1]
+        assert len(family1) >= 20
+        groups = fragmentation(family1, min_pts=2)
+        assert groups > 0.8 * len(family1)  # nearly one per constant
+
+        our_labels = [
+            small_case_study.clustering.labels[i]
+            for i, s in enumerate(small_case_study.sample)
+            if s.family_id == 1
+        ]
+        our_clusters = {label for label in our_labels if label >= 0}
+        assert 1 <= len(our_clusters) <= max(1, groups // 4)
+
+
+class TestRawQueryComparison:
+    def test_raw_clustering_breaks_transformed_families(
+            self, small_case_study):
+        """Section 6.5 at small scale: the NOT/HAVING-phrased family 19
+        splits when predicates are used as-is."""
+        result = small_case_study
+        sample = [
+            (i, s) for i, s in enumerate(result.sample)
+            if s.family_id == 19
+        ]
+        indices = [i for i, _ in sample]
+        ours = {result.clustering.labels[i] for i in indices
+                if result.clustering.labels[i] >= 0}
+        assert len(ours) == 1  # our method: one cluster
+
+        raw_areas = []
+        workload_by_family = [
+            e.sql for e in result.workload.log if e.family_id == 19
+        ]
+        for sql in workload_by_family[:120]:
+            raw_areas.append(raw_access_area(sql, result.schema))
+        distance = QueryDistance(result.stats, resolution=0.05)
+        raw_result = partitioned_dbscan(raw_areas, distance,
+                                        eps=0.12, min_pts=4)
+        raw_groups = raw_result.n_clusters
+        # As-is predicates split the family (NOT phrasing + HAVING atoms).
+        assert raw_groups >= 2 or raw_result.noise_count > \
+            0.2 * len(raw_areas)
+
+
+class TestRequeryComparison:
+    def test_requery_misses_empty_areas_and_errors(self, small_case_study):
+        """Section 6.6 at small scale."""
+        result = small_case_study
+        rng = random.Random(0)
+        entries = [e for e in result.workload.log
+                   if e.family_id in (19, 20, 21, 23, 24, LogEntry.ERROR)]
+        entries = rng.sample(entries, min(60, len(entries)))
+        baseline = RequeryBaseline(result.db)
+        report = requery_log(baseline, [e.sql for e in entries])
+        empty_family = sum(1 for e in entries if e.family_id in
+                           (19, 20, 21, 23, 24))
+        # No empty-area query yields an area; error queries error out.
+        assert report.empty_results >= 0.8 * empty_family
+        assert report.errored >= 1
+        assert report.succeeded < len(entries) * 0.3

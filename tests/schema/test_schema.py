@@ -1,0 +1,97 @@
+"""Schema metadata: columns, relations, registry."""
+
+import pytest
+
+from repro.algebra.intervals import Interval
+from repro.schema import Column, ColumnType, Relation, Schema
+
+
+class TestColumn:
+    def test_numeric_types(self):
+        for ctype in (ColumnType.BIGINT, ColumnType.INT,
+                      ColumnType.SMALLINT, ColumnType.REAL,
+                      ColumnType.FLOAT):
+            assert ctype.is_numeric
+        assert not ColumnType.VARCHAR.is_numeric
+
+    def test_declared_domain_narrows(self):
+        col = Column("ra", ColumnType.FLOAT, Interval(0.0, 360.0))
+        assert col.effective_domain == Interval(0.0, 360.0)
+
+    def test_type_domain_fallback(self):
+        col = Column("x", ColumnType.INT)
+        dom = col.effective_domain
+        assert dom.lo == -(2 ** 31) and dom.hi == 2 ** 31 - 1
+
+    def test_bigint_domain_holds_objids(self):
+        col = Column("objid", ColumnType.BIGINT)
+        assert col.effective_domain.contains(1_237_657_855_534_432_934)
+
+    def test_categorical_domain_raises(self):
+        col = Column("class", ColumnType.VARCHAR,
+                     categories=("star", "galaxy"))
+        with pytest.raises(TypeError):
+            _ = col.effective_domain
+
+
+class TestRelation:
+    def _rel(self):
+        return Relation("T", (
+            Column("u", ColumnType.INT),
+            Column("V", ColumnType.FLOAT),
+        ))
+
+    def test_column_lookup_case_insensitive(self):
+        rel = self._rel()
+        assert rel.column("U").name == "u"
+        assert rel.column("v").name == "V"
+
+    def test_has_column(self):
+        rel = self._rel()
+        assert rel.has_column("u") and not rel.has_column("w")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            self._rel().column("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("T", (Column("u", ColumnType.INT),
+                           Column("U", ColumnType.INT)))
+
+    def test_iteration_and_len(self):
+        rel = self._rel()
+        assert len(rel) == 2
+        assert [c.name for c in rel] == ["u", "V"]
+
+
+class TestSchema:
+    def _schema(self):
+        schema = Schema("test")
+        schema.add(Relation("PhotoObjAll",
+                            (Column("ra", ColumnType.FLOAT),)))
+        return schema
+
+    def test_lookup_case_insensitive(self):
+        schema = self._schema()
+        assert schema.relation("photoobjall").name == "PhotoObjAll"
+        assert schema.canonical_name("PHOTOOBJALL") == "PhotoObjAll"
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "photoobjall" in schema
+        assert "nope" not in schema
+
+    def test_duplicate_relation_rejected(self):
+        schema = self._schema()
+        with pytest.raises(ValueError):
+            schema.add(Relation("PHOTOOBJALL",
+                                (Column("x", ColumnType.INT),)))
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(KeyError):
+            self._schema().relation("nope")
+
+    def test_column_accessor(self):
+        schema = self._schema()
+        assert schema.column("photoobjall", "RA").name == "ra"

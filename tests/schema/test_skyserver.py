@@ -1,0 +1,76 @@
+"""The SkyServer DR9-like schema and its content-footprint constants."""
+
+from repro.schema import CONTENT_BOUNDS, content_bounds, skyserver_schema
+from repro.schema import skyserver as sky
+
+
+class TestSchemaShape:
+    def test_table1_relations_present(self):
+        schema = skyserver_schema()
+        for name in ["Photoz", "SpecObjAll", "galSpecLine", "galSpecInfo",
+                     "PhotoObjAll", "sppLines", "SpecPhotoAll",
+                     "DBObjects", "emissionLinesPort", "stellarMassPCAWisc",
+                     "AtlasOutline", "zooSpec", "galSpecExtra",
+                     "galSpecIndx", "sppParams"]:
+            assert schema.has_relation(name), name
+
+    def test_angle_domains(self):
+        schema = skyserver_schema()
+        ra = schema.column("PhotoObjAll", "ra")
+        dec = schema.column("PhotoObjAll", "dec")
+        assert ra.effective_domain.lo == 0.0
+        assert ra.effective_domain.hi == 360.0
+        assert dec.effective_domain.lo == -90.0
+
+    def test_categorical_class(self):
+        schema = skyserver_schema()
+        cls = schema.column("SpecObjAll", "class")
+        assert "star" in cls.categories
+
+    def test_dbobjects_categorical(self):
+        schema = skyserver_schema()
+        assert "U" in schema.column("DBObjects", "type").categories
+        assert "U" in schema.column("DBObjects", "access").categories
+
+
+class TestContentFootprint:
+    def test_every_bound_column_exists(self):
+        schema = skyserver_schema()
+        for (relation, column) in CONTENT_BOUNDS:
+            assert schema.has_relation(relation), relation
+            assert schema.relation(relation).has_column(column), \
+                f"{relation}.{column}"
+
+    def test_bounds_within_domains(self):
+        schema = skyserver_schema()
+        for (relation, column), interval in CONTENT_BOUNDS.items():
+            col = schema.relation(relation).column(column)
+            dom = col.effective_domain
+            assert dom.lo <= interval.lo <= interval.hi <= dom.hi, \
+                f"{relation}.{column}"
+
+    def test_lookup_case_insensitive(self):
+        assert content_bounds("photoz", "Z") is not None
+        assert content_bounds("nope", "x") is None
+
+    def test_empty_area_families_fall_outside_content(self):
+        # Clusters 19-21 query specobjid above the DR9 content band.
+        spec = content_bounds("galSpecLine", "specobjid")
+        assert spec.hi < 3_519_644_828_126_257_152
+        # Cluster 18 queries dec below the photometric footprint.
+        dec = content_bounds("PhotoObjAll", "dec")
+        assert dec.lo > -50.0
+        # Clusters 23-24 query z outside [0, 1].
+        z = content_bounds("Photoz", "z")
+        assert z.lo >= -0.1 and z.hi <= 3.0
+
+    def test_hot_ranges_inside_content(self):
+        objid = content_bounds("Photoz", "objid")
+        assert objid.contains(1_237_657_855_534_432_934)
+        assert objid.contains(1_237_666_210_342_830_434)
+        plate = content_bounds("SpecObjAll", "plate")
+        assert plate.contains(296) and plate.contains(3200)
+
+    def test_figure1a_band(self):
+        assert sky.PLATE_LO == 266 and sky.PLATE_HI == 5141
+        assert sky.MJD_LO == 51578 and sky.MJD_HI == 55752

@@ -1,0 +1,136 @@
+"""content(a)/access(a) estimation and log-driven widening (Section 5.3)."""
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+class _StubSource:
+    """A sampling source returning canned values."""
+
+    def __init__(self, values_by_column):
+        self.values = values_by_column
+
+    def sample_column(self, relation, column, size):
+        return self.values.get((relation, column), [])
+
+
+def _schema():
+    schema = Schema("test")
+    schema.add(Relation("T", (
+        Column("u", ColumnType.FLOAT, Interval(-1000.0, 1000.0)),
+        Column("s", ColumnType.VARCHAR, categories=("a", "b")),
+    )))
+    return schema
+
+
+T_U = ColumnRef("T", "u")
+T_S = ColumnRef("T", "s")
+
+
+class TestEstimation:
+    def test_access_doubles_sampled_range(self):
+        source = _StubSource({("T", "u"): [0.0, 10.0, 5.0]})
+        catalog = StatisticsCatalog.estimate(_schema(), source)
+        access = catalog.access_interval(T_U)
+        # Sampled [0, 10], doubled → [-5, 15].
+        assert access == Interval(-5.0, 15.0)
+
+    def test_content_is_sampled_mbr(self):
+        source = _StubSource({("T", "u"): [0.0, 10.0]})
+        catalog = StatisticsCatalog.estimate(_schema(), source)
+        assert catalog.content_interval(T_U) == Interval(0.0, 10.0)
+
+    def test_empty_sample_falls_back_to_domain(self):
+        catalog = StatisticsCatalog.estimate(_schema(), _StubSource({}))
+        assert catalog.access_interval(T_U) == Interval(-1000.0, 1000.0)
+
+    def test_none_values_filtered(self):
+        source = _StubSource({("T", "u"): [None, 2.0, None, 4.0]})
+        catalog = StatisticsCatalog.estimate(_schema(), source)
+        assert catalog.content_interval(T_U) == Interval(2.0, 4.0)
+
+    def test_categorical_vocabulary(self):
+        source = _StubSource({("T", "s"): ["a", "a", "b"]})
+        catalog = StatisticsCatalog.estimate(_schema(), source)
+        assert catalog.access_values(T_S) == frozenset({"a", "b"})
+
+    def test_categorical_empty_sample_uses_declared(self):
+        catalog = StatisticsCatalog.estimate(_schema(), _StubSource({}))
+        assert catalog.access_values(T_S) == frozenset({"a", "b"})
+
+
+class TestExactContent:
+    def test_from_exact_content(self):
+        catalog = StatisticsCatalog.from_exact_content(
+            _schema(), {("T", "u"): Interval(0.0, 50.0)})
+        assert catalog.access_interval(T_U) == Interval(0.0, 50.0)
+
+    def test_missing_column_uses_domain(self):
+        catalog = StatisticsCatalog.from_exact_content(_schema(), {})
+        assert catalog.access_interval(T_U) == Interval(-1000.0, 1000.0)
+
+
+class TestObservation:
+    def _catalog(self):
+        return StatisticsCatalog.from_exact_content(
+            _schema(), {("T", "u"): Interval(0.0, 10.0)})
+
+    def test_widening_below(self):
+        catalog = self._catalog()
+        catalog.observe_predicate(
+            ColumnConstantPredicate(T_U, Op.GE, -100))
+        assert catalog.access_interval(T_U).lo == -100
+        # Content stays put: only access(a) grows.
+        assert catalog.content_interval(T_U) == Interval(0.0, 10.0)
+
+    def test_widening_above(self):
+        catalog = self._catalog()
+        catalog.observe_predicate(ColumnConstantPredicate(T_U, Op.LE, 99))
+        assert catalog.access_interval(T_U).hi == 99
+
+    def test_inside_value_no_change(self):
+        catalog = self._catalog()
+        catalog.observe_predicate(ColumnConstantPredicate(T_U, Op.EQ, 5))
+        assert catalog.access_interval(T_U) == Interval(0.0, 10.0)
+
+    def test_observe_cnf(self):
+        catalog = self._catalog()
+        cnf = CNF.of([Clause.of([
+            ColumnConstantPredicate(T_U, Op.GT, 77)])])
+        catalog.observe_cnf(cnf)
+        assert catalog.access_interval(T_U).hi == 77
+
+    def test_categorical_observation(self):
+        catalog = self._catalog()
+        catalog.observe_predicate(
+            ColumnConstantPredicate(T_S, Op.EQ, "zzz"))
+        assert "zzz" in catalog.access_values(T_S)
+
+    def test_out_of_domain_observation_kept(self):
+        # The zooSpec.dec = -100 phenomenon: access may exceed the
+        # physically sensible domain.
+        catalog = self._catalog()
+        catalog.observe_predicate(
+            ColumnConstantPredicate(T_U, Op.GE, -2000))
+        assert catalog.access_interval(T_U).lo == -2000
+
+
+class TestFallbacks:
+    def test_unknown_column_uses_schema_domain(self):
+        catalog = StatisticsCatalog.from_exact_content(_schema(), {})
+        ref = ColumnRef("T", "u")
+        assert catalog.access_interval(ref) == Interval(-1000.0, 1000.0)
+
+    def test_unknown_relation_gets_wide_range(self):
+        catalog = StatisticsCatalog.from_exact_content(_schema(), {})
+        ref = ColumnRef("Mystery", "x")
+        assert catalog.access_interval(ref).width > 1e300
+
+    def test_is_numeric(self):
+        catalog = StatisticsCatalog.from_exact_content(_schema(), {})
+        assert catalog.is_numeric(T_U)
+        assert not catalog.is_numeric(T_S)

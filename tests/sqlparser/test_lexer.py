@@ -1,0 +1,110 @@
+"""Tokenizer behaviour across the SkyServer lexical variety."""
+
+import pytest
+
+from repro.sqlparser.errors import LexError
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("PhotoObjAll objid _x my_table2")
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+    def test_punctuation(self):
+        values = [t.value for t in tokenize("( ) , . * ;")[:-1]]
+        assert values == ["(", ")", ",", ".", "*", ";"]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["1", "123", "1.5", ".5", "1e10",
+                                      "2.5E-3", "1237657855534432934"])
+    def test_number_forms(self, text):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == text
+
+    def test_number_followed_by_dot_not_greedy(self):
+        tokens = tokenize("1.5.6")
+        assert tokens[0].type is TokenType.NUMBER
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'star'")[0]
+        assert token.type is TokenType.STRING and token.value == "star"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestQuotedIdentifiers:
+    def test_bracketed(self):
+        token = tokenize("[My Table]")[0]
+        assert token.type is TokenType.IDENT and token.value == "My Table"
+
+    def test_double_quoted(self):
+        token = tokenize('"PhotoObjAll"')[0]
+        assert token.type is TokenType.IDENT
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(LexError):
+            tokenize("[oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("text,expected", [
+        ("<", "<"), ("<=", "<="), ("=", "="), (">", ">"), (">=", ">="),
+        ("<>", "<>"), ("!=", "<>"),
+    ])
+    def test_comparison_operators(self, text, expected):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == expected
+
+    def test_le_not_split(self):
+        tokens = tokenize("a<=5")
+        assert [t.value for t in tokens[:-1]] == ["a", "<=", "5"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        tokens = tokenize("SELECT /* skip\nthis */ 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT /* oops")
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("SELECT ~ FROM T")
+        assert excinfo.value.position == 7
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")

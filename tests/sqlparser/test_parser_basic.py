@@ -1,0 +1,163 @@
+"""Parsing plain SELECT statements."""
+
+import pytest
+
+from repro.sqlparser import ast, parse
+from repro.sqlparser.errors import ParseError
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse("SELECT * FROM T")
+        assert isinstance(stmt.select_items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT T.* FROM T")
+        star = stmt.select_items[0].expr
+        assert isinstance(star, ast.Star) and star.table == "T"
+
+    def test_columns_with_aliases(self):
+        stmt = parse("SELECT u AS a, v b, w FROM T")
+        assert stmt.select_items[0].alias == "a"
+        assert stmt.select_items[1].alias == "b"
+        assert stmt.select_items[2].alias is None
+
+    def test_distinct_and_top(self):
+        stmt = parse("SELECT DISTINCT TOP 50 u FROM T")
+        assert stmt.distinct and stmt.top == 50
+
+    def test_function_call(self):
+        stmt = parse("SELECT COUNT(*), SUM(v) FROM T")
+        count = stmt.select_items[0].expr
+        assert isinstance(count, ast.FunctionCall)
+        assert isinstance(count.args[0], ast.Star)
+
+    def test_select_into_dropped(self):
+        stmt = parse("SELECT u INTO mydb.results FROM T WHERE u > 1")
+        assert stmt.where is not None
+
+    def test_arithmetic_select_item(self):
+        stmt = parse("SELECT u + v * 2 FROM T")
+        expr = stmt.select_items[0].expr
+        assert isinstance(expr, ast.Arithmetic) and expr.op == "+"
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse("SELECT * FROM T WHERE u >= 1")
+        cond = stmt.where
+        assert isinstance(cond, ast.Comparison) and cond.op == ">="
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT * FROM T WHERE a > 1 OR b > 2 AND c > 3")
+        assert isinstance(stmt.where, ast.OrCondition)
+        right = stmt.where.children[1]
+        assert isinstance(right, ast.AndCondition)
+
+    def test_parenthesized_condition(self):
+        stmt = parse("SELECT * FROM T WHERE (a > 1 OR b > 2) AND c > 3")
+        assert isinstance(stmt.where, ast.AndCondition)
+        assert isinstance(stmt.where.children[0], ast.OrCondition)
+
+    def test_parenthesized_expression_not_condition(self):
+        stmt = parse("SELECT * FROM T WHERE (a + b) > 5")
+        assert isinstance(stmt.where, ast.Comparison)
+        assert isinstance(stmt.where.left, ast.Arithmetic)
+
+    def test_between(self):
+        stmt = parse("SELECT * FROM T WHERE u BETWEEN 1 AND 8")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_not_between(self):
+        stmt = parse("SELECT * FROM T WHERE u NOT BETWEEN 1 AND 8")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse("SELECT * FROM T WHERE u IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.values) == 3
+
+    def test_not_in_list(self):
+        stmt = parse("SELECT * FROM T WHERE u NOT IN (1, 2)")
+        assert stmt.where.negated
+
+    def test_like(self):
+        stmt = parse("SELECT * FROM T WHERE name LIKE 'gal%'")
+        assert isinstance(stmt.where, ast.Like)
+        assert stmt.where.pattern == "gal%"
+
+    def test_is_null(self):
+        stmt = parse("SELECT * FROM T WHERE u IS NULL")
+        assert isinstance(stmt.where, ast.IsNull) and not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse("SELECT * FROM T WHERE u IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_not_condition(self):
+        stmt = parse("SELECT * FROM T WHERE NOT (u > 5)")
+        assert isinstance(stmt.where, ast.NotCondition)
+
+    def test_negative_literal(self):
+        stmt = parse("SELECT * FROM T WHERE dec >= -90")
+        assert stmt.where.right.value == -90
+
+    def test_bang_equals_normalized(self):
+        stmt = parse("SELECT * FROM T WHERE u != 5")
+        assert stmt.where.op == "<>"
+
+    def test_constant_on_left(self):
+        stmt = parse("SELECT * FROM T WHERE 5 < u")
+        assert isinstance(stmt.where.left, ast.Literal)
+
+
+class TestOtherClauses:
+    def test_group_by_having(self):
+        stmt = parse("SELECT u, SUM(v) FROM T GROUP BY u "
+                     "HAVING SUM(v) > 10")
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.Comparison)
+
+    def test_order_by(self):
+        stmt = parse("SELECT * FROM T ORDER BY u DESC, v")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_limit_recorded(self):
+        stmt = parse("SELECT * FROM T LIMIT 10")
+        assert stmt.limit == 10
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT * FROM T LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT * FROM T;").from_items
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM T garbage extra tokens ,")
+
+
+class TestExpressions:
+    def test_qualified_udf_call(self):
+        stmt = parse("SELECT dbo.fGetNearbyObjEq(180.0, 0.5, 3) FROM T")
+        call = stmt.select_items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "dbo.fGetNearbyObjEq"
+
+    def test_null_literal(self):
+        stmt = parse("SELECT * FROM T WHERE u = NULL")
+        assert stmt.where.right.value is None
+
+    def test_string_roundtrip(self):
+        stmt = parse("SELECT * FROM T WHERE class = 'star'")
+        assert stmt.where.right.value == "star"
+
+    def test_scientific_number(self):
+        stmt = parse("SELECT * FROM T WHERE u > 1.5e3")
+        assert stmt.where.right.value == 1500.0
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT u) FROM T")
+        assert isinstance(stmt.select_items[0].expr, ast.FunctionCall)

@@ -1,0 +1,93 @@
+"""Failure taxonomy: the paper's three classes of unparseable statements."""
+
+import pytest
+
+from repro.sqlparser import parse
+from repro.sqlparser.errors import (LexError, ParseError, SqlError,
+                                    UnsupportedStatementError)
+
+
+class TestUnsupportedStatements:
+    @pytest.mark.parametrize("sql,keyword", [
+        ("CREATE TABLE x (a int)", "CREATE"),
+        ("DECLARE @ra float", "DECLARE"),
+        ("INSERT INTO T VALUES (1)", "INSERT"),
+        ("UPDATE T SET u = 1", "UPDATE"),
+        ("DELETE FROM T", "DELETE"),
+        ("DROP TABLE T", "DROP"),
+        ("EXEC spMyProc 1", "EXEC"),
+        ("WITH cte AS (SELECT 1) SELECT * FROM cte", "WITH"),
+    ])
+    def test_statement_keywords(self, sql, keyword):
+        with pytest.raises(UnsupportedStatementError) as excinfo:
+            parse(sql)
+        assert excinfo.value.keyword == keyword
+
+    def test_union_unsupported(self):
+        with pytest.raises(UnsupportedStatementError):
+            parse("SELECT u FROM T UNION SELECT u FROM S")
+
+    def test_case_expression_unsupported(self):
+        with pytest.raises(UnsupportedStatementError):
+            parse("SELECT CASE WHEN u > 1 THEN 1 ELSE 0 END FROM T")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM T",
+        "SELECT * FROM",
+        "SELECT * FROM T WHERE",
+        "SELECT * FROM T WHERE u >",
+        "SELECT * FROM T WHERE u BETWEEN 1",
+        "SELECT * FROM T GROUP",
+        "SELECT * FROM T ORDER u",
+        "SELECT * FROM T WHERE u IN (",
+        "SELECT TOP FROM T",
+        "SELECT * FROM T LIMIT x",
+        "SELCT * FROM T",
+    ])
+    def test_malformed(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT FROM T")
+        assert excinfo.value.position >= 0
+
+    def test_dangling_not(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM T WHERE u NOT 5")
+
+
+class TestLexErrors:
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            parse("SELECT ? FROM T")
+
+    def test_all_errors_are_sql_errors(self):
+        for bad in ["CREATE TABLE x (a int)", "SELECT FROM",
+                    "SELECT 'oops FROM T"]:
+            with pytest.raises(SqlError):
+                parse(bad)
+
+
+class TestRobustness:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_whitespace_only(self):
+        with pytest.raises(ParseError):
+            parse("   \n\t ")
+
+    def test_comment_only(self):
+        with pytest.raises(ParseError):
+            parse("-- just a comment")
+
+    def test_deeply_parenthesized(self):
+        depth = 30
+        sql = ("SELECT * FROM T WHERE " + "(" * depth + "u > 1"
+               + ")" * depth)
+        stmt = parse(sql)
+        assert stmt.where is not None

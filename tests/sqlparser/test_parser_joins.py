@@ -1,0 +1,84 @@
+"""Parsing FROM clauses: comma lists, join flavours, aliases."""
+
+import pytest
+
+from repro.sqlparser import ast, parse
+from repro.sqlparser.errors import ParseError, UnsupportedStatementError
+
+
+class TestFromList:
+    def test_single_table(self):
+        stmt = parse("SELECT * FROM T")
+        assert stmt.table_refs()[0].name == "T"
+
+    def test_comma_list(self):
+        stmt = parse("SELECT * FROM T, S, R")
+        assert [r.name for r in stmt.table_refs()] == ["T", "S", "R"]
+
+    def test_aliases(self):
+        stmt = parse("SELECT * FROM PhotoObjAll p, SpecObjAll AS s")
+        refs = stmt.table_refs()
+        assert refs[0].alias == "p" and refs[1].alias == "s"
+        assert refs[0].binding == "p"
+
+    def test_schema_qualified_name(self):
+        stmt = parse("SELECT * FROM dbo.PhotoObjAll")
+        assert stmt.table_refs()[0].name == "PhotoObjAll"
+
+
+class TestJoins:
+    @pytest.mark.parametrize("sql,join_type", [
+        ("SELECT * FROM T JOIN S ON T.u = S.u", ast.JoinType.INNER),
+        ("SELECT * FROM T INNER JOIN S ON T.u = S.u", ast.JoinType.INNER),
+        ("SELECT * FROM T LEFT JOIN S ON T.u = S.u", ast.JoinType.LEFT),
+        ("SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.u",
+         ast.JoinType.LEFT),
+        ("SELECT * FROM T RIGHT OUTER JOIN S ON T.u = S.u",
+         ast.JoinType.RIGHT),
+        ("SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u",
+         ast.JoinType.FULL),
+    ])
+    def test_join_types(self, sql, join_type):
+        stmt = parse(sql)
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.join_type is join_type
+        assert join.condition is not None
+
+    def test_cross_join_no_condition(self):
+        stmt = parse("SELECT * FROM T CROSS JOIN S")
+        join = stmt.from_items[0]
+        assert join.join_type is ast.JoinType.CROSS
+        assert join.condition is None
+
+    def test_natural_join(self):
+        stmt = parse("SELECT * FROM T NATURAL JOIN S")
+        assert stmt.from_items[0].join_type is ast.JoinType.NATURAL
+
+    def test_inner_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM T JOIN S")
+
+    def test_chained_joins(self):
+        stmt = parse("SELECT * FROM T JOIN S ON T.u = S.u "
+                     "JOIN R ON S.v = R.v")
+        outer = stmt.from_items[0]
+        assert isinstance(outer.left, ast.Join)
+        assert [r.name for r in stmt.table_refs()] == ["T", "S", "R"]
+
+    def test_join_with_parenthesized_condition(self):
+        stmt = parse("SELECT * FROM T JOIN S ON (T.u = S.u)")
+        assert isinstance(stmt.from_items[0].condition, ast.Comparison)
+
+    def test_join_with_compound_condition(self):
+        stmt = parse("SELECT * FROM T JOIN S ON T.u = S.u AND S.v > 3")
+        assert isinstance(stmt.from_items[0].condition, ast.AndCondition)
+
+    def test_mixed_commas_and_joins(self):
+        stmt = parse("SELECT * FROM T, S JOIN R ON S.v = R.v")
+        assert len(stmt.from_items) == 2
+        assert len(stmt.table_refs()) == 3
+
+    def test_derived_table_unsupported(self):
+        with pytest.raises(UnsupportedStatementError):
+            parse("SELECT * FROM (SELECT * FROM T) x")

@@ -1,0 +1,105 @@
+"""Parsing nested queries: EXISTS, IN, ANY/ALL/SOME, scalar subqueries."""
+
+from repro.sqlparser import ast, parse
+
+
+class TestExists:
+    def test_exists(self):
+        stmt = parse("SELECT * FROM T WHERE EXISTS "
+                     "(SELECT * FROM S WHERE S.u = T.u)")
+        assert isinstance(stmt.where, ast.Exists)
+        inner = stmt.where.query
+        assert inner.table_refs()[0].name == "S"
+
+    def test_not_exists(self):
+        stmt = parse("SELECT * FROM T WHERE NOT EXISTS "
+                     "(SELECT * FROM S)")
+        assert isinstance(stmt.where, ast.NotCondition)
+        assert isinstance(stmt.where.child, ast.Exists)
+
+    def test_multiple_exists(self):
+        stmt = parse(
+            "SELECT * FROM T WHERE T.u > 1 "
+            "AND EXISTS (SELECT * FROM S WHERE S.v < 2) "
+            "AND EXISTS (SELECT * FROM S WHERE S.v > 7)")
+        assert isinstance(stmt.where, ast.AndCondition)
+        exists_children = [c for c in stmt.where.children
+                           if isinstance(c, ast.Exists)]
+        assert len(exists_children) == 2
+
+    def test_nested_exists_two_levels(self):
+        stmt = parse(
+            "SELECT * FROM T WHERE EXISTS (SELECT * FROM S WHERE "
+            "S.u = T.u AND EXISTS (SELECT * FROM R WHERE R.v = S.v))")
+        outer = stmt.where.query
+        inner_exists = outer.where.children[1]
+        assert isinstance(inner_exists, ast.Exists)
+        assert inner_exists.query.table_refs()[0].name == "R"
+
+
+class TestInSubquery:
+    def test_in_subquery(self):
+        stmt = parse("SELECT * FROM T WHERE T.u IN (SELECT S.u FROM S)")
+        assert isinstance(stmt.where, ast.InSubquery)
+        assert not stmt.where.negated
+
+    def test_not_in_subquery(self):
+        stmt = parse("SELECT * FROM T WHERE T.u NOT IN "
+                     "(SELECT S.u FROM S)")
+        assert stmt.where.negated
+
+    def test_in_subquery_with_where(self):
+        stmt = parse("SELECT * FROM T WHERE T.u IN "
+                     "(SELECT S.u FROM S WHERE S.v = 12)")
+        assert stmt.where.query.where is not None
+
+
+class TestQuantified:
+    def test_any(self):
+        stmt = parse("SELECT * FROM T WHERE T.u > ANY (SELECT S.u FROM S)")
+        cond = stmt.where
+        assert isinstance(cond, ast.QuantifiedComparison)
+        assert cond.quantifier == "ANY" and cond.op == ">"
+
+    def test_some_normalizes_to_any(self):
+        stmt = parse("SELECT * FROM T WHERE T.u = SOME (SELECT S.u FROM S)")
+        assert stmt.where.quantifier == "ANY"
+
+    def test_all(self):
+        stmt = parse("SELECT * FROM T WHERE T.u >= ALL "
+                     "(SELECT S.u FROM S)")
+        assert stmt.where.quantifier == "ALL"
+
+
+class TestScalarSubquery:
+    def test_scalar_comparison(self):
+        stmt = parse("SELECT * FROM T WHERE T.u = "
+                     "(SELECT S.u FROM S WHERE S.v = 12)")
+        assert isinstance(stmt.where, ast.Comparison)
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_scalar_on_left(self):
+        stmt = parse("SELECT * FROM T WHERE (SELECT MAX(S.u) FROM S) > T.u")
+        assert isinstance(stmt.where.left, ast.ScalarSubquery)
+
+    def test_scalar_in_select_list(self):
+        stmt = parse("SELECT (SELECT COUNT(*) FROM S) FROM T")
+        assert isinstance(stmt.select_items[0].expr, ast.ScalarSubquery)
+
+
+class TestDeepNesting:
+    def test_three_levels(self):
+        stmt = parse(
+            "SELECT * FROM T WHERE EXISTS (SELECT * FROM S WHERE EXISTS "
+            "(SELECT * FROM R WHERE R.x IN (SELECT Q.x FROM Q)))")
+        level1 = stmt.where.query
+        level2 = level1.where.query
+        level3 = level2.where.query
+        assert level3.table_refs()[0].name == "Q"
+
+    def test_subquery_with_aggregates(self):
+        stmt = parse(
+            "SELECT * FROM T WHERE T.u IN (SELECT S.u FROM S "
+            "GROUP BY S.u HAVING COUNT(*) > 5)")
+        inner = stmt.where.query
+        assert inner.having is not None

@@ -1,0 +1,122 @@
+"""Property test: printing a parsed statement reparses to the same AST.
+
+``str(SelectStatement)`` is used in diagnostics and tests; this guards
+both the printer and the parser against drift — for every generated AST,
+``parse(str(ast))`` must be structurally identical (ASTs are frozen
+dataclasses, so ``==`` is deep).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlparser import ast, parse
+
+_idents = st.sampled_from(["T", "S", "PhotoObjAll", "x1"])
+_columns = st.sampled_from(["u", "v", "ra", "dec"])
+_numbers = st.sampled_from([0, 1, 5, -3, 2.5, 1000])
+_strings = st.sampled_from(["star", "galaxy", "it's"])
+_ops = st.sampled_from(["<", "<=", "=", ">", ">=", "<>"])
+
+
+@st.composite
+def scalar_exprs(draw, depth=1):
+    kind = draw(st.integers(0, 3 if depth > 0 else 2))
+    if kind == 0:
+        return ast.ColumnExpr(draw(st.none() | _idents), draw(_columns))
+    if kind == 1:
+        return ast.Literal(draw(_numbers))
+    if kind == 2:
+        return ast.Literal(draw(_strings))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    return ast.Arithmetic(op, draw(scalar_exprs(depth=depth - 1)),
+                          draw(scalar_exprs(depth=depth - 1)))
+
+
+@st.composite
+def conditions(draw, depth=2):
+    if depth == 0 or draw(st.integers(0, 2)) == 0:
+        kind = draw(st.integers(0, 3))
+        column = ast.ColumnExpr(draw(st.none() | _idents),
+                                draw(_columns))
+        if kind == 0:
+            return ast.Comparison(column, draw(_ops),
+                                  ast.Literal(draw(_numbers)))
+        if kind == 1:
+            lo, hi = sorted([draw(_numbers), draw(_numbers)],
+                            key=lambda v: float(v))
+            return ast.Between(column, ast.Literal(lo), ast.Literal(hi),
+                               draw(st.booleans()))
+        if kind == 2:
+            values = tuple(ast.Literal(v) for v in
+                           draw(st.lists(_numbers, min_size=1,
+                                         max_size=3)))
+            return ast.InList(column, values, draw(st.booleans()))
+        return ast.IsNull(column, draw(st.booleans()))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return ast.NotCondition(draw(conditions(depth=depth - 1)))
+    children = tuple(draw(st.lists(conditions(depth=depth - 1),
+                                   min_size=2, max_size=3)))
+    if kind == 1:
+        return ast.AndCondition(children)
+    return ast.OrCondition(children)
+
+
+@st.composite
+def statements(draw):
+    n_tables = draw(st.integers(1, 2))
+    names = draw(st.lists(_idents, min_size=n_tables, max_size=n_tables,
+                          unique=True))
+    from_items = tuple(ast.TableRef(name) for name in names)
+    select_items = (ast.SelectItem(ast.Star()),)
+    where = draw(st.none() | conditions())
+    order_by = ()
+    if draw(st.booleans()):
+        order_by = (ast.OrderItem(
+            ast.ColumnExpr(None, draw(_columns)),
+            draw(st.booleans())),)
+    return ast.SelectStatement(
+        select_items=select_items,
+        from_items=from_items,
+        where=where,
+        order_by=order_by,
+        top=draw(st.none() | st.integers(1, 100)),
+        distinct=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(statements())
+def test_print_parse_roundtrip(statement):
+    printed = str(statement)
+    reparsed = parse(printed)
+    assert reparsed == statement, printed
+
+
+@settings(max_examples=60, deadline=None)
+@given(statements())
+def test_roundtrip_is_fixed_point(statement):
+    once = str(parse(str(statement)))
+    twice = str(parse(once))
+    assert once == twice
+
+
+def test_roundtrip_nested_query():
+    sql = ("SELECT * FROM T WHERE T.u > 3 AND EXISTS "
+           "(SELECT * FROM S WHERE S.u = T.u AND S.v < 2)")
+    statement = parse(sql)
+    assert parse(str(statement)) == statement
+
+
+def test_roundtrip_joins():
+    sql = ("SELECT * FROM T LEFT JOIN S ON T.u = S.u "
+           "JOIN R ON S.v = R.v")
+    statement = parse(sql)
+    assert parse(str(statement)) == statement
+
+
+def test_roundtrip_group_having():
+    sql = ("SELECT T.u, SUM(T.v) FROM T GROUP BY T.u "
+           "HAVING SUM(T.v) > 10")
+    statement = parse(sql)
+    assert parse(str(statement)) == statement

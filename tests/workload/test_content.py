@@ -1,0 +1,78 @@
+"""Synthetic database content: footprint shape vs. CONTENT_BOUNDS."""
+
+import pytest
+
+from repro.schema import CONTENT_BOUNDS, skyserver_schema
+from repro.schema import skyserver as sky
+from repro.workload import ContentConfig, build_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(ContentConfig(photo_rows=800, spec_rows=700,
+                                        satellite_rows=400, seed=7))
+
+
+class TestRowCounts:
+    def test_all_tables_populated(self, db):
+        for relation in skyserver_schema():
+            assert db.row_count(relation.name) > 0, relation.name
+
+
+class TestFootprintShape:
+    def test_content_within_declared_bounds(self, db):
+        for (relation, column), interval in CONTENT_BOUNDS.items():
+            values = [v for v in db.table(relation).column_values(column)
+                      if v is not None]
+            if not values:
+                continue
+            assert min(values) >= interval.lo, f"{relation}.{column}"
+            assert max(values) <= interval.hi, f"{relation}.{column}"
+
+    def test_corner_pinning_makes_bounds_tight(self, db):
+        plates = db.table("SpecObjAll").column_values("plate")
+        assert min(plates) == sky.PLATE_LO and max(plates) == sky.PLATE_HI
+
+    def test_no_far_southern_photometry(self, db):
+        decs = db.table("PhotoObjAll").column_values("dec")
+        assert min(decs) >= sky.PHOTO_DEC_LO
+        # The Figure 1(b) empty area is genuinely empty.
+        assert not any(d <= -50 for d in decs)
+
+    def test_zoo_stripe(self, db):
+        decs = db.table("zooSpec").column_values("dec")
+        assert min(decs) >= sky.ZOO_DEC_LO and max(decs) <= sky.ZOO_DEC_HI
+
+    def test_photoz_in_unit_range(self, db):
+        zs = db.table("Photoz").column_values("z")
+        assert min(zs) >= 0.0 and max(zs) <= 1.0
+
+    def test_plate_mjd_diagonal_band(self, db):
+        table = db.table("SpecObjAll")
+        plates = table.column_values("plate")
+        mjds = table.column_values("mjd")
+        # Correlation of the Figure 1(a) band.
+        n = len(plates)
+        mean_p = sum(plates) / n
+        mean_m = sum(mjds) / n
+        cov = sum((p - mean_p) * (m - mean_m)
+                  for p, m in zip(plates, mjds)) / n
+        var_p = sum((p - mean_p) ** 2 for p in plates) / n
+        var_m = sum((m - mean_m) ** 2 for m in mjds) / n
+        correlation = cov / (var_p ** 0.5 * var_m ** 0.5)
+        assert correlation > 0.9
+
+    def test_referential_links(self, db):
+        photo_ids = set(db.table("PhotoObjAll").column_values("objid"))
+        best = db.table("SpecObjAll").column_values("bestobjid")
+        matching = sum(1 for b in best if b in photo_ids)
+        assert matching / len(best) > 0.95
+
+
+class TestDeterminism:
+    def test_same_seed_same_content(self):
+        a = build_database(ContentConfig(photo_rows=100, spec_rows=100,
+                                         satellite_rows=50, seed=3))
+        b = build_database(ContentConfig(photo_rows=100, spec_rows=100,
+                                         satellite_rows=50, seed=3))
+        assert a.table("PhotoObjAll").rows == b.table("PhotoObjAll").rows

@@ -1,0 +1,93 @@
+"""Log generation: composition, determinism, scaling."""
+
+import random
+
+from repro.workload import (LogEntry, WorkloadConfig, family_allocation,
+                            generate_workload, table1_families)
+
+
+class TestAllocation:
+    def test_sublinear_scaling_compresses_spread(self):
+        config = WorkloadConfig(n_queries=10_000, scale_exponent=0.5)
+        allocation = family_allocation(config, table1_families())
+        largest = max(allocation.values())
+        smallest = min(allocation.values())
+        # Table 1 spread is ~825:1; sqrt compresses to < 40:1.
+        assert largest / smallest < 40
+
+    def test_min_family_size_enforced(self):
+        config = WorkloadConfig(n_queries=1000, min_family_size=12)
+        allocation = family_allocation(config, table1_families())
+        assert min(allocation.values()) >= 12
+
+    def test_order_preserved(self):
+        config = WorkloadConfig(n_queries=50_000)
+        allocation = family_allocation(config, table1_families())
+        assert allocation[1] > allocation[9] > allocation[24]
+
+
+class TestGeneration:
+    def test_total_size_near_target(self):
+        workload = generate_workload(WorkloadConfig(n_queries=2000))
+        assert abs(len(workload.log) - 2000) / 2000 < 0.2
+
+    def test_composition(self):
+        workload = generate_workload(WorkloadConfig(n_queries=2000))
+        counts = workload.log.family_counts()
+        assert counts.get(LogEntry.NOISE, 0) > 0
+        assert counts.get(LogEntry.ERROR, 0) > 0
+        assert counts.get(LogEntry.MALFORMED, 0) > 0
+        for fid in range(1, 25):
+            assert counts.get(fid, 0) >= 12
+
+    def test_deterministic(self):
+        a = generate_workload(WorkloadConfig(n_queries=500, seed=5))
+        b = generate_workload(WorkloadConfig(n_queries=500, seed=5))
+        assert a.log.statements() == b.log.statements()
+
+    def test_seed_changes_output(self):
+        a = generate_workload(WorkloadConfig(n_queries=500, seed=5))
+        b = generate_workload(WorkloadConfig(n_queries=500, seed=6))
+        assert a.log.statements() != b.log.statements()
+
+    def test_mostly_distinct_users(self):
+        workload = generate_workload(WorkloadConfig(n_queries=1000))
+        # "the cardinality of each cluster is approximately equal to the
+        #  number of users"
+        assert len(workload.log.users()) > 0.8 * len(workload.log)
+
+    def test_shuffled(self):
+        workload = generate_workload(WorkloadConfig(n_queries=1000))
+        families = [e.family_id for e in workload.log]
+        # Families interleave rather than appearing in contiguous blocks.
+        changes = sum(1 for a, b in zip(families, families[1:]) if a != b)
+        assert changes > len(families) * 0.5
+
+    def test_bot_traffic(self):
+        workload = generate_workload(
+            WorkloadConfig(n_queries=500, n_bots=3, bot_queries=25))
+        bot_entries = [e for e in workload.log
+                       if e.user.startswith("bot")]
+        assert len(bot_entries) == 75
+        # Each bot repeats ONE statement verbatim.
+        by_bot: dict[str, set[str]] = {}
+        for entry in bot_entries:
+            by_bot.setdefault(entry.user, set()).add(entry.sql)
+        assert all(len(stmts) == 1 for stmts in by_bot.values())
+
+    def test_bots_detectable_by_analytics(self):
+        from repro.analysis import UserQuery, analyze_users
+        from repro.core import AccessAreaExtractor
+        from repro.schema import skyserver_schema
+        workload = generate_workload(
+            WorkloadConfig(n_queries=300, n_bots=2, bot_queries=30))
+        extractor = AccessAreaExtractor(skyserver_schema())
+        queries = []
+        for entry in workload.log:
+            try:
+                area = extractor.extract(entry.sql).area
+            except Exception:
+                continue
+            queries.append(UserQuery(entry.user, area, entry.sql))
+        analytics = analyze_users(queries)
+        assert set(analytics.bots) == {"bot000", "bot001"}

@@ -1,0 +1,66 @@
+"""QueryLog container and JSONL persistence."""
+
+import random
+
+from repro.workload import LogEntry, QueryLog
+
+
+def _log():
+    return QueryLog([
+        LogEntry("SELECT * FROM T", "alice", 1),
+        LogEntry("SELECT * FROM S", "bob", 1),
+        LogEntry("SELECT * FROM R", "alice", 2),
+        LogEntry("SELCT nope", "eve", LogEntry.MALFORMED),
+    ])
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        log = _log()
+        assert len(log) == 4
+        assert log[0].user == "alice"
+        assert sum(1 for _ in log) == 4
+
+    def test_statements(self):
+        assert _log().statements()[0] == "SELECT * FROM T"
+
+    def test_statements_with_users(self):
+        assert _log().statements_with_users()[1] == ("SELECT * FROM S",
+                                                     "bob")
+
+    def test_users(self):
+        assert _log().users() == {"alice", "bob", "eve"}
+
+    def test_family_counts(self):
+        counts = _log().family_counts()
+        assert counts == {1: 2, 2: 1, LogEntry.MALFORMED: 1}
+
+    def test_filter_family(self):
+        filtered = _log().filter_family(1)
+        assert len(filtered) == 2
+
+    def test_sample(self):
+        log = _log()
+        sample = log.sample(2, random.Random(0))
+        assert len(sample) == 2
+        full = log.sample(100, random.Random(0))
+        assert len(full) == 4
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        log = _log()
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        loaded = QueryLog.load(path)
+        assert loaded.statements() == log.statements()
+        assert [e.family_id for e in loaded] == \
+            [e.family_id for e in log]
+        assert [e.user for e in loaded] == [e.user for e in log]
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"sql": "SELECT 1", "user": "u"}\n\n\n')
+        loaded = QueryLog.load(path)
+        assert len(loaded) == 1
+        assert loaded[0].family_id == 0

@@ -1,0 +1,45 @@
+"""Plain-text log format (real public logs ship as flat text)."""
+
+from repro.workload import LogEntry, QueryLog
+
+
+class TestPlainFormat:
+    def test_roundtrip_statements(self, tmp_path):
+        log = QueryLog([
+            LogEntry("SELECT * FROM T WHERE u > 1", "alice", 1),
+            LogEntry("SELECT *\n  FROM S\n  WHERE v < 2", "bob", 2),
+        ])
+        path = tmp_path / "log.sql"
+        log.save_plain(path)
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 2
+        # Embedded newlines collapse to single-line statements.
+        assert loaded[1].sql == "SELECT * FROM S WHERE v < 2"
+
+    def test_metadata_not_preserved(self, tmp_path):
+        log = QueryLog([LogEntry("SELECT 1 FROM T", "alice", 7)])
+        path = tmp_path / "log.sql"
+        log.save_plain(path)
+        loaded = QueryLog.load_plain(path)
+        assert loaded[0].user == "anonymous"
+        assert loaded[0].family_id == 0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "# header comment\n"
+            "\n"
+            "SELECT * FROM T\n"
+            "   \n"
+            "SELECT * FROM S\n")
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 2
+
+    def test_plain_log_feeds_pipeline(self, tmp_path):
+        from repro.core import process_log
+        path = tmp_path / "log.sql"
+        path.write_text("SELECT * FROM T WHERE T.u > 1\nSELCT broken\n")
+        loaded = QueryLog.load_plain(path)
+        report = process_log(loaded.statements())
+        assert report.extraction_count == 1
+        assert report.parse_errors == 1

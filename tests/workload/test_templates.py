@@ -1,0 +1,107 @@
+"""Query-family templates: parseability, planted ranges, error classes."""
+
+import random
+
+import pytest
+
+from repro.core import AccessAreaExtractor
+from repro.schema import skyserver_schema
+from repro.sqlparser import SqlError, parse
+from repro.workload import (generate_error_query,
+                            generate_malformed_statement,
+                            generate_noise_query, table1_families)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return AccessAreaExtractor(skyserver_schema())
+
+
+class TestFamilyRegistry:
+    def test_24_families(self):
+        families = table1_families()
+        assert len(families) == 24
+        assert [f.family_id for f in families] == list(range(1, 25))
+
+    def test_cardinalities_match_table1(self):
+        by_id = {f.family_id: f for f in table1_families()}
+        assert by_id[1].cardinality == 179_072
+        assert by_id[9].cardinality == 18_904
+        assert by_id[24].cardinality == 217
+
+    def test_empty_area_flags(self):
+        by_id = {f.family_id: f for f in table1_families()}
+        for fid in range(18, 25):
+            assert by_id[fid].empty_area, fid
+        for fid in range(1, 18):
+            assert not by_id[fid].empty_area, fid
+
+
+class TestGeneratedStatements:
+    @pytest.mark.parametrize("family", table1_families(),
+                             ids=lambda f: f.name)
+    def test_family_statements_extract(self, family, extractor):
+        rng = random.Random(family.family_id)
+        for _ in range(25):
+            sql = family.generate(rng)
+            area = extractor.extract(sql).area  # must not raise
+            lowered = {r.lower() for r in area.relations}
+            assert {r.lower() for r in family.relations} <= lowered, sql
+
+    def test_family1_constants_in_hot_range(self, extractor):
+        family = next(f for f in table1_families() if f.family_id == 1)
+        rng = random.Random(0)
+        from repro.algebra.predicates import ColumnRef
+        for _ in range(20):
+            area = extractor.extract(family.generate(rng)).area
+            hull = area.footprint_hull(ColumnRef("Photoz", "objid"))
+            assert hull is not None
+            assert 1_237_657_855_534_432_934 <= hull.lo
+            assert hull.hi <= 1_237_666_210_342_830_434
+
+    def test_family18_in_empty_south(self, extractor):
+        family = next(f for f in table1_families() if f.family_id == 18)
+        rng = random.Random(0)
+        from repro.algebra.predicates import ColumnRef
+        for _ in range(20):
+            area = extractor.extract(family.generate(rng)).area
+            hull = area.footprint_hull(ColumnRef("PhotoObjAll", "dec"))
+            assert hull.hi <= -50.0
+
+    def test_family22_produces_out_of_domain_dec(self, extractor):
+        family = next(f for f in table1_families() if f.family_id == 22)
+        rng = random.Random(0)
+        from repro.algebra.predicates import ColumnRef
+        lows = []
+        for _ in range(40):
+            area = extractor.extract(family.generate(rng)).area
+            hull = area.footprint_hull(ColumnRef("zooSpec", "dec"))
+            lows.append(hull.lo)
+        assert min(lows) == -100.0  # the paper's dec = -100 curiosity
+
+
+class TestNoiseAndPathological:
+    def test_noise_queries_parse(self, extractor):
+        rng = random.Random(1)
+        for _ in range(50):
+            extractor.extract(generate_noise_query(rng))
+
+    def test_error_queries_parse_but_fail_on_server(self, extractor):
+        # Extraction succeeds (that is the paper's point)...
+        rng = random.Random(2)
+        statements = [generate_error_query(rng) for _ in range(20)]
+        for sql in statements:
+            extractor.extract(sql)
+        # ...and at least one of them is MySQL-dialect LIMIT.
+        assert any("LIMIT" in sql for sql in statements)
+
+    def test_malformed_statements_rejected(self):
+        rng = random.Random(3)
+        rejected = 0
+        for _ in range(40):
+            sql = generate_malformed_statement(rng)
+            try:
+                parse(sql)
+            except SqlError:
+                rejected += 1
+        assert rejected == 40
