@@ -9,8 +9,8 @@ by planted-family recovery.
 """
 
 from repro.clustering import SingleLinkage, partitioned_dbscan
-from repro.distance import (FootprintDistance, QueryDistance,
-                            WeightedQueryDistance)
+from repro.distance import (DistanceMatrix, FootprintDistance,
+                            QueryDistance, WeightedQueryDistance)
 from .conftest import write_artifact
 
 
@@ -75,11 +75,15 @@ def test_clustering_technique_sweep(benchmark, bench_result, out_dir):
     distance = QueryDistance(result.stats, resolution=config.resolution)
 
     def sweep():
-        dbscan = partitioned_dbscan(areas, distance, eps=config.eps,
-                                    min_pts=config.min_pts)
+        # One shared distance matrix feeds both algorithms — the
+        # pairwise bill is paid once, not per technique.
+        matrix = DistanceMatrix.compute(areas, distance,
+                                        cutoff=config.eps)
+        dbscan = partitioned_dbscan(areas, None, eps=config.eps,
+                                    min_pts=config.min_pts, matrix=matrix)
         linkage = SingleLinkage(threshold=config.eps,
                                 min_size=config.min_pts).fit(
-            areas, distance)
+            areas, matrix=matrix)
         return dbscan, linkage
 
     dbscan, linkage = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -6,9 +6,16 @@ Consolidation <1-95 ms, and identifies the CNF converter's exponential
 blow-up past ~35 predicates — worked around by the predicate cap.
 """
 
+import time
+
+import numpy as np
+
 from repro.algebra.cnf import CNFConversionError
+from repro.clustering import pairwise_matrix
 from repro.core import AccessAreaExtractor, process_log
-from repro.schema import skyserver_schema
+from repro.distance import DistanceMatrix, QueryDistance
+from repro.schema import StatisticsCatalog, skyserver_schema
+from repro.schema.skyserver import CONTENT_BOUNDS
 from repro.workload import WorkloadConfig, generate_workload
 from .conftest import write_artifact
 
@@ -45,6 +52,59 @@ def test_throughput_and_stage_timings(benchmark, out_dir):
     # Stage ordering: parsing is not the bottleneck end-to-end.
     timings = report.stage_timings
     assert timings["parse"].maximum < 1.0  # seconds
+
+
+def test_distance_matrix_engine_speedup(benchmark, out_dir):
+    """The shared matrix engine vs the naive per-algorithm double loop.
+
+    On a 200-area workload the engine must be ≥ 1.5× faster through
+    bound-skipping and the two-level cache alone (this container may
+    have a single core, so parallelism gets no credit), and the
+    parallel path must reproduce the serial matrix bitwise.
+    """
+    schema = skyserver_schema()
+    workload = generate_workload(WorkloadConfig(n_queries=400, seed=71))
+    report = process_log(workload.log.statements(),
+                         AccessAreaExtractor(schema), keep_failures=False)
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    for item in report.extracted:
+        stats.observe_cnf(item.area.cnf)
+    areas = report.areas()[:200]
+    eps = 0.12
+
+    def metric():
+        return QueryDistance(stats, resolution=0.05)
+
+    # The old hot path: every algorithm re-ran the full double loop.
+    start = time.perf_counter()
+    naive = pairwise_matrix(areas, metric())
+    naive_seconds = time.perf_counter() - start
+
+    engine = benchmark.pedantic(
+        lambda: DistanceMatrix.compute(areas, metric(), cutoff=eps),
+        rounds=1, iterations=1)
+    speedup = naive_seconds / max(engine.stats.elapsed_seconds, 1e-9)
+
+    # Exactness: serial full matrix == naive loop == parallel matrix.
+    serial = DistanceMatrix.compute(areas, metric())
+    parallel = DistanceMatrix.compute(areas, metric(), n_jobs=2)
+    assert np.array_equal(serial.to_square(), naive)
+    assert np.array_equal(parallel.condensed, serial.condensed)
+
+    art = "\n".join([
+        f"population          : {len(areas)} areas, "
+        f"{engine.stats.pairs_total:,} pairs",
+        f"naive double loop   : {naive_seconds:.3f} s",
+        f"matrix engine       : {engine.stats.elapsed_seconds:.3f} s "
+        f"(cutoff={eps})",
+        f"speedup             : {speedup:.1f}x",
+        f"engine stats        : {engine.stats.summary()}",
+        "parallel (n_jobs=2) : bitwise identical to serial",
+    ])
+    write_artifact(out_dir, "distance_matrix_engine.txt", art)
+    print("\n" + art)
+
+    assert speedup >= 1.5
 
 
 def _many_predicate_query(n: int) -> str:

@@ -25,7 +25,8 @@ from .clustering import (DBSCAN, AggregatedArea, aggregate_cluster,
                          area_coverage, object_coverage, partitioned_dbscan)
 from .core import (AccessArea, AccessAreaExtractor, ExtractionResult,
                    LogProcessingReport, process_log)
-from .distance import PredicateDistance, QueryDistance
+from .distance import (DistanceMatrix, MatrixStats, PredicateDistance,
+                       QueryDistance)
 from .engine import Database, QueryExecutor
 from .schema import (Column, ColumnType, Relation, Schema,
                      StatisticsCatalog, skyserver_schema)
@@ -41,7 +42,7 @@ __all__ = [
     "object_coverage", "partitioned_dbscan",
     "AccessArea", "AccessAreaExtractor", "ExtractionResult",
     "LogProcessingReport", "process_log",
-    "PredicateDistance", "QueryDistance",
+    "DistanceMatrix", "MatrixStats", "PredicateDistance", "QueryDistance",
     "Database", "QueryExecutor",
     "Column", "ColumnType", "Relation", "Schema", "StatisticsCatalog",
     "skyserver_schema",

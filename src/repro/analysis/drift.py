@@ -103,18 +103,21 @@ def mine_drift(
         min_pts: int = 5,
         resolution: float = 0.05,
         match_distance: float = 0.5,
-        sigma: float = 3.0) -> DriftReport:
+        sigma: float = 3.0,
+        n_jobs: int = 1) -> DriftReport:
     """Mine each window and match interests across consecutive windows.
 
     Two interests in consecutive windows are the *same* interest when
     their medoids are within ``match_distance`` (greedy best-match).
+    ``n_jobs`` fans the per-window distance matrices out over worker
+    processes (1 = serial).
     """
     distance = QueryDistance(stats, resolution=resolution)
     report = DriftReport()
 
     for window_index, areas in enumerate(windows):
         clustering = partitioned_dbscan(list(areas), distance, eps,
-                                        min_pts)
+                                        min_pts, n_jobs=n_jobs)
         interests: list[WindowInterest] = []
         for cluster_id, indices in clustering.clusters().items():
             members = [areas[i] for i in indices]

@@ -55,6 +55,8 @@ class CaseStudyConfig:
     predicate_cap: Optional[int] = 35
     consolidate: bool = True
     seed: int = 99
+    #: worker processes for the clustering distance matrices (1 = serial)
+    n_jobs: int = 1
 
 
 @dataclass
@@ -153,7 +155,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
 
     distance = QueryDistance(stats, resolution=config.resolution)
     clustering = partitioned_dbscan(
-        [s.area for s in sample], distance, config.eps, config.min_pts)
+        [s.area for s in sample], distance, config.eps, config.min_pts,
+        n_jobs=config.n_jobs)
 
     rows = _build_rows(sample, clustering, stats, db, config)
     return CaseStudyResult(

@@ -75,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--seed", type=int, default=13)
     p_case.add_argument("--rows", type=int, default=24,
                         help="table rows to print")
+    p_case.add_argument("--n-jobs", type=int, default=1,
+                        help="worker processes for the clustering "
+                             "distance matrix (1 = serial, 0 = all "
+                             "CPU cores)")
     return parser
 
 
@@ -159,6 +163,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         sample_size=args.sample,
         eps=args.eps,
         min_pts=args.min_pts,
+        n_jobs=args.n_jobs,
     )
     result = run_case_study(config)
     print(format_summary(result))

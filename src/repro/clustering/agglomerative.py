@@ -15,7 +15,7 @@ by relation set first when the threshold allows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
 from .dbscan import NOISE, DBSCANResult
@@ -55,7 +55,21 @@ class SingleLinkage:
     min_size: int = 2
 
     def fit(self, areas: Sequence[AccessArea],
-            distance: Distance) -> DBSCANResult:
+            distance: Optional[Distance] = None,
+            matrix=None) -> DBSCANResult:
+        """Cluster ``areas``; exactly one of ``distance``/``matrix``.
+
+        ``matrix`` is a square array-like or a condensed
+        ``DistanceMatrix`` over ``areas``."""
+        if (distance is None) == (matrix is None):
+            raise ValueError("provide exactly one of distance or matrix")
+        if matrix is not None:
+            if hasattr(matrix, "value"):  # condensed DistanceMatrix
+                pair_distance = matrix.value
+            else:
+                pair_distance = lambda i, j: float(matrix[i][j])  # noqa: E731
+        else:
+            pair_distance = lambda i, j: distance(areas[i], areas[j])  # noqa: E731
         n = len(areas)
         uf = _UnionFind(n)
         if self.threshold < 0.5:
@@ -72,7 +86,7 @@ class SingleLinkage:
                 for j in indices[pos + 1:]:
                     if uf.find(i) == uf.find(j):
                         continue
-                    if distance(areas[i], areas[j]) <= self.threshold:
+                    if pair_distance(i, j) <= self.threshold:
                         uf.union(i, j)
 
         components: dict[int, list[int]] = {}

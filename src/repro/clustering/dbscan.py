@@ -7,7 +7,10 @@ semantics: core points have at least ``min_pts`` neighbours within
 density-reachability, and non-reachable points are labelled noise (-1).
 
 Distances may be supplied as a callable (evaluated lazily, memoized per
-pair) or as a precomputed square matrix.
+pair), as a precomputed square matrix, or as a condensed
+:class:`repro.distance.DistanceMatrix` (the shared engine all clustering
+algorithms accept; recognized by duck-typing on ``neighbors`` so this
+module keeps no dependency on the distance layer).
 """
 
 from __future__ import annotations
@@ -63,16 +66,26 @@ class DBSCAN:
                                                  repr=False)
 
     def fit(self, items: Sequence, distance: Optional[Distance] = None,
-            matrix: Optional[np.ndarray] = None) -> DBSCANResult:
-        """Cluster ``items``; exactly one of ``distance``/``matrix``."""
+            matrix=None) -> DBSCANResult:
+        """Cluster ``items``; exactly one of ``distance``/``matrix``.
+
+        ``matrix`` is a square array-like or a condensed
+        ``DistanceMatrix`` over ``items``."""
         if (distance is None) == (matrix is None):
             raise ValueError("provide exactly one of distance or matrix")
         n = len(items)
         if matrix is not None:
-            matrix = np.asarray(matrix, dtype=float)
-            if matrix.shape != (n, n):
-                raise ValueError(
-                    f"matrix shape {matrix.shape} does not match {n} items")
+            if hasattr(matrix, "neighbors"):  # condensed DistanceMatrix
+                if len(matrix) != n:
+                    raise ValueError(
+                        f"matrix over {len(matrix)} items does not "
+                        f"match {n} items")
+            else:
+                matrix = np.asarray(matrix, dtype=float)
+                if matrix.shape != (n, n):
+                    raise ValueError(
+                        f"matrix shape {matrix.shape} does not match "
+                        f"{n} items")
 
         labels = [_UNVISITED] * n
         cluster_id = 0
@@ -92,8 +105,7 @@ class DBSCAN:
 
     def _expand(self, point: int, neighbors: list[int], cluster_id: int,
                 labels: list[int], items: Sequence,
-                distance: Optional[Distance],
-                matrix: Optional[np.ndarray]) -> None:
+                distance: Optional[Distance], matrix) -> None:
         labels[point] = cluster_id
         queue = deque(neighbors)
         while queue:
@@ -109,9 +121,10 @@ class DBSCAN:
                 queue.extend(current_neighbors)
 
     def _region_query(self, point: int, items: Sequence,
-                      distance: Optional[Distance],
-                      matrix: Optional[np.ndarray]) -> list[int]:
+                      distance: Optional[Distance], matrix) -> list[int]:
         if matrix is not None:
+            if hasattr(matrix, "neighbors"):
+                return matrix.neighbors(point, self.eps)
             return list(np.flatnonzero(matrix[point] <= self.eps))
         neighbors: list[int] = []
         for other in range(len(items)):

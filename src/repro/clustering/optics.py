@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from .dbscan import NOISE, DBSCANResult
 
@@ -47,7 +47,16 @@ class OPTICS:
     max_eps: float
     min_pts: int = 5
 
-    def fit(self, items: Sequence, distance: Distance) -> OPTICSResult:
+    def fit(self, items: Sequence, distance: Optional[Distance] = None,
+            matrix=None) -> OPTICSResult:
+        """Order ``items``; exactly one of ``distance``/``matrix``.
+
+        ``matrix`` is a square array-like or a condensed
+        ``DistanceMatrix`` over ``items`` (computed up to at least
+        ``max_eps`` — bound-skipped entries hold lower bounds, which the
+        radius test treats correctly)."""
+        if (distance is None) == (matrix is None):
+            raise ValueError("provide exactly one of distance or matrix")
         n = len(items)
         processed = [False] * n
         reachability = [_UNDEFINED] * n
@@ -57,6 +66,10 @@ class OPTICS:
         memo: dict[tuple[int, int], float] = {}
 
         def dist(i: int, j: int) -> float:
+            if matrix is not None:
+                if hasattr(matrix, "value"):  # condensed DistanceMatrix
+                    return matrix.value(i, j)
+                return float(matrix[i][j])
             key = (i, j) if i < j else (j, i)
             value = memo.get(key)
             if value is None:

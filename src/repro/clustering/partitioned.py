@@ -2,37 +2,59 @@
 
 The query distance is ``d = d_tables + d_conj`` with ``d_conj ≥ 0``, and
 the Jaccard distance between two *different* relation sets is at least
-0.5 (witnessed by ``{A}`` vs ``{A, B}``).  Hence for any ``eps < 0.5``
-two areas can only be DBSCAN neighbours when their table sets are equal —
-so the clustering decomposes exactly into one independent DBSCAN per
-table-set partition, turning the O(n²) distance bill into
-``Σ n_partition²``.
+``1/|union|`` — at least 0.5 for the one- and two-table FROM sets that
+dominate query logs (worst case ``{A}`` vs ``{A, B}``).  Hence for any
+``eps < 0.5`` two areas can only be DBSCAN neighbours when their table
+sets are equal — so the clustering decomposes exactly into one
+independent DBSCAN per table-set partition, turning the O(n²) distance
+bill into ``Σ n_partition²``.
 
-For ``eps ≥ 0.5`` the decomposition is not exact and
+Caveat (property-tested in ``tests/distance/test_metric_laws.py``): the
+0.5 constant does not survive larger sets — ``{A, B}`` vs ``{A, B, C}``
+is only 1/3 apart — so with ``k``-table joins in the log the
+decomposition is strictly exact only for ``eps < 1/(k + 1)``.  The
+paper's radius (0.12) is safely below that for SkyServer-realistic
+joins.  For ``eps ≥ 0.5`` the decomposition never holds and
 :func:`partitioned_dbscan` refuses to silently approximate.
+
+Per-partition distances go through the shared
+:class:`~repro.distance.DistanceMatrix` engine: pass a precomputed
+matrix over the whole population to reuse it across algorithms, or
+``n_jobs != 1`` to fan the per-partition computation out over worker
+processes.  Both paths produce exactly the labels of the legacy
+callable path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
+from ..distance.matrix import DistanceMatrix
 from .dbscan import DBSCAN, NOISE, DBSCANResult
 
 Distance = Callable[[AccessArea, AccessArea], float]
 
 
-def partitioned_dbscan(areas: Sequence[AccessArea], distance: Distance,
-                       eps: float, min_pts: int = 5) -> DBSCANResult:
+def partitioned_dbscan(areas: Sequence[AccessArea],
+                       distance: Optional[Distance], eps: float,
+                       min_pts: int = 5, *,
+                       matrix: Optional[DistanceMatrix] = None,
+                       n_jobs: int = 1) -> DBSCANResult:
     """DBSCAN over access areas, partitioned by relation set.
 
     Produces exactly the labels plain DBSCAN would (up to cluster-id
-    numbering) whenever ``eps < 0.5``.
+    numbering) whenever ``eps < 0.5``.  ``matrix`` — optional precomputed
+    :class:`~repro.distance.DistanceMatrix` over ``areas`` (then
+    ``distance`` may be ``None``); ``n_jobs`` — worker processes for the
+    per-partition distance matrices (1 = the serial callable path).
     """
     if eps >= 0.5:
         raise ValueError(
             "partitioned DBSCAN is only exact for eps < 0.5; "
             "use DBSCAN directly for larger radii")
+    if distance is None and matrix is None:
+        raise ValueError("provide a distance callable or a matrix")
     partitions: dict[frozenset[str], list[int]] = {}
     for index, area in enumerate(areas):
         key = frozenset(t.lower() for t in area.table_set)
@@ -45,7 +67,14 @@ def partitioned_dbscan(areas: Sequence[AccessArea], distance: Distance,
         if len(indices) < min_pts:
             continue  # too small to ever contain a core point
         subset = [areas[i] for i in indices]
-        result = DBSCAN(eps, min_pts).fit(subset, distance)
+        if matrix is not None:
+            result = DBSCAN(eps, min_pts).fit(
+                subset, matrix=matrix.submatrix(indices))
+        elif n_jobs != 1:
+            sub = DistanceMatrix.compute(subset, distance, n_jobs=n_jobs)
+            result = DBSCAN(eps, min_pts).fit(subset, matrix=sub)
+        else:
+            result = DBSCAN(eps, min_pts).fit(subset, distance)
         remap: dict[int, int] = {}
         for local_index, label in enumerate(result.labels):
             if label == NOISE:

@@ -7,9 +7,8 @@ blow-ups) and per-stage timing distributions.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..algebra.cnf import CNFConversionError
 from ..sqlparser import (LexError, ParseError, UnsupportedStatementError)
@@ -19,16 +18,22 @@ from .extractor import AccessAreaExtractor, StageTimings
 
 @dataclass
 class StageTimingSummary:
-    """Min / max / mean / total seconds per stage across a log."""
+    """Min / max / mean / total seconds per stage across a log.
+
+    An empty summary reports ``minimum == 0.0`` (not ``inf``) so that
+    exported reports over logs with no successful extraction stay
+    finite and parseable.
+    """
 
     count: int = 0
-    minimum: float = math.inf
+    minimum: float = 0.0
     maximum: float = 0.0
     total: float = 0.0
 
     def add(self, value: float) -> None:
+        self.minimum = value if self.count == 0 \
+            else min(self.minimum, value)
         self.count += 1
-        self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
         self.total += value
 
@@ -92,6 +97,20 @@ class LogProcessingReport:
 
     def areas(self) -> list[AccessArea]:
         return [entry.area for entry in self.extracted]
+
+    def distance_matrix(self, metric: Callable[[AccessArea, AccessArea],
+                                               float], *,
+                        n_jobs: int = 1, cutoff: Optional[float] = None):
+        """Pairwise :class:`~repro.distance.DistanceMatrix` over the
+        extracted areas — the batch path's hand-off to the clustering
+        stage.  ``n_jobs``/``cutoff`` are forwarded to
+        :meth:`~repro.distance.DistanceMatrix.compute`.
+        """
+        # Imported lazily: the core layer must not depend on the
+        # distance layer at import time.
+        from ..distance.matrix import DistanceMatrix
+        return DistanceMatrix.compute(self.areas(), metric,
+                                      n_jobs=n_jobs, cutoff=cutoff)
 
 
 def process_log(statements: Iterable[str | tuple[str, str]],

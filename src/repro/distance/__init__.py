@@ -1,11 +1,23 @@
-"""The access-area distance function of Section 5."""
+"""The access-area distance function of Section 5.
+
+Besides the pairwise metric, the package hosts the shared
+:class:`DistanceMatrix` engine every clustering algorithm consumes: the
+condensed pairwise matrix with multiprocessing fan-out, relation-set
+memoization, bound-skipping, and :class:`MatrixStats` instrumentation.
+"""
 
 from .alternatives import FootprintDistance, WeightedQueryDistance
-from .predicate_distance import (DEFAULT_RESOLUTION, PredicateDistance)
+from .matrix import DistanceMatrix, MatrixStats, condensed_index
+from .parallel import resolve_n_jobs
+from .predicate_distance import (CacheInfo, DEFAULT_CACHE_SIZE,
+                                 DEFAULT_RESOLUTION, PredicateDistance)
 from .query_distance import QueryDistance, jaccard_distance
 
 __all__ = [
+    "CacheInfo", "DEFAULT_CACHE_SIZE",
     "DEFAULT_RESOLUTION", "PredicateDistance",
     "QueryDistance", "jaccard_distance",
     "FootprintDistance", "WeightedQueryDistance",
+    "DistanceMatrix", "MatrixStats", "condensed_index",
+    "resolve_n_jobs",
 ]

@@ -1,0 +1,87 @@
+"""Chunked multiprocessing fan-out for pairwise metric evaluation.
+
+:mod:`repro.distance.matrix` plans which index pairs of a condensed
+distance matrix need a full metric evaluation; this module executes that
+plan, either serially or over a worker pool.  The metric and the item
+sequence are shipped to each worker exactly once (via the pool
+initializer), and the work itself travels as compact ``(k, i, j)``
+triples — ``k`` being the condensed destination index — grouped into
+blocks so scheduling overhead stays negligible.
+
+Workers recompute distances with their own copy of the metric; because
+the metric is a pure function of its arguments (the predicate memo only
+caches, never alters, values) the parallel result is bitwise identical
+to the serial one.  Any failure to spin up or use the pool — metrics
+that cannot be pickled, fork-less restricted environments, interpreter
+shutdown races — degrades to the serial path instead of erroring: the
+pool is an optimization, never a requirement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+from typing import Callable, Sequence
+
+Pair = tuple[int, int, int]  # (condensed index, i, j)
+
+#: Tasks handed to one worker at a time.  Large enough to amortize IPC,
+#: small enough that ``n_jobs`` workers stay busy on uneven blocks.
+DEFAULT_CHUNK_PAIRS = 2048
+
+_WORKER_STATE: dict = {}
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/``0``/negative → all cores."""
+    if not n_jobs or n_jobs < 0:
+        return max(os.cpu_count() or 1, 1)
+    return n_jobs
+
+
+def _init_worker(metric, items) -> None:
+    _WORKER_STATE["metric"] = metric
+    _WORKER_STATE["items"] = items
+
+
+def _compute_block(block: list[Pair]) -> list[tuple[int, float]]:
+    metric = _WORKER_STATE["metric"]
+    items = _WORKER_STATE["items"]
+    return [(k, metric(items[i], items[j])) for k, i, j in block]
+
+
+def _serial(items: Sequence, metric: Callable,
+            pairs: Sequence[Pair]) -> list[tuple[int, float]]:
+    return [(k, metric(items[i], items[j])) for k, i, j in pairs]
+
+
+def _blocks(pairs: Sequence[Pair], size: int) -> list[list[Pair]]:
+    return [list(pairs[start:start + size])
+            for start in range(0, len(pairs), size)]
+
+
+def compute_pairs(items: Sequence, metric: Callable[[object, object], float],
+                  pairs: Sequence[Pair], n_jobs: int = 1,
+                  chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+                  ) -> list[tuple[int, float]]:
+    """Evaluate ``metric`` on every ``(k, i, j)`` pair, fanning out when asked.
+
+    Returns ``(k, value)`` tuples in unspecified order.  ``n_jobs == 1``
+    (or a pool failure) runs the plain serial loop.
+    """
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs == 1 or len(pairs) == 0:
+        return _serial(items, metric, pairs)
+    blocks = _blocks(pairs, chunk_pairs)
+    workers = min(n_jobs, len(blocks))
+    try:
+        context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None)
+        with context.Pool(workers, initializer=_init_worker,
+                          initargs=(metric, items)) as pool:
+            results = pool.map(_compute_block, blocks)
+    except (OSError, ValueError, RuntimeError, AttributeError,
+            pickle.PicklingError):
+        return _serial(items, metric, pairs)
+    return [entry for block in results for entry in block]

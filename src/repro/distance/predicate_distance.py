@@ -31,7 +31,9 @@ documented in DESIGN.md:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import NamedTuple, Optional
 
 from ..algebra.intervals import Interval, IntervalSet
 from ..algebra.predicates import (ColumnColumnPredicate,
@@ -41,21 +43,45 @@ from ..schema.statistics import StatisticsCatalog
 #: Default footprint widening, as a fraction of ``access(a)``'s width.
 DEFAULT_RESOLUTION = 0.01
 
+#: Default bound of the pair-distance LRU.  A SkyServer-scale log repeats
+#: a few thousand distinct predicates; the bound only exists so adversarial
+#: workloads (millions of distinct constants) cannot grow memory forever.
+DEFAULT_CACHE_SIZE = 262_144
+
+
+class CacheInfo(NamedTuple):
+    """Hit/miss counters of the predicate-pair LRU."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: Optional[int]
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
 
 @dataclass
 class PredicateDistance:
     """Computes ``d_pred`` against a statistics catalog.
 
-    Distances are memoized per predicate pair — the clustering stage
-    evaluates the same pairs many times.
+    Distances are memoized per *normalized* predicate pair — the
+    clustering stage evaluates the same pairs many times — in an LRU
+    bounded by ``max_cache_size`` (``None`` = unbounded).
     """
 
     stats: StatisticsCatalog
     resolution: float = DEFAULT_RESOLUTION
+    max_cache_size: Optional[int] = DEFAULT_CACHE_SIZE
 
     def __post_init__(self) -> None:
-        self._cache: dict[tuple[Predicate, Predicate], float] = {}
+        self._cache: OrderedDict[tuple[Predicate, Predicate], float] = \
+            OrderedDict()
         self._footprints: dict[ColumnConstantPredicate, IntervalSet] = {}
+        self._hits = 0
+        self._misses = 0
 
     # -- public API --------------------------------------------------------
 
@@ -65,15 +91,29 @@ class PredicateDistance:
 
         The cache assumes the statistics catalog is frozen for the
         lifetime of this object (build it after observing the log).
+        Lookups are order-normalized: ``(p1, p2)`` and ``(p2, p1)`` share
+        one entry, stored under whichever order was seen first.
         """
         key = (p1, p2)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._cache.get((p2, p1))
+            key = (p2, p1)
+            cached = self._cache.get(key)
         if cached is None:
+            self._misses += 1
             cached = self._distance(p1, p2)
-            self._cache[key] = cached
+            self._cache[(p1, p2)] = cached
+            if self.max_cache_size is not None \
+                    and len(self._cache) > self.max_cache_size:
+                self._cache.popitem(last=False)
+        else:
+            self._hits += 1
+            self._cache.move_to_end(key)
         return cached
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(self._hits, self._misses, len(self._cache),
+                         self.max_cache_size)
 
     def paper_overlap(self, p1: Predicate, p2: Predicate) -> float:
         """The overlap exactly as the paper's worked examples compute it.
@@ -136,7 +176,9 @@ class PredicateDistance:
             # Zero-width footprints (point predicates at resolution 0):
             # only structural equality counts as overlap.
             return 0.0 if fp1 == fp2 and not fp1.is_empty else 1.0
-        return 1.0 - inter / union
+        # max() guards the metric range against last-ulp float error in
+        # the width sums (the metric-law suite asserts d_pred ≥ 0 exactly).
+        return max(0.0, 1.0 - inter / union)
 
     def _same_column_categorical(self, p1: ColumnConstantPredicate,
                                  p2: ColumnConstantPredicate) -> float:

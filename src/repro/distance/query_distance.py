@@ -14,11 +14,13 @@ the maximal unit cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..algebra.cnf import CNF, Clause
 from ..core.area import AccessArea
 from ..schema.statistics import StatisticsCatalog
-from .predicate_distance import DEFAULT_RESOLUTION, PredicateDistance
+from .predicate_distance import (CacheInfo, DEFAULT_CACHE_SIZE,
+                                 DEFAULT_RESOLUTION, PredicateDistance)
 
 
 def jaccard_distance(a: frozenset, b: frozenset) -> float:
@@ -39,10 +41,16 @@ class QueryDistance:
 
     stats: StatisticsCatalog
     resolution: float = DEFAULT_RESOLUTION
+    pred_cache_size: Optional[int] = DEFAULT_CACHE_SIZE
     _pred: PredicateDistance = field(init=False)
 
     def __post_init__(self) -> None:
-        self._pred = PredicateDistance(self.stats, self.resolution)
+        self._pred = PredicateDistance(self.stats, self.resolution,
+                                       self.pred_cache_size)
+
+    def pred_cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the predicate-pair LRU."""
+        return self._pred.cache_info()
 
     def __call__(self, q1: AccessArea, q2: AccessArea) -> float:
         return self.distance(q1, q2)
@@ -57,18 +65,25 @@ class QueryDistance:
         return jaccard_distance(q1.table_set, q2.table_set)
 
     def d_conj(self, b1: CNF, b2: CNF) -> float:
-        """Symmetric best-match average over clauses (Section 5.2)."""
+        """Symmetric best-match average over clauses (Section 5.2).
+
+        The two directional sums accumulate separately so that swapping
+        the arguments produces the bitwise-identical value (IEEE addition
+        is commutative; a single running total would mix the summation
+        orders and break exact symmetry).
+        """
         n1, n2 = len(b1), len(b2)
         if n1 == 0 and n2 == 0:
             return 0.0
         if n1 == 0 or n2 == 0:
             return 1.0
-        total = 0.0
+        forward = 0.0
         for o1 in b1:
-            total += min(self.d_disj(o1, o2) for o2 in b2)
+            forward += min(self.d_disj(o1, o2) for o2 in b2)
+        backward = 0.0
         for o2 in b2:
-            total += min(self.d_disj(o1, o2) for o1 in b1)
-        return total / (n1 + n2)
+            backward += min(self.d_disj(o1, o2) for o1 in b1)
+        return (forward + backward) / (n1 + n2)
 
     def d_disj(self, o1: Clause, o2: Clause) -> float:
         """Symmetric best-match average over atomic predicates."""
@@ -81,12 +96,14 @@ class QueryDistance:
             return 0.0
         if n1 == 0 or n2 == 0:
             return 1.0
-        total = 0.0
+        # Separate directional sums: see d_conj on exact symmetry.
+        forward = 0.0
         for p1 in o1:
-            total += min(self._pred.distance(p1, p2) for p2 in o2)
+            forward += min(self._pred.distance(p1, p2) for p2 in o2)
+        backward = 0.0
         for p2 in o2:
-            total += min(self._pred.distance(p1, p2) for p1 in o1)
-        return total / (n1 + n2)
+            backward += min(self._pred.distance(p1, p2) for p1 in o1)
+        return (forward + backward) / (n1 + n2)
 
     def d_pred(self, p1, p2) -> float:
         return self._pred.distance(p1, p2)

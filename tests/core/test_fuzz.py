@@ -9,12 +9,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algebra.cnf import CNFConversionError
-from repro.core import AccessAreaExtractor
-from repro.schema import skyserver_schema
+from repro.clustering import DBSCAN, NOISE
+from repro.core import AccessAreaExtractor, process_log
+from repro.distance import DistanceMatrix, QueryDistance
+from repro.schema import StatisticsCatalog, skyserver_schema
+from repro.schema.skyserver import CONTENT_BOUNDS
 from repro.sqlparser import SqlError, tokenize
 from repro.sqlparser.errors import LexError
+from repro.workload import WorkloadConfig, generate_workload
 
 EXTRACTOR = AccessAreaExtractor(skyserver_schema())
+STATS = StatisticsCatalog.from_exact_content(skyserver_schema(),
+                                             CONTENT_BOUNDS)
 
 _sql_alphabet = st.sampled_from(
     list("SELECTFROMWHEREANDORNT ()*,.<>='\"0123456789abcxyz_-%"))
@@ -47,6 +53,30 @@ def test_tokenizer_total(text):
         return
     assert tokens  # at least EOF
     assert tokens[-1].value == ""
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000),
+       st.integers(min_value=8, max_value=30))
+def test_end_to_end_matrix_clustering_fuzz(seed, n_queries):
+    """Generator SQL → extractor → distance matrix → DBSCAN, ~100
+    random workloads: no exception, well-formed labels throughout."""
+    workload = generate_workload(
+        WorkloadConfig(n_queries=n_queries, seed=seed))
+    report = process_log(workload.log.statements(), EXTRACTOR,
+                         keep_failures=False)
+    for item in report.extracted:
+        STATS.observe_cnf(item.area.cnf)
+    areas = report.areas()
+    matrix = report.distance_matrix(
+        QueryDistance(STATS, resolution=0.05), cutoff=0.12)
+    assert matrix.stats.pairs_computed + matrix.stats.pairs_skipped \
+        == len(areas) * (len(areas) - 1) // 2
+    result = DBSCAN(0.12, min_pts=3).fit(areas, matrix=matrix)
+    assert len(result.labels) == len(areas)
+    labels = {label for label in result.labels if label != NOISE}
+    # Cluster ids are dense non-negative integers.
+    assert labels == set(range(result.n_clusters))
 
 
 @settings(max_examples=100, deadline=None)

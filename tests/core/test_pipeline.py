@@ -1,7 +1,10 @@
 """Batch log processing: extraction rate, failure taxonomy, timings."""
 
+import math
+
 from repro.core import AccessAreaExtractor, process_log
 from repro.core.extractor import StageTimings
+from repro.core.pipeline import StageTimingSummary
 
 
 class TestProcessLog:
@@ -74,3 +77,26 @@ class TestTimings:
     def test_stage_timings_total_property(self):
         t = StageTimings(1.0, 2.0, 3.0, 4.0)
         assert t.total == 10.0
+
+    def test_empty_summary_reports_finite_minimum(self):
+        """Regression: an empty summary once leaked ``minimum == inf``
+        into exported reports; it must read 0.0."""
+        summary = StageTimingSummary()
+        assert summary.minimum == 0.0
+        assert math.isfinite(summary.minimum)
+        assert summary.mean == 0.0
+
+    def test_empty_log_timings_are_finite(self, schema):
+        report = process_log([], AccessAreaExtractor(schema))
+        for summary in report.stage_timings.values():
+            assert summary.minimum == 0.0
+
+    def test_minimum_tracks_first_and_smallest_value(self):
+        summary = StageTimingSummary()
+        summary.add(0.5)
+        assert summary.minimum == 0.5
+        summary.add(0.2)
+        summary.add(0.9)
+        assert summary.minimum == 0.2
+        assert summary.maximum == 0.9
+        assert summary.count == 3
