@@ -28,6 +28,8 @@ from .core import (AccessArea, AccessAreaExtractor, ExtractionResult,
 from .distance import (DistanceMatrix, MatrixStats, PredicateDistance,
                        QueryDistance)
 from .engine import Database, QueryExecutor
+from .obs import (MetricsRegistry, Tracer, configure_logging, get_logger,
+                  get_registry, get_tracer, set_registry, set_tracer)
 from .schema import (Column, ColumnType, Relation, Schema,
                      StatisticsCatalog, skyserver_schema)
 from .sqlparser import parse
@@ -44,6 +46,8 @@ __all__ = [
     "LogProcessingReport", "process_log",
     "DistanceMatrix", "MatrixStats", "PredicateDistance", "QueryDistance",
     "Database", "QueryExecutor",
+    "MetricsRegistry", "Tracer", "configure_logging", "get_logger",
+    "get_registry", "get_tracer", "set_registry", "set_tracer",
     "Column", "ColumnType", "Relation", "Schema", "StatisticsCatalog",
     "skyserver_schema",
     "parse",

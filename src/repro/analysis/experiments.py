@@ -29,6 +29,7 @@ from ..core.area import AccessArea
 from ..core.extractor import AccessAreaExtractor
 from ..core.pipeline import LogProcessingReport, process_log
 from ..distance.query_distance import QueryDistance
+from ..obs import get_logger, trace
 from ..engine.database import Database
 from ..schema.database import Schema
 from ..schema.skyserver import CONTENT_BOUNDS, skyserver_schema
@@ -36,6 +37,8 @@ from ..schema.statistics import StatisticsCatalog
 from ..workload.content import ContentConfig, build_database
 from ..workload.generator import (GeneratedWorkload, WorkloadConfig,
                                   generate_workload)
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -122,43 +125,60 @@ class CaseStudyResult:
 def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
     """Execute the full pipeline; deterministic given the config seeds."""
     config = config or CaseStudyConfig()
-    schema = skyserver_schema()
-    workload = generate_workload(config.workload)
-    db = build_database(config.content, schema)
+    with trace.span("casestudy",
+                    queries=config.workload.n_queries,
+                    sample_size=config.sample_size,
+                    eps=config.eps) as root:
+        schema = skyserver_schema()
+        with trace.span("generate_workload"):
+            workload = generate_workload(config.workload)
+        with trace.span("build_database"):
+            db = build_database(config.content, schema)
 
-    if config.estimate_stats:
-        stats = StatisticsCatalog.estimate(schema, db)
-    else:
-        stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+        with trace.span("estimate_stats",
+                        estimated=config.estimate_stats):
+            if config.estimate_stats:
+                stats = StatisticsCatalog.estimate(schema, db)
+            else:
+                stats = StatisticsCatalog.from_exact_content(
+                    schema, CONTENT_BOUNDS)
 
-    extractor = AccessAreaExtractor(
-        schema, predicate_cap=config.predicate_cap,
-        consolidate=config.consolidate)
-    report = process_log(workload.log.statements_with_users(), extractor)
+        extractor = AccessAreaExtractor(
+            schema, predicate_cap=config.predicate_cap,
+            consolidate=config.consolidate)
+        report = process_log(workload.log.statements_with_users(),
+                             extractor)
 
-    # access(a) = content(a) ∪ MBR(a): widen with the whole log's constants.
-    for extracted in report.extracted:
-        stats.observe_cnf(extracted.area.cnf)
+        # access(a) = content(a) ∪ MBR(a): widen with the whole log's
+        # constants.
+        with trace.span("widen_access"):
+            for extracted in report.extracted:
+                stats.observe_cnf(extracted.area.cnf)
 
-    rng = random.Random(config.seed)
-    extracted = report.extracted
-    if len(extracted) > config.sample_size:
-        extracted = rng.sample(extracted, config.sample_size)
-    sample = [
-        SampledQuery(
-            area=item.area,
-            user=item.user or "anonymous",
-            family_id=workload.log[item.index].family_id,
-        )
-        for item in extracted
-    ]
+        rng = random.Random(config.seed)
+        extracted = report.extracted
+        if len(extracted) > config.sample_size:
+            extracted = rng.sample(extracted, config.sample_size)
+        sample = [
+            SampledQuery(
+                area=item.area,
+                user=item.user or "anonymous",
+                family_id=workload.log[item.index].family_id,
+            )
+            for item in extracted
+        ]
 
-    distance = QueryDistance(stats, resolution=config.resolution)
-    clustering = partitioned_dbscan(
-        [s.area for s in sample], distance, config.eps, config.min_pts,
-        n_jobs=config.n_jobs)
+        distance = QueryDistance(stats, resolution=config.resolution)
+        with trace.span("cluster", sample=len(sample)):
+            clustering = partitioned_dbscan(
+                [s.area for s in sample], distance, config.eps,
+                config.min_pts, n_jobs=config.n_jobs)
 
-    rows = _build_rows(sample, clustering, stats, db, config)
+        with trace.span("aggregate"):
+            rows = _build_rows(sample, clustering, stats, db, config)
+        root.set(clusters=clustering.n_clusters)
+    logger.info("case study: %d statements, %d sampled, %d clusters",
+                report.total, len(sample), clustering.n_clusters)
     return CaseStudyResult(
         config=config, workload=workload, db=db, schema=schema,
         stats=stats, report=report, sample=sample, clustering=clustering,

@@ -75,3 +75,9 @@ def export_extraction_report_csv(result: CaseStudyResult,
             writer.writerow([f"{stage}_min_s", f"{summary.minimum:.9f}"])
             writer.writerow([f"{stage}_mean_s", f"{summary.mean:.9f}"])
             writer.writerow([f"{stage}_max_s", f"{summary.maximum:.9f}"])
+        # Quantile rows are appended after the legacy block so existing
+        # readers keyed on the rows above keep working unchanged.
+        for stage, summary in report.stage_timings.items():
+            writer.writerow([f"{stage}_p50_s", f"{summary.p50:.9f}"])
+            writer.writerow([f"{stage}_p95_s", f"{summary.p95:.9f}"])
+            writer.writerow([f"{stage}_p99_s", f"{summary.p99:.9f}"])

@@ -4,17 +4,26 @@ Subcommands:
 
 * ``extract`` — print the access area of one SQL statement;
 * ``generate`` — write a synthetic SkyServer-style log (JSONL);
-* ``process`` — batch-extract a log file and print the Section 6.1 report;
+* ``process`` — batch-extract a log file, cluster the areas, and print
+  the Section 6.1 report;
 * ``stream`` — monitor a log file incrementally, printing novelty events;
-* ``casestudy`` — run the full pipeline and print the Table-1 report.
+* ``casestudy`` — run the full pipeline and print the Table-1 report;
+* ``stats`` — render a ``--metrics-out`` dump / ``--trace-out`` trace.
+
+Observability: every subcommand takes ``--log-level`` / ``--log-format``
+(stderr diagnostics; also via ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT``),
+and the pipeline subcommands take ``--trace-out FILE`` (JSONL span
+trees) and ``--metrics-out FILE`` (JSON metrics dump).  User-facing
+results stay on stdout; diagnostics go through the logging layer.
 
 Examples::
 
     repro-skyserver extract "SELECT * FROM Photoz WHERE z < 0.1"
     repro-skyserver generate --queries 5000 --out log.jsonl
-    repro-skyserver process log.jsonl
+    repro-skyserver process log.jsonl --metrics-out m.json
     repro-skyserver stream log.jsonl --warmup 200
     repro-skyserver casestudy --queries 4000 --sample 1500
+    repro-skyserver stats m.json --trace t.jsonl
 """
 
 from __future__ import annotations
@@ -27,13 +36,39 @@ from .analysis import format_summary, format_table1
 from .analysis.experiments import CaseStudyConfig, run_case_study
 from .core import AccessAreaExtractor, process_log
 from .core.stream import StreamMonitor
+from .distance.matrix import DistanceMatrix
+from .distance.query_distance import QueryDistance
+from .obs import (Tracer, configure_logging, export, get_logger,
+                  get_registry, set_tracer, trace)
 from .schema import StatisticsCatalog, skyserver_schema
 from .schema.skyserver import CONTENT_BOUNDS
 from .sqlparser import SqlError
 from .workload import QueryLog, WorkloadConfig, generate_workload
 
+# Fixed name: ``python -m repro.cli`` would otherwise log as __main__.
+logger = get_logger("cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
+    logging_parent = argparse.ArgumentParser(add_help=False)
+    logging_parent.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="diagnostic verbosity on stderr (default: warning, "
+             "or REPRO_LOG_LEVEL)")
+    logging_parent.add_argument(
+        "--log-format", default=None, choices=["human", "json"],
+        help="diagnostic format (default: human, or REPRO_LOG_FORMAT)")
+
+    obs_parent = argparse.ArgumentParser(add_help=False,
+                                         parents=[logging_parent])
+    obs_parent.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write hierarchical span traces as JSONL")
+    obs_parent.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics registry as JSON on exit")
+
     parser = argparse.ArgumentParser(
         prog="repro-skyserver",
         description="Access-area mining from SQL query logs "
@@ -41,33 +76,49 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_extract = sub.add_parser(
-        "extract", help="extract the access area of one SQL statement")
+        "extract", parents=[logging_parent],
+        help="extract the access area of one SQL statement")
     p_extract.add_argument("sql", help="the SELECT statement")
     p_extract.add_argument("--no-consolidate", action="store_true",
                            help="skip the consolidation stage")
 
     p_generate = sub.add_parser(
-        "generate", help="generate a synthetic SkyServer-style query log")
+        "generate", parents=[logging_parent],
+        help="generate a synthetic SkyServer-style query log")
     p_generate.add_argument("--queries", type=int, default=5000)
     p_generate.add_argument("--seed", type=int, default=13)
     p_generate.add_argument("--out", required=True,
                             help="output JSONL path")
 
     p_process = sub.add_parser(
-        "process", help="batch-extract a JSONL log file")
+        "process", parents=[obs_parent],
+        help="batch-extract a JSONL log file and cluster the areas")
     p_process.add_argument("log", help="JSONL log path")
     p_process.add_argument("--failures", type=int, default=5,
-                           help="failure examples to print")
+                           help="failure examples to log")
+    p_process.add_argument("--no-cluster", action="store_true",
+                           help="skip the clustering stage")
+    p_process.add_argument("--eps", type=float, default=0.12)
+    p_process.add_argument("--min-pts", type=int, default=5)
+    p_process.add_argument("--sample", type=int, default=2000,
+                           help="max areas to cluster")
+    p_process.add_argument("--cluster-seed", type=int, default=99,
+                           help="sampling seed for the clustering stage")
+    p_process.add_argument("--n-jobs", type=int, default=1,
+                           help="worker processes for the distance "
+                                "matrix (1 = serial, 0 = all cores)")
 
     p_stream = sub.add_parser(
-        "stream", help="monitor a JSONL log incrementally")
+        "stream", parents=[obs_parent],
+        help="monitor a JSONL log incrementally")
     p_stream.add_argument("log", help="JSONL log path")
     p_stream.add_argument("--warmup", type=int, default=100)
     p_stream.add_argument("--events", type=int, default=30,
                           help="max events to print")
 
     p_case = sub.add_parser(
-        "casestudy", help="run the full case-study pipeline")
+        "casestudy", parents=[obs_parent],
+        help="run the full case-study pipeline")
     p_case.add_argument("--queries", type=int, default=4000)
     p_case.add_argument("--sample", type=int, default=1500)
     p_case.add_argument("--eps", type=float, default=0.12)
@@ -79,21 +130,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the clustering "
                              "distance matrix (1 = serial, 0 = all "
                              "CPU cores)")
+
+    p_stats = sub.add_parser(
+        "stats", parents=[logging_parent],
+        help="render a metrics dump and/or a trace file")
+    p_stats.add_argument("metrics", nargs="?", default=None,
+                         help="metrics JSON written by --metrics-out")
+    p_stats.add_argument("--trace", default=None, metavar="FILE",
+                         help="trace JSONL written by --trace-out")
+    p_stats.add_argument("--format", default="table",
+                         choices=["table", "prometheus", "json"],
+                         help="metrics rendering (default: table)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", None),
+                      getattr(args, "log_format", None))
     command = args.command
-    if command == "extract":
-        return _cmd_extract(args)
-    if command == "generate":
-        return _cmd_generate(args)
-    if command == "process":
-        return _cmd_process(args)
-    if command == "stream":
-        return _cmd_stream(args)
-    return _cmd_casestudy(args)
+
+    tracer = None
+    if getattr(args, "trace_out", None):
+        tracer = Tracer(sink=args.trace_out, keep=False)
+        set_tracer(tracer)
+    try:
+        if command == "extract":
+            return _cmd_extract(args)
+        if command == "generate":
+            return _cmd_generate(args)
+        if command == "process":
+            return _cmd_process(args)
+        if command == "stream":
+            return _cmd_stream(args)
+        if command == "stats":
+            return _cmd_stats(args)
+        return _cmd_casestudy(args)
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+            tracer.close()
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            export.write_json(get_registry(), metrics_out)
+            logger.info("metrics written to %s", metrics_out)
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -122,7 +202,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_process(args: argparse.Namespace) -> int:
     log = QueryLog.load(args.log)
-    extractor = AccessAreaExtractor(skyserver_schema())
+    schema = skyserver_schema()
+    extractor = AccessAreaExtractor(schema)
     report = process_log(log.statements_with_users(), extractor)
     print(f"statements       : {report.total:,}")
     print(f"areas extracted  : {report.extraction_count:,} "
@@ -132,8 +213,34 @@ def _cmd_process(args: argparse.Namespace) -> int:
     print(f"  unsupported    : {report.unsupported_statements}")
     print(f"  CNF failures   : {report.cnf_failures}")
     for index, kind, message in report.failures[:args.failures]:
-        print(f"  e.g. [{kind}] {log[index].sql[:60]!r}: {message[:50]}")
+        logger.warning("failure example [%s] %r: %s", kind,
+                       log[index].sql[:60], message[:50])
+
+    if not args.no_cluster and report.extraction_count:
+        result = _cluster_report(report, schema, args)
+        print(f"clusters found   : {result.n_clusters} "
+              f"({result.noise_count} noise points)")
     return 0
+
+
+def _cluster_report(report, schema, args: argparse.Namespace):
+    """The process subcommand's clustering stage (sampled)."""
+    import random
+
+    from .clustering.partitioned import partitioned_dbscan
+
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    areas = report.areas()
+    for area in areas:
+        stats.observe_cnf(area.cnf)
+    if len(areas) > args.sample:
+        rng = random.Random(args.cluster_seed)
+        areas = rng.sample(areas, args.sample)
+    distance = QueryDistance(stats)
+    matrix = DistanceMatrix.compute(areas, distance, n_jobs=args.n_jobs,
+                                    cutoff=args.eps)
+    return partitioned_dbscan(areas, None, args.eps, args.min_pts,
+                              matrix=matrix)
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -151,7 +258,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     monitor = StreamMonitor(
         AccessAreaExtractor(schema), stats=stats, on_event=emit,
         warmup=args.warmup)
-    monitor.process_many(log.statements())
+    with trace.span("stream", warmup=args.warmup):
+        monitor.process_many(log.statements())
     print()
     print(monitor.summary())
     return 0
@@ -169,6 +277,33 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     print(format_summary(result))
     print()
     print(format_table1(result.rows, max_rows=args.rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.metrics is None and args.trace is None:
+        print("stats: provide a metrics JSON file and/or --trace FILE",
+              file=sys.stderr)
+        return 2
+    shown = []
+    if args.metrics is not None:
+        snapshot = export.load_json(args.metrics)
+        if args.format == "prometheus":
+            print(export.to_prometheus(snapshot), end="")
+        elif args.format == "json":
+            print(export.to_json(snapshot))
+        else:
+            print(export.render_table(snapshot))
+        shown.append("metrics")
+    if args.trace is not None:
+        if shown:
+            print()
+        roots = trace.load_trace(args.trace)
+        print(f"trace: {len(roots)} root span(s)")
+        for root in roots:
+            print()
+            print(trace.format_span_tree(root))
+        shown.append("trace")
     return 0
 
 

@@ -18,7 +18,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
+from ..obs import trace
 from .dbscan import NOISE, DBSCANResult
+from .telemetry import record_run
 
 Distance = Callable[[AccessArea, AccessArea], float]
 
@@ -81,24 +83,32 @@ class SingleLinkage:
         else:
             groups = [list(range(n))]
 
-        for indices in groups:
-            for pos, i in enumerate(indices):
-                for j in indices[pos + 1:]:
-                    if uf.find(i) == uf.find(j):
-                        continue
-                    if pair_distance(i, j) <= self.threshold:
-                        uf.union(i, j)
+        comparisons = 0
+        with trace.span("single_linkage.fit", n=n,
+                        threshold=self.threshold) as span:
+            for indices in groups:
+                for pos, i in enumerate(indices):
+                    for j in indices[pos + 1:]:
+                        if uf.find(i) == uf.find(j):
+                            continue
+                        comparisons += 1
+                        if pair_distance(i, j) <= self.threshold:
+                            uf.union(i, j)
 
-        components: dict[int, list[int]] = {}
-        for index in range(n):
-            components.setdefault(uf.find(index), []).append(index)
+            components: dict[int, list[int]] = {}
+            for index in range(n):
+                components.setdefault(uf.find(index), []).append(index)
 
-        labels = [NOISE] * n
-        cluster_id = 0
-        for root in sorted(components, key=lambda r: components[r][0]):
-            members = components[root]
-            if len(members) >= self.min_size:
-                for index in members:
-                    labels[index] = cluster_id
-                cluster_id += 1
-        return DBSCANResult(labels)
+            labels = [NOISE] * n
+            cluster_id = 0
+            for root in sorted(components,
+                               key=lambda r: components[r][0]):
+                members = components[root]
+                if len(members) >= self.min_size:
+                    for index in members:
+                        labels[index] = cluster_id
+                    cluster_id += 1
+            result = DBSCANResult(labels)
+            span.set(clusters=result.n_clusters, comparisons=comparisons)
+        record_run("single_linkage", comparisons, result)
+        return result

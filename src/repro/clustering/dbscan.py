@@ -21,6 +21,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs import trace
+from .telemetry import record_run
+
 NOISE = -1
 _UNVISITED = -2
 
@@ -89,17 +92,26 @@ class DBSCAN:
 
         labels = [_UNVISITED] * n
         cluster_id = 0
-        for point in range(n):
-            if labels[point] != _UNVISITED:
-                continue
-            neighbors = self._region_query(point, items, distance, matrix)
-            if len(neighbors) < self.min_pts:
-                labels[point] = NOISE
-                continue
-            self._expand(point, neighbors, cluster_id, labels, items,
-                         distance, matrix)
-            cluster_id += 1
-        return DBSCANResult(labels)
+        self._region_queries = 0
+        with trace.span("dbscan.fit", n=n, eps=self.eps,
+                        min_pts=self.min_pts) as span:
+            for point in range(n):
+                if labels[point] != _UNVISITED:
+                    continue
+                neighbors = self._region_query(point, items, distance,
+                                               matrix)
+                if len(neighbors) < self.min_pts:
+                    labels[point] = NOISE
+                    continue
+                self._expand(point, neighbors, cluster_id, labels, items,
+                             distance, matrix)
+                cluster_id += 1
+            result = DBSCANResult(labels)
+            span.set(clusters=result.n_clusters,
+                     noise=result.noise_count,
+                     region_queries=self._region_queries)
+        record_run("dbscan", self._region_queries, result)
+        return result
 
     # -- internals ---------------------------------------------------------
 
@@ -122,6 +134,7 @@ class DBSCAN:
 
     def _region_query(self, point: int, items: Sequence,
                       distance: Optional[Distance], matrix) -> list[int]:
+        self._region_queries += 1
         if matrix is not None:
             if hasattr(matrix, "neighbors"):
                 return matrix.neighbors(point, self.eps)

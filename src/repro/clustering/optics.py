@@ -19,7 +19,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from ..obs import trace
 from .dbscan import NOISE, DBSCANResult
+from .telemetry import record_run
 
 Distance = Callable[[object, object], float]
 
@@ -87,29 +89,36 @@ class OPTICS:
                     out.append((other, d))
             return out
 
-        for start in range(n):
-            if processed[start]:
-                continue
-            processed[start] = True
-            ordering.append(start)
-            near = neighbors(start)
-            core_distance[start] = self._core_distance(near)
-            if math.isinf(core_distance[start]):
-                continue
-            seeds: list[tuple[float, int]] = []
-            self._update(start, near, core_distance, reachability,
-                         processed, seeds)
-            while seeds:
-                _, current = heapq.heappop(seeds)
-                if processed[current]:
+        iterations = 0
+        with trace.span("optics.fit", n=n, max_eps=self.max_eps,
+                        min_pts=self.min_pts) as span:
+            for start in range(n):
+                if processed[start]:
                     continue
-                processed[current] = True
-                ordering.append(current)
-                current_near = neighbors(current)
-                core_distance[current] = self._core_distance(current_near)
-                if not math.isinf(core_distance[current]):
-                    self._update(current, current_near, core_distance,
-                                 reachability, processed, seeds)
+                processed[start] = True
+                ordering.append(start)
+                near = neighbors(start)
+                core_distance[start] = self._core_distance(near)
+                if math.isinf(core_distance[start]):
+                    continue
+                seeds: list[tuple[float, int]] = []
+                self._update(start, near, core_distance, reachability,
+                             processed, seeds)
+                while seeds:
+                    _, current = heapq.heappop(seeds)
+                    iterations += 1
+                    if processed[current]:
+                        continue
+                    processed[current] = True
+                    ordering.append(current)
+                    current_near = neighbors(current)
+                    core_distance[current] = self._core_distance(
+                        current_near)
+                    if not math.isinf(core_distance[current]):
+                        self._update(current, current_near, core_distance,
+                                     reachability, processed, seeds)
+            span.set(iterations=iterations)
+        record_run("optics", iterations)
         return OPTICSResult(ordering, reachability, core_distance)
 
     def _core_distance(self,

@@ -31,7 +31,9 @@ from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
 from ..distance.matrix import DistanceMatrix
+from ..obs import metrics, trace
 from .dbscan import DBSCAN, NOISE, DBSCANResult
+from .telemetry import record_run
 
 Distance = Callable[[AccessArea, AccessArea], float]
 
@@ -60,27 +62,42 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
         key = frozenset(t.lower() for t in area.table_set)
         partitions.setdefault(key, []).append(index)
 
+    partition_sizes = metrics.get_registry().histogram(
+        "repro_clustering_partition_size", algorithm="partitioned_dbscan")
     labels = [NOISE] * len(areas)
     next_cluster = 0
-    for key in sorted(partitions, key=lambda k: (len(k), sorted(k))):
-        indices = partitions[key]
-        if len(indices) < min_pts:
-            continue  # too small to ever contain a core point
-        subset = [areas[i] for i in indices]
-        if matrix is not None:
-            result = DBSCAN(eps, min_pts).fit(
-                subset, matrix=matrix.submatrix(indices))
-        elif n_jobs != 1:
-            sub = DistanceMatrix.compute(subset, distance, n_jobs=n_jobs)
-            result = DBSCAN(eps, min_pts).fit(subset, matrix=sub)
-        else:
-            result = DBSCAN(eps, min_pts).fit(subset, distance)
-        remap: dict[int, int] = {}
-        for local_index, label in enumerate(result.labels):
-            if label == NOISE:
-                continue
-            if label not in remap:
-                remap[label] = next_cluster
-                next_cluster += 1
-            labels[indices[local_index]] = remap[label]
-    return DBSCANResult(labels)
+    fitted_partitions = 0
+    with trace.span("partitioned_dbscan", n=len(areas), eps=eps,
+                    partitions=len(partitions)) as span:
+        for key in sorted(partitions, key=lambda k: (len(k), sorted(k))):
+            indices = partitions[key]
+            partition_sizes.observe(len(indices))
+            if len(indices) < min_pts:
+                continue  # too small to ever contain a core point
+            fitted_partitions += 1
+            subset = [areas[i] for i in indices]
+            with trace.span("partition",
+                            tables="+".join(sorted(key)) or "(none)",
+                            size=len(indices)):
+                if matrix is not None:
+                    result = DBSCAN(eps, min_pts).fit(
+                        subset, matrix=matrix.submatrix(indices))
+                elif n_jobs != 1:
+                    sub = DistanceMatrix.compute(subset, distance,
+                                                 n_jobs=n_jobs)
+                    result = DBSCAN(eps, min_pts).fit(subset, matrix=sub)
+                else:
+                    result = DBSCAN(eps, min_pts).fit(subset, distance)
+            remap: dict[int, int] = {}
+            for local_index, label in enumerate(result.labels):
+                if label == NOISE:
+                    continue
+                if label not in remap:
+                    remap[label] = next_cluster
+                    next_cluster += 1
+                labels[indices[local_index]] = remap[label]
+        combined = DBSCANResult(labels)
+        span.set(clusters=combined.n_clusters,
+                 fitted_partitions=fitted_partitions)
+    record_run("partitioned_dbscan", fitted_partitions, combined)
+    return combined

@@ -1,0 +1,47 @@
+"""Shared metric recording for the clustering algorithms.
+
+All four algorithms (DBSCAN, partitioned DBSCAN, OPTICS, single
+linkage) report the same ``repro_clustering_*`` families, labelled by
+``algorithm``, so the ``repro stats`` view and the Prometheus export
+compare them directly:
+
+* ``repro_clustering_runs_total`` — fits performed;
+* ``repro_clustering_iterations`` — histogram of per-run iteration
+  counts (region queries / seed pops / pair comparisons);
+* ``repro_clustering_clusters`` — clusters found by the last run;
+* ``repro_clustering_cluster_size`` — histogram of cluster sizes;
+* ``repro_clustering_noise_total`` — points labelled noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import metrics
+
+
+def record_run(algorithm: str, iterations: int, result=None,
+               registry: Optional[metrics.MetricsRegistry] = None) -> None:
+    """Fold one clustering run into the registry.
+
+    ``result`` — a :class:`~repro.clustering.dbscan.DBSCANResult`
+    (or anything with ``n_clusters``/``clusters()``/``noise_count``);
+    ``None`` for ordering-only algorithms like OPTICS.
+    """
+    registry = registry or metrics.get_registry()
+    registry.counter("repro_clustering_runs_total",
+                     algorithm=algorithm).inc()
+    registry.histogram("repro_clustering_iterations",
+                       algorithm=algorithm).observe(iterations)
+    if result is None:
+        return
+    registry.gauge("repro_clustering_clusters",
+                   algorithm=algorithm).set(result.n_clusters)
+    size_histogram = registry.histogram("repro_clustering_cluster_size",
+                                        algorithm=algorithm)
+    for members in result.clusters().values():
+        size_histogram.observe(len(members))
+    noise = result.noise_count
+    if noise:
+        registry.counter("repro_clustering_noise_total",
+                         algorithm=algorithm).inc(noise)

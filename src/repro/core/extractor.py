@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..algebra.boolexpr import TRUE, BoolExpr, make_and, make_not, make_or
 from ..algebra.cnf import CNF, DEFAULT_PREDICATE_CAP, to_cnf
+from ..obs import trace
 from ..algebra.consolidate import consolidate as consolidate_cnf
 from ..algebra.intervals import Interval
 from ..algebra.nnf import to_nnf
@@ -84,26 +85,32 @@ class AccessAreaExtractor:
         past resource limits — the paper's unparseable/pathological
         classes.
         """
-        start = time.perf_counter()
-        statement = parse(sql)
-        parse_time = time.perf_counter() - start
-        return self.extract_statement(statement, parse_time)
+        with trace.span("query"):
+            start = time.perf_counter()
+            with trace.span("parse"):
+                statement = parse(sql)
+            parse_time = time.perf_counter() - start
+            return self.extract_statement(statement, parse_time)
 
     def extract_statement(self, statement: ast.SelectStatement,
                           parse_time: float = 0.0) -> ExtractionResult:
         start = time.perf_counter()
-        ctx = ExtractionContext(self.schema)
-        expr = self._statement_to_expr(statement, ctx)
+        with trace.span("extract"):
+            ctx = ExtractionContext(self.schema)
+            expr = self._statement_to_expr(statement, ctx)
         extract_time = time.perf_counter() - start
 
         start = time.perf_counter()
-        cnf = to_cnf(expr, max_predicates=self.predicate_cap)
+        with trace.span("cnf") as cnf_span:
+            cnf = to_cnf(expr, max_predicates=self.predicate_cap)
+            cnf_span.set(clauses=len(cnf))
         cnf_time = time.perf_counter() - start
 
         start = time.perf_counter()
-        if self.consolidate:
-            result = consolidate_cnf(cnf)
-            cnf = result.cnf
+        with trace.span("consolidate"):
+            if self.consolidate:
+                result = consolidate_cnf(cnf)
+                cnf = result.cnf
         consolidate_time = time.perf_counter() - start
 
         area = AccessArea(tuple(ctx.relations), cnf, tuple(ctx.notes))

@@ -11,35 +11,74 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from ..algebra.cnf import CNFConversionError
+from ..obs import get_logger, metrics, trace
+from ..obs.metrics import Histogram
 from ..sqlparser import (LexError, ParseError, UnsupportedStatementError)
 from .area import AccessArea
 from .extractor import AccessAreaExtractor, StageTimings
 
+logger = get_logger(__name__)
 
-@dataclass
+_STAGES = ("parse", "extract", "cnf", "consolidate")
+
+
 class StageTimingSummary:
-    """Min / max / mean / total seconds per stage across a log.
+    """Per-stage timing distribution across a log.
 
-    An empty summary reports ``minimum == 0.0`` (not ``inf``) so that
-    exported reports over logs with no successful extraction stay
-    finite and parseable.
+    Backed by one :class:`~repro.obs.metrics.Histogram`, so minimum and
+    maximum go through the same symmetric accumulator (an empty summary
+    reports both as ``0.0``, never ``inf``, keeping exported reports
+    finite and parseable) and quantiles (:meth:`quantile`, :attr:`p50`
+    / :attr:`p95` / :attr:`p99`) come for free.
     """
 
-    count: int = 0
-    minimum: float = 0.0
-    maximum: float = 0.0
-    total: float = 0.0
+    __slots__ = ("_histogram",)
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self._histogram = histogram or Histogram("stage_seconds")
 
     def add(self, value: float) -> None:
-        self.minimum = value if self.count == 0 \
-            else min(self.minimum, value)
-        self.count += 1
-        self.maximum = max(self.maximum, value)
-        self.total += value
+        self._histogram.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._histogram.count
+
+    @property
+    def minimum(self) -> float:
+        return self._histogram.minimum
+
+    @property
+    def maximum(self) -> float:
+        return self._histogram.maximum
+
+    @property
+    def total(self) -> float:
+        return self._histogram.total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._histogram.mean
+
+    def quantile(self, q: float) -> float:
+        return self._histogram.quantile(q)
+
+    @property
+    def p50(self) -> float:
+        return self._histogram.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self._histogram.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self._histogram.quantile(0.99)
+
+    def __repr__(self) -> str:
+        return (f"StageTimingSummary(count={self.count}, "
+                f"min={self.minimum:.6f}, mean={self.mean:.6f}, "
+                f"max={self.maximum:.6f})")
 
 
 @dataclass
@@ -64,12 +103,8 @@ class LogProcessingReport:
     cnf_failures: int = 0
     failures: list[tuple[int, str, str]] = field(default_factory=list)
     stage_timings: dict[str, StageTimingSummary] = field(
-        default_factory=lambda: {
-            "parse": StageTimingSummary(),
-            "extract": StageTimingSummary(),
-            "cnf": StageTimingSummary(),
-            "consolidate": StageTimingSummary(),
-        })
+        default_factory=lambda: {stage: StageTimingSummary()
+                                 for stage in _STAGES})
 
     @property
     def extraction_count(self) -> int:
@@ -90,10 +125,8 @@ class LogProcessingReport:
         return self.extraction_count / self.total
 
     def record_timings(self, timings: StageTimings) -> None:
-        self.stage_timings["parse"].add(timings.parse)
-        self.stage_timings["extract"].add(timings.extract)
-        self.stage_timings["cnf"].add(timings.cnf)
-        self.stage_timings["consolidate"].add(timings.consolidate)
+        for stage in _STAGES:
+            self.stage_timings[stage].add(getattr(timings, stage))
 
     def areas(self) -> list[AccessArea]:
         return [entry.area for entry in self.extracted]
@@ -115,42 +148,75 @@ class LogProcessingReport:
 
 def process_log(statements: Iterable[str | tuple[str, str]],
                 extractor: AccessAreaExtractor | None = None,
-                keep_failures: bool = True) -> LogProcessingReport:
+                keep_failures: bool = True,
+                registry: Optional[metrics.MetricsRegistry] = None,
+                ) -> LogProcessingReport:
     """Extract access areas from every statement of a log.
 
     ``statements`` yields SQL strings or ``(sql, user)`` pairs.  Failures
     are tallied by class, never raised — mirroring the robust batch run
-    over 12.4M statements in the paper.
+    over 12.4M statements in the paper.  ``registry`` — metrics sink
+    (defaults to the process-wide registry): per-outcome counters under
+    ``repro_pipeline_*`` plus per-stage latency histograms.
     """
     if extractor is None:
         extractor = AccessAreaExtractor()
+    if registry is None:
+        registry = metrics.get_registry()
+    statements_total = registry.counter("repro_pipeline_statements_total")
+    extracted_total = registry.counter("repro_pipeline_extracted_total")
+    failure_counters = {
+        kind: registry.counter("repro_pipeline_failures_total", kind=kind)
+        for kind in ("unsupported", "lex", "parse", "cnf")
+    }
+    stage_histograms = {
+        stage: registry.histogram("repro_pipeline_stage_seconds",
+                                  stage=stage)
+        for stage in _STAGES
+    }
+
     report = LogProcessingReport()
-    for index, item in enumerate(statements):
-        sql, user = (item, None) if isinstance(item, str) else item
-        report.total += 1
-        try:
-            result = extractor.extract(sql)
-        except UnsupportedStatementError as exc:
-            report.unsupported_statements += 1
-            if keep_failures:
-                report.failures.append((index, "unsupported", str(exc)))
-            continue
-        except LexError as exc:
-            report.lex_errors += 1
-            if keep_failures:
-                report.failures.append((index, "lex", str(exc)))
-            continue
-        except ParseError as exc:
-            report.parse_errors += 1
-            if keep_failures:
-                report.failures.append((index, "parse", str(exc)))
-            continue
-        except CNFConversionError as exc:
-            report.cnf_failures += 1
-            if keep_failures:
-                report.failures.append((index, "cnf", str(exc)))
-            continue
-        report.record_timings(result.timings)
-        report.extracted.append(
-            ExtractedQuery(index, sql, result.area, user))
+
+    def fail(index: int, kind: str, exc: Exception) -> None:
+        failure_counters[kind].inc()
+        if keep_failures:
+            report.failures.append((index, kind, str(exc)))
+
+    with trace.span("process_log") as root:
+        for index, item in enumerate(statements):
+            sql, user = (item, None) if isinstance(item, str) else item
+            report.total += 1
+            statements_total.inc()
+            try:
+                result = extractor.extract(sql)
+            except UnsupportedStatementError as exc:
+                report.unsupported_statements += 1
+                fail(index, "unsupported", exc)
+                continue
+            except LexError as exc:
+                report.lex_errors += 1
+                fail(index, "lex", exc)
+                continue
+            except ParseError as exc:
+                report.parse_errors += 1
+                fail(index, "parse", exc)
+                continue
+            except CNFConversionError as exc:
+                report.cnf_failures += 1
+                fail(index, "cnf", exc)
+                continue
+            extracted_total.inc()
+            report.record_timings(result.timings)
+            for stage in _STAGES:
+                stage_histograms[stage].observe(
+                    getattr(result.timings, stage))
+            report.extracted.append(
+                ExtractedQuery(index, sql, result.area, user))
+        root.set(statements=report.total,
+                 extracted=report.extraction_count,
+                 failures=report.failure_count)
+    logger.info(
+        "processed %d statements: %d extracted (%.2f%%), %d failures",
+        report.total, report.extraction_count,
+        report.extraction_rate * 100.0, report.failure_count)
     return report

@@ -23,10 +23,13 @@ from typing import Callable, Iterable, Optional
 
 from ..algebra.cnf import CNFConversionError
 from ..algebra.predicates import ColumnConstantPredicate
+from ..obs import get_logger, metrics
 from ..schema.statistics import StatisticsCatalog
 from ..sqlparser import SqlError, ast
 from .area import AccessArea
 from .extractor import AccessAreaExtractor
+
+logger = get_logger(__name__)
 
 
 class EventKind(enum.Enum):
@@ -99,6 +102,8 @@ class StreamMonitor:
     #: constants that merely nudge the running max are routine widening,
     #: not an anomaly.
     out_of_range_slack: float = 0.05
+    #: metrics sink; ``None`` → the process-wide default registry.
+    registry: Optional[metrics.MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         self.state = StreamState()
@@ -106,6 +111,18 @@ class StreamMonitor:
         self.areas: list[AccessArea] = []
         self._recent_failures: deque[bool] = deque(maxlen=self.failure_window)
         self._burst_active = False
+        registry = self.registry or metrics.get_registry()
+        self._statements_total = registry.counter(
+            "repro_stream_statements_total")
+        self._extracted_total = registry.counter(
+            "repro_stream_extracted_total")
+        self._failures_total = registry.counter(
+            "repro_stream_failures_total")
+        self._event_counters = {
+            kind: registry.counter("repro_stream_events_total",
+                                   kind=kind.value)
+            for kind in EventKind
+        }
 
     # -- ingestion ---------------------------------------------------------
 
@@ -113,16 +130,19 @@ class StreamMonitor:
         """Consume one statement; returns its area or ``None`` on failure."""
         index = self.state.processed
         self.state.processed += 1
+        self._statements_total.inc()
         try:
             result = self.extractor.extract(sql)
         except (SqlError, CNFConversionError) as exc:
             self.state.failures += 1
+            self._failures_total.inc()
             self._recent_failures.append(True)
             self._check_failure_burst(index, sql, exc)
             return None
         self._recent_failures.append(False)
         self._burst_active = False
         self.state.extracted += 1
+        self._extracted_total.inc()
 
         area = result.area
         self.areas.append(area)
@@ -217,6 +237,9 @@ class StreamMonitor:
               sql: str) -> None:
         event = StreamEvent(kind, index, detail, sql)
         self.events.append(event)
+        self._event_counters[kind].inc()
+        logger.info("stream event %s at #%d: %s", kind.value, index,
+                    detail)
         if self.on_event is not None:
             self.on_event(event)
 

@@ -34,7 +34,10 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_logger, metrics, trace
 from .parallel import compute_pairs, resolve_n_jobs
+
+logger = get_logger(__name__)
 
 Metric = Callable[[object, object], float]
 
@@ -90,6 +93,24 @@ class MatrixStats:
             f"d_pred cache hit rate {self.predicate_cache_hit_rate:.1%}; "
             f"{self.elapsed_seconds:.3f} s with n_jobs={self.n_jobs}")
 
+    def record(self, registry) -> None:
+        """Fold this run into a metrics registry (``repro_distance_*``)."""
+        for name, value in (
+                ("repro_distance_pairs_total", self.pairs_total),
+                ("repro_distance_pairs_computed_total",
+                 self.pairs_computed),
+                ("repro_distance_pairs_skipped_total", self.pairs_skipped),
+                ("repro_distance_table_cache_hits_total",
+                 self.table_cache_hits),
+                ("repro_distance_pred_cache_hits_total",
+                 self.predicate_cache_hits),
+                ("repro_distance_pred_cache_misses_total",
+                 self.predicate_cache_misses)):
+            if value:
+                registry.counter(name).inc(value)
+        registry.histogram("repro_distance_matrix_seconds").observe(
+            self.elapsed_seconds)
+
 
 class DistanceMatrix:
     """Condensed symmetric pairwise distance matrix.
@@ -115,18 +136,23 @@ class DistanceMatrix:
 
     @classmethod
     def compute(cls, items: Sequence, metric: Metric, *,
-                n_jobs: int = 1,
-                cutoff: Optional[float] = None) -> "DistanceMatrix":
+                n_jobs: int = 1, cutoff: Optional[float] = None,
+                registry: Optional[metrics.MetricsRegistry] = None,
+                ) -> "DistanceMatrix":
         """Evaluate ``metric`` over every unordered pair of ``items``.
 
         ``n_jobs`` — worker processes (1 = serial, 0/None = all cores);
         ``cutoff`` — optional threshold enabling the partition-bound
         skip: entries whose ``d_tables`` lower bound already exceeds it
         store that bound instead of the full distance (only valid when
-        every later query uses a radius ``≤ cutoff``).
+        every later query uses a radius ``≤ cutoff``);
+        ``registry`` — metrics sink (defaults to the process-wide
+        registry); worker-process metrics are merged back into it.
         """
         n = len(items)
         n_jobs = resolve_n_jobs(n_jobs)
+        if registry is None:
+            registry = metrics.get_registry()
         stats = MatrixStats(n_items=n, pairs_total=n * (n - 1) // 2,
                             n_jobs=n_jobs, cutoff=cutoff)
         values = np.zeros(stats.pairs_total, dtype=float)
@@ -134,32 +160,59 @@ class DistanceMatrix:
         pred_info = getattr(metric, "pred_cache_info", None)
         before = pred_info() if pred_info is not None else None
 
-        decomposed = (hasattr(metric, "d_tables")
-                      and hasattr(metric, "d_conj")
-                      and all(hasattr(item, "table_set")
-                              and hasattr(item, "cnf") for item in items))
-        if decomposed:
-            work = cls._plan_decomposed(items, metric, cutoff, values, stats)
-        else:
-            work = [(condensed_index(i, j, n), i, j)
-                    for i in range(n) for j in range(i + 1, n)]
+        with trace.span("distance_matrix", n_items=n,
+                        n_jobs=n_jobs) as span:
+            decomposed = (hasattr(metric, "d_tables")
+                          and hasattr(metric, "d_conj")
+                          and all(hasattr(item, "table_set")
+                                  and hasattr(item, "cnf")
+                                  for item in items))
+            with trace.span("plan"):
+                if decomposed:
+                    work = cls._plan_decomposed(items, metric, cutoff,
+                                                values, stats)
+                else:
+                    work = [(condensed_index(i, j, n), i, j)
+                            for i in range(n) for j in range(i + 1, n)]
 
-        stats.pairs_computed = len(work)
-        if n_jobs == 1:
-            if decomposed:
-                cls._fill_decomposed(items, metric, work, values)
-            else:
-                for k, i, j in work:
-                    values[k] = metric(items[i], items[j])
-        else:
-            for k, value in compute_pairs(items, metric, work, n_jobs):
-                values[k] = value
+            stats.pairs_computed = len(work)
+            mode = "serial" if n_jobs == 1 else "parallel"
+            chunk_seconds = registry.histogram(
+                "repro_distance_chunk_seconds", mode=mode)
+            worker_hits = worker_misses = 0
+            with trace.span("fill", pairs=len(work), mode=mode):
+                if n_jobs == 1:
+                    fill_started = time.perf_counter()
+                    if decomposed:
+                        cls._fill_decomposed(items, metric, work, values)
+                    else:
+                        for k, i, j in work:
+                            values[k] = metric(items[i], items[j])
+                    if work:
+                        chunk_seconds.observe(
+                            time.perf_counter() - fill_started)
+                else:
+                    entries, infos = compute_pairs(items, metric, work,
+                                                   n_jobs)
+                    for k, value in entries:
+                        values[k] = value
+                    for info in infos:
+                        chunk_seconds.observe(info.seconds)
+                        worker_hits += info.cache_hits
+                        worker_misses += info.cache_misses
 
-        if before is not None:
-            after = pred_info()
-            stats.predicate_cache_hits = after.hits - before.hits
-            stats.predicate_cache_misses = after.misses - before.misses
-        stats.elapsed_seconds = time.perf_counter() - started
+            if before is not None:
+                after = pred_info()
+                stats.predicate_cache_hits = (after.hits - before.hits
+                                              + worker_hits)
+                stats.predicate_cache_misses = (
+                    after.misses - before.misses + worker_misses)
+            stats.elapsed_seconds = time.perf_counter() - started
+            span.set(pairs_computed=stats.pairs_computed,
+                     pairs_skipped=stats.pairs_skipped)
+
+        stats.record(registry)
+        logger.debug("distance matrix: %s", stats.summary())
         return cls(n, values, stats)
 
     @classmethod

@@ -15,6 +15,14 @@ to the serial one.  Any failure to spin up or use the pool — metrics
 that cannot be pickled, fork-less restricted environments, interpreter
 shutdown races — degrades to the serial path instead of erroring: the
 pool is an optimization, never a requirement.
+
+Each evaluated block additionally reports a :class:`BlockInfo` —
+pairs computed, wall-clock seconds, and the worker-local predicate
+cache delta.  These travel back over the same IPC channel as the
+values, so the parent can merge per-worker metrics into its own
+registry (:meth:`repro.obs.metrics.MetricsRegistry.merge`-style
+aggregation at the call site in :mod:`.matrix`); the serial path
+reports the identical structure for one block.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import time
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 Pair = tuple[int, int, int]  # (condensed index, i, j)
@@ -31,6 +41,17 @@ Pair = tuple[int, int, int]  # (condensed index, i, j)
 DEFAULT_CHUNK_PAIRS = 2048
 
 _WORKER_STATE: dict = {}
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Telemetry for one evaluated block of pairs."""
+
+    pairs: int
+    seconds: float
+    pid: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -45,15 +66,40 @@ def _init_worker(metric, items) -> None:
     _WORKER_STATE["items"] = items
 
 
-def _compute_block(block: list[Pair]) -> list[tuple[int, float]]:
-    metric = _WORKER_STATE["metric"]
-    items = _WORKER_STATE["items"]
-    return [(k, metric(items[i], items[j])) for k, i, j in block]
+def _evaluate_block(metric, items,
+                    block: Sequence[Pair],
+                    ) -> tuple[list[tuple[int, float]], BlockInfo]:
+    started = time.perf_counter()
+    pred_info = getattr(metric, "pred_cache_info", None)
+    before = pred_info() if pred_info is not None else None
+    entries = [(k, metric(items[i], items[j])) for k, i, j in block]
+    elapsed = time.perf_counter() - started
+    hits = misses = 0
+    if before is not None:
+        after = pred_info()
+        hits = after.hits - before.hits
+        misses = after.misses - before.misses
+    return entries, BlockInfo(pairs=len(block), seconds=elapsed,
+                              pid=os.getpid(), cache_hits=hits,
+                              cache_misses=misses)
 
 
-def _serial(items: Sequence, metric: Callable,
-            pairs: Sequence[Pair]) -> list[tuple[int, float]]:
-    return [(k, metric(items[i], items[j])) for k, i, j in pairs]
+def _compute_block(block: list[Pair]
+                   ) -> tuple[list[tuple[int, float]], BlockInfo]:
+    return _evaluate_block(_WORKER_STATE["metric"],
+                           _WORKER_STATE["items"], block)
+
+
+def _serial(items: Sequence, metric: Callable, pairs: Sequence[Pair],
+            chunk_pairs: int,
+            ) -> tuple[list[tuple[int, float]], list[BlockInfo]]:
+    entries: list[tuple[int, float]] = []
+    infos: list[BlockInfo] = []
+    for block in _blocks(pairs, chunk_pairs):
+        block_entries, info = _evaluate_block(metric, items, block)
+        entries.extend(block_entries)
+        infos.append(info)
+    return entries, infos
 
 
 def _blocks(pairs: Sequence[Pair], size: int) -> list[list[Pair]]:
@@ -64,15 +110,16 @@ def _blocks(pairs: Sequence[Pair], size: int) -> list[list[Pair]]:
 def compute_pairs(items: Sequence, metric: Callable[[object, object], float],
                   pairs: Sequence[Pair], n_jobs: int = 1,
                   chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
-                  ) -> list[tuple[int, float]]:
+                  ) -> tuple[list[tuple[int, float]], list[BlockInfo]]:
     """Evaluate ``metric`` on every ``(k, i, j)`` pair, fanning out when asked.
 
-    Returns ``(k, value)`` tuples in unspecified order.  ``n_jobs == 1``
-    (or a pool failure) runs the plain serial loop.
+    Returns ``(entries, infos)``: ``(k, value)`` tuples in unspecified
+    order plus one :class:`BlockInfo` per evaluated chunk.
+    ``n_jobs == 1`` (or a pool failure) runs the plain serial loop.
     """
     n_jobs = resolve_n_jobs(n_jobs)
     if n_jobs == 1 or len(pairs) == 0:
-        return _serial(items, metric, pairs)
+        return _serial(items, metric, pairs, chunk_pairs)
     blocks = _blocks(pairs, chunk_pairs)
     workers = min(n_jobs, len(blocks))
     try:
@@ -83,5 +130,8 @@ def compute_pairs(items: Sequence, metric: Callable[[object, object], float],
             results = pool.map(_compute_block, blocks)
     except (OSError, ValueError, RuntimeError, AttributeError,
             pickle.PicklingError):
-        return _serial(items, metric, pairs)
-    return [entry for block in results for entry in block]
+        return _serial(items, metric, pairs, chunk_pairs)
+    entries = [entry for block_entries, _ in results
+               for entry in block_entries]
+    infos = [info for _, info in results]
+    return entries, infos

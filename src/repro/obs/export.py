@@ -1,0 +1,160 @@
+"""Exporters for metrics snapshots: Prometheus text, JSON, terminal table.
+
+All three render the plain-dict :meth:`MetricsRegistry.snapshot`
+format, so they work equally on a live registry and on a
+``--metrics-out`` JSON file loaded back from disk (which is how the
+``repro stats`` subcommand re-renders past runs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .metrics import MetricsRegistry
+
+Snapshot = dict
+_SourceType = Union[MetricsRegistry, Snapshot]
+
+
+def _as_snapshot(source: _SourceType, include_reservoir: bool) -> Snapshot:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot(include_reservoir=include_reservoir)
+    return source
+
+
+# -- Prometheus text format -------------------------------------------------
+
+def _prom_labels(labels: dict, extra: Union[dict, None] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape(str(value))}"'
+        for key, value in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace(
+        "\n", r"\n")
+
+
+def _prom_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(source: _SourceType) -> str:
+    """The Prometheus text exposition format.
+
+    Histograms are exported as summaries (``quantile`` label plus
+    ``_sum`` / ``_count`` series), which matches the reservoir
+    estimator better than fixed buckets would.
+    """
+    snapshot = _as_snapshot(source, include_reservoir=False)
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    for entry in snapshot.get("counters", ()):
+        name = entry["name"]
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} "
+                     f"{_prom_number(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        name = entry["name"]
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} "
+                     f"{_prom_number(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} summary")
+        labels = entry["labels"]
+        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+            lines.append(
+                f"{name}{_prom_labels(labels, {'quantile': q_label})} "
+                f"{_prom_number(entry[q_key])}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_number(entry['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} "
+                     f"{_prom_number(entry['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSON -------------------------------------------------------------------
+
+def to_json(source: _SourceType, include_reservoir: bool = False) -> str:
+    """The snapshot as a JSON document (compact, sorted keys)."""
+    snapshot = _as_snapshot(source, include_reservoir)
+    return json.dumps(snapshot, sort_keys=True, indent=2)
+
+
+def write_json(source: _SourceType, path: Union[str, Path],
+               include_reservoir: bool = False) -> None:
+    Path(path).write_text(to_json(source, include_reservoir) + "\n",
+                          encoding="utf-8")
+
+
+def load_json(path: Union[str, Path]) -> Snapshot:
+    """Read back a ``--metrics-out`` dump for re-rendering."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+# -- terminal summary table -------------------------------------------------
+
+def _instrument_label(entry: dict) -> str:
+    labels = entry["labels"]
+    if not labels:
+        return entry["name"]
+    body = ",".join(f"{key}={value}"
+                    for key, value in sorted(labels.items()))
+    return f"{entry['name']}{{{body}}}"
+
+
+def render_table(source: _SourceType) -> str:
+    """A fixed-width table for terminals (the ``repro stats`` view)."""
+    snapshot = _as_snapshot(source, include_reservoir=False)
+    sections: list[str] = []
+
+    counters = snapshot.get("counters", [])
+    gauges = snapshot.get("gauges", [])
+    histograms = snapshot.get("histograms", [])
+
+    scalar_rows = ([(_instrument_label(e), e["value"]) for e in counters]
+                   + [(_instrument_label(e), e["value"]) for e in gauges])
+    if scalar_rows:
+        width = max(len(name) for name, _ in scalar_rows)
+        lines = [f"{'counter / gauge':<{width}}  {'value':>14}",
+                 "-" * (width + 16)]
+        for name, value in scalar_rows:
+            lines.append(f"{name:<{width}}  {_prom_number(value):>14}")
+        sections.append("\n".join(lines))
+
+    if histograms:
+        width = max(len(_instrument_label(e)) for e in histograms)
+        header = (f"{'histogram':<{width}}  {'count':>8}  {'mean':>11}  "
+                  f"{'p50':>11}  {'p95':>11}  {'p99':>11}  {'max':>11}")
+        lines = [header, "-" * len(header)]
+        for entry in histograms:
+            lines.append(
+                f"{_instrument_label(entry):<{width}}  "
+                f"{entry['count']:>8}  "
+                f"{entry['mean']:>11.6f}  {entry['p50']:>11.6f}  "
+                f"{entry['p95']:>11.6f}  {entry['p99']:>11.6f}  "
+                f"{entry['max']:>11.6f}")
+        sections.append("\n".join(lines))
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

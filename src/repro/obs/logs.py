@@ -1,0 +1,125 @@
+"""Structured logging on top of the stdlib ``logging`` module.
+
+Every module logs through a child of the ``repro`` logger
+(:func:`get_logger`), and :func:`configure_logging` installs exactly
+one handler on that root — idempotently, so the CLI and tests can call
+it repeatedly.  Two formats:
+
+* ``human`` — ``HH:MM:SS level logger: message`` on stderr;
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``msg`` plus any ``extra={...}`` fields), machine-harvestable at
+  SkyServer log volumes.
+
+Configuration precedence: explicit arguments, then the
+``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT`` environment variables, then
+the defaults (``warning`` / ``human``).  Library code never calls
+``configure_logging`` itself — importing :mod:`repro` leaves the
+stdlib logging tree untouched apart from a ``NullHandler``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Optional, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+#: LogRecord attributes that are not user-supplied ``extra`` fields.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None))) | {"message", "asctime", "taskName"}
+
+#: Marker attribute identifying the handler we installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class HumanFormatter(logging.Formatter):
+    """Compact single-line format for terminals."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: "
+                         "%(message)s", datefmt="%H:%M:%S")
+        self.converter = time.localtime
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("distance.matrix")`` → ``repro.distance.matrix``;
+    dunder module names (``repro.core.pipeline``) pass through.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: Optional[str] = None,
+                      fmt: Optional[str] = None,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install (or replace) the single ``repro`` handler.
+
+    Returns the configured root logger.  Raises ``ValueError`` on an
+    unknown level or format name.
+    """
+    level = (level or os.environ.get("REPRO_LOG_LEVEL") or "warning").lower()
+    fmt = (fmt or os.environ.get("REPRO_LOG_FORMAT") or "human").lower()
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; pick from {sorted(LEVELS)}")
+    if fmt not in ("human", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; "
+                         f"pick 'human' or 'json'")
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if fmt == "json"
+                         else HumanFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(LEVELS[level])
+    root.propagate = False
+    return root
+
+
+# Importing the library must not print: absorb records until the
+# application configures a handler.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,307 @@
+"""Lightweight nestable span tracing with a JSONL sink.
+
+A *span* is a named, timed region of work with free-form attributes::
+
+    with trace.span("cnf", query_id=17) as s:
+        cnf = to_cnf(expr)
+        s.set(clauses=len(cnf))
+
+Spans nest: entering a span while another is open attaches it as a
+child, producing one hierarchical timing tree per top-level operation
+(a ``process_log`` root with per-query children, each with its four
+stage grandchildren).  Exceptions close the span with
+``status == "error"`` and propagate.
+
+The default tracer is :data:`NULL_TRACER`, a no-op whose ``span()``
+returns a shared context manager — the instrumented hot paths cost one
+call and no allocations when tracing is off.  Enable tracing with
+:func:`set_tracer` (or the :func:`use_tracer` context manager); give
+the tracer a ``sink`` path and every completed *root* span is appended
+to the file as one JSON object per line, nested children inline —
+streaming, so a crash mid-run loses at most the open roots.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO, Union
+
+
+class Span:
+    """One timed region: name, attributes, children, outcome."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end", "status",
+                 "error")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.children: list[Span] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (overwrites same keys)."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "duration_s": round(self.duration, 9),
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = _jsonable(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first lookup of a descendant span by name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, "
+                f"{len(self.children)} children, {self.status})")
+
+
+def _jsonable(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class _SpanContext:
+    """The ``with`` handle: closes the span and pops the stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs) -> None:
+        self.span.set(**attrs)
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.end = time.perf_counter()
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Collects span trees; thread-local nesting, optional JSONL sink.
+
+    ``sink`` — a path or open text file; each completed root span is
+    written as one JSON line.  ``keep`` — retain completed roots in
+    :attr:`roots` for in-process inspection (on by default; large
+    batch runs with a sink may turn it off to bound memory).
+    """
+
+    def __init__(self, sink: Union[str, TextIO, None] = None,
+                 keep: bool = True) -> None:
+        self.roots: list[Span] = []
+        self.keep = keep
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._own_handle = False
+        if isinstance(sink, str):
+            self._sink: Optional[TextIO] = open(sink, "a",
+                                                encoding="utf-8")
+            self._own_handle = True
+        else:
+            self._sink = sink
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        span = Span(name, attrs)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _close(self, span: Span) -> None:
+        stack = self._stack()
+        # Exception-tolerant pop: close everything above `span` too.
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
+            dangling.end = dangling.end or span.end
+        if stack:
+            stack.pop()
+        if not stack:  # a root completed
+            if self.keep:
+                self.roots.append(span)
+            if self._sink is not None:
+                line = json.dumps(span.to_dict(), sort_keys=True)
+                with self._lock:
+                    self._sink.write(line + "\n")
+                    self._sink.flush()
+
+    def close(self) -> None:
+        if self._own_handle and self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _NullSpanContext:
+    """Shared do-nothing span handle."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer:
+    """Disabled tracing: ``span()`` returns one shared no-op handle."""
+
+    _CONTEXT = _NullSpanContext()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return self._CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    @property
+    def roots(self) -> list:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    return _tracer
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer, None]
+               ) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` process-wide (``None`` → no-op); returns the
+    previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Union[Tracer, NullTracer]
+               ) -> Iterator[Union[Tracer, NullTracer]]:
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs):
+    """Open a span on the process-wide tracer (no-op by default)."""
+    return _tracer.span(name, **attrs)
+
+
+# -- trace file rendering ---------------------------------------------------
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into root-span dicts."""
+    roots = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                roots.append(json.loads(line))
+    return roots
+
+
+def format_span_tree(root: dict, indent: int = 0,
+                     max_children: int = 12) -> str:
+    """Render one span dict (from :func:`load_trace`) as an ASCII tree."""
+    lines = [_format_span_line(root, indent)]
+    children = root.get("children", [])
+    shown = children if len(children) <= max_children \
+        else children[:max_children]
+    for child in shown:
+        lines.append(format_span_tree(child, indent + 1, max_children))
+    if len(children) > len(shown):
+        pad = "  " * (indent + 1)
+        lines.append(f"{pad}… {len(children) - len(shown)} more children")
+    return "\n".join(lines)
+
+
+def _format_span_line(node: dict, indent: int) -> str:
+    pad = "  " * indent
+    duration_ms = node.get("duration_s", 0.0) * 1e3
+    flag = "" if node.get("status", "ok") == "ok" \
+        else f"  [{node.get('status')}: {node.get('error', '?')}]"
+    attrs = node.get("attrs") or {}
+    attr_text = ""
+    if attrs:
+        parts = [f"{key}={value}" for key, value in sorted(attrs.items())]
+        attr_text = "  (" + ", ".join(parts) + ")"
+    return f"{pad}{node['name']}  {duration_ms:.3f} ms{attr_text}{flag}"

@@ -100,3 +100,34 @@ class TestTimings:
         assert summary.minimum == 0.2
         assert summary.maximum == 0.9
         assert summary.count == 3
+
+
+class TestTimingQuantiles:
+    def test_quantiles_on_known_values(self):
+        summary = StageTimingSummary()
+        for value in range(1, 101):  # 1..100 ms
+            summary.add(value / 1000)
+        assert summary.p50 == 50.5 / 1000
+        assert abs(summary.p95 - 95.05 / 1000) < 1e-12
+        assert abs(summary.p99 - 99.01 / 1000) < 1e-12
+        assert summary.quantile(0.0) == summary.minimum
+        assert summary.quantile(1.0) == summary.maximum
+
+    def test_empty_summary_quantiles_are_zero(self):
+        summary = StageTimingSummary()
+        assert summary.p50 == 0.0
+        assert summary.p95 == 0.0
+        assert summary.p99 == 0.0
+
+    def test_quantiles_bounded_by_min_max(self, schema):
+        report = process_log(["SELECT * FROM T WHERE u > 1"] * 7,
+                             AccessAreaExtractor(schema))
+        for summary in report.stage_timings.values():
+            assert summary.minimum <= summary.p50 <= summary.maximum
+            assert summary.p50 <= summary.p95 <= summary.p99
+            assert summary.p99 <= summary.maximum
+
+    def test_single_value_quantiles_collapse(self):
+        summary = StageTimingSummary()
+        summary.add(0.25)
+        assert summary.p50 == summary.p95 == summary.p99 == 0.25

@@ -1,5 +1,6 @@
 """The installed console entry point, exercised as a real subprocess."""
 
+import json
 import subprocess
 import sys
 
@@ -46,3 +47,98 @@ class TestSubprocess:
                                   "WHERE plate > 300")
         assert proc.returncode == 0
         assert "SpecObjAll.plate > 300" in proc.stdout
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def small_log(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "log.jsonl"
+        proc = run_cli("generate", "--queries", "150", "--out", str(path))
+        assert proc.returncode == 0, proc.stderr
+        return path
+
+    def test_process_writes_metrics_and_trace(self, small_log, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        proc = run_cli("process", str(small_log),
+                       "--metrics-out", str(metrics_path),
+                       "--trace-out", str(trace_path),
+                       "--sample", "80")
+        assert proc.returncode == 0, proc.stderr
+        assert "clusters found" in proc.stdout
+
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        counters = {c["name"] for c in snapshot["counters"]}
+        histograms = {h["name"] for h in snapshot["histograms"]}
+        assert "repro_pipeline_statements_total" in counters
+        assert "repro_distance_pairs_total" in counters
+        assert "repro_clustering_runs_total" in counters
+        assert "repro_pipeline_stage_seconds" in histograms
+        assert "repro_clustering_iterations" in histograms
+        stages = {h["labels"].get("stage")
+                  for h in snapshot["histograms"]
+                  if h["name"] == "repro_pipeline_stage_seconds"}
+        assert stages == {"parse", "extract", "cnf", "consolidate"}
+
+        roots = [json.loads(line) for line
+                 in trace_path.read_text(encoding="utf-8").splitlines()
+                 if line.strip()]
+        names = {root["name"] for root in roots}
+        assert "process_log" in names
+        assert any(root["name"] == "distance_matrix" for root in roots)
+
+    def test_no_cluster_skips_clustering_metrics(self, small_log,
+                                                 tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        proc = run_cli("process", str(small_log), "--no-cluster",
+                       "--metrics-out", str(metrics_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "clusters found" not in proc.stdout
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        counters = {c["name"] for c in snapshot["counters"]}
+        assert "repro_pipeline_statements_total" in counters
+        assert "repro_clustering_runs_total" not in counters
+
+    def test_stats_renders_table_prometheus_and_trace(self, small_log,
+                                                      tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        proc = run_cli("process", str(small_log),
+                       "--metrics-out", str(metrics_path),
+                       "--trace-out", str(trace_path),
+                       "--sample", "60")
+        assert proc.returncode == 0, proc.stderr
+
+        table = run_cli("stats", str(metrics_path))
+        assert table.returncode == 0, table.stderr
+        assert "repro_pipeline_statements_total" in table.stdout
+        assert "p95" in table.stdout
+
+        prom = run_cli("stats", str(metrics_path),
+                       "--format", "prometheus")
+        assert prom.returncode == 0, prom.stderr
+        assert ("# TYPE repro_pipeline_statements_total counter"
+                in prom.stdout)
+        assert 'quantile="0.95"' in prom.stdout
+
+        tree = run_cli("stats", "--trace", str(trace_path))
+        assert tree.returncode == 0, tree.stderr
+        assert "root span(s)" in tree.stdout
+        assert "process_log" in tree.stdout
+
+    def test_stats_without_inputs_fails(self):
+        proc = run_cli("stats")
+        assert proc.returncode == 2
+
+    def test_log_level_routes_diagnostics_to_stderr(self, small_log):
+        proc = run_cli("process", str(small_log), "--no-cluster",
+                       "--log-level", "info", "--log-format", "json")
+        assert proc.returncode == 0, proc.stderr
+        diagnostics = [json.loads(line) for line
+                       in proc.stderr.splitlines() if line.strip()]
+        assert any(record["logger"].startswith("repro")
+                   for record in diagnostics)
+        # stdout stays the clean user-facing report.
+        assert "areas extracted" in proc.stdout
+        assert not any(line.startswith("{") for line
+                       in proc.stdout.splitlines())

@@ -1,0 +1,127 @@
+"""Structured logging: formatters, idempotent configure, env fallback."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (JsonFormatter, ROOT_LOGGER_NAME,
+                            configure_logging, get_logger)
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    """Leave the shared ``repro`` logger as the session found it."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    handlers = list(root.handlers)
+    level = root.level
+    propagate = root.propagate
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+    root.propagate = propagate
+
+
+def _our_handlers(root):
+    return [h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)]
+
+
+class TestGetLogger:
+    def test_prefixes_repro_namespace(self):
+        assert get_logger("distance.matrix").name == "repro.distance.matrix"
+
+    def test_passthrough_for_qualified_names(self):
+        assert get_logger("repro.core.pipeline").name == \
+            "repro.core.pipeline"
+
+    def test_empty_name_is_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+
+class TestConfigure:
+    def test_installs_exactly_one_handler(self):
+        root = configure_logging("info", "human", stream=io.StringIO())
+        assert len(_our_handlers(root)) == 1
+        # Re-configuring replaces, never stacks.
+        root = configure_logging("debug", "json", stream=io.StringIO())
+        assert len(_our_handlers(root)) == 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("verbose")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            configure_logging("info", "xml")
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        stream = io.StringIO()
+        root = configure_logging(stream=stream)
+        assert root.level == logging.DEBUG
+        get_logger("envtest").debug("hello")
+        assert json.loads(stream.getvalue())["msg"] == "hello"
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        root = configure_logging("error", stream=io.StringIO())
+        assert root.level == logging.ERROR
+
+    def test_human_format_lines(self):
+        stream = io.StringIO()
+        configure_logging("info", "human", stream=stream)
+        get_logger("fmt").info("message body")
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.fmt" in line
+        assert line.endswith("message body")
+
+
+class TestJsonFormatter:
+    def format_record(self, **extra):
+        logger = logging.getLogger("repro.test.jsonfmt")
+        record = logger.makeRecord(
+            logger.name, logging.WARNING, __file__, 1,
+            "hit %d", (3,), None, extra=extra)
+        return json.loads(JsonFormatter().format(record))
+
+    def test_core_fields(self):
+        payload = self.format_record()
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test.jsonfmt"
+        assert payload["msg"] == "hit 3"
+        assert isinstance(payload["ts"], float)
+
+    def test_extra_fields_ride_along(self):
+        payload = self.format_record(stage="cnf", pairs=42)
+        assert payload["stage"] == "cnf"
+        assert payload["pairs"] == 42
+
+    def test_unserialisable_extra_becomes_repr(self):
+        payload = self.format_record(obj={1, 2})
+        assert payload["obj"] == repr({1, 2})
+
+    def test_exception_info_included(self):
+        logger = logging.getLogger("repro.test.jsonfmt")
+        try:
+            raise ValueError("bad input")
+        except ValueError:
+            record = logger.makeRecord(
+                logger.name, logging.ERROR, __file__, 1, "failed", (),
+                __import__("sys").exc_info())
+        payload = json.loads(JsonFormatter().format(record))
+        assert "ValueError: bad input" in payload["exc"]
+
+
+class TestImportBehaviour:
+    def test_import_installs_null_handler(self):
+        # Importing the library must leave a NullHandler on the repro
+        # root so unconfigured applications never hit the stdlib
+        # "lastResort" stderr fallback.
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in root.handlers)

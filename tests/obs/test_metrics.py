@@ -1,0 +1,230 @@
+"""Registry, counter/gauge/histogram semantics, quantiles, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (load_json, render_table, to_json,
+                              to_prometheus, write_json)
+from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,
+                               NullRegistry, RunningStats, get_registry,
+                               set_registry, use_registry)
+
+
+class TestRunningStats:
+    def test_empty_is_finite_and_symmetric(self):
+        stats = RunningStats()
+        assert stats.minimum == 0.0
+        assert stats.maximum == 0.0
+        assert stats.mean == 0.0
+        assert math.isfinite(stats.minimum)
+
+    def test_first_value_sets_both_bounds(self):
+        stats = RunningStats()
+        stats.add(0.5)
+        assert stats.minimum == 0.5
+        assert stats.maximum == 0.5
+
+    def test_accumulation(self):
+        stats = RunningStats()
+        for value in (3.0, 1.0, 2.0):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.total == 6.0
+        assert stats.mean == 2.0
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestHistogram:
+    def test_exact_quantiles_below_reservoir_size(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.p50 == pytest.approx(50.5)
+        assert histogram.p95 == pytest.approx(95.05)
+        assert histogram.p99 == pytest.approx(99.01)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_reservoir_sampling_is_deterministic_and_bounded(self):
+        h1 = Histogram("same-name", reservoir_size=64)
+        h2 = Histogram("same-name", reservoir_size=64)
+        for value in range(10_000):
+            h1.observe(value)
+            h2.observe(value)
+        assert len(h1.reservoir) == 64
+        assert h1.reservoir == h2.reservoir  # seeded from the name
+        assert h1.count == 10_000
+        # The sampled p50 of a uniform ramp stays near the middle.
+        assert 2_000 < h1.p50 < 8_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", stage="parse")
+        b = registry.counter("repro_x_total", stage="parse")
+        c = registry.counter("repro_x_total", stage="cnf")
+        assert a is b
+        assert a is not c
+
+    def test_instrument_kinds_are_separate_namespaces(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        registry.gauge("repro_x")
+        registry.histogram("repro_x")
+        snapshot = registry.snapshot()
+        assert len(snapshot["counters"]) == 1
+        assert len(snapshot["gauges"]) == 1
+        assert len(snapshot["histograms"]) == 1
+
+    def test_default_registry_injection(self):
+        replacement = MetricsRegistry()
+        with use_registry(replacement):
+            assert get_registry() is replacement
+            get_registry().counter("repro_inside_total").inc()
+        assert get_registry() is not replacement
+        assert replacement.counter("repro_inside_total").value == 1
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert previous is original
+        finally:
+            set_registry(original)
+
+    def test_merge_adds_counters_and_pools_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_pairs_total").inc(10)
+        for value in (1.0, 2.0, 3.0):
+            worker.histogram("repro_seconds").observe(value)
+        worker.gauge("repro_g").set(7)
+
+        parent = MetricsRegistry()
+        parent.counter("repro_pairs_total").inc(5)
+        parent.histogram("repro_seconds").observe(10.0)
+
+        parent.merge(worker.snapshot())
+        assert parent.counter("repro_pairs_total").value == 15
+        histogram = parent.histogram("repro_seconds")
+        assert histogram.count == 4
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 10.0
+        assert histogram.total == 16.0
+        assert parent.gauge("repro_g").value == 7
+
+    def test_merge_without_reservoir_keeps_summary_stats(self):
+        worker = MetricsRegistry()
+        for value in (1.0, 5.0):
+            worker.histogram("repro_seconds").observe(value)
+        snapshot = worker.snapshot(include_reservoir=False)
+        parent = MetricsRegistry()
+        parent.merge(snapshot)
+        histogram = parent.histogram("repro_seconds")
+        assert histogram.count == 2
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_noops(self):
+        registry = NullRegistry()
+        registry.counter("repro_x").inc(5)
+        registry.gauge("repro_x").set(5)
+        registry.histogram("repro_x").observe(5)
+        assert registry.counter("repro_x").value == 0
+        assert registry.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []}
+        assert not registry.enabled
+
+
+class TestPrometheusExport:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_pipeline_statements_total").inc(414)
+        registry.counter("repro_pipeline_failures_total",
+                         kind="parse").inc(2)
+        registry.gauge("repro_clustering_clusters",
+                       algorithm="dbscan").set(28)
+        histogram = registry.histogram("repro_pipeline_stage_seconds",
+                                       stage="cnf")
+        for value in range(100):
+            histogram.observe(value / 1000)
+        return registry
+
+    def test_type_lines_and_samples(self):
+        text = to_prometheus(self.build())
+        assert "# TYPE repro_pipeline_statements_total counter" in text
+        assert "repro_pipeline_statements_total 414" in text
+        assert ('repro_pipeline_failures_total{kind="parse"} 2'
+                in text)
+        assert "# TYPE repro_clustering_clusters gauge" in text
+        assert "# TYPE repro_pipeline_stage_seconds summary" in text
+        assert ('repro_pipeline_stage_seconds{quantile="0.95",'
+                'stage="cnf"}') in text
+        assert 'repro_pipeline_stage_seconds_count{stage="cnf"} 100' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", detail='say "hi"\n').inc()
+        text = to_prometheus(registry)
+        assert r'detail="say \"hi\"\n"' in text
+
+    def test_every_line_is_sample_or_comment(self):
+        for line in to_prometheus(self.build()).strip().splitlines():
+            assert line.startswith("# TYPE ") or " " in line
+
+
+class TestJsonExport:
+    def test_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(3)
+        registry.histogram("repro_seconds").observe(1.5)
+        path = tmp_path / "metrics.json"
+        write_json(registry, path)
+        snapshot = load_json(path)
+        assert snapshot["counters"][0]["value"] == 3
+        assert snapshot["histograms"][0]["count"] == 1
+        # Compact dump omits the raw reservoir.
+        assert "reservoir" not in snapshot["histograms"][0]
+        # And the text form is valid JSON.
+        assert json.loads(to_json(registry)) == snapshot
+
+
+class TestTableExport:
+    def test_renders_all_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kind="a").inc(2)
+        registry.gauge("repro_g").set(1.5)
+        registry.histogram("repro_seconds").observe(0.25)
+        table = render_table(registry)
+        assert "repro_x_total{kind=a}" in table
+        assert "repro_g" in table
+        assert "repro_seconds" in table
+        assert "p95" in table
+
+    def test_empty_registry(self):
+        assert render_table(MetricsRegistry()) == "(no metrics recorded)"

@@ -1,0 +1,185 @@
+"""Worker-metric aggregation across the multiprocessing fan-out.
+
+Workers cannot share the parent's :class:`MetricsRegistry`; instead each
+evaluated chunk ships a :class:`BlockInfo` back over the existing IPC
+channel and the parent folds them into its own registry.  These tests
+pin that protocol — plus the snapshot/merge picklability it rests on —
+and the zero-overhead claim for the disabled (null) instruments.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.parallel import BlockInfo, compute_pairs
+from repro.obs.metrics import (MetricsRegistry, NullRegistry,
+                               use_registry)
+from repro.obs.trace import NULL_TRACER
+
+
+def _metric(a: float, b: float) -> float:
+    return abs(a - b)
+
+
+def _pairs(n: int) -> list[tuple[int, int, int]]:
+    pairs, k = [], 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs.append((k, i, j))
+            k += 1
+    return pairs
+
+
+class TestComputePairsBlockInfo:
+    def test_serial_reports_one_info_per_chunk(self):
+        items = [float(v) for v in range(10)]
+        pairs = _pairs(10)  # 45 pairs
+        entries, infos = compute_pairs(items, _metric, pairs,
+                                       n_jobs=1, chunk_pairs=20)
+        assert len(entries) == 45
+        assert [info.pairs for info in infos] == [20, 20, 5]
+        assert all(info.seconds >= 0.0 for info in infos)
+        assert all(isinstance(info, BlockInfo) for info in infos)
+
+    def test_parallel_infos_cover_every_pair(self):
+        items = [float(v) for v in range(12)]
+        pairs = _pairs(12)  # 66 pairs
+        entries, infos = compute_pairs(items, _metric, pairs,
+                                       n_jobs=2, chunk_pairs=16)
+        assert sum(info.pairs for info in infos) == 66
+        # Values match the serial evaluation exactly, order aside.
+        serial, _ = compute_pairs(items, _metric, pairs, n_jobs=1)
+        assert dict(entries) == dict(serial)
+
+    def test_empty_work_is_fine(self):
+        entries, infos = compute_pairs([], _metric, [], n_jobs=4)
+        assert entries == []
+        assert infos == []
+
+
+class TestRegistryMergeAcrossProcesses:
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kind="a").inc(3)
+        registry.histogram("repro_seconds").observe(0.5)
+        snapshot = registry.snapshot(include_reservoir=True)
+        restored = pickle.loads(pickle.dumps(snapshot))
+        parent = MetricsRegistry()
+        parent.merge(restored)
+        assert parent.counter("repro_x_total", kind="a").value == 3
+        assert parent.histogram("repro_seconds").count == 1
+
+    def test_simulated_worker_fanout(self):
+        # Each "worker" fills its own registry; the parent merges all
+        # snapshots — counters add, histogram stats pool.
+        snapshots = []
+        for worker in range(3):
+            registry = MetricsRegistry()
+            registry.counter("repro_pairs_computed_total").inc(10)
+            for value in range(worker + 1):
+                registry.histogram("repro_chunk_seconds").observe(
+                    0.1 * (value + 1))
+            snapshots.append(pickle.loads(
+                pickle.dumps(registry.snapshot())))
+        parent = MetricsRegistry()
+        for snapshot in snapshots:
+            parent.merge(snapshot)
+        assert parent.counter("repro_pairs_computed_total").value == 30
+        histogram = parent.histogram("repro_chunk_seconds")
+        assert histogram.count == 6  # 1 + 2 + 3
+        assert histogram.minimum == pytest.approx(0.1)
+        assert histogram.maximum == pytest.approx(0.3)
+
+
+class TestDistanceMatrixParallelMetrics:
+    def test_parallel_run_lands_in_parent_registry(self):
+        registry = MetricsRegistry()
+        items = [float(v) for v in range(30)]  # 435 pairs
+        with use_registry(registry):
+            matrix = DistanceMatrix.compute(items, _metric, n_jobs=2)
+        assert registry.counter(
+            "repro_distance_pairs_computed_total").value == 435
+        chunk = registry.histogram("repro_distance_chunk_seconds",
+                                   mode="parallel")
+        assert chunk.count >= 1
+        matrix_seconds = registry.histogram(
+            "repro_distance_matrix_seconds")
+        assert matrix_seconds.count == 1
+        # And the values themselves match the serial path.
+        serial = DistanceMatrix.compute(items, _metric, n_jobs=1,
+                                        registry=MetricsRegistry())
+        np.testing.assert_array_equal(matrix.condensed, serial.condensed)
+
+    def test_explicit_registry_bypasses_global(self):
+        global_registry = MetricsRegistry()
+        private = MetricsRegistry()
+        items = [float(v) for v in range(8)]
+        with use_registry(global_registry):
+            DistanceMatrix.compute(items, _metric, registry=private)
+        assert global_registry.snapshot()["counters"] == []
+        assert private.counter(
+            "repro_distance_pairs_computed_total").value == 28
+
+
+class TestNoOpOverhead:
+    """Disabled instruments must stay within noise of bare code.
+
+    The bound is deliberately loose (20×) — CI boxes are noisy and the
+    point is to catch accidental allocation/IO on the null paths, not
+    to benchmark them.
+    """
+
+    ROUNDS = 20_000
+
+    @staticmethod
+    def _time(fn) -> float:
+        best = float("inf")
+        for _ in range(5):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def test_null_tracer_spans_are_cheap(self):
+        def bare():
+            total = 0
+            for i in range(self.ROUNDS):
+                total += i
+            return total
+
+        def traced():
+            total = 0
+            for i in range(self.ROUNDS):
+                with NULL_TRACER.span("step"):
+                    total += i
+            return total
+
+        baseline = self._time(bare)
+        instrumented = self._time(traced)
+        assert instrumented < baseline * 20 + 0.05
+
+    def test_null_registry_instruments_are_cheap(self):
+        registry = NullRegistry()
+        counter = registry.counter("repro_x_total")
+        histogram = registry.histogram("repro_seconds")
+
+        def bare():
+            total = 0
+            for i in range(self.ROUNDS):
+                total += i
+            return total
+
+        def instrumented_loop():
+            total = 0
+            for i in range(self.ROUNDS):
+                counter.inc()
+                histogram.observe(i)
+                total += i
+            return total
+
+        baseline = self._time(bare)
+        instrumented = self._time(instrumented_loop)
+        assert instrumented < baseline * 20 + 0.05

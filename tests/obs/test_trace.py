@@ -1,0 +1,202 @@
+"""Span tracer: nesting, exception safety, sinks, process-wide hooks."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (NULL_TRACER, NullTracer, Tracer,
+                             format_span_tree, get_tracer, load_trace,
+                             set_tracer, span, use_tracer)
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [c.name for c in root.span.children] == ["child_a",
+                                                        "child_b"]
+        assert root.span.children[0].children[0].name == "grandchild"
+        assert tracer.roots == [root.span]
+
+    def test_sibling_roots_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert tracer.roots[0].children == []
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            assert tracer.current().name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+            assert tracer.current().name == "outer"
+        assert tracer.current() is None
+
+    def test_durations_are_monotone(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        root = tracer.roots[0]
+        assert root.end is not None
+        assert root.duration >= root.children[0].duration >= 0.0
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3) as handle:
+            handle.set(clusters=2, n=4)
+        assert tracer.roots[0].attrs == {"n": 4, "clusters": 2}
+
+    def test_find_descendant(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        assert tracer.roots[0].find("leaf").name == "leaf"
+        assert tracer.roots[0].find("missing") is None
+
+
+class TestExceptionSafety:
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        root = tracer.roots[0]
+        assert root.status == "error"
+        assert "RuntimeError: boom" in root.error
+        child = root.children[0]
+        assert child.status == "error"
+        assert child.end is not None
+
+    def test_dangling_children_closed_when_parent_exits(self):
+        # A child whose __exit__ never runs (e.g. generator abandoned)
+        # must not corrupt the stack for subsequent spans.
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.span("abandoned")  # entered onto stack, never exited
+        with tracer.span("next_root"):
+            pass
+        assert [r.name for r in tracer.roots] == ["root", "next_root"]
+        abandoned = tracer.roots[0].children[0]
+        assert abandoned.end is not None
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Both spans are roots — neither nested under the other.
+        assert sorted(r.name for r in tracer.roots) == ["t0", "t1"]
+
+
+class TestSink:
+    def test_roots_stream_to_jsonl(self):
+        buffer = io.StringIO()
+        tracer = Tracer(sink=buffer)
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a"
+        assert first["attrs"] == {"n": 1}
+        assert first["children"][0]["name"] == "b"
+        assert json.loads(lines[1])["name"] == "c"
+
+    def test_keep_false_bounds_memory(self):
+        tracer = Tracer(sink=io.StringIO(), keep=False)
+        with tracer.span("a"):
+            pass
+        assert tracer.roots == []
+
+    def test_path_sink_round_trips_through_load_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=str(path))
+        with tracer.span("root", stage="fill"):
+            with tracer.span("chunk"):
+                pass
+        tracer.close()
+        roots = load_trace(str(path))
+        assert len(roots) == 1
+        assert roots[0]["name"] == "root"
+        rendered = format_span_tree(roots[0])
+        assert "root" in rendered
+        assert "chunk" in rendered
+        assert "stage=fill" in rendered
+
+    def test_non_json_attrs_fall_back_to_repr(self):
+        buffer = io.StringIO()
+        tracer = Tracer(sink=buffer)
+        with tracer.span("root", obj={1, 2}):
+            pass
+        record = json.loads(buffer.getvalue())
+        assert record["attrs"]["obj"] == repr({1, 2})
+
+    def test_format_span_tree_truncates_children(self):
+        node = {"name": "root", "duration_s": 0.001,
+                "children": [{"name": f"c{i}", "duration_s": 0.0}
+                             for i in range(20)]}
+        rendered = format_span_tree(node, max_children=5)
+        assert "c4" in rendered
+        assert "c5" not in rendered
+        assert "15 more children" in rendered
+
+
+class TestProcessWideHooks:
+    def test_default_is_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+        # Module-level span() on the null tracer is a usable no-op.
+        with span("anything", n=1) as handle:
+            handle.set(more=2)
+        assert NULL_TRACER.roots == []
+
+    def test_null_tracer_shares_one_context(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert not NULL_TRACER.enabled
+        assert NullTracer().current() is None
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with span("captured"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [r.name for r in tracer.roots] == ["captured"]
+
+    def test_set_tracer_none_resets_to_null(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert previous is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
