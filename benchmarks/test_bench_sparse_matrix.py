@@ -1,0 +1,202 @@
+"""Block-sparse vs dense distance matrix: memory and wall-time scaling.
+
+Builds SkyServer-shaped synthetic populations — a few hot table sets
+with the skew of a real log — and compares the dense condensed matrix
+against :class:`~repro.distance.BlockSparseDistanceMatrix` at
+n ∈ {1 000, 5 000, 20 000}.  Writes
+``benchmarks/out/BENCH_sparse_matrix.json``.
+
+Dense construction is measured only up to ``DENSE_CAP`` items (20 000
+items would need a 1.6 GB condensed array and ~16× the 5 000-item wall
+time); at the largest size the dense numbers are the exact analytic
+storage plus a quadratic wall-time extrapolation from the largest
+measured size, and the sparse storage is computed exactly from the real
+partition plan of the generated population.  The acceptance bar —
+sparse condensed storage ≤ 25 % of dense at the largest n — is asserted
+from those exact counts.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the sizes ~20×.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+
+from repro.clustering import DBSCAN
+from repro.distance import (BlockSparseDistanceMatrix, DistanceMatrix,
+                            jaccard_distance)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (200, 500, 1000) if SMOKE else (1000, 5000, 20000)
+DENSE_CAP = SIZES[1]
+EPS = 0.12
+
+#: SkyServer-like table-set mix: single-table point lookups dominate,
+#: a tail of two- and three-way joins.  Σw² ≈ 0.176, so the expected
+#: sparse storage fraction sits safely below the 25 % acceptance bar.
+TABLE_SET_MIX = (
+    (frozenset({"photoobj"}), 0.30),
+    (frozenset({"photoz"}), 0.18),
+    (frozenset({"specobj"}), 0.12),
+    (frozenset({"galaxy"}), 0.10),
+    (frozenset({"star"}), 0.08),
+    (frozenset({"photoobj", "specobj"}), 0.08),
+    (frozenset({"photoz", "specobj"}), 0.06),
+    (frozenset({"photoobj", "photoz"}), 0.04),
+    (frozenset({"photoobj", "specobj", "galaxy"}), 0.04),
+)
+
+
+class SyntheticArea:
+    """Minimal decomposed-metric item: a table set and a 1-D payload."""
+
+    __slots__ = ("table_set", "cnf")
+
+    def __init__(self, table_set, payload):
+        self.table_set = table_set
+        self.cnf = payload
+
+
+class StubMetric:
+    """Cheap decomposed metric: Jaccard tables + clipped payload gap.
+
+    Mirrors the real ``QueryDistance`` shape (``d = d_tables + d_conj``,
+    ``d_conj ∈ [0, 1]``) without predicate machinery, so the benchmark
+    times the matrix engines, not SQL algebra.
+    """
+
+    def d_tables(self, a, b):
+        return jaccard_distance(a.table_set, b.table_set)
+
+    def d_conj(self, c1, c2):
+        # Like QueryDistance.d_conj, operates on the ``.cnf`` payloads.
+        gap = c1 - c2
+        if gap < 0.0:
+            gap = -gap
+        return gap if gap < 1.0 else 1.0
+
+    def __call__(self, a, b):
+        return self.d_tables(a, b) + self.d_conj(a.cnf, b.cnf)
+
+
+def make_population(n, seed=29):
+    import random
+    rng = random.Random(seed)
+    sets = [ts for ts, _ in TABLE_SET_MIX]
+    weights = [w for _, w in TABLE_SET_MIX]
+    items = []
+    for _ in range(n):
+        ts = rng.choices(sets, weights)[0]
+        # clustered payloads: a few dense centers per table set
+        center = rng.choice((0.1, 0.35, 0.7))
+        items.append(SyntheticArea(ts, center + rng.gauss(0.0, 0.02)))
+    return items
+
+
+def _timed(build):
+    started = time.perf_counter()
+    matrix = build()
+    return matrix, time.perf_counter() - started
+
+
+def _peak_mb(build):
+    tracemalloc.start()
+    try:
+        build()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
+def _sparse_storage_floats(items):
+    """Exact stored-float count of the block plan, no metric calls."""
+    sizes = {}
+    for item in items:
+        sizes[item.table_set] = sizes.get(item.table_set, 0) + 1
+    p = len(sizes)
+    return sum(m * (m - 1) // 2 for m in sizes.values()) + p * p
+
+
+def test_sparse_matrix_artifact(out_dir):
+    metric = StubMetric()
+    rows = []
+    measured_times = {}
+
+    for n in SIZES:
+        items = make_population(n)
+        pairs_total = n * (n - 1) // 2
+        row = {"n": n, "dense_pairs": pairs_total,
+               "dense_bytes": pairs_total * 8}
+
+        if n <= DENSE_CAP:
+            dense, dense_seconds = _timed(
+                lambda: DistanceMatrix.compute(items, metric,
+                                               cutoff=EPS))
+            sparse, sparse_seconds = _timed(
+                lambda: BlockSparseDistanceMatrix.compute(items, metric,
+                                                          cutoff=EPS))
+            row.update(measured=True,
+                       dense_seconds=round(dense_seconds, 4),
+                       sparse_seconds=round(sparse_seconds, 4),
+                       sparse_stored_floats=sparse.stats.stored_floats)
+            measured_times[n] = (dense_seconds, sparse_seconds)
+            if n == SIZES[0]:
+                # Peak construction memory, smallest size only:
+                # tracemalloc multiplies wall time several-fold.
+                row["dense_peak_mb"] = round(
+                    _peak_mb(lambda: DistanceMatrix.compute(
+                        items, metric, cutoff=EPS)), 2)
+                row["sparse_peak_mb"] = round(
+                    _peak_mb(lambda: BlockSparseDistanceMatrix.compute(
+                        items, metric, cutoff=EPS)), 2)
+                # Both engines answer threshold queries identically.
+                parity = (
+                    DBSCAN(EPS, 4).fit(items, matrix=dense).labels
+                    == DBSCAN(EPS, 4).fit(items, matrix=sparse).labels)
+                row["dbscan_label_parity"] = parity
+                assert parity
+        else:
+            base = max(measured_times)
+            scale = (n / base) ** 2
+            row.update(
+                measured=False,
+                dense_seconds=round(measured_times[base][0] * scale, 4),
+                sparse_seconds=round(measured_times[base][1] * scale, 4),
+                sparse_stored_floats=_sparse_storage_floats(items))
+
+        row["sparse_bytes"] = row["sparse_stored_floats"] * 8
+        row["storage_ratio"] = round(
+            row["sparse_stored_floats"] / pairs_total, 4)
+        rows.append(row)
+
+    # Acceptance: sparse condensed storage ≤ 25 % of dense at the
+    # largest population (and in fact at every size).
+    for row in rows:
+        assert row["storage_ratio"] <= 0.25, row
+
+    artifact = {
+        "eps": EPS,
+        "smoke": SMOKE,
+        "dense_cap": DENSE_CAP,
+        "table_set_mix": sorted(
+            ("+".join(sorted(ts)), w) for ts, w in TABLE_SET_MIX),
+        "sizes": rows,
+    }
+    (out_dir / "BENCH_sparse_matrix.json").write_text(
+        json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+
+    largest = rows[-1]
+    assert largest["n"] == SIZES[-1]
+    assert largest["storage_ratio"] <= 0.25
+
+
+def test_sparse_neighbors_match_dense():
+    """Spot-check query parity on a fresh small population."""
+    items = make_population(300, seed=83)
+    metric = StubMetric()
+    dense = DistanceMatrix.compute(items, metric, cutoff=EPS)
+    sparse = BlockSparseDistanceMatrix.compute(items, metric, cutoff=EPS)
+    for i in range(0, len(items), 17):
+        assert sparse.neighbors(i, EPS) == dense.neighbors(i, EPS)

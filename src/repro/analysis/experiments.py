@@ -28,6 +28,7 @@ from ..clustering.partitioned import partitioned_dbscan
 from ..core.area import AccessArea
 from ..core.extractor import AccessAreaExtractor
 from ..core.pipeline import LogProcessingReport, process_log
+from ..distance.block_sparse import MATRIX_MODES, compute_matrix
 from ..distance.query_distance import QueryDistance
 from ..obs import get_logger, trace
 from ..engine.database import Database
@@ -60,6 +61,16 @@ class CaseStudyConfig:
     seed: int = 99
     #: worker processes for the clustering distance matrices (1 = serial)
     n_jobs: int = 1
+    #: distance-matrix layout: "dense", "sparse" (block-sparse
+    #: partitioned), or "auto" (sparse whenever eps lies below the
+    #: population's partition exactness bound)
+    matrix_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.matrix_mode not in MATRIX_MODES:
+            raise ValueError(
+                f"matrix_mode must be one of {MATRIX_MODES}, "
+                f"got {self.matrix_mode!r}")
 
 
 @dataclass
@@ -169,10 +180,18 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
         ]
 
         distance = QueryDistance(stats, resolution=config.resolution)
-        with trace.span("cluster", sample=len(sample)):
+        with trace.span("cluster", sample=len(sample),
+                        matrix_mode=config.matrix_mode):
+            sample_areas = [s.area for s in sample]
+            matrix = compute_matrix(
+                sample_areas, distance, mode=config.matrix_mode,
+                eps=config.eps, n_jobs=config.n_jobs)
+            # auto mode already hands us a dense matrix when eps is too
+            # large for exact partitioning; fall back to plain DBSCAN on
+            # it instead of failing the whole study.
             clustering = partitioned_dbscan(
-                [s.area for s in sample], distance, config.eps,
-                config.min_pts, n_jobs=config.n_jobs)
+                sample_areas, distance, config.eps,
+                config.min_pts, matrix=matrix, on_inexact="fallback")
 
         with trace.span("aggregate"):
             rows = _build_rows(sample, clustering, stats, db, config)

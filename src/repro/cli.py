@@ -36,7 +36,7 @@ from .analysis import format_summary, format_table1
 from .analysis.experiments import CaseStudyConfig, run_case_study
 from .core import AccessAreaExtractor, process_log
 from .core.stream import StreamMonitor
-from .distance.matrix import DistanceMatrix
+from .distance.block_sparse import compute_matrix
 from .distance.query_distance import QueryDistance
 from .obs import (Tracer, configure_logging, export, get_logger,
                   get_registry, set_tracer, trace)
@@ -107,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_process.add_argument("--n-jobs", type=int, default=1,
                            help="worker processes for the distance "
                                 "matrix (1 = serial, 0 = all cores)")
+    p_process.add_argument("--matrix-mode", default="auto",
+                           choices=["auto", "dense", "sparse"],
+                           help="distance-matrix layout (auto: block-"
+                                "sparse when eps is below the partition "
+                                "exactness bound)")
 
     p_stream = sub.add_parser(
         "stream", parents=[obs_parent],
@@ -130,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the clustering "
                              "distance matrix (1 = serial, 0 = all "
                              "CPU cores)")
+    p_case.add_argument("--matrix-mode", default="auto",
+                        choices=["auto", "dense", "sparse"],
+                        help="distance-matrix layout (auto: block-"
+                             "sparse when eps is below the partition "
+                             "exactness bound)")
 
     p_stats = sub.add_parser(
         "stats", parents=[logging_parent],
@@ -237,10 +247,10 @@ def _cluster_report(report, schema, args: argparse.Namespace):
         rng = random.Random(args.cluster_seed)
         areas = rng.sample(areas, args.sample)
     distance = QueryDistance(stats)
-    matrix = DistanceMatrix.compute(areas, distance, n_jobs=args.n_jobs,
-                                    cutoff=args.eps)
-    return partitioned_dbscan(areas, None, args.eps, args.min_pts,
-                              matrix=matrix)
+    matrix = compute_matrix(areas, distance, mode=args.matrix_mode,
+                            eps=args.eps, n_jobs=args.n_jobs)
+    return partitioned_dbscan(areas, distance, args.eps, args.min_pts,
+                              matrix=matrix, on_inexact="fallback")
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -272,6 +282,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         eps=args.eps,
         min_pts=args.min_pts,
         n_jobs=args.n_jobs,
+        matrix_mode=args.matrix_mode,
     )
     result = run_case_study(config)
     print(format_summary(result))

@@ -8,8 +8,10 @@ threshold connects them, and components smaller than ``min_size`` are
 noise.
 
 Implemented with union-find over the sub-threshold pairs; like the
-DBSCAN path, it exploits the ``d >= d_tables >= 0.5`` bound to partition
-by relation set first when the threshold allows.
+DBSCAN path, it exploits the ``d >= d_tables`` partition bound — the
+population's minimum cross-partition Jaccard distance, computed by
+:func:`~repro.distance.query_distance.partition_exactness_bound` — to
+partition by canonical relation set first when the threshold allows.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
+from ..distance.query_distance import partition_exactness_bound
 from ..obs import trace
 from .dbscan import NOISE, DBSCANResult
 from .telemetry import record_run
@@ -74,11 +77,16 @@ class SingleLinkage:
             pair_distance = lambda i, j: distance(areas[i], areas[j])  # noqa: E731
         n = len(areas)
         uf = _UnionFind(n)
-        if self.threshold < 0.5:
+        # Partitioning is exact only below the population's minimum
+        # cross-partition d_tables (not the legacy 0.5 constant, which
+        # k-table joins undercut at 1/(k+1)).  Keys are the canonical
+        # table sets d_tables itself compares.
+        bound = partition_exactness_bound(
+            area.table_set for area in areas)
+        if self.threshold < bound:
             partitions: dict[frozenset[str], list[int]] = {}
             for index, area in enumerate(areas):
-                key = frozenset(t.lower() for t in area.table_set)
-                partitions.setdefault(key, []).append(index)
+                partitions.setdefault(area.table_set, []).append(index)
             groups = list(partitions.values())
         else:
             groups = [list(range(n))]

@@ -4,36 +4,51 @@ The query distance is ``d = d_tables + d_conj`` with ``d_conj ≥ 0``, and
 the Jaccard distance between two *different* relation sets is at least
 ``1/|union|`` — at least 0.5 for the one- and two-table FROM sets that
 dominate query logs (worst case ``{A}`` vs ``{A, B}``).  Hence for any
-``eps < 0.5`` two areas can only be DBSCAN neighbours when their table
-sets are equal — so the clustering decomposes exactly into one
-independent DBSCAN per table-set partition, turning the O(n²) distance
-bill into ``Σ n_partition²``.
+radius below that bound two areas can only be DBSCAN neighbours when
+their table sets are equal — so the clustering decomposes exactly into
+one independent DBSCAN per table-set partition, turning the O(n²)
+distance bill into ``Σ n_partition²``.
 
-Caveat (property-tested in ``tests/distance/test_metric_laws.py``): the
-0.5 constant does not survive larger sets — ``{A, B}`` vs ``{A, B, C}``
-is only 1/3 apart — so with ``k``-table joins in the log the
-decomposition is strictly exact only for ``eps < 1/(k + 1)``.  The
-paper's radius (0.12) is safely below that for SkyServer-realistic
-joins.  For ``eps ≥ 0.5`` the decomposition never holds and
-:func:`partitioned_dbscan` refuses to silently approximate.
+The 0.5 constant does not survive larger sets — ``{A, B}`` vs
+``{A, B, C}`` is only 1/3 apart — so with ``k``-table joins in the log
+the decomposition is strictly exact only for ``eps < 1/(k + 1)``.
+:func:`partitioned_dbscan` therefore computes the *population's* true
+bound (:func:`~repro.distance.query_distance.partition_exactness_bound`,
+the minimum cross-partition ``d_tables``; property-tested in
+``tests/distance/test_metric_laws.py`` and
+``tests/clustering/test_partitioned.py``) and refuses to silently
+approximate beyond it: ``eps >= bound`` raises, or — with
+``on_inexact="fallback"`` — warns and runs plain DBSCAN over the whole
+population.  The paper's radius (0.12) is safely below the bound for
+SkyServer-realistic joins.
+
+Partition keys are the areas' canonical table sets (relation names are
+canonicalized once at extraction: schema capitalization, lowercase
+fallback), i.e. exactly the sets ``d_tables`` compares — the partition
+decision and the metric can never disagree on case.
 
 Per-partition distances go through the shared
 :class:`~repro.distance.DistanceMatrix` engine: pass a precomputed
-matrix over the whole population to reuse it across algorithms, or
-``n_jobs != 1`` to fan the per-partition computation out over worker
-processes.  Both paths produce exactly the labels of the legacy
-callable path.
+matrix over the whole population — dense or
+:class:`~repro.distance.BlockSparseDistanceMatrix` — to reuse it across
+algorithms, or ``n_jobs != 1`` to fan the per-partition computation out
+over worker processes.  All paths produce exactly the labels of the
+legacy callable path.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Sequence
 
 from ..core.area import AccessArea
 from ..distance.matrix import DistanceMatrix
-from ..obs import metrics, trace
+from ..distance.query_distance import partition_exactness_bound
+from ..obs import get_logger, metrics, trace
 from .dbscan import DBSCAN, NOISE, DBSCANResult
 from .telemetry import record_run
+
+logger = get_logger(__name__)
 
 Distance = Callable[[AccessArea, AccessArea], float]
 
@@ -41,26 +56,48 @@ Distance = Callable[[AccessArea, AccessArea], float]
 def partitioned_dbscan(areas: Sequence[AccessArea],
                        distance: Optional[Distance], eps: float,
                        min_pts: int = 5, *,
-                       matrix: Optional[DistanceMatrix] = None,
-                       n_jobs: int = 1) -> DBSCANResult:
+                       matrix=None,
+                       n_jobs: int = 1,
+                       on_inexact: str = "raise") -> DBSCANResult:
     """DBSCAN over access areas, partitioned by relation set.
 
     Produces exactly the labels plain DBSCAN would (up to cluster-id
-    numbering) whenever ``eps < 0.5``.  ``matrix`` — optional precomputed
-    :class:`~repro.distance.DistanceMatrix` over ``areas`` (then
+    numbering) whenever ``eps`` lies strictly below the population's
+    partition exactness bound — the minimum ``d_tables`` between
+    distinct table sets, ``1/(k+1)`` in the worst ``k``-table-join case.
+    ``matrix`` — optional precomputed distance matrix over ``areas``
+    (dense :class:`~repro.distance.DistanceMatrix` or block-sparse; then
     ``distance`` may be ``None``); ``n_jobs`` — worker processes for the
-    per-partition distance matrices (1 = the serial callable path).
+    per-partition distance matrices (1 = the serial callable path);
+    ``on_inexact`` — what to do when ``eps`` reaches the bound:
+    ``"raise"`` (default) or ``"fallback"`` (warn and run plain DBSCAN
+    over the whole, unpartitioned population).
     """
-    if eps >= 0.5:
-        raise ValueError(
-            "partitioned DBSCAN is only exact for eps < 0.5; "
-            "use DBSCAN directly for larger radii")
     if distance is None and matrix is None:
         raise ValueError("provide a distance callable or a matrix")
+    if on_inexact not in ("raise", "fallback"):
+        raise ValueError(f"on_inexact must be 'raise' or 'fallback', "
+                         f"got {on_inexact!r}")
+    bound = partition_exactness_bound(area.table_set for area in areas)
+    if eps >= bound:
+        message = (
+            f"partitioned DBSCAN is only exact for eps < {bound:.4g} "
+            f"(the minimum cross-partition d_tables of this "
+            f"population); got eps={eps:g}")
+        if on_inexact == "raise":
+            raise ValueError(
+                message + "; use plain DBSCAN or on_inexact='fallback'")
+        warnings.warn(message + "; falling back to plain DBSCAN",
+                      RuntimeWarning, stacklevel=2)
+        logger.warning("%s; falling back to plain DBSCAN", message)
+        if matrix is not None:
+            return DBSCAN(eps, min_pts).fit(areas, matrix=matrix)
+        return DBSCAN(eps, min_pts).fit(areas, distance)
+
+    # Canonical table sets (the exact frozensets d_tables compares).
     partitions: dict[frozenset[str], list[int]] = {}
     for index, area in enumerate(areas):
-        key = frozenset(t.lower() for t in area.table_set)
-        partitions.setdefault(key, []).append(index)
+        partitions.setdefault(area.table_set, []).append(index)
 
     partition_sizes = metrics.get_registry().histogram(
         "repro_clustering_partition_size", algorithm="partitioned_dbscan")

@@ -44,7 +44,14 @@ class AccessArea:
 
     @property
     def table_set(self) -> frozenset[str]:
-        """``q.FROM`` of the distance function (Section 5.1)."""
+        """``q.FROM`` of the distance function (Section 5.1).
+
+        Relation names are canonical as of extraction (schema
+        capitalization, lowercase fallback — see
+        :meth:`repro.core.context.ExtractionContext.canonical_relation`),
+        so this frozenset doubles as the partition key of the table-set
+        clustering decomposition: equal sets ⇔ ``d_tables == 0``.
+        """
         return frozenset(self.relations)
 
     def column_footprints(self) -> dict[ColumnRef, IntervalSet]:

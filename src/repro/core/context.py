@@ -29,10 +29,19 @@ class ExtractionContext:
     # -- relation bookkeeping ---------------------------------------------------
 
     def canonical_relation(self, name: str) -> str:
-        """Schema capitalization when known, the query's spelling else."""
+        """Schema capitalization when known, lowercase otherwise.
+
+        Relation names are canonicalized exactly once, here at
+        extraction: resolve against the schema catalog when possible,
+        fall back to lowercase for unknown relations.  A log mixing
+        ``PhotoObj``/``photoobj`` therefore always produces the same
+        :attr:`AccessArea.table_set` — the value ``d_tables`` compares
+        *and* the partition key of the clustering decomposition — so the
+        two sites can never disagree on case.
+        """
         if self.schema is not None and self.schema.has_relation(name):
             return self.schema.canonical_name(name)
-        return name
+        return name.lower()
 
     def register_table(self, name: str, alias: Optional[str] = None) -> str:
         """Add a FROM occurrence to the universal relation; returns the

@@ -140,7 +140,7 @@ class StreamMonitor:
             self._check_failure_burst(index, sql, exc)
             return None
         self._recent_failures.append(False)
-        self._burst_active = False
+        self._maybe_rearm_burst()
         self.state.extracted += 1
         self._extracted_total.inc()
 
@@ -215,6 +215,23 @@ class StreamMonitor:
             self._emit(EventKind.FAILURE_BURST, index,
                        f"{rate:.0%} of the last {len(window)} statements "
                        f"failed to parse (latest: {exc})", sql)
+
+    def _maybe_rearm_burst(self) -> None:
+        """Hysteresis on the burst latch.
+
+        Re-arming on any single successful parse would make a burst with
+        interleaved successes (e.g. an alternating fail/success stream)
+        emit one FAILURE_BURST per failure.  Instead the latch only
+        releases once the *window* failure rate has dropped back below
+        the threshold — one notification per burst episode.
+        """
+        if not self._burst_active:
+            return
+        window = self._recent_failures
+        if not window:
+            return
+        if sum(window) / len(window) < self.failure_burst_threshold:
+            self._burst_active = False
 
     # -- learning -----------------------------------------------------------------
 

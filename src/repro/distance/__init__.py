@@ -7,17 +7,21 @@ memoization, bound-skipping, and :class:`MatrixStats` instrumentation.
 """
 
 from .alternatives import FootprintDistance, WeightedQueryDistance
+from .block_sparse import (BlockSparseDistanceMatrix, MATRIX_MODES,
+                           compute_matrix)
 from .matrix import DistanceMatrix, MatrixStats, condensed_index
 from .parallel import resolve_n_jobs
 from .predicate_distance import (CacheInfo, DEFAULT_CACHE_SIZE,
                                  DEFAULT_RESOLUTION, PredicateDistance)
-from .query_distance import QueryDistance, jaccard_distance
+from .query_distance import (QueryDistance, jaccard_distance,
+                             partition_exactness_bound)
 
 __all__ = [
     "CacheInfo", "DEFAULT_CACHE_SIZE",
     "DEFAULT_RESOLUTION", "PredicateDistance",
-    "QueryDistance", "jaccard_distance",
+    "QueryDistance", "jaccard_distance", "partition_exactness_bound",
     "FootprintDistance", "WeightedQueryDistance",
     "DistanceMatrix", "MatrixStats", "condensed_index",
+    "BlockSparseDistanceMatrix", "MATRIX_MODES", "compute_matrix",
     "resolve_n_jobs",
 ]

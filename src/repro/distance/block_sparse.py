@@ -1,0 +1,348 @@
+"""Block-sparse partitioned distance matrix: sub-quadratic memory.
+
+The dense :class:`~repro.distance.DistanceMatrix` always allocates the
+full ``n·(n−1)/2`` condensed triangle, even when the ``cutoff`` bound
+skip leaves >95% of the entries holding nothing but their ``d_tables``
+lower bound.  At SkyServer log scale (millions of statements, a handful
+of hot table sets) that memory is the bottleneck, not the arithmetic.
+
+:class:`BlockSparseDistanceMatrix` exploits the same structure the
+partitioned clustering does, one level lower:
+
+* areas are grouped by **canonical table set** (relation names are
+  canonicalized once at extraction, so these are exactly the frozensets
+  ``d_tables`` compares);
+* exact condensed blocks are stored only *within* partitions, where
+  ``d_tables == 0`` and the full metric collapses to ``d_conj``;
+* every **cross-partition** lookup is answered from a memoized P×P table
+  of ``d_tables`` values — the exact lower bound ``d ≥ d_tables``, which
+  any threshold query at a radius below the partition exactness bound
+  treats identically to the true distance (the same contract the dense
+  ``cutoff`` skip documents).
+
+Storage drops from ``n·(n−1)/2`` floats to ``Σ m_p·(m_p−1)/2 + P²`` —
+quadratic only in the largest partition.  Validity: every entry is exact
+except cross-partition ones, which are exact lower bounds no smaller
+than :attr:`BlockSparseDistanceMatrix.exactness_bound` (the population's
+minimum cross-partition ``d_tables``).  Any threshold query at
+``radius < exactness_bound`` — DBSCAN/OPTICS neighbourhoods, linkage
+thresholds — therefore gets exactly the answers the dense matrix gives;
+:meth:`neighbors` enforces the precondition.
+
+The lookup API (``value``/``row``/``neighbors``/``submatrix``/``stats``/
+``__len__``) matches the dense matrix, so dbscan, optics, single-linkage
+and partitioned DBSCAN accept either implementation unchanged.  Parallel
+construction fans out partition-granular work units
+(:func:`repro.distance.parallel.compute_blocks`) instead of flat pair
+chunks: one predicate-cache warmup per partition.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..obs import get_logger, metrics, trace
+from .matrix import DistanceMatrix, MatrixStats, Metric
+from .parallel import compute_blocks, resolve_n_jobs
+from .query_distance import partition_exactness_bound
+
+logger = get_logger(__name__)
+
+#: Modes accepted by :func:`compute_matrix`.
+MATRIX_MODES = ("auto", "dense", "sparse")
+
+
+def is_decomposed(metric, items: Sequence) -> bool:
+    """True when ``metric``/``items`` support the ``d_tables + d_conj``
+    decomposition the block-sparse layout requires."""
+    return (hasattr(metric, "d_tables") and hasattr(metric, "d_conj")
+            and all(hasattr(item, "table_set") and hasattr(item, "cnf")
+                    for item in items))
+
+
+class BlockSparseDistanceMatrix:
+    """Partitioned condensed distance matrix with bound-valued cross blocks.
+
+    Obtain one via :meth:`compute`.  The constructor adopts existing
+    storage: ``members`` lists the global item indices of each partition
+    (covering ``0..n-1`` exactly once), ``blocks`` the matching condensed
+    value arrays, and ``bounds`` the symmetric P×P ``d_tables`` table
+    (zero diagonal).
+    """
+
+    def __init__(self, n: int, keys: Sequence[frozenset],
+                 members: Sequence[Sequence[int]],
+                 blocks: Sequence[np.ndarray],
+                 bounds: np.ndarray,
+                 stats: Optional[MatrixStats] = None) -> None:
+        if not (len(keys) == len(members) == len(blocks)):
+            raise ValueError(
+                f"{len(keys)} keys, {len(members)} member lists and "
+                f"{len(blocks)} blocks do not align")
+        self.n = n
+        self._keys = [frozenset(key) for key in keys]
+        self._members = [np.asarray(m, dtype=np.intp) for m in members]
+        self._blocks = [DistanceMatrix(len(m), block)
+                        for m, block in zip(self._members, blocks)]
+        bounds = np.asarray(bounds, dtype=float)
+        p = len(self._keys)
+        if bounds.shape != (p, p):
+            raise ValueError(f"bounds shape {bounds.shape} does not "
+                             f"match {p} partitions")
+        self._bounds = bounds
+
+        self._pids = np.full(n, -1, dtype=np.intp)
+        self._local = np.zeros(n, dtype=np.intp)
+        for pid, m in enumerate(self._members):
+            self._pids[m] = pid
+            self._local[m] = np.arange(len(m), dtype=np.intp)
+        if n and int(self._pids.min()) < 0:
+            raise ValueError("partitions do not cover every item")
+
+        if p >= 2:
+            off_diagonal = bounds[~np.eye(p, dtype=bool)]
+            self.exactness_bound = float(off_diagonal.min())
+        else:
+            self.exactness_bound = math.inf
+        self.stats = stats or self._default_stats()
+
+    def _default_stats(self) -> MatrixStats:
+        n = self.n
+        computed = sum(len(b.condensed) for b in self._blocks)
+        return MatrixStats(
+            n_items=n, pairs_total=n * (n - 1) // 2,
+            pairs_computed=computed,
+            pairs_skipped=n * (n - 1) // 2 - computed,
+            n_blocks=len(self._blocks),
+            largest_block=max((len(m) for m in self._members),
+                              default=0),
+            stored_floats=computed + len(self._blocks) ** 2)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def compute(cls, items: Sequence, metric: Metric, *,
+                n_jobs: int = 1, cutoff: Optional[float] = None,
+                registry: Optional[metrics.MetricsRegistry] = None,
+                ) -> "BlockSparseDistanceMatrix":
+        """Evaluate ``metric`` block-sparsely over ``items``.
+
+        Requires a decomposed metric (``d_tables``/``d_conj``) and items
+        with ``table_set``/``cnf`` — the structure the sparsity comes
+        from.  ``cutoff`` — the radius later queries will use; it must
+        lie strictly below the population's partition exactness bound or
+        the sparse layout cannot answer threshold queries exactly
+        (:meth:`compute` raises — use the dense matrix instead).
+        ``n_jobs`` — worker processes for the partition-granular fan-out
+        (1 = serial); ``registry`` — metrics sink (defaults to the
+        process-wide registry).
+        """
+        if not is_decomposed(metric, items):
+            raise ValueError(
+                "block-sparse matrix requires a decomposed metric "
+                "(d_tables/d_conj) over items with table_set/cnf; "
+                "use DistanceMatrix for arbitrary metrics")
+        n = len(items)
+        n_jobs = resolve_n_jobs(n_jobs)
+        if registry is None:
+            registry = metrics.get_registry()
+        started = time.perf_counter()
+        pred_info = getattr(metric, "pred_cache_info", None)
+        before = pred_info() if pred_info is not None else None
+
+        with trace.span("block_sparse_matrix", n_items=n,
+                        n_jobs=n_jobs) as span:
+            with trace.span("plan"):
+                groups: dict[frozenset, list[int]] = {}
+                for index, item in enumerate(items):
+                    groups.setdefault(item.table_set, []).append(index)
+                keys = sorted(groups, key=lambda k: (len(k), sorted(k)))
+                members = [groups[key] for key in keys]
+                p = len(keys)
+
+                # Memoized d_tables per partition pair: one evaluation
+                # answers every cross-partition lookup of that pair.
+                bounds = np.zeros((p, p), dtype=float)
+                reps = [items[m[0]] for m in members]
+                for a in range(p):
+                    for b in range(a + 1, p):
+                        value = metric.d_tables(reps[a], reps[b])
+                        bounds[a, b] = bounds[b, a] = value
+                if p >= 2:
+                    exactness = float(
+                        bounds[~np.eye(p, dtype=bool)].min())
+                else:
+                    exactness = math.inf
+                if cutoff is not None and cutoff >= exactness:
+                    raise ValueError(
+                        f"cutoff {cutoff:g} is not below the partition "
+                        f"exactness bound {exactness:.4g}: cross-"
+                        f"partition entries would no longer answer "
+                        f"threshold queries exactly; use the dense "
+                        f"DistanceMatrix")
+
+            stats = MatrixStats(n_items=n, pairs_total=n * (n - 1) // 2,
+                                n_jobs=n_jobs, cutoff=cutoff)
+            mode = "serial" if n_jobs == 1 else "parallel"
+            chunk_seconds = registry.histogram(
+                "repro_distance_chunk_seconds", mode=mode)
+            worker_hits = worker_misses = 0
+            with trace.span("fill", partitions=p, mode=mode):
+                raw_blocks, infos = compute_blocks(items, metric,
+                                                   members, n_jobs)
+                blocks = [np.asarray(raw, dtype=float)
+                          for raw in raw_blocks]
+                for info in infos:
+                    chunk_seconds.observe(info.seconds)
+                    worker_hits += info.cache_hits
+                    worker_misses += info.cache_misses
+
+            stats.pairs_computed = sum(len(b) for b in blocks)
+            stats.pairs_skipped = stats.pairs_total - stats.pairs_computed
+            stats.table_pairs = p * (p - 1) // 2
+            # Every cross-partition pair beyond the first per key pair is
+            # served by the memo.
+            stats.table_cache_hits = max(
+                0, stats.pairs_skipped - stats.table_pairs)
+            stats.n_blocks = p
+            stats.largest_block = max((len(m) for m in members),
+                                      default=0)
+            stats.stored_floats = stats.pairs_computed + p * p
+            if before is not None:
+                after = pred_info()
+                stats.predicate_cache_hits = (after.hits - before.hits
+                                              + worker_hits)
+                stats.predicate_cache_misses = (
+                    after.misses - before.misses + worker_misses)
+            stats.elapsed_seconds = time.perf_counter() - started
+            span.set(partitions=p,
+                     pairs_computed=stats.pairs_computed,
+                     pairs_skipped=stats.pairs_skipped,
+                     stored_floats=stats.stored_floats)
+
+        stats.record(registry)
+        logger.debug("block-sparse matrix: %s", stats.summary())
+        return cls(n, keys, members, blocks, bounds, stats)
+
+    # -- lookups ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._keys)
+
+    def partitions(self) -> list[tuple[frozenset, np.ndarray]]:
+        """``(table_set, global indices)`` per stored block."""
+        return [(key, members.copy())
+                for key, members in zip(self._keys, self._members)]
+
+    def value(self, i: int, j: int) -> float:
+        """Exact distance within a partition; the ``d_tables`` lower
+        bound across partitions (exact for threshold queries below
+        :attr:`exactness_bound`)."""
+        if i == j:
+            return 0.0
+        pi, pj = self._pids[i], self._pids[j]
+        if pi == pj:
+            return self._blocks[pi].value(int(self._local[i]),
+                                          int(self._local[j]))
+        return float(self._bounds[pi, pj])
+
+    def __getitem__(self, pair: tuple[int, int]) -> float:
+        return self.value(*pair)
+
+    def row(self, i: int) -> np.ndarray:
+        """Distances from item ``i`` to every item (length ``n``):
+        exact inside ``i``'s partition, lower bounds elsewhere."""
+        pid = int(self._pids[i])
+        out = self._bounds[pid][self._pids]
+        members = self._members[pid]
+        out[members] = self._blocks[pid].row(int(self._local[i]))
+        return out
+
+    def neighbors(self, i: int, eps: float) -> list[int]:
+        """Indices within radius ``eps`` of item ``i`` (including ``i``).
+
+        Only valid below the partition exactness bound — beyond it,
+        cross-partition entries are lower bounds that can no longer
+        decide the threshold, so the query raises instead of silently
+        under-reporting neighbours.
+        """
+        if eps >= self.exactness_bound:
+            raise ValueError(
+                f"radius {eps:g} is not below the partition exactness "
+                f"bound {self.exactness_bound:.4g}; cross-partition "
+                f"entries are d_tables lower bounds only — use the "
+                f"dense DistanceMatrix for radii this large")
+        return list(np.flatnonzero(self.row(i) <= eps))
+
+    def to_square(self) -> np.ndarray:
+        """Expand to the full ``(n, n)`` matrix (bounds off-block)."""
+        out = np.empty((self.n, self.n), dtype=float)
+        for i in range(self.n):
+            out[i] = self.row(i)
+        return out
+
+    def submatrix(self, indices: Sequence[int]) -> DistanceMatrix:
+        """The matrix restricted to ``indices`` (in the given order).
+
+        Within one partition the result is fully exact — the form the
+        partitioned clustering consumes.  Mixed-partition index sets
+        inherit the lower-bound semantics of the cross entries.
+        """
+        pids = self._pids[np.asarray(indices, dtype=np.intp)]
+        if len(indices) and (pids == pids[0]).all():
+            # Fast path: slice the one block directly.
+            local = [int(self._local[i]) for i in indices]
+            return self._blocks[int(pids[0])].submatrix(local)
+        m = len(indices)
+        values = np.empty(m * (m - 1) // 2, dtype=float)
+        pos = 0
+        for a in range(m):
+            for b in range(a + 1, m):
+                values[pos] = self.value(indices[a], indices[b])
+                pos += 1
+        return DistanceMatrix(m, values)
+
+
+def compute_matrix(items: Sequence, metric: Metric, *,
+                   mode: str = "auto", eps: Optional[float] = None,
+                   n_jobs: int = 1,
+                   registry: Optional[metrics.MetricsRegistry] = None):
+    """Build a distance matrix in the requested ``mode``.
+
+    ``mode`` — ``"dense"``, ``"sparse"``, or ``"auto"`` (default):
+    block-sparse whenever the metric decomposes and the query radius
+    ``eps`` lies strictly below the population's partition exactness
+    bound (conservatively ``1/(max |table-set union|)``, i.e.
+    ``1/(k+1)`` for ``k``-table joins — see
+    :func:`~repro.distance.query_distance.partition_exactness_bound`),
+    dense otherwise.  ``eps`` doubles as the dense matrix's ``cutoff``.
+    """
+    if mode not in MATRIX_MODES:
+        raise ValueError(f"mode must be one of {MATRIX_MODES}, "
+                         f"got {mode!r}")
+    if mode == "sparse":
+        return BlockSparseDistanceMatrix.compute(
+            items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry)
+    if mode == "auto" and eps is not None and is_decomposed(metric, items):
+        bound = partition_exactness_bound(
+            item.table_set for item in items)
+        if eps < bound:
+            logger.debug(
+                "auto matrix mode: eps %g < partition bound %.4g, "
+                "using block-sparse", eps, bound)
+            return BlockSparseDistanceMatrix.compute(
+                items, metric, n_jobs=n_jobs, cutoff=eps,
+                registry=registry)
+        logger.debug(
+            "auto matrix mode: eps %g >= partition bound %.4g, "
+            "using dense", eps, bound)
+    return DistanceMatrix.compute(items, metric, n_jobs=n_jobs,
+                                  cutoff=eps, registry=registry)

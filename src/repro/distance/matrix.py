@@ -68,12 +68,27 @@ class MatrixStats:
     elapsed_seconds: float = 0.0
     n_jobs: int = 1
     cutoff: Optional[float] = None
+    #: partition blocks stored (0 for the dense matrix)
+    n_blocks: int = 0
+    #: items in the largest stored partition block
+    largest_block: int = 0
+    #: condensed floats actually allocated — ``n·(n−1)/2`` for the dense
+    #: matrix; ``Σ m_p·(m_p−1)/2`` block entries plus the P×P bound
+    #: table for the block-sparse one
+    stored_floats: int = 0
 
     @property
     def skip_fraction(self) -> float:
         if not self.pairs_total:
             return 0.0
         return self.pairs_skipped / self.pairs_total
+
+    @property
+    def storage_fraction(self) -> float:
+        """Stored floats relative to the full condensed triangle."""
+        if not self.pairs_total:
+            return 0.0
+        return self.stored_floats / self.pairs_total
 
     @property
     def predicate_cache_hit_rate(self) -> float:
@@ -83,11 +98,17 @@ class MatrixStats:
         return self.predicate_cache_hits / probes
 
     def summary(self) -> str:
+        blocks = ""
+        if self.n_blocks:
+            blocks = (f"{self.n_blocks} blocks (largest "
+                      f"{self.largest_block}), {self.stored_floats:,} "
+                      f"floats stored ({self.storage_fraction:.1%} of "
+                      f"dense); ")
         return (
             f"{self.n_items} items, {self.pairs_total:,} pairs: "
             f"{self.pairs_computed:,} computed, "
             f"{self.pairs_skipped:,} bound-skipped "
-            f"({self.skip_fraction:.1%}); "
+            f"({self.skip_fraction:.1%}); {blocks}"
             f"d_tables memo {self.table_cache_hits:,} hits / "
             f"{self.table_pairs:,} entries; "
             f"d_pred cache hit rate {self.predicate_cache_hit_rate:.1%}; "
@@ -105,11 +126,17 @@ class MatrixStats:
                 ("repro_distance_pred_cache_hits_total",
                  self.predicate_cache_hits),
                 ("repro_distance_pred_cache_misses_total",
-                 self.predicate_cache_misses)):
+                 self.predicate_cache_misses),
+                ("repro_distance_blocks_total", self.n_blocks)):
             if value:
                 registry.counter(name).inc(value)
         registry.histogram("repro_distance_matrix_seconds").observe(
             self.elapsed_seconds)
+        if self.stored_floats:
+            registry.gauge("repro_distance_stored_floats").set(
+                self.stored_floats)
+            registry.gauge("repro_distance_storage_fraction").set(
+                self.storage_fraction)
 
 
 class DistanceMatrix:
@@ -130,7 +157,8 @@ class DistanceMatrix:
         self.n = n
         self._values = condensed
         self.stats = stats or MatrixStats(
-            n_items=n, pairs_total=expected, pairs_computed=expected)
+            n_items=n, pairs_total=expected, pairs_computed=expected,
+            stored_floats=expected)
 
     # -- construction -------------------------------------------------------
 
@@ -154,7 +182,8 @@ class DistanceMatrix:
         if registry is None:
             registry = metrics.get_registry()
         stats = MatrixStats(n_items=n, pairs_total=n * (n - 1) // 2,
-                            n_jobs=n_jobs, cutoff=cutoff)
+                            n_jobs=n_jobs, cutoff=cutoff,
+                            stored_floats=n * (n - 1) // 2)
         values = np.zeros(stats.pairs_total, dtype=float)
         started = time.perf_counter()
         pred_info = getattr(metric, "pred_cache_info", None)

@@ -50,12 +50,20 @@ DEFAULT_CACHE_SIZE = 262_144
 
 
 class CacheInfo(NamedTuple):
-    """Hit/miss counters of the predicate-pair LRU."""
+    """Hit/miss counters of the predicate-pair LRU.
+
+    ``footprint_size``/``footprint_max`` describe the per-predicate
+    widened-footprint LRU, which is bounded by the same knob as the pair
+    cache (both exist so adversarial workloads with millions of distinct
+    constants cannot grow memory forever).
+    """
 
     hits: int
     misses: int
     size: int
     max_size: Optional[int]
+    footprint_size: int = 0
+    footprint_max: Optional[int] = None
 
     @property
     def hit_rate(self) -> float:
@@ -79,7 +87,11 @@ class PredicateDistance:
     def __post_init__(self) -> None:
         self._cache: OrderedDict[tuple[Predicate, Predicate], float] = \
             OrderedDict()
-        self._footprints: dict[ColumnConstantPredicate, IntervalSet] = {}
+        # Bounded like the pair cache: one widened footprint per distinct
+        # predicate would otherwise grow without limit on adversarial
+        # workloads (millions of distinct constants).
+        self._footprints: OrderedDict[ColumnConstantPredicate,
+                                      IntervalSet] = OrderedDict()
         self._hits = 0
         self._misses = 0
 
@@ -113,6 +125,7 @@ class PredicateDistance:
 
     def cache_info(self) -> CacheInfo:
         return CacheInfo(self._hits, self._misses, len(self._cache),
+                         self.max_cache_size, len(self._footprints),
                          self.max_cache_size)
 
     def paper_overlap(self, p1: Predicate, p2: Predicate) -> float:
@@ -200,9 +213,13 @@ class PredicateDistance:
                  access: Interval) -> IntervalSet:
         cached = self._footprints.get(pred)
         if cached is not None:
+            self._footprints.move_to_end(pred)
             return cached
         result = self._widened_uncached(pred, access)
         self._footprints[pred] = result
+        if self.max_cache_size is not None \
+                and len(self._footprints) > self.max_cache_size:
+            self._footprints.popitem(last=False)
         return result
 
     def _widened_uncached(self, pred: ColumnConstantPredicate,
@@ -230,11 +247,29 @@ def _clamped(pred: ColumnConstantPredicate,
 
 def _categorical_footprint(pred: ColumnConstantPredicate,
                            vocabulary: frozenset[str]) -> frozenset[str]:
+    """Vocabulary values satisfying one categorical predicate.
+
+    Inequalities use the ordered (lexicographic) vocabulary from
+    ``access(a)`` rather than conflating every operator with equality:
+    ``city < 'M'`` and ``city = 'M'`` are disjoint predicates and must
+    get disjoint footprints (distance 1), not distance 0.  The inclusive
+    operators (LE/GE/EQ) also admit the constant itself even when it is
+    missing from the observed vocabulary, so identical point predicates
+    keep distance 0 regardless of catalog coverage.
+    """
     value = str(pred.value)
-    if pred.op in (Op.EQ, Op.LE, Op.GE):
+    if pred.op is Op.EQ:
         return frozenset({value})
     if pred.op is Op.NE:
         return vocabulary - {value}
+    if pred.op is Op.LT:
+        return frozenset(v for v in vocabulary if v < value)
+    if pred.op is Op.LE:
+        return frozenset(v for v in vocabulary if v <= value) | {value}
+    if pred.op is Op.GT:
+        return frozenset(v for v in vocabulary if v > value)
+    if pred.op is Op.GE:
+        return frozenset(v for v in vocabulary if v >= value) | {value}
     return frozenset({value})
 
 

@@ -13,8 +13,10 @@ the maximal unit cost.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from itertools import combinations
+from typing import Iterable, Optional
 
 from ..algebra.cnf import CNF, Clause
 from ..core.area import AccessArea
@@ -29,6 +31,44 @@ def jaccard_distance(a: frozenset, b: frozenset) -> float:
     if not union:
         return 0.0
     return 1.0 - len(a & b) / len(union)
+
+
+#: Above this many distinct table sets the exactness bound falls back to
+#: the closed-form ``1/(s1+s2)`` estimate instead of the O(P²) pair scan.
+_BOUND_PAIR_SCAN_LIMIT = 512
+
+
+def partition_exactness_bound(table_sets: Iterable[frozenset]) -> float:
+    """Radius below which table-set partitioning is *exact*.
+
+    ``d = d_tables + d_conj ≥ d_tables``, and the Jaccard distance
+    between two **different** relation sets ``A ≠ B`` is at least
+    ``1/|A ∪ B|``: two areas in different partitions can only be
+    threshold neighbours at a radius reaching that bound.  The often
+    quoted ``eps < 0.5`` rule is the special case of one- and two-table
+    FROM sets; with ``k``-table joins the sharp subset pair
+    ``{R1..Rk}`` vs ``{R1..Rk, Rk+1}`` is only ``1/(k+1)`` apart.
+
+    This function computes the *population's* true bound: the minimum
+    Jaccard distance over all pairs of distinct table sets actually
+    present (``inf`` when fewer than two distinct sets occur — a single
+    partition is trivially exact at any radius).  Partition-based
+    algorithms are exact for every ``eps < bound`` and may silently
+    diverge from their unpartitioned counterparts at ``eps >= bound``.
+
+    For pathological populations with more than
+    ``_BOUND_PAIR_SCAN_LIMIT`` distinct sets, the conservative
+    closed-form lower bound ``1/(s1+s2)`` (``s1, s2`` the two largest
+    set sizes) is returned instead of scanning all pairs.
+    """
+    distinct = list({frozenset(ts) for ts in table_sets})
+    if len(distinct) < 2:
+        return math.inf
+    if len(distinct) > _BOUND_PAIR_SCAN_LIMIT:
+        sizes = sorted((len(ts) for ts in distinct), reverse=True)
+        return 1.0 / max(sizes[0] + sizes[1], 1)
+    return min(jaccard_distance(a, b)
+               for a, b in combinations(distinct, 2))
 
 
 @dataclass

@@ -176,7 +176,8 @@ class TestToSql:
         from repro.core import AccessAreaExtractor
         agg = aggregate_cluster(0, [window(10, 20)] * 3)
         area = AccessAreaExtractor(None).extract(agg.to_sql()).area
-        assert str(area.cnf) == "T.u <= 20 AND T.u >= 10"
+        # No schema: relation names canonicalize to lowercase.
+        assert str(area.cnf) == "t.u <= 20 AND t.u >= 10"
 
 
 class TestAggregateAll:

@@ -8,7 +8,7 @@ from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
                                       Op)
 from repro.core.area import AccessArea
 from repro.clustering import DBSCAN, partitioned_dbscan
-from repro.distance import QueryDistance
+from repro.distance import QueryDistance, partition_exactness_bound
 from repro.schema import (Column, ColumnType, Relation, Schema,
                           StatisticsCatalog)
 
@@ -27,6 +27,15 @@ def _stats():
 def window(relation, lo, hi):
     ref = ColumnRef(relation, "x")
     return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+def joined_window(lo, hi):
+    """A two-table area {T, S} constrained on T.x."""
+    ref = ColumnRef("T", "x")
+    return AccessArea(("T", "S"), CNF.of([
         Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
         Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
     ]))
@@ -77,9 +86,48 @@ class TestEquivalence:
         assert result.labels[-2] == -1
         assert result.labels[0] >= 0
 
-    def test_eps_guard(self):
-        with pytest.raises(ValueError):
-            partitioned_dbscan([], lambda a, b: 0.0, eps=0.5)
+    def test_eps_guard_uses_population_bound(self):
+        # {T} vs {T, S}: d_tables = 1 − 1/2 = 0.5, so eps = 0.5 already
+        # breaks exactness and must be rejected.
+        areas = [window("T", 0, 1), joined_window(0, 1)]
+        with pytest.raises(ValueError, match="only exact for eps <"):
+            partitioned_dbscan(areas, lambda a, b: 0.0, eps=0.5)
+
+    def test_eps_guard_tightens_with_larger_unions(self):
+        # {T, S} vs {T, S, R}: d_tables = 1 − 2/3 = 1/3 < 0.5 — the old
+        # fixed 0.5 guard silently mis-clustered populations like this.
+        a = window("T", 0, 1)
+        b = joined_window(0, 1)
+        c = AccessArea(("T", "S", "R"), CNF.true())
+        with pytest.raises(ValueError, match="only exact"):
+            partitioned_dbscan([a, b, c], lambda x, y: 0.0, eps=0.4)
+        # Below the true 1/3 bound the same population is fine.
+        partitioned_dbscan([a, b, c], lambda x, y: 0.0, eps=0.3,
+                           min_pts=1)
+
+    def test_single_partition_has_no_bound(self):
+        # One table set → no cross-partition pair → any eps is exact.
+        areas = [window("T", i, i + 1) for i in range(4)]
+        result = partitioned_dbscan(areas, lambda a, b: 0.0, eps=0.9,
+                                    min_pts=2)
+        assert result.n_clusters == 1
+
+    def test_fallback_warns_and_matches_plain_dbscan(self):
+        areas = _areas()
+        distance = QueryDistance(_stats(), resolution=0.0)
+        bound = partition_exactness_bound(a.table_set for a in areas)
+        eps = bound  # exactly at the bound: no longer exact
+        plain = DBSCAN(eps=eps, min_pts=3).fit(areas, distance)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            result = partitioned_dbscan(areas, distance, eps=eps,
+                                        min_pts=3,
+                                        on_inexact="fallback")
+        assert result.labels == plain.labels
+
+    def test_on_inexact_validated(self):
+        with pytest.raises(ValueError, match="on_inexact"):
+            partitioned_dbscan([], lambda a, b: 0.0, eps=0.1,
+                               on_inexact="ignore")
 
     def test_cluster_ids_globally_unique(self):
         areas = _areas()
@@ -87,3 +135,57 @@ class TestEquivalence:
         result = partitioned_dbscan(areas, distance, eps=0.3, min_pts=3)
         labels = {l for l in result.labels if l >= 0}
         assert labels == {0, 1, 2}
+
+
+# -- exactness-boundary property ------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.distance.query_distance import jaccard_distance  # noqa: E402
+
+_TABLES = ("t", "s", "r", "q", "p")
+
+table_sets = st.sets(st.sampled_from(_TABLES), min_size=1,
+                     max_size=len(_TABLES)).map(frozenset)
+populations = st.lists(table_sets, min_size=2, max_size=24)
+
+
+def _table_distance(a, b):
+    """d = d_tables exactly (unconstrained areas: d_conj = 0)."""
+    return jaccard_distance(a.table_set, b.table_set)
+
+
+@settings(max_examples=60, deadline=None)
+@given(populations, st.integers(min_value=1, max_value=3))
+def test_boundary_property(table_set_list, min_pts):
+    """Below the bound partitioned == plain; at/above it, it refuses.
+
+    Unconstrained areas make the metric collapse to ``d_tables``, so the
+    population's exactness bound is itself a realized distance — the
+    sharpest possible boundary check.
+    """
+    areas = [AccessArea(tuple(sorted(ts)), CNF.true())
+             for ts in table_set_list]
+    bound = partition_exactness_bound(a.table_set for a in areas)
+    if bound == float("inf"):
+        return  # single partition: nothing to check
+    below = bound * (1.0 - 1e-9)
+
+    plain = DBSCAN(eps=below, min_pts=min_pts).fit(areas,
+                                                   _table_distance)
+    part = partitioned_dbscan(areas, _table_distance, eps=below,
+                              min_pts=min_pts)
+
+    def canonical(labels):
+        groups = {}
+        for index, label in enumerate(labels):
+            groups.setdefault(label, []).append(index)
+        noise = tuple(sorted(groups.pop(-1, [])))
+        return noise, frozenset(tuple(sorted(v))
+                                for v in groups.values())
+
+    assert canonical(plain.labels) == canonical(part.labels)
+    with pytest.raises(ValueError, match="only exact"):
+        partitioned_dbscan(areas, _table_distance, eps=bound,
+                           min_pts=min_pts)

@@ -71,9 +71,10 @@ def test_to_sql_parses_and_reextracts(members):
     from repro.core import AccessAreaExtractor
     agg = aggregate_cluster(0, members)
     area = AccessAreaExtractor(None).extract(agg.to_sql()).area
-    assert area.relations == ("T",)
+    # No schema on re-extraction: relation names canonicalize lowercase.
+    assert area.relations == ("t",)
     bound = agg.bound_for(REF)
-    hull = area.footprint_hull(REF)
+    hull = area.footprint_hull(ColumnRef("t", "x"))
     if hull is not None:
         assert math.isclose(hull.lo, bound.interval.lo, rel_tol=1e-9)
         assert math.isclose(hull.hi, bound.interval.hi, rel_tol=1e-9)

@@ -17,9 +17,19 @@ class TestRelationRegistry:
         assert ctx.register_table("t") == "T"
         assert ctx.relations == ["T"]
 
-    def test_unknown_relation_kept_verbatim(self):
+    def test_unknown_relation_lowercased(self):
+        # Not in the schema → canonicalized to lowercase, so the partition
+        # key and d_tables can never disagree with mixed-case duplicates.
         ctx = ExtractionContext(_schema())
-        assert ctx.register_table("Galaxies") == "Galaxies"
+        assert ctx.register_table("Galaxies") == "galaxies"
+
+    def test_unknown_relation_case_duplicates_merge(self):
+        ctx = ExtractionContext(_schema())
+        ctx.register_table("Galaxies", "a")
+        ctx.register_table("GALAXIES", "b")
+        assert ctx.relations == ["galaxies"]
+        assert ctx.aliases["a"] == "galaxies"
+        assert ctx.aliases["b"] == "galaxies"
 
     def test_duplicate_occurrences_merge(self):
         ctx = ExtractionContext(_schema())
@@ -76,7 +86,7 @@ class TestColumnResolution:
         ctx = ExtractionContext(_schema())
         ctx.register_table("Galaxies")
         ref = ctx.resolve_column(None, "objid")
-        assert ref.relation == "Galaxies"
+        assert ref.relation == "galaxies"
 
     def test_correlated_lookup_through_parent(self):
         ctx = ExtractionContext(_schema())
@@ -97,7 +107,7 @@ class TestColumnResolution:
     def test_no_schema_single_relation(self):
         ctx = ExtractionContext(None)
         ctx.register_table("Foo")
-        assert ctx.resolve_column(None, "x").relation == "Foo"
+        assert ctx.resolve_column(None, "x").relation == "foo"
 
     def test_no_schema_two_relations_unresolvable(self):
         ctx = ExtractionContext(None)

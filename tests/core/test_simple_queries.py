@@ -137,11 +137,22 @@ class TestWidening:
 class TestUnknownSchemaObjects:
     def test_unknown_relation_still_extracts(self, extract):
         # "SELECT Galaxies.objid FROM Galaxies LIMIT 10" (Section 6.6).
+        # Unknown relations canonicalize to lowercase at extraction.
         area = extract("SELECT Galaxies.objid FROM Galaxies LIMIT 10")
-        assert area.relations == ("Galaxies",)
+        assert area.relations == ("galaxies",)
 
     def test_no_schema_extractor(self):
         from repro.core import AccessAreaExtractor
         area = AccessAreaExtractor(schema=None).extract(
             "SELECT * FROM Foo WHERE Foo.x > 1").area
-        assert str(area.cnf) == "Foo.x > 1"
+        assert str(area.cnf) == "foo.x > 1"
+
+    def test_mixed_case_duplicates_share_table_set(self, extract):
+        # Regression: raw-case table_set vs lowercased partition keys
+        # used to split the same logical relation into distinct
+        # partitions the metric saw as one (d_tables == 0).
+        a = extract("SELECT * FROM Galaxies WHERE Galaxies.x > 1")
+        b = extract("SELECT * FROM GALAXIES WHERE galaxies.x > 2")
+        c = extract("SELECT * FROM galaxies WHERE galaxies.x > 3")
+        assert a.table_set == b.table_set == c.table_set
+        assert a.table_set == frozenset({"galaxies"})

@@ -141,6 +141,38 @@ class TestFailureBurst:
                 monitor.process("SELECT * FROM Photoz")
         assert EventKind.FAILURE_BURST not in kinds(monitor)
 
+    def test_alternating_burst_fires_once(self):
+        # An alternating fail/success stream keeps the window at a 50%
+        # failure rate: one long burst episode.  The old latch re-armed
+        # on every successful parse and fired once per failure.
+        schema = skyserver_schema()
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                failure_window=10,
+                                failure_burst_threshold=0.3)
+        for _ in range(30):
+            monitor.process("SELCT broken")
+            monitor.process("SELECT * FROM Photoz")
+        bursts = [e for e in monitor.events
+                  if e.kind is EventKind.FAILURE_BURST]
+        assert len(bursts) == 1
+
+    def test_latch_rearms_after_recovery(self):
+        # Burst → full recovery (window rate drops below threshold) →
+        # second burst: exactly two notifications, one per episode.
+        schema = skyserver_schema()
+        monitor = StreamMonitor(AccessAreaExtractor(schema), warmup=0,
+                                failure_window=10,
+                                failure_burst_threshold=0.3)
+        for _ in range(15):
+            monitor.process("SELCT broken")
+        for _ in range(20):  # flush the window clean
+            monitor.process("SELECT * FROM Photoz")
+        for _ in range(15):
+            monitor.process("SELCT broken")
+        bursts = [e for e in monitor.events
+                  if e.kind is EventKind.FAILURE_BURST]
+        assert len(bursts) == 2
+
 
 class TestSummary:
     def test_summary_mentions_counts(self, monitor):

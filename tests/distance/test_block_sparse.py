@@ -1,0 +1,273 @@
+"""BlockSparseDistanceMatrix: dense parity, bound semantics, stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering import DBSCAN, OPTICS, SingleLinkage, partitioned_dbscan
+from repro.core.extractor import AccessAreaExtractor
+from repro.distance import (BlockSparseDistanceMatrix, DistanceMatrix,
+                            QueryDistance, compute_matrix,
+                            partition_exactness_bound)
+from repro.schema import StatisticsCatalog
+from repro.schema.skyserver import CONTENT_BOUNDS, skyserver_schema
+from repro.workload import WorkloadConfig, generate_workload
+
+EPS = 0.12
+
+
+@pytest.fixture(scope="module")
+def population():
+    """(areas, metric) extracted from a small synthetic workload."""
+    schema = skyserver_schema()
+    workload = generate_workload(WorkloadConfig(n_queries=260, seed=41))
+    extractor = AccessAreaExtractor(schema)
+    areas = []
+    for sql in workload.log.statements():
+        try:
+            areas.append(extractor.extract(sql).area)
+        except Exception:
+            continue
+        if len(areas) == 160:
+            break
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    for area in areas:
+        stats.observe_cnf(area.cnf)
+    return areas, QueryDistance(stats)
+
+
+@pytest.fixture(scope="module")
+def dense(population):
+    areas, metric = population
+    return DistanceMatrix.compute(areas, metric)
+
+
+@pytest.fixture(scope="module")
+def sparse(population):
+    areas, metric = population
+    return BlockSparseDistanceMatrix.compute(areas, metric, cutoff=EPS)
+
+
+class TestLookupParity:
+    def test_len(self, population, sparse):
+        assert len(sparse) == len(population[0])
+
+    def test_within_partition_values_bitwise_equal(self, population,
+                                                   dense, sparse):
+        areas, _ = population
+        n = len(areas)
+        checked = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                if areas[i].table_set == areas[j].table_set:
+                    assert sparse.value(i, j) == dense.value(i, j)
+                    checked += 1
+        assert checked > 0
+
+    def test_cross_partition_is_d_tables_lower_bound(self, population,
+                                                     dense, sparse):
+        areas, metric = population
+        n = len(areas)
+        for i in range(0, n, 7):
+            for j in range(i + 1, n, 11):
+                if areas[i].table_set != areas[j].table_set:
+                    expected = metric.d_tables(areas[i], areas[j])
+                    assert sparse.value(i, j) == expected
+                    assert sparse.value(i, j) <= dense.value(i, j) + 1e-12
+                    assert sparse.value(i, j) >= sparse.exactness_bound
+
+    def test_diagonal_and_symmetry(self, sparse):
+        assert sparse.value(3, 3) == 0.0
+        assert sparse.value(2, 9) == sparse.value(9, 2)
+        assert sparse[2, 9] == sparse.value(2, 9)
+
+    def test_row_matches_values(self, sparse):
+        for i in (0, 5, len(sparse) - 1):
+            row = sparse.row(i)
+            assert len(row) == len(sparse)
+            assert row[i] == 0.0
+            for j in range(0, len(sparse), 13):
+                assert row[j] == sparse.value(i, j)
+
+    def test_neighbors_match_dense(self, dense, sparse):
+        for i in range(0, len(sparse), 9):
+            assert sparse.neighbors(i, EPS) == dense.neighbors(i, EPS)
+
+    def test_neighbors_rejects_radius_at_bound(self, sparse):
+        with pytest.raises(ValueError, match="exactness bound"):
+            sparse.neighbors(0, sparse.exactness_bound)
+
+    def test_submatrix_within_partition_exact(self, population, dense,
+                                              sparse):
+        areas, _ = population
+        key = max({a.table_set for a in areas},
+                  key=lambda k: sum(a.table_set == k for a in areas))
+        indices = [i for i, a in enumerate(areas) if a.table_set == key]
+        sub_sparse = sparse.submatrix(indices)
+        sub_dense = dense.submatrix(indices)
+        m = len(indices)
+        for a in range(m):
+            for b in range(a + 1, m):
+                assert sub_sparse.value(a, b) == sub_dense.value(a, b)
+
+    def test_submatrix_mixed_partitions(self, sparse):
+        indices = list(range(0, len(sparse), 10))
+        sub = sparse.submatrix(indices)
+        for a in range(len(indices)):
+            for b in range(a + 1, len(indices)):
+                assert sub.value(a, b) == sparse.value(indices[a],
+                                                       indices[b])
+
+    def test_to_square_symmetric(self, sparse):
+        square = sparse.to_square()
+        assert square.shape == (len(sparse), len(sparse))
+        assert np.allclose(square, square.T)
+        assert np.all(np.diag(square) == 0.0)
+
+
+class TestClusteringParity:
+    """Dense and sparse matrices must give identical labels below the bound."""
+
+    def test_dbscan(self, population, dense, sparse):
+        areas, _ = population
+        a = DBSCAN(EPS, 4).fit(areas, matrix=dense)
+        b = DBSCAN(EPS, 4).fit(areas, matrix=sparse)
+        assert a.labels == b.labels
+
+    def test_partitioned_dbscan(self, population, dense, sparse):
+        areas, metric = population
+        a = partitioned_dbscan(areas, metric, EPS, 4, matrix=dense)
+        b = partitioned_dbscan(areas, metric, EPS, 4, matrix=sparse)
+        assert a.labels == b.labels
+
+    def test_optics(self, population, dense, sparse):
+        areas, _ = population
+        a = OPTICS(max_eps=EPS, min_pts=4).fit(areas, matrix=dense)
+        b = OPTICS(max_eps=EPS, min_pts=4).fit(areas, matrix=sparse)
+        assert a.ordering == b.ordering
+        assert a.reachability == b.reachability
+
+    def test_single_linkage(self, population, dense, sparse):
+        areas, _ = population
+        a = SingleLinkage(threshold=EPS, min_size=3).fit(areas,
+                                                         matrix=dense)
+        b = SingleLinkage(threshold=EPS, min_size=3).fit(areas,
+                                                         matrix=sparse)
+        assert a.labels == b.labels
+
+
+class TestConstruction:
+    def test_requires_decomposed_metric(self, population):
+        areas, _ = population
+
+        def flat_metric(a, b):
+            return 0.0
+
+        with pytest.raises(ValueError, match="decomposed"):
+            BlockSparseDistanceMatrix.compute(areas, flat_metric)
+
+    def test_cutoff_beyond_bound_rejected(self, population, sparse):
+        areas, metric = population
+        with pytest.raises(ValueError, match="exactness bound"):
+            BlockSparseDistanceMatrix.compute(
+                areas, metric, cutoff=sparse.exactness_bound)
+
+    def test_exactness_bound_matches_population(self, population,
+                                                sparse):
+        areas, _ = population
+        expected = partition_exactness_bound(
+            a.table_set for a in areas)
+        assert sparse.exactness_bound == pytest.approx(expected)
+
+    def test_single_partition_bound_is_inf(self, population):
+        areas, metric = population
+        key = next(iter({a.table_set for a in areas}))
+        same = [a for a in areas if a.table_set == key]
+        matrix = BlockSparseDistanceMatrix.compute(same, metric)
+        assert matrix.exactness_bound == math.inf
+        assert matrix.n_partitions == 1
+
+    def test_serial_parallel_identical(self, population):
+        areas, metric = population
+        serial = BlockSparseDistanceMatrix.compute(areas, metric,
+                                                   n_jobs=1)
+        parallel = BlockSparseDistanceMatrix.compute(areas, metric,
+                                                     n_jobs=2)
+        for i in range(0, len(areas), 7):
+            assert list(serial.row(i)) == list(parallel.row(i))
+
+
+class TestStats:
+    def test_block_accounting(self, population, sparse):
+        areas, _ = population
+        stats = sparse.stats
+        partition_sizes = {}
+        for area in areas:
+            partition_sizes[area.table_set] = \
+                partition_sizes.get(area.table_set, 0) + 1
+        expected_pairs = sum(m * (m - 1) // 2
+                             for m in partition_sizes.values())
+        p = len(partition_sizes)
+        assert stats.n_blocks == p
+        assert stats.largest_block == max(partition_sizes.values())
+        assert stats.pairs_computed == expected_pairs
+        assert stats.pairs_skipped == stats.pairs_total - expected_pairs
+        assert stats.stored_floats == expected_pairs + p * p
+        assert stats.stored_floats < stats.pairs_total
+        assert 0.0 < stats.storage_fraction < 1.0
+
+    def test_summary_mentions_blocks(self, sparse):
+        text = sparse.stats.summary()
+        assert "blocks" in text
+        assert "floats stored" in text
+
+    def test_metrics_recorded(self, population):
+        from repro.obs.metrics import MetricsRegistry
+        areas, metric = population
+        registry = MetricsRegistry()
+        BlockSparseDistanceMatrix.compute(areas, metric,
+                                          registry=registry)
+        snapshot = registry.snapshot()
+        counters = {c["name"] for c in snapshot["counters"]}
+        gauges = {g["name"] for g in snapshot["gauges"]}
+        assert "repro_distance_blocks_total" in counters
+        assert "repro_distance_stored_floats" in gauges
+        assert "repro_distance_storage_fraction" in gauges
+
+
+class TestComputeMatrixFactory:
+    def test_mode_validated(self, population):
+        areas, metric = population
+        with pytest.raises(ValueError, match="mode"):
+            compute_matrix(areas, metric, mode="blocky")
+
+    def test_explicit_modes(self, population):
+        areas, metric = population
+        assert isinstance(compute_matrix(areas, metric, mode="dense"),
+                          DistanceMatrix)
+        assert isinstance(compute_matrix(areas, metric, mode="sparse",
+                                         eps=EPS),
+                          BlockSparseDistanceMatrix)
+
+    def test_auto_picks_sparse_below_bound(self, population):
+        areas, metric = population
+        matrix = compute_matrix(areas, metric, mode="auto", eps=EPS)
+        assert isinstance(matrix, BlockSparseDistanceMatrix)
+
+    def test_auto_picks_dense_at_bound(self, population, sparse):
+        areas, metric = population
+        matrix = compute_matrix(areas, metric, mode="auto",
+                                eps=sparse.exactness_bound)
+        assert isinstance(matrix, DistanceMatrix)
+
+    def test_auto_without_eps_is_dense(self, population):
+        areas, metric = population
+        assert isinstance(compute_matrix(areas, metric, mode="auto"),
+                          DistanceMatrix)
+
+    def test_auto_with_flat_metric_is_dense(self, population):
+        areas, _ = population
+        matrix = compute_matrix(areas, lambda a, b: 0.5, mode="auto",
+                                eps=EPS)
+        assert isinstance(matrix, DistanceMatrix)

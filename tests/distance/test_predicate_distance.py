@@ -103,6 +103,54 @@ class TestCategorical:
         assert d.distance(cc(T_S, Op.EQ, "x"), cc(T_S, Op.EQ, 5)) == 1.0
 
 
+class TestCategoricalInequalities:
+    """Ordered-vocabulary footprints; vocabulary is {x, y, z}.
+
+    Regression: every inequality operator used to collapse to ``{value}``,
+    making ``s < 'y'`` and ``s = 'y'`` distance 0.
+    """
+
+    def test_lt_disjoint_from_eq(self, stats):
+        d = PredicateDistance(stats)
+        # s < 'y' → {x}; s = 'y' → {y}: disjoint.
+        assert d.distance(cc(T_S, Op.LT, "y"), cc(T_S, Op.EQ, "y")) == 1.0
+
+    def test_lt_footprint_contains_smaller(self, stats):
+        d = PredicateDistance(stats)
+        # s < 'y' → {x} == footprint of s = 'x'.
+        assert d.distance(cc(T_S, Op.LT, "y"), cc(T_S, Op.EQ, "x")) == 0.0
+
+    def test_le_includes_the_constant(self, stats):
+        d = PredicateDistance(stats)
+        # s <= 'y' → {x, y} overlaps s = 'y' partially (J = 1/2).
+        value = d.distance(cc(T_S, Op.LE, "y"), cc(T_S, Op.EQ, "y"))
+        assert value == pytest.approx(0.5)
+
+    def test_gt_footprint(self, stats):
+        d = PredicateDistance(stats)
+        # s > 'x' → {y, z}; equals the footprint of s <> 'x'.
+        assert d.distance(cc(T_S, Op.GT, "x"), cc(T_S, Op.NE, "x")) == 0.0
+
+    def test_ge_includes_the_constant(self, stats):
+        d = PredicateDistance(stats)
+        # s >= 'z' → {z}; s = 'z' → {z}: identical ranges.
+        assert d.distance(cc(T_S, Op.GE, "z"), cc(T_S, Op.EQ, "z")) == 0.0
+
+    def test_lt_vs_gt_disjoint(self, stats):
+        d = PredicateDistance(stats)
+        # s < 'y' → {x}; s > 'y' → {z}.
+        assert d.distance(cc(T_S, Op.LT, "y"), cc(T_S, Op.GT, "y")) == 1.0
+
+    def test_inclusive_op_on_unknown_constant_is_reflexive(self, stats):
+        d = PredicateDistance(stats)
+        # 'm' is not in the vocabulary; identical predicates must still
+        # be distance 0 (the footprint admits the constant itself).
+        assert d.distance(cc(T_S, Op.LE, "m"), cc(T_S, Op.LE, "m")) == 0.0
+        # And ordering still applies: s <= 'm' → {m} ∪ {} vs {x}.
+        assert d.distance(cc(T_S, Op.LE, "m"),
+                          cc(T_S, Op.EQ, "x")) == 1.0
+
+
 class TestCrossColumn:
     def test_wide_predicates_somewhat_close(self, stats):
         d = PredicateDistance(stats, resolution=0.0)
@@ -151,3 +199,45 @@ class TestCaching:
         first = d.distance(p1, p2)
         assert d.distance(p1, p2) == first
         assert len(d._cache) == 1
+
+    def test_cache_info_counts_both_caches(self, stats):
+        d = PredicateDistance(stats)
+        d.distance(cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2))
+        d.distance(cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2))
+        info = d.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        assert info.size == 1
+        assert info.footprint_size == 2  # one widened footprint per pred
+        assert info.max_size == info.footprint_max == d.max_cache_size
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_pair_cache_bounded(self, stats):
+        d = PredicateDistance(stats, max_cache_size=4)
+        for i in range(10):
+            d.distance(cc(T_A, Op.LT, i / 10), cc(T_A, Op.GT, 0))
+        assert len(d._cache) == 4
+
+    def test_footprint_cache_bounded(self, stats):
+        # Regression: _footprints grew one entry per distinct predicate
+        # without limit; adversarial constant streams must stay bounded.
+        d = PredicateDistance(stats, max_cache_size=4)
+        for i in range(50):
+            d.distance(cc(T_A, Op.LT, i / 50), cc(T_A, Op.GT, i / 50))
+        info = d.cache_info()
+        assert info.footprint_size <= 4
+        assert info.footprint_max == 4
+
+    def test_footprint_lru_keeps_hot_entries(self, stats):
+        d = PredicateDistance(stats, max_cache_size=4)
+        hot1, hot2 = cc(T_A, Op.LT, 3), cc(T_A, Op.GT, 2)
+        for i in range(20):
+            d.distance(hot1, hot2)  # cached pair: no footprint churn
+            d.distance(cc(T_A, Op.LT, i / 20), hot2)  # reuses hot2
+        assert hot2 in d._footprints  # touched every round → retained
+
+    def test_unbounded_when_disabled(self, stats):
+        d = PredicateDistance(stats, max_cache_size=None)
+        for i in range(30):
+            d.distance(cc(T_A, Op.LT, i / 30), cc(T_A, Op.GT, 0))
+        assert len(d._cache) == 30
+        assert d.cache_info().footprint_max is None
