@@ -1,0 +1,177 @@
+"""Access-area interning: wall-time and storage vs the plain pipeline.
+
+SkyServer logs are dominated by bot/template repeats, so the clustering
+stage sees the same access area over and over.  This benchmark builds
+real :class:`~repro.core.AccessArea` populations over the SkyServer
+schema with Zipf-shaped repeat skew (a pool of ~150 unique window
+templates, hot templates drawn far more often), then compares
+
+* **plain**: distance matrix + partitioned DBSCAN over all n areas;
+* **interned**: canonical-fingerprint dedupe to u unique areas, matrix
+  + multiplicity-weighted partitioned DBSCAN over the u areas, labels
+  expanded back to n.
+
+Writes ``benchmarks/out/BENCH_interning.json``.  The plain path is
+measured only up to ``PLAIN_CAP`` (12.5M real ``QueryDistance`` pairs
+at 5 000 already take ~2 minutes; 20 000 would take ~16× that); at the
+largest size its wall time is extrapolated quadratically from the
+largest measured size — the same convention as the sparse-matrix
+benchmark — while the interned path is measured exactly at every size.
+Acceptance: expanded interned labels are bitwise-identical to plain
+labels at every measured size, and the interned pipeline is ≥ 2× faster
+at the largest size.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the sizes ~20×.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.predicates import ColumnConstantPredicate, ColumnRef, Op
+from repro.clustering import partitioned_dbscan
+from repro.core.area import AccessArea
+from repro.core.pipeline import dedupe_areas, expand_labels
+from repro.distance import QueryDistance
+from repro.distance.block_sparse import compute_matrix
+from repro.schema import StatisticsCatalog
+from repro.schema.skyserver import CONTENT_BOUNDS, skyserver_schema
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (200, 500, 1000) if SMOKE else (1000, 5000, 20000)
+PLAIN_CAP = SIZES[1]
+EPS = 0.12
+MIN_PTS = 5
+
+#: (relation, column, domain lo, domain hi) template axes — hot
+#: SkyServer query shapes (cone/redshift windows).
+TEMPLATE_AXES = (
+    ("PhotoObjAll", "ra", 0.0, 360.0),
+    ("SpecObjAll", "z", 0.0, 2.0),
+    ("Photoz", "z", 0.0, 2.0),
+)
+TEMPLATES_PER_AXIS = 50
+
+
+def _window(relation, column, lo, hi):
+    ref = ColumnRef(relation, column)
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+def make_template_pool(seed=29):
+    rng = random.Random(seed)
+    pool = []
+    for relation, column, lo0, hi0 in TEMPLATE_AXES:
+        span = hi0 - lo0
+        for _ in range(TEMPLATES_PER_AXIS):
+            lo = lo0 + rng.random() * span * 0.8
+            pool.append(_window(relation, column, lo, lo + span * 0.1))
+    return pool
+
+
+def make_population(pool, n, seed=31):
+    """Zipf-shaped draws: template rank r appears with weight 1/(r+1)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+    return rng.choices(pool, weights, k=n)
+
+
+def _plain_run(areas, distance):
+    started = time.perf_counter()
+    matrix = compute_matrix(areas, distance, mode="auto", eps=EPS)
+    labels = partitioned_dbscan(areas, distance, EPS, MIN_PTS,
+                                matrix=matrix,
+                                on_inexact="fallback").labels
+    return labels, time.perf_counter() - started, matrix.stats
+
+
+def _interned_run(areas, distance):
+    started = time.perf_counter()
+    unique, weights, inverse = dedupe_areas(areas)
+    matrix = compute_matrix(unique, distance, mode="auto", eps=EPS)
+    matrix.stats.n_source_items = len(areas)
+    deduped = partitioned_dbscan(unique, distance, EPS, MIN_PTS,
+                                 matrix=matrix, weights=weights,
+                                 on_inexact="fallback")
+    labels = expand_labels(deduped.labels, inverse)
+    return labels, time.perf_counter() - started, matrix.stats
+
+
+def test_interning_artifact(out_dir):
+    stats_catalog = StatisticsCatalog.from_exact_content(
+        skyserver_schema(), CONTENT_BOUNDS)
+    pool = make_template_pool()
+    rows = []
+    plain_measured = {}
+
+    for n in SIZES:
+        areas = make_population(pool, n)
+        # Each run gets a fresh QueryDistance so warm predicate caches
+        # cannot leak between the measured paths.
+        interned_labels, interned_seconds, interned_stats = \
+            _interned_run(areas, QueryDistance(stats_catalog))
+        u = interned_stats.n_items
+        row = {
+            "n": n,
+            "unique_areas": u,
+            "dedup_ratio": round(interned_stats.dedup_ratio, 2),
+            "interned_seconds": round(interned_seconds, 4),
+            "interned_pairs": interned_stats.pairs_total,
+            "interned_stored_floats": interned_stats.stored_floats,
+        }
+        assert interned_stats.pairs_total == u * (u - 1) // 2
+
+        if n <= PLAIN_CAP:
+            plain_labels, plain_seconds, plain_stats = _plain_run(
+                areas, QueryDistance(stats_catalog))
+            assert interned_labels == plain_labels
+            row.update(measured=True,
+                       label_parity=True,
+                       plain_seconds=round(plain_seconds, 4),
+                       plain_pairs=plain_stats.pairs_total,
+                       plain_stored_floats=plain_stats.stored_floats)
+            plain_measured[n] = plain_seconds
+        else:
+            base = max(plain_measured)
+            scale = (n / base) ** 2
+            row.update(measured=False,
+                       plain_seconds=round(plain_measured[base] * scale,
+                                           4),
+                       plain_pairs=n * (n - 1) // 2)
+        row["speedup"] = round(row["plain_seconds"]
+                               / max(row["interned_seconds"], 1e-9), 2)
+        rows.append(row)
+
+    # Acceptance: ≥ 2× wall-time win at the largest population.
+    largest = rows[-1]
+    assert largest["n"] == SIZES[-1]
+    assert largest["speedup"] >= 2.0, largest
+
+    artifact = {
+        "eps": EPS,
+        "min_pts": MIN_PTS,
+        "smoke": SMOKE,
+        "plain_cap": PLAIN_CAP,
+        "template_pool": len(pool),
+        "sizes": rows,
+    }
+    (out_dir / "BENCH_interning.json").write_text(
+        json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+
+
+def test_interned_storage_shrinks():
+    """Condensed storage drops from O(n²) to O(u²) after interning."""
+    pool = make_template_pool()
+    areas = make_population(pool, 400, seed=83)
+    distance = QueryDistance(StatisticsCatalog.from_exact_content(
+        skyserver_schema(), CONTENT_BOUNDS))
+    unique, _, _ = dedupe_areas(areas)
+    plain = compute_matrix(areas, distance, mode="auto", eps=EPS)
+    interned = compute_matrix(unique, distance, mode="auto", eps=EPS)
+    assert interned.stats.stored_floats < plain.stats.stored_floats
+    assert len(unique) < len(areas)

@@ -74,6 +74,22 @@ class Clause:
     def is_unit(self) -> bool:
         return len(self.predicates) == 1
 
+    def canonical_key(self) -> tuple:
+        """Order-insensitive identity of this disjunction.
+
+        The sorted, deduplicated tuple of the predicates' canonical
+        forms: two clauses whose predicates arrived from the parser in
+        different orders (or with differently spelled but equal
+        literals) share one key.  Cached — clauses are immutable and the
+        intern pool keys by this repeatedly.
+        """
+        cached = self.__dict__.get("_canonical_key")
+        if cached is None:
+            cached = tuple(sorted(
+                {p.canonical_form() for p in self.predicates}))
+            object.__setattr__(self, "_canonical_key", cached)
+        return cached
+
     def subsumes(self, other: "Clause") -> bool:
         """True when this clause's predicate set is a subset of other's.
 
@@ -121,6 +137,20 @@ class CNF:
 
     def count_predicates(self) -> int:
         return sum(len(c) for c in self.clauses)
+
+    def canonical_key(self) -> tuple:
+        """Order-insensitive identity of this conjunction.
+
+        The sorted, deduplicated tuple of the clauses' canonical keys
+        (see :meth:`Clause.canonical_key`) — the "sorted CNF of sorted
+        clauses" fingerprint component of the access-area intern layer.
+        """
+        cached = self.__dict__.get("_canonical_key")
+        if cached is None:
+            cached = tuple(sorted(
+                {clause.canonical_key() for clause in self.clauses}))
+            object.__setattr__(self, "_canonical_key", cached)
+        return cached
 
     def conjoin(self, other: "CNF") -> "CNF":
         return CNF.of((*self.clauses, *other.clauses))

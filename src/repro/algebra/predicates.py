@@ -65,6 +65,23 @@ _FLIPS = {
 Constant = Union[int, float, str, bool]
 
 
+def normalize_constant(value: Constant) -> tuple:
+    """Type-tagged canonical form of a predicate constant.
+
+    Numerically equal int/float literals (``5`` vs ``5.0``) normalize to
+    the same key, but strings never collide with numbers and booleans
+    never collide with 0/1 — the tags keep the spaces disjoint.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, str):
+        return ("s", value)
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 2 ** 53:
+        return ("n", int(value))
+    return ("n", value)
+
+
 @dataclass(frozen=True, eq=True)
 class ColumnRef:
     """A fully qualified column reference ``relation.column``.
@@ -100,6 +117,16 @@ class Predicate:
     def negate(self) -> "Predicate":
         raise NotImplementedError
 
+    def canonical_form(self) -> tuple:
+        """Order- and spelling-insensitive identity key.
+
+        Two predicates with equal canonical forms denote the same atomic
+        constraint; the access-area intern pool and the canonical
+        :class:`~repro.core.area.AccessArea` identity sort and compare
+        by this key, never by rendering order or literal formatting.
+        """
+        raise NotImplementedError
+
     @property
     def columns(self) -> tuple[ColumnRef, ...]:
         raise NotImplementedError
@@ -126,6 +153,10 @@ class ColumnConstantPredicate(Predicate):
 
     def negate(self) -> "ColumnConstantPredicate":
         return ColumnConstantPredicate(self.ref, self.op.negate(), self.value)
+
+    def canonical_form(self) -> tuple:
+        return ("cc", self.ref.qualified, self.op.value,
+                normalize_constant(self.value))
 
     @property
     def columns(self) -> tuple[ColumnRef, ...]:
@@ -197,6 +228,11 @@ class ColumnColumnPredicate(Predicate):
 
     def negate(self) -> "ColumnColumnPredicate":
         return ColumnColumnPredicate(self.left, self.op.negate(), self.right)
+
+    def canonical_form(self) -> tuple:
+        # Operand order is already canonical (see __post_init__).
+        return ("jj", self.left.qualified, self.op.value,
+                self.right.qualified)
 
     @property
     def columns(self) -> tuple[ColumnRef, ...]:

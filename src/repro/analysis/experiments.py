@@ -27,7 +27,8 @@ from ..clustering.density import density_contrast
 from ..clustering.partitioned import partitioned_dbscan
 from ..core.area import AccessArea
 from ..core.extractor import AccessAreaExtractor
-from ..core.pipeline import LogProcessingReport, process_log
+from ..core.pipeline import (LogProcessingReport, dedupe_areas,
+                             expand_labels, process_log)
 from ..distance.block_sparse import MATRIX_MODES, compute_matrix
 from ..distance.query_distance import QueryDistance
 from ..obs import get_logger, trace
@@ -65,6 +66,11 @@ class CaseStudyConfig:
     #: partitioned), or "auto" (sparse whenever eps lies below the
     #: population's partition exactness bound)
     matrix_mode: str = "auto"
+    #: True → intern areas by canonical fingerprint and cluster the
+    #: unique areas with multiplicity weights (distance stage computes
+    #: u(u−1)/2 pairs instead of n(n−1)/2), expanding labels back
+    #: afterwards; False → one area object per statement (``--no-intern``)
+    intern: bool = True
 
     def __post_init__(self) -> None:
         if self.matrix_mode not in MATRIX_MODES:
@@ -158,7 +164,7 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
             schema, predicate_cap=config.predicate_cap,
             consolidate=config.consolidate)
         report = process_log(workload.log.statements_with_users(),
-                             extractor)
+                             extractor, intern=config.intern)
 
         # access(a) = content(a) ∪ MBR(a): widen with the whole log's
         # constants.
@@ -181,17 +187,35 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
 
         distance = QueryDistance(stats, resolution=config.resolution)
         with trace.span("cluster", sample=len(sample),
-                        matrix_mode=config.matrix_mode):
+                        matrix_mode=config.matrix_mode,
+                        intern=config.intern) as cluster_span:
             sample_areas = [s.area for s in sample]
-            matrix = compute_matrix(
-                sample_areas, distance, mode=config.matrix_mode,
-                eps=config.eps, n_jobs=config.n_jobs)
-            # auto mode already hands us a dense matrix when eps is too
-            # large for exact partitioning; fall back to plain DBSCAN on
-            # it instead of failing the whole study.
-            clustering = partitioned_dbscan(
-                sample_areas, distance, config.eps,
-                config.min_pts, matrix=matrix, on_inexact="fallback")
+            if config.intern:
+                # Cluster the unique areas with multiplicity weights —
+                # same labels as clustering the full sample, but the
+                # distance stage pays u(u−1)/2 instead of n(n−1)/2.
+                unique, area_weights, inverse = dedupe_areas(sample_areas)
+                matrix = compute_matrix(
+                    unique, distance, mode=config.matrix_mode,
+                    eps=config.eps, n_jobs=config.n_jobs)
+                matrix.stats.n_source_items = len(sample_areas)
+                deduped = partitioned_dbscan(
+                    unique, distance, config.eps, config.min_pts,
+                    matrix=matrix, weights=area_weights,
+                    on_inexact="fallback")
+                clustering = DBSCANResult(
+                    expand_labels(deduped.labels, inverse))
+                cluster_span.set(unique=len(unique))
+            else:
+                matrix = compute_matrix(
+                    sample_areas, distance, mode=config.matrix_mode,
+                    eps=config.eps, n_jobs=config.n_jobs)
+                # auto mode already hands us a dense matrix when eps is
+                # too large for exact partitioning; fall back to plain
+                # DBSCAN on it instead of failing the whole study.
+                clustering = partitioned_dbscan(
+                    sample_areas, distance, config.eps,
+                    config.min_pts, matrix=matrix, on_inexact="fallback")
 
         with trace.span("aggregate"):
             rows = _build_rows(sample, clustering, stats, db, config)

@@ -55,6 +55,14 @@ def format_summary(result: CaseStudyResult) -> str:
         f"  parse errors      : {report.parse_errors}",
         f"  unsupported stmts : {report.unsupported_statements}",
         f"  CNF failures      : {report.cnf_failures}",
+    ]
+    if report.interner is not None:
+        stats = report.intern_stats
+        lines.append(
+            f"unique areas        : {stats.pool_size:,} "
+            f"({stats.dedup_ratio:.1f}x dedup, "
+            f"{stats.hit_rate:.0%} intern hit rate)")
+    lines += [
         f"clustered sample    : {len(result.sample):,}",
         f"clusters found      : {result.n_clusters}",
         f"noise points        : {result.clustering.noise_count:,}",

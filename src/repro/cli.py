@@ -4,8 +4,9 @@ Subcommands:
 
 * ``extract`` — print the access area of one SQL statement;
 * ``generate`` — write a synthetic SkyServer-style log (JSONL);
-* ``process`` — batch-extract a log file, cluster the areas, and print
-  the Section 6.1 report;
+* ``process`` — batch-extract a log file (JSONL or flat text,
+  auto-detected; flat text folds indented multi-line SQL), cluster the
+  areas, and print the Section 6.1 report;
 * ``stream`` — monitor a log file incrementally, printing novelty events;
 * ``casestudy`` — run the full pipeline and print the Table-1 report;
 * ``stats`` — render a ``--metrics-out`` dump / ``--trace-out`` trace.
@@ -112,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="distance-matrix layout (auto: block-"
                                 "sparse when eps is below the partition "
                                 "exactness bound)")
+    p_process.add_argument("--intern", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="pool areas by canonical fingerprint and "
+                                "cluster unique areas with multiplicity "
+                                "weights (--no-intern: one object per "
+                                "statement)")
 
     p_stream = sub.add_parser(
         "stream", parents=[obs_parent],
@@ -140,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="distance-matrix layout (auto: block-"
                              "sparse when eps is below the partition "
                              "exactness bound)")
+    p_case.add_argument("--intern", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="pool areas by canonical fingerprint and "
+                             "cluster unique areas with multiplicity "
+                             "weights (--no-intern: one object per "
+                             "statement)")
 
     p_stats = sub.add_parser(
         "stats", parents=[logging_parent],
@@ -211,10 +224,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_process(args: argparse.Namespace) -> int:
-    log = QueryLog.load(args.log)
+    log = QueryLog.load_auto(args.log)
     schema = skyserver_schema()
     extractor = AccessAreaExtractor(schema)
-    report = process_log(log.statements_with_users(), extractor)
+    report = process_log(log.statements_with_users(), extractor,
+                         intern=args.intern)
+    report.continuation_lines = log.continuation_lines
     print(f"statements       : {report.total:,}")
     print(f"areas extracted  : {report.extraction_count:,} "
           f"({report.extraction_rate:.2%})")
@@ -222,6 +237,14 @@ def _cmd_process(args: argparse.Namespace) -> int:
     print(f"  lex errors     : {report.lex_errors}")
     print(f"  unsupported    : {report.unsupported_statements}")
     print(f"  CNF failures   : {report.cnf_failures}")
+    if report.continuation_lines:
+        print(f"  multi-line SQL : {report.continuation_lines} "
+              f"continuation lines folded")
+    if report.interner is not None:
+        intern_stats = report.intern_stats
+        print(f"unique areas     : {intern_stats.pool_size:,} "
+              f"({intern_stats.dedup_ratio:.1f}x dedup, "
+              f"{intern_stats.hit_rate:.0%} hit rate)")
     for index, kind, message in report.failures[:args.failures]:
         logger.warning("failure example [%s] %r: %s", kind,
                        log[index].sql[:60], message[:50])
@@ -237,7 +260,9 @@ def _cluster_report(report, schema, args: argparse.Namespace):
     """The process subcommand's clustering stage (sampled)."""
     import random
 
+    from .clustering.dbscan import DBSCANResult
     from .clustering.partitioned import partitioned_dbscan
+    from .core import dedupe_areas, expand_labels
 
     stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
     areas = report.areas()
@@ -247,6 +272,15 @@ def _cluster_report(report, schema, args: argparse.Namespace):
         rng = random.Random(args.cluster_seed)
         areas = rng.sample(areas, args.sample)
     distance = QueryDistance(stats)
+    if args.intern:
+        unique, weights, inverse = dedupe_areas(areas)
+        matrix = compute_matrix(unique, distance, mode=args.matrix_mode,
+                                eps=args.eps, n_jobs=args.n_jobs)
+        matrix.stats.n_source_items = len(areas)
+        deduped = partitioned_dbscan(
+            unique, distance, args.eps, args.min_pts, matrix=matrix,
+            weights=weights, on_inexact="fallback")
+        return DBSCANResult(expand_labels(deduped.labels, inverse))
     matrix = compute_matrix(areas, distance, mode=args.matrix_mode,
                             eps=args.eps, n_jobs=args.n_jobs)
     return partitioned_dbscan(areas, distance, args.eps, args.min_pts,
@@ -283,6 +317,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         min_pts=args.min_pts,
         n_jobs=args.n_jobs,
         matrix_mode=args.matrix_mode,
+        intern=args.intern,
     )
     result = run_case_study(config)
     print(format_summary(result))

@@ -61,13 +61,26 @@ class SingleLinkage:
 
     def fit(self, areas: Sequence[AccessArea],
             distance: Optional[Distance] = None,
-            matrix=None) -> DBSCANResult:
+            matrix=None,
+            weights: Optional[Sequence[float]] = None) -> DBSCANResult:
         """Cluster ``areas``; exactly one of ``distance``/``matrix``.
 
         ``matrix`` is a square array-like or a condensed
-        ``DistanceMatrix`` over ``areas``."""
+        ``DistanceMatrix`` over ``areas``.  ``weights`` — optional
+        positive per-area multiplicities; the ``min_size`` filter then
+        compares the summed weight of each connected component (so ``u``
+        interned unique areas cluster exactly like the expanded
+        population — linkage chains are weight-independent)."""
         if (distance is None) == (matrix is None):
             raise ValueError("provide exactly one of distance or matrix")
+        if weights is not None:
+            weights = [float(w) for w in weights]
+            if len(weights) != len(areas):
+                raise ValueError(
+                    f"{len(weights)} weights do not match "
+                    f"{len(areas)} areas")
+            if any(w <= 0 for w in weights):
+                raise ValueError("weights must be positive")
         if matrix is not None:
             if hasattr(matrix, "value"):  # condensed DistanceMatrix
                 pair_distance = matrix.value
@@ -112,7 +125,11 @@ class SingleLinkage:
             for root in sorted(components,
                                key=lambda r: components[r][0]):
                 members = components[root]
-                if len(members) >= self.min_size:
+                if weights is None:
+                    size = len(members)
+                else:
+                    size = sum(weights[index] for index in members)
+                if size >= self.min_size:
                     for index in members:
                         labels[index] = cluster_id
                     cluster_id += 1

@@ -137,16 +137,35 @@ def aggregate_cluster(cluster_id: int, members: Sequence[AccessArea],
                       stats: Optional[StatisticsCatalog] = None,
                       sigma: float = 3.0,
                       column_support: float = 0.5,
-                      join_support: float = 0.5) -> AggregatedArea:
+                      join_support: float = 0.5,
+                      weights: Optional[Sequence[int]] = None
+                      ) -> AggregatedArea:
     """Build the aggregated access area of one cluster.
 
     ``sigma`` is the trimming rule (3 in the paper; ``math.inf`` disables
     it — the ablation knob).  ``column_support`` drops columns constrained
     by fewer than that fraction of members, so one stray query cannot add
     a spurious axis to the hyper-rectangle.
+
+    ``weights`` — optional positive integer multiplicities (intern-pool
+    duplicate counts): member ``i`` counts as ``weights[i]`` identical
+    queries.  Implemented by repetition — each member contributes
+    ``weights[i]`` copies of its bounds to the trim statistics, support
+    counts, and ``cardinality`` — so a unique-area cluster with weights
+    aggregates exactly like the duplicated population it stands for.
     """
-    relations = _majority_relations(members)
-    min_support = max(1, math.ceil(column_support * len(members)))
+    if weights is None:
+        wlist = [1] * len(members)
+    else:
+        wlist = [int(w) for w in weights]
+        if len(wlist) != len(members):
+            raise ValueError(f"{len(wlist)} weights do not match "
+                             f"{len(members)} members")
+        if any(w <= 0 for w in wlist):
+            raise ValueError("weights must be positive")
+    total = sum(wlist)
+    relations = _majority_relations(members, wlist)
+    min_support = max(1, math.ceil(column_support * total))
 
     lower: dict[ColumnRef, list[float]] = {}
     upper: dict[ColumnRef, list[float]] = {}
@@ -155,21 +174,21 @@ def aggregate_cluster(cluster_id: int, members: Sequence[AccessArea],
     cat_support: dict[ColumnRef, int] = {}
     join_counts: dict[ColumnColumnPredicate, int] = {}
 
-    for area in members:
+    for area, weight in zip(members, wlist):
         for ref, footprint in area.column_footprints().items():
             hull = footprint.hull()
             if hull is None:
                 continue
-            support[ref] = support.get(ref, 0) + 1
+            support[ref] = support.get(ref, 0) + weight
             if not math.isinf(hull.lo):
-                lower.setdefault(ref, []).append(hull.lo)
+                lower.setdefault(ref, []).extend([hull.lo] * weight)
             if not math.isinf(hull.hi):
-                upper.setdefault(ref, []).append(hull.hi)
+                upper.setdefault(ref, []).extend([hull.hi] * weight)
         for ref, values in _categorical_constraints(area).items():
-            cat_support[ref] = cat_support.get(ref, 0) + 1
+            cat_support[ref] = cat_support.get(ref, 0) + weight
             cat_values.setdefault(ref, set()).update(values)
         for join in _join_predicates(area):
-            join_counts[join] = join_counts.get(join, 0) + 1
+            join_counts[join] = join_counts.get(join, 0) + weight
 
     bounds: list[ColumnBounds] = []
     for ref, count in sorted(support.items(), key=lambda kv: str(kv[0])):
@@ -194,7 +213,7 @@ def aggregate_cluster(cluster_id: int, members: Sequence[AccessArea],
                                   key=lambda kv: str(kv[0]))
         if cat_support[ref] >= min_support)
 
-    min_join_support = max(1, math.ceil(join_support * len(members)))
+    min_join_support = max(1, math.ceil(join_support * total))
     joins = tuple(sorted(
         (j for j, count in join_counts.items()
          if count >= min_join_support),
@@ -202,7 +221,7 @@ def aggregate_cluster(cluster_id: int, members: Sequence[AccessArea],
 
     return AggregatedArea(
         cluster_id=cluster_id,
-        cardinality=len(members),
+        cardinality=total,
         relations=relations,
         bounds=tuple(bounds),
         categorical=categorical,
@@ -213,10 +232,17 @@ def aggregate_cluster(cluster_id: int, members: Sequence[AccessArea],
 def aggregate_all(clusters: dict[int, Sequence[AccessArea]],
                   stats: Optional[StatisticsCatalog] = None,
                   sigma: float = 3.0,
-                  column_support: float = 0.5) -> list[AggregatedArea]:
-    """Aggregate every cluster, largest first."""
+                  column_support: float = 0.5,
+                  weights: Optional[dict[int, Sequence[int]]] = None,
+                  ) -> list[AggregatedArea]:
+    """Aggregate every cluster, largest first.
+
+    ``weights`` — optional per-cluster member multiplicities, keyed like
+    ``clusters`` (see :func:`aggregate_cluster`)."""
     aggregated = [
-        aggregate_cluster(cid, members, stats, sigma, column_support)
+        aggregate_cluster(cid, members, stats, sigma, column_support,
+                          weights=None if weights is None
+                          else weights.get(cid))
         for cid, members in clusters.items()
     ]
     aggregated.sort(key=lambda a: a.cardinality, reverse=True)
@@ -225,10 +251,14 @@ def aggregate_all(clusters: dict[int, Sequence[AccessArea]],
 
 # -- helpers ------------------------------------------------------------------
 
-def _majority_relations(members: Sequence[AccessArea]) -> tuple[str, ...]:
+def _majority_relations(members: Sequence[AccessArea],
+                        weights: Optional[Sequence[int]] = None,
+                        ) -> tuple[str, ...]:
+    if weights is None:
+        weights = [1] * len(members)
     counts: dict[tuple[str, ...], int] = {}
-    for area in members:
-        counts[area.relations] = counts.get(area.relations, 0) + 1
+    for area, weight in zip(members, weights):
+        counts[area.relations] = counts.get(area.relations, 0) + weight
     best = max(counts.items(), key=lambda kv: kv[1])[0]
     return best
 
@@ -265,13 +295,25 @@ def _join_predicates(area: AccessArea) -> list[ColumnColumnPredicate]:
 
 
 def _trim(values: list[float], sigma: float) -> list[float]:
-    """Drop values beyond ``sigma`` standard deviations from the mean."""
+    """Drop values beyond ``sigma`` standard deviations from the mean.
+
+    Degenerate inputs pass through untouched rather than erasing the
+    bound: fewer than 3 values (no meaningful spread estimate), a
+    disabled rule (``sigma = inf``), zero or non-finite spread (all
+    values equal, or a NaN/overflowed accumulation), and the
+    everything-is-an-outlier case (``sigma`` so tight nothing survives)
+    all return the original list."""
     if len(values) < 3 or math.isinf(sigma):
         return values
     mean = sum(values) / len(values)
-    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    if not math.isfinite(mean):
+        return values
+    try:
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+    except OverflowError:  # e.g. (1e200)**2 — Python raises, not inf
+        return values
     std = math.sqrt(variance)
-    if std == 0:
+    if std == 0 or not math.isfinite(std):
         return values
     kept = [v for v in values if abs(v - mean) <= sigma * std]
     return kept or values

@@ -61,6 +61,12 @@ class DBSCAN:
 
     ``eps`` — neighbourhood radius; ``min_pts`` — minimum neighbourhood
     size (including the point itself) for a core point.
+
+    With ``weights`` (see :meth:`fit`) the core condition counts the
+    summed multiplicity of the eps-neighbourhood — including the point's
+    own weight — instead of the row count: clustering ``u`` interned
+    unique areas with their duplicate counts as weights labels exactly
+    like clustering the expanded ``n``-query population.
     """
 
     eps: float
@@ -69,14 +75,26 @@ class DBSCAN:
                                                  repr=False)
 
     def fit(self, items: Sequence, distance: Optional[Distance] = None,
-            matrix=None) -> DBSCANResult:
+            matrix=None,
+            weights: Optional[Sequence[float]] = None) -> DBSCANResult:
         """Cluster ``items``; exactly one of ``distance``/``matrix``.
 
         ``matrix`` is a square array-like or a condensed
-        ``DistanceMatrix`` over ``items``."""
+        ``DistanceMatrix`` over ``items``.  ``weights`` — optional
+        per-item multiplicities (e.g. intern-pool duplicate counts, all
+        positive); the core condition becomes
+        ``Σ weights[neighbourhood] >= min_pts`` (self included)."""
         if (distance is None) == (matrix is None):
             raise ValueError("provide exactly one of distance or matrix")
         n = len(items)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n,):
+                raise ValueError(
+                    f"weights shape {weights.shape} does not match "
+                    f"{n} items")
+            if n and weights.min() <= 0:
+                raise ValueError("weights must be positive")
         if matrix is not None:
             if hasattr(matrix, "neighbors"):  # condensed DistanceMatrix
                 if len(matrix) != n:
@@ -100,11 +118,11 @@ class DBSCAN:
                     continue
                 neighbors = self._region_query(point, items, distance,
                                                matrix)
-                if len(neighbors) < self.min_pts:
+                if _mass(neighbors, weights) < self.min_pts:
                     labels[point] = NOISE
                     continue
                 self._expand(point, neighbors, cluster_id, labels, items,
-                             distance, matrix)
+                             distance, matrix, weights)
                 cluster_id += 1
             result = DBSCANResult(labels)
             span.set(clusters=result.n_clusters,
@@ -117,7 +135,8 @@ class DBSCAN:
 
     def _expand(self, point: int, neighbors: list[int], cluster_id: int,
                 labels: list[int], items: Sequence,
-                distance: Optional[Distance], matrix) -> None:
+                distance: Optional[Distance], matrix,
+                weights: Optional[np.ndarray] = None) -> None:
         labels[point] = cluster_id
         queue = deque(neighbors)
         while queue:
@@ -129,7 +148,7 @@ class DBSCAN:
             labels[current] = cluster_id
             current_neighbors = self._region_query(
                 current, items, distance, matrix)
-            if len(current_neighbors) >= self.min_pts:
+            if _mass(current_neighbors, weights) >= self.min_pts:
                 queue.extend(current_neighbors)
 
     def _region_query(self, point: int, items: Sequence,
@@ -155,6 +174,16 @@ class DBSCAN:
             value = distance(items[i], items[j])
             self._cache[key] = value
         return value
+
+
+def _mass(neighbors: Sequence[int],
+          weights: Optional[np.ndarray]) -> float:
+    """Total multiplicity of a neighbourhood (row count if unweighted)."""
+    if weights is None:
+        return len(neighbors)
+    if not len(neighbors):
+        return 0.0
+    return float(weights[np.asarray(neighbors, dtype=np.intp)].sum())
 
 
 def pairwise_matrix(items: Sequence, distance: Distance) -> np.ndarray:

@@ -50,16 +50,28 @@ class OPTICS:
     min_pts: int = 5
 
     def fit(self, items: Sequence, distance: Optional[Distance] = None,
-            matrix=None) -> OPTICSResult:
+            matrix=None,
+            weights: Optional[Sequence[float]] = None) -> OPTICSResult:
         """Order ``items``; exactly one of ``distance``/``matrix``.
 
         ``matrix`` is a square array-like or a condensed
         ``DistanceMatrix`` over ``items`` (computed up to at least
         ``max_eps`` — bound-skipped entries hold lower bounds, which the
-        radius test treats correctly)."""
+        radius test treats correctly).  ``weights`` — optional positive
+        per-item multiplicities: the core distance becomes the smallest
+        radius whose neighbourhood mass (starting from the point's own
+        weight) reaches ``min_pts``, so ordering ``u`` interned unique
+        areas matches ordering the expanded population."""
         if (distance is None) == (matrix is None):
             raise ValueError("provide exactly one of distance or matrix")
         n = len(items)
+        if weights is not None:
+            weights = [float(w) for w in weights]
+            if len(weights) != n:
+                raise ValueError(
+                    f"{len(weights)} weights do not match {n} items")
+            if any(w <= 0 for w in weights):
+                raise ValueError("weights must be positive")
         processed = [False] * n
         reachability = [_UNDEFINED] * n
         core_distance = [_UNDEFINED] * n
@@ -98,7 +110,8 @@ class OPTICS:
                 processed[start] = True
                 ordering.append(start)
                 near = neighbors(start)
-                core_distance[start] = self._core_distance(near)
+                core_distance[start] = self._core_distance(start, near,
+                                                           weights)
                 if math.isinf(core_distance[start]):
                     continue
                 seeds: list[tuple[float, int]] = []
@@ -113,7 +126,7 @@ class OPTICS:
                     ordering.append(current)
                     current_near = neighbors(current)
                     core_distance[current] = self._core_distance(
-                        current_near)
+                        current, current_near, weights)
                     if not math.isinf(core_distance[current]):
                         self._update(current, current_near, core_distance,
                                      reachability, processed, seeds)
@@ -121,13 +134,22 @@ class OPTICS:
         record_run("optics", iterations)
         return OPTICSResult(ordering, reachability, core_distance)
 
-    def _core_distance(self,
-                       near: list[tuple[int, float]]) -> float:
+    def _core_distance(self, point: int, near: list[tuple[int, float]],
+                       weights: Optional[list[float]]) -> float:
         # min_pts includes the point itself, matching our DBSCAN.
-        if len(near) + 1 < self.min_pts:
-            return _UNDEFINED
-        distances = sorted(d for _, d in near)
-        return distances[self.min_pts - 2]
+        if weights is None:
+            if len(near) + 1 < self.min_pts:
+                return _UNDEFINED
+            distances = sorted(d for _, d in near)
+            return distances[self.min_pts - 2]
+        mass = weights[point]
+        if mass >= self.min_pts:
+            return 0.0
+        for other, d in sorted(near, key=lambda pair: pair[1]):
+            mass += weights[other]
+            if mass >= self.min_pts:
+                return d
+        return _UNDEFINED
 
     @staticmethod
     def _update(center: int, near: list[tuple[int, float]],

@@ -58,6 +58,7 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
                        min_pts: int = 5, *,
                        matrix=None,
                        n_jobs: int = 1,
+                       weights: Optional[Sequence[float]] = None,
                        on_inexact: str = "raise") -> DBSCANResult:
     """DBSCAN over access areas, partitioned by relation set.
 
@@ -69,12 +70,19 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
     (dense :class:`~repro.distance.DistanceMatrix` or block-sparse; then
     ``distance`` may be ``None``); ``n_jobs`` — worker processes for the
     per-partition distance matrices (1 = the serial callable path);
+    ``weights`` — optional positive per-area multiplicities (intern-pool
+    duplicate counts), forwarded to the per-partition DBSCANs so the
+    core condition sums neighbourhood weight; the small-partition skip
+    likewise compares summed weight against ``min_pts``;
     ``on_inexact`` — what to do when ``eps`` reaches the bound:
     ``"raise"`` (default) or ``"fallback"`` (warn and run plain DBSCAN
     over the whole, unpartitioned population).
     """
     if distance is None and matrix is None:
         raise ValueError("provide a distance callable or a matrix")
+    if weights is not None and len(weights) != len(areas):
+        raise ValueError(f"{len(weights)} weights do not match "
+                         f"{len(areas)} areas")
     if on_inexact not in ("raise", "fallback"):
         raise ValueError(f"on_inexact must be 'raise' or 'fallback', "
                          f"got {on_inexact!r}")
@@ -91,8 +99,9 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
                       RuntimeWarning, stacklevel=2)
         logger.warning("%s; falling back to plain DBSCAN", message)
         if matrix is not None:
-            return DBSCAN(eps, min_pts).fit(areas, matrix=matrix)
-        return DBSCAN(eps, min_pts).fit(areas, distance)
+            return DBSCAN(eps, min_pts).fit(areas, matrix=matrix,
+                                            weights=weights)
+        return DBSCAN(eps, min_pts).fit(areas, distance, weights=weights)
 
     # Canonical table sets (the exact frozensets d_tables compares).
     partitions: dict[frozenset[str], list[int]] = {}
@@ -109,8 +118,14 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
         for key in sorted(partitions, key=lambda k: (len(k), sorted(k))):
             indices = partitions[key]
             partition_sizes.observe(len(indices))
-            if len(indices) < min_pts:
-                continue  # too small to ever contain a core point
+            if weights is None:
+                partition_mass: float = len(indices)
+                subset_weights = None
+            else:
+                subset_weights = [weights[i] for i in indices]
+                partition_mass = sum(subset_weights)
+            if partition_mass < min_pts:
+                continue  # too light to ever contain a core point
             fitted_partitions += 1
             subset = [areas[i] for i in indices]
             with trace.span("partition",
@@ -118,13 +133,16 @@ def partitioned_dbscan(areas: Sequence[AccessArea],
                             size=len(indices)):
                 if matrix is not None:
                     result = DBSCAN(eps, min_pts).fit(
-                        subset, matrix=matrix.submatrix(indices))
+                        subset, matrix=matrix.submatrix(indices),
+                        weights=subset_weights)
                 elif n_jobs != 1:
                     sub = DistanceMatrix.compute(subset, distance,
                                                  n_jobs=n_jobs)
-                    result = DBSCAN(eps, min_pts).fit(subset, matrix=sub)
+                    result = DBSCAN(eps, min_pts).fit(
+                        subset, matrix=sub, weights=subset_weights)
                 else:
-                    result = DBSCAN(eps, min_pts).fit(subset, distance)
+                    result = DBSCAN(eps, min_pts).fit(
+                        subset, distance, weights=subset_weights)
             remap: dict[int, int] = {}
             for local_index, label in enumerate(result.labels):
                 if label == NOISE:

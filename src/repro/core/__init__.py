@@ -16,8 +16,9 @@ from .area import AccessArea, empty_area, unconstrained
 from .context import ExtractionContext
 from .extractor import (AccessAreaExtractor, ExtractionResult, StageTimings,
                         having_to_expr)
-from .pipeline import (ExtractedQuery, LogProcessingReport,
-                       StageTimingSummary, process_log)
+from .pipeline import (AccessAreaInterner, ExtractedQuery, InternStats,
+                       LogProcessingReport, StageTimingSummary,
+                       dedupe_areas, expand_labels, process_log)
 from .stream import (EventKind, StreamEvent, StreamMonitor, StreamState)
 from .transform import condition_to_expr, flatten_subquery, from_items_to_expr
 
@@ -27,8 +28,9 @@ __all__ = [
     "ExtractionContext",
     "AccessAreaExtractor", "ExtractionResult", "StageTimings",
     "having_to_expr",
-    "ExtractedQuery", "LogProcessingReport", "StageTimingSummary",
-    "process_log",
+    "AccessAreaInterner", "ExtractedQuery", "InternStats",
+    "LogProcessingReport", "StageTimingSummary",
+    "dedupe_areas", "expand_labels", "process_log",
     "EventKind", "StreamEvent", "StreamMonitor", "StreamState",
     "condition_to_expr", "flatten_subquery", "from_items_to_expr",
 ]

@@ -15,7 +15,7 @@ from ..algebra.intervals import Interval, IntervalSet
 from ..algebra.predicates import ColumnConstantPredicate, ColumnRef
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AccessArea:
     """One query's access area in intermediate format.
 
@@ -23,6 +23,15 @@ class AccessArea:
     alphabetically — the Section 4.5 cleanup ordering.  ``cnf`` is the
     constraint on the universal relation; the empty CNF means the whole
     universal relation is accessed.
+
+    Equality and hashing are **canonical**: two areas are equal exactly
+    when their :attr:`fingerprint` matches — sorted relation set plus
+    the order-insensitive CNF key of sorted clauses over normalized
+    predicate forms.  Clause or predicate ordering quirks from the
+    parser, duplicated clauses, and equal-but-differently-spelled
+    literals (``5`` vs ``5.0``) therefore never split identity, and the
+    access-area intern pool can key a dict by the area itself.
+    ``notes`` are diagnostics and do not participate.
     """
 
     relations: tuple[str, ...]
@@ -32,6 +41,27 @@ class AccessArea:
     def __post_init__(self) -> None:
         ordered = tuple(sorted(dict.fromkeys(self.relations)))
         object.__setattr__(self, "relations", ordered)
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Canonical, order-insensitive identity key of this area."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = (self.relations, self.cnf.canonical_key())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessArea):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.fingerprint)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def is_unconstrained(self) -> bool:

@@ -8,7 +8,7 @@ blow-ups) and per-stage timing distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..algebra.cnf import CNFConversionError
 from ..obs import get_logger, metrics, trace
@@ -20,6 +20,124 @@ from .extractor import AccessAreaExtractor, StageTimings
 logger = get_logger(__name__)
 
 _STAGES = ("parse", "extract", "cnf", "consolidate")
+
+
+@dataclass
+class InternStats:
+    """Outcome of interning a population of access areas.
+
+    ``pool_size`` unique areas absorbed ``hits + pool_size`` probes; the
+    ``dedup_ratio`` (source areas per unique area) is the factor by
+    which downstream O(n²) distance work shrinks to O(u²)."""
+
+    pool_size: int = 0
+    hits: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.pool_size + self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.probes:
+            return 0.0
+        return self.hits / self.probes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Source areas per unique area (≥ 1.0; 1.0 = nothing repeated)."""
+        if not self.pool_size:
+            return 1.0
+        return self.probes / self.pool_size
+
+
+class AccessAreaInterner:
+    """Canonical-fingerprint intern pool for :class:`AccessArea`.
+
+    SkyServer-style logs are dominated by bot- and template-generated
+    repeats of the same statement, so most extracted areas are exact
+    duplicates at the access-area level.  The pool maps each area to its
+    first-seen representative via the canonical ``AccessArea`` identity
+    (order-insensitive CNF fingerprint), so logically identical areas —
+    regardless of clause/predicate arrival order or literal spelling —
+    collapse to one shared, immutable object whose footprint caches are
+    computed once.
+    """
+
+    def __init__(self) -> None:
+        self._pool: dict[AccessArea, AccessArea] = {}
+        self.hits = 0
+
+    def intern(self, area: AccessArea) -> AccessArea:
+        """The pooled representative of ``area`` (``area`` itself when
+        its fingerprint is new)."""
+        found = self._pool.get(area)
+        if found is not None:
+            self.hits += 1
+            return found
+        self._pool[area] = area
+        return area
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, area: AccessArea) -> bool:
+        return area in self._pool
+
+    def areas(self) -> list[AccessArea]:
+        """The unique representatives in first-seen order."""
+        return list(self._pool.values())
+
+    def stats(self) -> InternStats:
+        return InternStats(pool_size=len(self._pool), hits=self.hits)
+
+    def record(self, registry: metrics.MetricsRegistry) -> None:
+        """Fold pool state into a metrics registry (``repro_intern_*``)."""
+        registry.gauge("repro_intern_pool_size").set(len(self._pool))
+        if self.hits:
+            registry.counter("repro_intern_hits_total").inc(self.hits)
+        if self._pool:
+            registry.counter("repro_intern_misses_total").inc(
+                len(self._pool))
+            registry.gauge("repro_intern_dedup_ratio").set(
+                self.stats().dedup_ratio)
+
+
+def dedupe_areas(areas: Sequence[AccessArea],
+                 interner: Optional[AccessAreaInterner] = None,
+                 ) -> tuple[list[AccessArea], list[int], list[int]]:
+    """Collapse ``areas`` to ``(unique, weights, inverse)``.
+
+    ``unique`` holds the representatives in first-occurrence order (so
+    clustering scan order — and therefore cluster numbering — matches
+    the non-deduplicated population), ``weights[u]`` counts how many
+    source areas map to ``unique[u]``, and ``inverse[i]`` is the unique
+    index of source area ``i`` — the expansion map of
+    :func:`expand_labels`.
+    """
+    if interner is None:
+        interner = AccessAreaInterner()
+    unique: list[AccessArea] = []
+    weights: list[int] = []
+    inverse: list[int] = []
+    position: dict[AccessArea, int] = {}
+    for area in areas:
+        pooled = interner.intern(area)
+        index = position.get(pooled)
+        if index is None:
+            index = len(unique)
+            position[pooled] = index
+            unique.append(pooled)
+            weights.append(0)
+        weights[index] += 1
+        inverse.append(index)
+    return unique, weights, inverse
+
+
+def expand_labels(labels: Sequence[int],
+                  inverse: Sequence[int]) -> list[int]:
+    """Map per-unique-area cluster labels back to source query order."""
+    return [labels[index] for index in inverse]
 
 
 class StageTimingSummary:
@@ -105,6 +223,12 @@ class LogProcessingReport:
     stage_timings: dict[str, StageTimingSummary] = field(
         default_factory=lambda: {stage: StageTimingSummary()
                                  for stage in _STAGES})
+    #: the access-area intern pool (None when interning was disabled)
+    interner: Optional[AccessAreaInterner] = None
+    #: continuation lines folded into multi-line statements upstream
+    #: (e.g. by :meth:`repro.workload.QueryLog.load_plain`) — part of
+    #: the extraction-rate taxonomy, *not* parse errors
+    continuation_lines: int = 0
 
     @property
     def extraction_count(self) -> int:
@@ -128,8 +252,21 @@ class LogProcessingReport:
         for stage in _STAGES:
             self.stage_timings[stage].add(getattr(timings, stage))
 
+    @property
+    def intern_stats(self) -> InternStats:
+        if self.interner is None:
+            return InternStats()
+        return self.interner.stats()
+
     def areas(self) -> list[AccessArea]:
         return [entry.area for entry in self.extracted]
+
+    def unique_areas(self) -> tuple[list[AccessArea], list[int], list[int]]:
+        """The extracted areas deduplicated: ``(unique, weights,
+        inverse)`` as per :func:`dedupe_areas`.  When the report was
+        built with interning, duplicates are already shared objects and
+        this only builds the weight/inverse maps."""
+        return dedupe_areas(self.areas())
 
     def distance_matrix(self, metric: Callable[[AccessArea, AccessArea],
                                                float], *,
@@ -150,6 +287,8 @@ def process_log(statements: Iterable[str | tuple[str, str]],
                 extractor: AccessAreaExtractor | None = None,
                 keep_failures: bool = True,
                 registry: Optional[metrics.MetricsRegistry] = None,
+                intern: bool = True,
+                interner: Optional[AccessAreaInterner] = None,
                 ) -> LogProcessingReport:
     """Extract access areas from every statement of a log.
 
@@ -158,11 +297,23 @@ def process_log(statements: Iterable[str | tuple[str, str]],
     over 12.4M statements in the paper.  ``registry`` — metrics sink
     (defaults to the process-wide registry): per-outcome counters under
     ``repro_pipeline_*`` plus per-stage latency histograms.
+
+    ``intern`` (default on) pools extracted areas by canonical
+    fingerprint: repeats of the same access area share one immutable
+    object, so a repeat-heavy log stores ``u`` unique areas instead of
+    ``n``, footprint caches warm once, and the report's
+    :meth:`~LogProcessingReport.unique_areas` collapse is free.  Pass
+    ``interner`` to share a pool across logs; ``intern=False`` restores
+    the one-object-per-statement behaviour (``--no-intern`` debugging).
     """
     if extractor is None:
         extractor = AccessAreaExtractor()
     if registry is None:
         registry = metrics.get_registry()
+    if intern and interner is None:
+        interner = AccessAreaInterner()
+    elif not intern:
+        interner = None
     statements_total = registry.counter("repro_pipeline_statements_total")
     extracted_total = registry.counter("repro_pipeline_extracted_total")
     failure_counters = {
@@ -175,7 +326,7 @@ def process_log(statements: Iterable[str | tuple[str, str]],
         for stage in _STAGES
     }
 
-    report = LogProcessingReport()
+    report = LogProcessingReport(interner=interner)
 
     def fail(index: int, kind: str, exc: Exception) -> None:
         failure_counters[kind].inc()
@@ -210,11 +361,18 @@ def process_log(statements: Iterable[str | tuple[str, str]],
             for stage in _STAGES:
                 stage_histograms[stage].observe(
                     getattr(result.timings, stage))
+            area = result.area
+            if interner is not None:
+                area = interner.intern(area)
             report.extracted.append(
-                ExtractedQuery(index, sql, result.area, user))
+                ExtractedQuery(index, sql, area, user))
         root.set(statements=report.total,
                  extracted=report.extraction_count,
                  failures=report.failure_count)
+        if interner is not None:
+            interner.record(registry)
+            root.set(intern_pool=len(interner),
+                     intern_hits=interner.hits)
     logger.info(
         "processed %d statements: %d extracted (%.2f%%), %d failures",
         report.total, report.extraction_count,

@@ -76,6 +76,17 @@ class MatrixStats:
     #: matrix; ``Σ m_p·(m_p−1)/2`` block entries plus the P×P bound
     #: table for the block-sparse one
     stored_floats: int = 0
+    #: source population size before access-area interning collapsed it
+    #: to ``n_items`` unique areas (0 = the matrix was built without
+    #: interning)
+    n_source_items: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Source areas per unique matrix item (1.0 without interning)."""
+        if not self.n_source_items or not self.n_items:
+            return 1.0
+        return self.n_source_items / self.n_items
 
     @property
     def skip_fraction(self) -> float:
@@ -98,12 +109,17 @@ class MatrixStats:
         return self.predicate_cache_hits / probes
 
     def summary(self) -> str:
+        interned = ""
+        if self.n_source_items:
+            interned = (f"interned from {self.n_source_items} source "
+                        f"areas ({self.dedup_ratio:.1f}x dedup); ")
         blocks = ""
         if self.n_blocks:
             blocks = (f"{self.n_blocks} blocks (largest "
                       f"{self.largest_block}), {self.stored_floats:,} "
                       f"floats stored ({self.storage_fraction:.1%} of "
                       f"dense); ")
+        blocks = interned + blocks
         return (
             f"{self.n_items} items, {self.pairs_total:,} pairs: "
             f"{self.pairs_computed:,} computed, "

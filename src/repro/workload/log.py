@@ -37,6 +37,10 @@ class QueryLog:
     """An ordered collection of log entries."""
 
     entries: list[LogEntry] = field(default_factory=list)
+    #: raw log lines folded into earlier statements by
+    #: :meth:`load_plain` (multi-line SQL) — extraction-rate taxonomy
+    #: bookkeeping, not errors
+    continuation_lines: int = 0
 
     def append(self, entry: LogEntry) -> None:
         self.entries.append(entry)
@@ -118,10 +122,60 @@ class QueryLog:
 
     @staticmethod
     def load_plain(path: str | Path) -> "QueryLog":
+        """Parse a flat-text log, folding multi-line statements.
+
+        Real logs pretty-print long statements across lines.  The
+        accumulation rule keeps the historical one-statement-per-line
+        reading for flat logs while folding pretty-printed ones:
+
+        * an **indented** non-blank line continues the statement above
+          it (counted in :attr:`continuation_lines`, *not* as a parse
+          error downstream);
+        * a ``;`` line terminator or a blank line closes the current
+          statement, so the next line — indented or not — starts fresh;
+        * an unindented line starts a new statement;
+        * ``#`` comment lines are skipped anywhere.
+        """
         log = QueryLog()
+        parts: list[str] = []
+
+        def flush() -> None:
+            if parts:
+                sql = " ".join(parts)
+                log.append(LogEntry(sql=sql, user="anonymous"))
+                log.continuation_lines += len(parts) - 1
+                parts.clear()
+
         with open(path, encoding="utf-8") as handle:
             for line in handle:
                 sql = line.strip()
-                if sql and not sql.startswith("#"):
-                    log.append(LogEntry(sql=sql, user="anonymous"))
+                if not sql:
+                    flush()
+                    continue
+                if sql.startswith("#"):
+                    continue
+                indented = line[:1] in (" ", "\t")
+                if not indented or not parts:
+                    flush()
+                parts.append(sql)
+                if sql.endswith(";"):
+                    flush()
+        flush()
         return log
+
+    @staticmethod
+    def load_auto(path: str | Path) -> "QueryLog":
+        """Load a log file, sniffing JSONL vs flat text.
+
+        A first non-blank, non-comment line starting with ``{`` means
+        JSONL (:meth:`load`); anything else is read as a flat-text SQL
+        log (:meth:`load_plain`)."""
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                if stripped.startswith("{"):
+                    return QueryLog.load(path)
+                break
+        return QueryLog.load_plain(path)

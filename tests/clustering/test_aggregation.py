@@ -188,3 +188,59 @@ class TestAggregateAll:
         }
         aggs = aggregate_all(clusters)
         assert [a.cluster_id for a in aggs] == [1, 0]
+
+
+class TestTrimRobustness:
+    """Regression battery for the degenerate cases of ``_trim``: no
+    input may ever erase a bound or raise."""
+
+    def _trim(self, values, sigma=3.0):
+        from repro.clustering.aggregation import _trim
+        return _trim(list(values), sigma)
+
+    def test_empty_passthrough(self):
+        assert self._trim([]) == []
+
+    def test_under_three_values_passthrough(self):
+        assert self._trim([1.0]) == [1.0]
+        assert self._trim([1.0, 1e12]) == [1.0, 1e12]
+
+    def test_identical_values_zero_std(self):
+        values = [5.0] * 10
+        assert self._trim(values) == values
+
+    def test_inf_sigma_disables(self):
+        values = [1.0, 2.0, 1e12]
+        assert self._trim(values, math.inf) == values
+
+    def test_nan_value_passthrough(self):
+        # A NaN poisons mean/std; trimming must bail out, not drop all.
+        values = [1.0, 2.0, math.nan]
+        assert self._trim(values) == values
+
+    def test_overflowing_values_passthrough(self):
+        # Squaring 1e200 overflows the variance accumulator to inf.
+        values = [1e200, -1e200, 0.0]
+        assert self._trim(values) == values
+
+    def test_everything_outlier_falls_back(self):
+        # sigma so tight nothing survives: return the original list,
+        # never an empty bound.
+        values = [0.0, 1.0, 10.0, 11.0]
+        trimmed = self._trim(values, sigma=1e-9)
+        assert trimmed == values
+
+    def test_normal_case_still_trims(self):
+        values = [10.0] * 30 + [2000.0]
+        assert 2000.0 not in self._trim(values)
+
+    def test_aggregate_with_nan_bound_does_not_raise(self):
+        members = [window(10, 20), window(10, 21),
+                   window(10, math.nan)]
+        agg = aggregate_cluster(0, members, sigma=3.0)
+        assert agg.cardinality == 3
+
+    def test_aggregate_constant_cluster_keeps_bound(self):
+        members = [window(10, 20)] * 5
+        agg = aggregate_cluster(0, members, sigma=1e-12)
+        assert agg.bound_for(T_U).interval == Interval(10, 20)

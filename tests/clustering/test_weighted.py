@@ -1,0 +1,332 @@
+"""Multiplicity-weighted clustering: weights ≡ expanded duplicates.
+
+The interning layer collapses a repeat-heavy population to unique areas
+with integer weights; every algorithm's weighted path must label those
+unique areas exactly as its unweighted path labels the expanded
+population.  Also pins the neighbourhood self-inclusion convention
+across all distance-source implementations (satellite audit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.clustering import (DBSCAN, NOISE, OPTICS, SingleLinkage,
+                              extract_dbscan, pairwise_matrix,
+                              partitioned_dbscan)
+from repro.clustering.aggregation import aggregate_cluster
+from repro.core.area import AccessArea
+from repro.core.pipeline import dedupe_areas, expand_labels
+from repro.distance.matrix import DistanceMatrix
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+
+def euclid(a, b):
+    return abs(a - b)
+
+
+def expand(points, weights):
+    """The duplicated population a weighted input stands for."""
+    out = []
+    for point, weight in zip(points, weights):
+        out.extend([point] * weight)
+    return out
+
+
+class TestWeightedDBSCAN:
+    def test_weights_reach_core_condition(self):
+        # Mass of the {0.0, 0.1} neighbourhood is 3+1 = 4 >= min_pts.
+        points = [0.0, 0.1, 5.0]
+        result = DBSCAN(eps=0.5, min_pts=4).fit(
+            points, euclid, weights=[3, 1, 1])
+        assert result.labels[0] == result.labels[1] == 0
+        assert result.labels[2] == NOISE
+
+    def test_unweighted_row_count_unchanged(self):
+        points = [0.0, 0.1, 5.0]
+        plain = DBSCAN(eps=0.5, min_pts=4).fit(points, euclid)
+        ones = DBSCAN(eps=0.5, min_pts=4).fit(points, euclid,
+                                              weights=[1, 1, 1])
+        assert plain.labels == [NOISE] * 3
+        assert ones.labels == plain.labels
+
+    def test_self_weight_alone_makes_core(self):
+        result = DBSCAN(eps=0.5, min_pts=5).fit([0.0, 9.0], euclid,
+                                                weights=[5, 1])
+        assert result.labels == [0, NOISE]
+
+    @pytest.mark.parametrize("weights", [
+        [1, 1, 1, 1], [4, 1, 1, 1], [1, 3, 2, 1], [7, 7, 1, 2],
+    ])
+    def test_matches_expanded_population(self, weights):
+        points = [0.0, 0.4, 5.0, 5.3]
+        expanded = expand(points, weights)
+        unique, uw, inverse = dedupe_areas(expanded)
+        assert unique == points and uw == weights
+        clf = DBSCAN(eps=0.5, min_pts=3)
+        want = DBSCAN(eps=0.5, min_pts=3).fit(expanded, euclid).labels
+        got = clf.fit(points, euclid, weights=weights).labels
+        assert expand_labels(got, inverse) == want
+
+    def test_weighted_matrix_paths_agree(self):
+        points = [0.0, 0.3, 0.9, 7.0]
+        weights = [2, 1, 1, 3]
+        square = pairwise_matrix(points, euclid)
+        condensed = DistanceMatrix.compute(points, euclid)
+        by_callable = DBSCAN(eps=0.5, min_pts=3).fit(
+            points, euclid, weights=weights)
+        by_square = DBSCAN(eps=0.5, min_pts=3).fit(
+            points, matrix=square, weights=weights)
+        by_condensed = DBSCAN(eps=0.5, min_pts=3).fit(
+            points, matrix=condensed, weights=weights)
+        assert (by_callable.labels == by_square.labels
+                == by_condensed.labels)
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.5).fit([0.0, 1.0], euclid, weights=[1])
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.5).fit([0.0, 1.0], euclid, weights=[1, 0])
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.5).fit([0.0, 1.0], euclid, weights=[1, -2])
+
+
+class TestWeightedOPTICS:
+    def test_core_distance_cumulates_weight(self):
+        # From 0.0: self weight 2, then 0.3 (w=1) at d=0.3 reaches 3,
+        # then 0.5 (w=2) at d=0.5 reaches 5.
+        points = [0.0, 0.3, 0.5]
+        weights = [2, 1, 2]
+        result = OPTICS(max_eps=2.0, min_pts=4).fit(points, euclid,
+                                                    weights=weights)
+        assert result.core_distance[0] == 0.5
+
+    def test_self_weight_alone_core_distance_zero(self):
+        result = OPTICS(max_eps=2.0, min_pts=3).fit(
+            [0.0, 9.0], euclid, weights=[3, 1])
+        assert result.core_distance[0] == 0.0
+
+    def test_unit_weights_match_unweighted(self):
+        points = [0.0, 0.2, 0.4, 3.0, 3.1, 3.3, 9.0]
+        plain = OPTICS(max_eps=1.0, min_pts=3).fit(points, euclid)
+        ones = OPTICS(max_eps=1.0, min_pts=3).fit(
+            points, euclid, weights=[1] * len(points))
+        assert plain.ordering == ones.ordering
+        assert plain.core_distance == ones.core_distance
+        assert plain.reachability == ones.reachability
+
+    @pytest.mark.parametrize("weights", [
+        [3, 1, 1, 1], [1, 2, 2, 5],
+    ])
+    def test_extraction_matches_expanded_dbscan(self, weights):
+        points = [0.0, 0.4, 5.0, 5.3]
+        expanded = expand(points, weights)
+        want = DBSCAN(eps=0.5, min_pts=3).fit(expanded, euclid).labels
+        optics = OPTICS(max_eps=2.0, min_pts=3).fit(points, euclid,
+                                                    weights=weights)
+        got = extract_dbscan(optics, eps=0.5).labels
+        _, _, inverse = dedupe_areas(expanded)
+        expanded_got = expand_labels(got, inverse)
+        # Same partition of points into clusters/noise.
+        assert ([label == NOISE for label in expanded_got]
+                == [label == NOISE for label in want])
+        mapping = {}
+        for got_label, want_label in zip(expanded_got, want):
+            if got_label != NOISE:
+                assert mapping.setdefault(got_label, want_label) \
+                    == want_label
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            OPTICS(max_eps=1.0).fit([0.0, 1.0], euclid, weights=[1])
+        with pytest.raises(ValueError):
+            OPTICS(max_eps=1.0).fit([0.0, 1.0], euclid, weights=[0, 1])
+
+
+def window(relation, lo, hi):
+    ref = ColumnRef(relation, "x")
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+def _stats():
+    schema = Schema("weighted")
+    for name in ("T", "S"):
+        schema.add(Relation(name, (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+        ("S", "x"): Interval(0.0, 100.0),
+    })
+
+
+class TestWeightedSingleLinkage:
+    def test_component_weight_meets_min_size(self):
+        areas = [window("T", 0, 10), window("T", 0.0, 10.0),
+                 window("S", 50, 60)]
+        # Areas 0 and 1 are identical (distance 0); area 2 is far.
+        from repro.distance import QueryDistance
+        distance = QueryDistance(_stats())
+        unique, weights, inverse = dedupe_areas(areas)
+        assert len(unique) == 2 and weights == [2, 1]
+        unweighted = SingleLinkage(threshold=0.05, min_size=2).fit(
+            unique, distance)
+        assert unweighted.labels == [NOISE, NOISE]
+        weighted = SingleLinkage(threshold=0.05, min_size=2).fit(
+            unique, distance, weights=weights)
+        assert weighted.labels == [0, NOISE]
+        want = SingleLinkage(threshold=0.05, min_size=2).fit(
+            areas, distance).labels
+        assert expand_labels(weighted.labels, inverse) == want
+
+    def test_weights_validated(self):
+        areas = [window("T", 0, 10)]
+        from repro.distance import QueryDistance
+        distance = QueryDistance(_stats())
+        with pytest.raises(ValueError):
+            SingleLinkage(threshold=0.1).fit(areas, distance,
+                                             weights=[1, 2])
+        with pytest.raises(ValueError):
+            SingleLinkage(threshold=0.1).fit(areas, distance,
+                                             weights=[-1.0])
+
+
+class TestWeightedPartitionedDBSCAN:
+    def test_light_partition_skip_uses_weight_sum(self):
+        """A one-area partition whose weight carries min_pts must not be
+        skipped by the small-partition guard."""
+        from repro.distance import QueryDistance
+        distance = QueryDistance(_stats())
+        areas = [window("T", 0, 10), window("S", 50, 60)]
+        weights = [5, 1]
+        result = partitioned_dbscan(areas, distance, eps=0.1, min_pts=5,
+                                    weights=weights)
+        assert result.labels[0] == 0
+        assert result.labels[1] == NOISE
+        # Unweighted, both partitions are too small and are skipped.
+        plain = partitioned_dbscan(areas, distance, eps=0.1, min_pts=5)
+        assert plain.labels == [NOISE, NOISE]
+
+    def test_matches_expanded_population(self):
+        from repro.distance import QueryDistance
+        distance = QueryDistance(_stats())
+        pool = [window("T", 0, 10), window("T", 1, 11),
+                window("S", 50, 60), window("S", 80, 90)]
+        source = [pool[i] for i in
+                  [0, 0, 1, 2, 0, 2, 3, 1, 0, 2, 1, 3]]
+        unique, weights, inverse = dedupe_areas(source)
+        want = partitioned_dbscan(source, distance, eps=0.12,
+                                  min_pts=4).labels
+        deduped = partitioned_dbscan(unique, distance, eps=0.12,
+                                     min_pts=4, weights=weights)
+        assert expand_labels(deduped.labels, inverse) == want
+
+    def test_weights_length_validated(self):
+        from repro.distance import QueryDistance
+        distance = QueryDistance(_stats())
+        with pytest.raises(ValueError):
+            partitioned_dbscan([window("T", 0, 10)], distance, eps=0.1,
+                               weights=[1, 2])
+
+
+class TestWeightedAggregation:
+    def test_cardinality_is_total_weight(self):
+        members = [window("T", 0, 10), window("T", 2, 12)]
+        agg = aggregate_cluster(0, members, weights=[3, 2])
+        assert agg.cardinality == 5
+
+    def test_matches_repeated_members(self):
+        # Integer bounds: repeated addition is exact, so the weighted
+        # aggregate must equal the expanded-members aggregate bitwise.
+        members = [window("T", 0, 10), window("T", 2, 12),
+                   window("T", 1000, 2000)]
+        weights = [4, 3, 1]
+        expanded = expand(members, weights)
+        want = aggregate_cluster(7, expanded, sigma=1.0)
+        got = aggregate_cluster(7, members, sigma=1.0, weights=weights)
+        assert got == want
+
+    def test_majority_relations_weighted(self):
+        members = [window("T", 0, 10), window("S", 0, 10)]
+        agg = aggregate_cluster(0, members, weights=[1, 5])
+        assert agg.relations == ("S",)
+
+    def test_weights_validated(self):
+        members = [window("T", 0, 10)]
+        with pytest.raises(ValueError):
+            aggregate_cluster(0, members, weights=[1, 2])
+        with pytest.raises(ValueError):
+            aggregate_cluster(0, members, weights=[0])
+
+
+class TestSelfInclusionConvention:
+    """Every distance source agrees: a point is in its own
+    eps-neighbourhood, and min_pts counts it."""
+
+    def test_region_query_includes_self_everywhere(self):
+        points = [0.0, 0.3, 0.9, 7.0]
+        square = pairwise_matrix(points, euclid)
+        condensed = DistanceMatrix.compute(points, euclid)
+        for point in range(len(points)):
+            clf = DBSCAN(eps=0.5, min_pts=2)
+            clf._region_queries = 0
+            by_callable = clf._region_query(point, points, euclid, None)
+            by_square = clf._region_query(point, points, None, square)
+            by_condensed = clf._region_query(point, points, None,
+                                             condensed)
+            assert point in by_callable
+            assert sorted(by_callable) == sorted(by_square) \
+                == sorted(by_condensed)
+
+    def test_condensed_neighbors_includes_self(self):
+        condensed = DistanceMatrix.compute([0.0, 0.3, 9.0], euclid)
+        assert 0 in condensed.neighbors(0, 0.5)
+        assert condensed.neighbors(2, 0.5) == [2]
+
+    def test_isolated_pair_core_at_min_pts_two(self):
+        # min_pts includes self in every implementation: two mutually
+        # close points are a cluster at min_pts=2 via all paths.
+        points = [0.0, 0.4]
+        square = pairwise_matrix(points, euclid)
+        condensed = DistanceMatrix.compute(points, euclid)
+        for kwargs in ({"distance": euclid}, {"matrix": square},
+                       {"matrix": condensed}):
+            assert DBSCAN(eps=0.5, min_pts=2).fit(
+                points, **kwargs).labels == [0, 0]
+        optics = OPTICS(max_eps=1.0, min_pts=2).fit(points, euclid)
+        assert extract_dbscan(optics, eps=0.5).labels == [0, 0]
+
+    def test_optics_core_distance_compensates_self_exclusion(self):
+        # OPTICS' neighbour list excludes self; at min_pts=k the core
+        # distance is the (k-1)-th closest other point — i.e. self
+        # counts toward min_pts, matching DBSCAN.
+        points = [0.0, 0.2, 0.7]
+        optics = OPTICS(max_eps=2.0, min_pts=3).fit(points, euclid)
+        assert optics.core_distance[0] == 0.7
+        optics2 = OPTICS(max_eps=2.0, min_pts=2).fit(points, euclid)
+        assert optics2.core_distance[0] == 0.2
+
+    def test_optics_extraction_matches_dbscan_on_mixed_density(self):
+        points = [0.0, 0.2, 0.4, 3.0, 3.1, 3.3, 9.0]
+        dbscan = DBSCAN(eps=0.5, min_pts=3).fit(points, euclid)
+        optics = OPTICS(max_eps=2.0, min_pts=3).fit(points, euclid)
+        extracted = extract_dbscan(optics, eps=0.5)
+        assert ([label == NOISE for label in extracted.labels]
+                == [label == NOISE for label in dbscan.labels])
+
+    def test_square_matrix_row_vs_condensed_neighbors(self):
+        # The audited off-by-one: dense rows carry an explicit 0.0
+        # diagonal, condensed storage has no diagonal at all — both
+        # must still report the point itself as a neighbour.
+        points = [0.0, 0.3, 0.9]
+        square = pairwise_matrix(points, euclid)
+        condensed = DistanceMatrix.compute(points, euclid)
+        for point in range(len(points)):
+            dense_row = list(np.flatnonzero(square[point] <= 0.5))
+            assert sorted(condensed.neighbors(point, 0.5)) == dense_row

@@ -73,3 +73,77 @@ class TestDescribe:
 
     def test_describe_unconstrained(self):
         assert unconstrained(["T"]).describe() == "T"
+
+
+class TestCanonicalIdentity:
+    """Order-insensitive equality/hash — the intern-pool contract."""
+
+    def _pred(self, ref, op, value):
+        return ColumnConstantPredicate(ref, op, value)
+
+    def test_clause_order_irrelevant(self):
+        a = self._pred(T_U, Op.GT, 1)
+        b = self._pred(T_V, Op.LT, 2)
+        forward = _area(a, b)
+        backward = _area(b, a)
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+        assert forward.fingerprint == backward.fingerprint
+
+    def test_predicate_order_within_clause_irrelevant(self):
+        a = self._pred(T_U, Op.GT, 1)
+        b = self._pred(T_V, Op.LT, 2)
+        one = AccessArea(("T",), CNF.of([Clause.of([a, b])]))
+        other = AccessArea(("T",), CNF.of([Clause.of([b, a])]))
+        assert one == other and hash(one) == hash(other)
+
+    def test_duplicate_clauses_collapse(self):
+        a = self._pred(T_U, Op.GT, 1)
+        assert _area(a) == _area(a, a)
+
+    def test_numeric_literal_spelling_unified(self):
+        five = _area(self._pred(T_U, Op.EQ, 5))
+        five_float = _area(self._pred(T_U, Op.EQ, 5.0))
+        assert five == five_float
+        assert hash(five) == hash(five_float)
+
+    def test_string_and_number_spaces_disjoint(self):
+        number = _area(self._pred(T_U, Op.EQ, 5))
+        string = _area(self._pred(T_U, Op.EQ, "5"))
+        assert number != string
+
+    def test_different_constants_differ(self):
+        assert _area(self._pred(T_U, Op.GT, 1)) \
+            != _area(self._pred(T_U, Op.GT, 2))
+
+    def test_different_relations_differ(self):
+        cnf = CNF.true()
+        assert AccessArea(("T",), cnf) != AccessArea(("S",), cnf)
+
+    def test_notes_do_not_split_identity(self):
+        cnf = CNF.of([Clause.of([self._pred(T_U, Op.GT, 1)])])
+        plain = AccessArea(("T",), cnf)
+        noted = AccessArea(("T",), cnf, notes=("weird query",))
+        assert plain == noted
+        assert hash(plain) == hash(noted)
+
+    def test_non_area_comparisons(self):
+        area = _area(self._pred(T_U, Op.GT, 1))
+        assert area != "not an area"
+        assert not (area == 42)
+
+    def test_usable_as_dict_key(self):
+        mapping = {}
+        a = self._pred(T_U, Op.GT, 1)
+        b = self._pred(T_V, Op.LT, 2)
+        mapping[_area(a, b)] = "first"
+        mapping[_area(b, a)] = "second"
+        assert len(mapping) == 1
+        assert mapping[_area(a, b)] == "second"
+
+    def test_join_predicate_operand_order_canonical(self):
+        forward = ColumnColumnPredicate(T_U, Op.EQ, ColumnRef("S", "u"))
+        backward = ColumnColumnPredicate(ColumnRef("S", "u"), Op.EQ, T_U)
+        one = AccessArea(("S", "T"), CNF.of([Clause.of([forward])]))
+        other = AccessArea(("S", "T"), CNF.of([Clause.of([backward])]))
+        assert one == other

@@ -43,3 +43,99 @@ class TestPlainFormat:
         report = process_log(loaded.statements())
         assert report.extraction_count == 1
         assert report.parse_errors == 1
+
+
+class TestMultiLineStatements:
+    def test_indented_lines_fold_into_statement(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT *\n"
+            "  FROM T\n"
+            "  WHERE T.u > 1\n"
+            "SELECT * FROM S\n")
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 2
+        assert loaded[0].sql == "SELECT * FROM T WHERE T.u > 1"
+        assert loaded[1].sql == "SELECT * FROM S"
+        assert loaded.continuation_lines == 2
+
+    def test_semicolon_terminates_statement(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT *\n"
+            "  FROM T;\n"
+            "  WHERE dangling > 1\n")
+        loaded = QueryLog.load_plain(path)
+        # The ; closes the first statement; the indented leftover starts
+        # its own (it will fail extraction downstream, not here).
+        assert len(loaded) == 2
+        assert loaded[0].sql == "SELECT * FROM T;"
+        assert loaded.continuation_lines == 1
+
+    def test_blank_line_terminates_statement(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT *\n"
+            "  FROM T\n"
+            "\n"
+            "  FROM S\n")
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 2
+        assert loaded[0].sql == "SELECT * FROM T"
+        assert loaded[1].sql == "FROM S"
+
+    def test_flat_log_has_no_continuations(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text("SELECT * FROM T\nSELECT * FROM S\n")
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 2
+        assert loaded.continuation_lines == 0
+
+    def test_comment_inside_statement_skipped(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT *\n"
+            "# a stray comment\n"
+            "  FROM T\n")
+        loaded = QueryLog.load_plain(path)
+        assert len(loaded) == 1
+        assert loaded[0].sql == "SELECT * FROM T"
+
+    def test_multiline_feeds_pipeline_without_parse_errors(self, tmp_path):
+        from repro.core import process_log
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT *\n"
+            "  FROM T\n"
+            "  WHERE T.u > 1\n"
+            "SELECT * FROM T WHERE T.u > 2\n")
+        loaded = QueryLog.load_plain(path)
+        report = process_log(loaded.statements())
+        report.continuation_lines = loaded.continuation_lines
+        # Folded continuation lines are taxonomy, not parse errors.
+        assert report.parse_errors == 0
+        assert report.extraction_count == 2
+        assert report.continuation_lines == 2
+
+
+class TestLoadAuto:
+    def test_detects_jsonl(self, tmp_path):
+        log = QueryLog([LogEntry("SELECT 1 FROM T", "alice", 3)])
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        loaded = QueryLog.load_auto(path)
+        assert loaded[0].user == "alice"
+        assert loaded[0].family_id == 3
+
+    def test_detects_plain(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text("# header\nSELECT *\n  FROM T\n")
+        loaded = QueryLog.load_auto(path)
+        assert len(loaded) == 1
+        assert loaded[0].user == "anonymous"
+        assert loaded.continuation_lines == 1
+
+    def test_empty_file_is_empty_log(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text("")
+        assert len(QueryLog.load_auto(path)) == 0
