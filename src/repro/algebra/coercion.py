@@ -1,0 +1,92 @@
+"""Shared comparison semantics for the extractor and the engine.
+
+The differential oracle checks the algebra's predicate evaluator
+(:mod:`repro.algebra.predicates`) against the execution engine
+(:mod:`repro.engine.executor`).  Both sides must therefore agree on one
+comparison rule, including the sloppy mixed-type forms that real query
+logs contain (``WHERE ra > '180'`` on a numeric column).
+
+The rule mirrors MSSQL's implicit conversion by data-type precedence:
+
+* ``NULL`` never satisfies any comparison (SQL's UNKNOWN filters the
+  row out of a WHERE clause);
+* when exactly one operand is a string, the string converts to the
+  numeric side's type when it parses as a number; otherwise both
+  operands are compared as strings (the historical sloppy-log
+  behaviour, kept for non-numeric values);
+* same-type operands compare natively.
+
+Every comparison in the repository — predicate evaluation, engine
+conditions, BETWEEN bounds, IN-list membership, subquery membership,
+quantified comparisons — must route through :func:`compare_values` so
+the oracle's two sides can never diverge again.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Optional
+
+_COMPARATORS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<>": operator.ne,
+}
+
+
+def parse_number(text: str) -> Optional[int | float]:
+    """The numeric value of a string literal, or ``None``.
+
+    Integers parse as ``int`` (SkyServer objid constants exceed the
+    float64 mantissa and must stay exact); everything else tries
+    ``float``.  Whitespace is tolerated, as the server tolerates it.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value
+
+
+def coerce_pair(left: Any, right: Any) -> tuple[Any, Any]:
+    """Apply the implicit-conversion rule to a mixed-type operand pair.
+
+    Returns the two operands in comparable form; same-type pairs pass
+    through unchanged.
+    """
+    if isinstance(left, str) == isinstance(right, str):
+        return left, right
+    if isinstance(left, str):
+        number = parse_number(left)
+        if number is not None and not isinstance(right, str):
+            return number, right
+        return left, str(right)
+    number = parse_number(right)
+    if number is not None:
+        return left, number
+    return str(left), right
+
+
+def compare_values(left: Any, op: str, right: Any) -> bool:
+    """Three-valued-free SQL comparison with implicit conversion.
+
+    ``op`` is the SQL comparison symbol (``<``, ``<=``, ``=``, ``>``,
+    ``>=``, ``<>``).  ``None`` operands never satisfy the comparison.
+    """
+    if left is None or right is None:
+        return False
+    comparator = _COMPARATORS.get(op)
+    if comparator is None:
+        raise ValueError(f"unknown comparison operator {op!r}")
+    left, right = coerce_pair(left, right)
+    return bool(comparator(left, right))

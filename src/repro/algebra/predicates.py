@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 from typing import Union
 
+from .coercion import compare_values
 from .intervals import NEG_INF, POS_INF, Interval, IntervalSet
 
 
@@ -252,23 +253,10 @@ class ColumnColumnPredicate(Predicate):
 def _compare(left: Constant, op: Op, right: Constant) -> bool:
     """Three-valued-free comparison used by the predicate evaluator.
 
-    ``None`` (SQL NULL) never satisfies any comparison, matching SQL's
-    WHERE semantics where UNKNOWN filters the row out.
+    Delegates to the shared :func:`~repro.algebra.coercion.compare_values`
+    rule (NULL rejection, numeric coercion of mixed int/str operands) so
+    the predicate evaluator and the execution engine can never disagree
+    on a comparison — the differential oracle's two sides share one
+    helper.
     """
-    if left is None or right is None:
-        return False
-    if isinstance(left, str) != isinstance(right, str):
-        # Mixed-type comparison: fall back to string comparison, which is
-        # what the log's sloppy queries effectively get from the server.
-        left, right = str(left), str(right)
-    if op is Op.LT:
-        return left < right
-    if op is Op.LE:
-        return left <= right
-    if op is Op.EQ:
-        return left == right
-    if op is Op.GT:
-        return left > right
-    if op is Op.GE:
-        return left >= right
-    return left != right
+    return compare_values(left, op.value, right)

@@ -9,6 +9,9 @@ Subcommands:
   areas, and print the Section 6.1 report;
 * ``stream`` — monitor a log file incrementally, printing novelty events;
 * ``casestudy`` — run the full pipeline and print the Table-1 report;
+* ``qa`` — randomized extraction-conformance harness (soundness +
+  metamorphic oracles over random schemas/states, shrinking failures
+  to a replayable JSON corpus);
 * ``stats`` — render a ``--metrics-out`` dump / ``--trace-out`` trace.
 
 Observability: every subcommand takes ``--log-level`` / ``--log-format``
@@ -24,6 +27,8 @@ Examples::
     repro-skyserver process log.jsonl --metrics-out m.json
     repro-skyserver stream log.jsonl --warmup 200
     repro-skyserver casestudy --queries 4000 --sample 1500
+    repro-skyserver qa --n-queries 500 --seed 0
+    repro-skyserver qa --replay tests/qa/corpus
     repro-skyserver stats m.json --trace t.jsonl
 """
 
@@ -154,6 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "weights (--no-intern: one object per "
                              "statement)")
 
+    p_qa = sub.add_parser(
+        "qa", parents=[obs_parent],
+        help="run the randomized extraction-conformance harness")
+    p_qa.add_argument("--n-queries", type=int, default=200,
+                      help="total statements across all profiles")
+    p_qa.add_argument("--seed", type=int, default=0)
+    p_qa.add_argument("--profile", default="all",
+                      choices=["all", "simple", "join", "aggregate",
+                               "nested"],
+                      help="restrict the sweep to one grammar profile")
+    p_qa.add_argument("--max-rows", type=int, default=6,
+                      help="max rows per relation in each random state")
+    p_qa.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="write shrunken failures as JSON seeds here")
+    p_qa.add_argument("--replay", default=None, metavar="DIR",
+                      help="replay an existing corpus directory instead "
+                           "of sweeping")
+    p_qa.add_argument("--shrink", default=True,
+                      action=argparse.BooleanOptionalAction,
+                      help="delta-debug failures to minimal cases")
+
     p_stats = sub.add_parser(
         "stats", parents=[logging_parent],
         help="render a metrics dump and/or a trace file")
@@ -188,6 +214,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stream(args)
         if command == "stats":
             return _cmd_stats(args)
+        if command == "qa":
+            return _cmd_qa(args)
         return _cmd_casestudy(args)
     finally:
         if tracer is not None:
@@ -324,6 +352,39 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     print()
     print(format_table1(result.rows, max_rows=args.rows))
     return 0
+
+
+def _cmd_qa(args: argparse.Namespace) -> int:
+    from .qa import (PROFILES, QAConfig, load_corpus, replay_case,
+                     run_qa)
+
+    if args.replay is not None:
+        cases = load_corpus(args.replay)
+        if not cases:
+            print(f"qa: no corpus cases under {args.replay}",
+                  file=sys.stderr)
+            return 2
+        bad = 0
+        for path, case in cases:
+            failures = replay_case(case)
+            verdict = "ok" if not failures else "FAIL"
+            print(f"{verdict:>4}  {path.name}  ({case.kind}) {case.sql}")
+            for failure in failures:
+                bad += 1
+                print(f"      {failure.detail}")
+        print(f"{len(cases)} case(s), {bad} failure(s)")
+        return 0 if bad == 0 else 1
+
+    profiles = PROFILES if args.profile == "all" else (args.profile,)
+    config = QAConfig(
+        n_queries=args.n_queries, seed=args.seed, profiles=profiles,
+        max_rows=args.max_rows, shrink=args.shrink,
+        corpus_dir=args.corpus_dir)
+    report = run_qa(config)
+    print(report.summary())
+    for path in report.corpus_paths:
+        print(f"shrunken case: {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

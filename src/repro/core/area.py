@@ -31,12 +31,17 @@ class AccessArea:
     parser, duplicated clauses, and equal-but-differently-spelled
     literals (``5`` vs ``5.0``) therefore never split identity, and the
     access-area intern pool can key a dict by the area itself.
-    ``notes`` are diagnostics and do not participate.
+    ``notes`` are diagnostics and do not participate; neither does
+    ``exact``, which records whether extraction applied any *widening*
+    approximation (``False`` means the CNF is a sound over-set but not
+    necessarily the minimal access area — consumers such as the
+    differential oracle must then skip equality checks).
     """
 
     relations: tuple[str, ...]
     cnf: CNF
     notes: tuple[str, ...] = field(default=())
+    exact: bool = field(default=True)
 
     def __post_init__(self) -> None:
         ordered = tuple(sorted(dict.fromkeys(self.relations)))

@@ -25,6 +25,8 @@ class ExtractionContext:
     aliases: dict[str, str] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
     parent: Optional["ExtractionContext"] = None
+    #: number of widening approximations recorded (root-stored)
+    widenings: int = 0
 
     # -- relation bookkeeping ---------------------------------------------------
 
@@ -79,6 +81,29 @@ class ExtractionContext:
 
     def note(self, message: str) -> None:
         self._root().notes.append(message)
+
+    def approx(self, message: str) -> None:
+        """Record a note for an approximation that *widens* the area.
+
+        Widening keeps extraction sound (the area stays an over-set of
+        every influencing tuple) but gives up exactness: the constraint
+        no longer pins down the minimal access area, so canonical
+        fingerprints of semantically equal queries may differ.  The
+        differential oracle reads :attr:`exact` to skip equality checks
+        while still enforcing soundness.
+        """
+        self._root().widenings += 1
+        self.note(message)
+
+    @property
+    def widening_count(self) -> int:
+        """Widenings recorded so far, on any scope of this extraction."""
+        return self._root().widenings
+
+    @property
+    def exact(self) -> bool:
+        """True when no widening approximation was applied."""
+        return self._root().widenings == 0
 
     # -- column resolution ---------------------------------------------------------
 

@@ -62,6 +62,17 @@ class ExtractionResult:
     timings: StageTimings
     statement: Optional[ast.SelectStatement] = None
 
+    @property
+    def exact(self) -> bool:
+        """True when no widening approximation touched the area.
+
+        Inexact areas are still sound over-sets, but their canonical
+        fingerprints are not comparable across semantically equal
+        queries — equality-based consumers (the differential oracle's
+        metamorphic check, exact-match baselines) must skip them.
+        """
+        return self.area.exact
+
 
 @dataclass
 class AccessAreaExtractor:
@@ -102,6 +113,12 @@ class AccessAreaExtractor:
 
         start = time.perf_counter()
         with trace.span("cnf") as cnf_span:
+            if self.predicate_cap is not None and \
+                    to_nnf(expr).count_atoms() > self.predicate_cap:
+                # The 35-predicate workaround truncates clauses during
+                # distribution — a widening over-approximation.
+                ctx.approx(f"predicate cap {self.predicate_cap} "
+                           "truncated the CNF")
             cnf = to_cnf(expr, max_predicates=self.predicate_cap)
             cnf_span.set(clauses=len(cnf))
         cnf_time = time.perf_counter() - start
@@ -113,7 +130,8 @@ class AccessAreaExtractor:
                 cnf = result.cnf
         consolidate_time = time.perf_counter() - start
 
-        area = AccessArea(tuple(ctx.relations), cnf, tuple(ctx.notes))
+        area = AccessArea(tuple(ctx.relations), cnf, tuple(ctx.notes),
+                          exact=ctx.exact)
         timings = StageTimings(parse_time, extract_time, cnf_time,
                                consolidate_time)
         return ExtractionResult(area, timings, statement)
@@ -152,23 +170,73 @@ def _having_condition(cond: ast.Condition, statement: ast.SelectStatement,
         return make_or(_having_condition(c, statement, footprints, ctx)
                        for c in cond.children)
     if isinstance(cond, ast.NotCondition):
-        return make_not(_having_condition(
-            cond.child, statement, footprints, ctx))
+        return _negated_having(cond.child, statement, footprints, ctx)
     if isinstance(cond, ast.Comparison):
         mapped = _having_comparison(cond, footprints, ctx)
         if mapped is not None:
             return mapped
     if isinstance(cond, ast.Between) and _is_aggregate_call(cond.expr):
+        if cond.negated:
+            # AGG(a) NOT BETWEEN c1 AND c2 ≡ AGG < c1 OR AGG > c2: each
+            # side maps through its own lemma rule.  Negating the mapped
+            # BETWEEN constraint instead would be unsound — the lemma
+            # output is an influence area, not complement-compatible.
+            low = _having_comparison(
+                ast.Comparison(cond.expr, "<", cond.low), footprints, ctx)
+            high = _having_comparison(
+                ast.Comparison(cond.expr, ">", cond.high), footprints, ctx)
+            return make_or([expr for expr in (low, high)
+                            if expr is not None])
         # HAVING AGG(a) BETWEEN c1 AND c2 → the two bound comparisons.
         low = _having_comparison(
             ast.Comparison(cond.expr, ">=", cond.low), footprints, ctx)
         high = _having_comparison(
             ast.Comparison(cond.expr, "<=", cond.high), footprints, ctx)
-        combined = make_and([expr for expr in (low, high)
-                             if expr is not None])
-        return make_not(combined) if cond.negated else combined
+        return make_and([expr for expr in (low, high)
+                         if expr is not None])
     # Plain (non-aggregate) HAVING conditions behave like WHERE conditions.
     return condition_to_expr(cond, ctx)
+
+
+def _negated_having(cond: ast.Condition, statement: ast.SelectStatement,
+                    footprints: dict[ColumnRef, Interval],
+                    ctx: ExtractionContext) -> BoolExpr:
+    """``HAVING NOT <cond>`` — negation pushed *into* the SQL condition.
+
+    The Lemma mappings produce influence areas, which are not symmetric
+    under complement: ``make_not`` over a mapped constraint (often TRUE,
+    e.g. ``SUM(v) > c`` on a mixed-sign domain) would yield FALSE — a
+    shrunken area, unsound.  Instead the negation is applied at the SQL
+    level (``NOT (SUM(v) > c)`` ≡ ``SUM(v) <= c``) and the complementary
+    comparison is mapped by its own lemma rule.
+    """
+    if isinstance(cond, ast.NotCondition):
+        return _having_condition(cond.child, statement, footprints, ctx)
+    if isinstance(cond, ast.AndCondition):
+        return make_or(_negated_having(c, statement, footprints, ctx)
+                       for c in cond.children)
+    if isinstance(cond, ast.OrCondition):
+        return make_and(_negated_having(c, statement, footprints, ctx)
+                        for c in cond.children)
+    if isinstance(cond, ast.Comparison) and (
+            _is_aggregate_call(cond.left)
+            or _is_aggregate_call(cond.right)):
+        op = _OPS.get(cond.op)
+        if op is None:
+            ctx.approx(f"unknown negated HAVING operator {cond.op}")
+            return TRUE
+        negated = ast.Comparison(cond.left, op.negate().value, cond.right)
+        mapped = _having_comparison(negated, footprints, ctx)
+        if mapped is not None:
+            return mapped
+        return TRUE
+    if isinstance(cond, ast.Between) and _is_aggregate_call(cond.expr):
+        flipped = ast.Between(cond.expr, cond.low, cond.high,
+                              negated=not cond.negated)
+        return _having_condition(flipped, statement, footprints, ctx)
+    # Non-aggregate conditions negate like WHERE conditions (with the
+    # widening guards of transform._not_to_expr).
+    return condition_to_expr(ast.NotCondition(cond), ctx)
 
 
 def _having_comparison(cond: ast.Comparison,
@@ -186,10 +254,11 @@ def _having_comparison(cond: ast.Comparison,
     assert isinstance(call, ast.FunctionCall)
     constant = _operand(right, ctx)
     if not isinstance(constant, (int, float)) or isinstance(constant, bool):
-        ctx.note("non-constant aggregate comparison widened to TRUE")
+        ctx.approx("non-constant aggregate comparison widened to TRUE")
         return TRUE
     op = _OPS.get(op_text)
     if op is None:
+        ctx.approx(f"unknown aggregate comparison operator {op_text}")
         return TRUE
 
     ref: ColumnRef | None = None
@@ -200,7 +269,7 @@ def _having_comparison(cond: ast.Comparison,
     if ref is not None and not _in_from(ref, ctx):
         # "we check if a belongs to some relation in the FROM clause.
         #  If it does not, we ignore it."
-        ctx.note(f"aggregate over column {ref} outside FROM ignored")
+        ctx.approx(f"aggregate over column {ref} outside FROM ignored")
         return TRUE
 
     declared = _declared_domain(ref, ctx)

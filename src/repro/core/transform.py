@@ -28,6 +28,7 @@ from typing import Optional, Union
 
 from ..algebra.boolexpr import (FALSE, TRUE, BoolExpr, atom, make_and,
                                 make_not, make_or)
+from ..algebra.coercion import parse_number
 from ..algebra.predicates import (ColumnColumnPredicate,
                                   ColumnConstantPredicate, ColumnRef,
                                   Constant, Op)
@@ -87,7 +88,7 @@ def _join(join: ast.Join, ctx: ExtractionContext) -> BoolExpr:
 def _natural_condition(join: ast.Join, ctx: ExtractionContext) -> BoolExpr:
     """Equate the common columns of the two sides of a NATURAL JOIN."""
     if ctx.schema is None:
-        ctx.note("NATURAL JOIN without schema: no condition derivable")
+        ctx.approx("NATURAL JOIN without schema: no condition derivable")
         return TRUE
     left_rels = _relations_of_item(join.left, ctx)
     right_rels = _relations_of_item(join.right, ctx)
@@ -143,9 +144,9 @@ def condition_to_expr(cond: ast.Condition,
         return _like_to_expr(cond, ctx)
     if isinstance(cond, ast.IsNull):
         # NULL membership does not restrict the value space we model.
-        ctx.note("IS NULL predicate widened to TRUE")
+        ctx.approx("IS NULL predicate widened to TRUE")
         return TRUE
-    ctx.note(f"unsupported condition {type(cond).__name__} widened")
+    ctx.approx(f"unsupported condition {type(cond).__name__} widened")
     return TRUE
 
 
@@ -218,7 +219,7 @@ def _not_to_expr(cond: ast.NotCondition,
     if isinstance(child, ast.QuantifiedComparison):
         ctx.note("NOT over quantified comparison flattened via "
                  "influence symmetry")
-        return _quantified_to_expr(child, ctx)
+        return _quantified_to_expr(child, ctx, under_not=True)
     if isinstance(child, ast.NotCondition):
         return condition_to_expr(child.child, ctx)
     if isinstance(child, ast.AndCondition):
@@ -239,14 +240,32 @@ def _not_to_expr(cond: ast.NotCondition,
                    Op.GE: ">=", Op.NE: "<>"}[negated_op]
         return _comparison_to_expr(
             ast.Comparison(child.left, op_text, child.right), ctx)
-    return make_not(condition_to_expr(child, ctx))
+    if isinstance(child, ast.Like):
+        # Flip the LIKE's own negation flag; wildcard patterns still
+        # widen to TRUE inside, which stays sound under this rewrite.
+        return _like_to_expr(
+            ast.Like(child.expr, child.pattern, not child.negated), ctx)
+    if isinstance(child, ast.IsNull):
+        # IS [NOT] NULL widens either way; negating TRUE would be FALSE —
+        # a *shrunken* area — so route through the widening case instead.
+        return condition_to_expr(
+            ast.IsNull(child.expr, not child.negated), ctx)
+    # Fallback: safe only when the child converted exactly.  A widened
+    # child means `inner` is an over-set of the child's constraint, so
+    # NOT inner would *under*-approximate — re-widen to TRUE instead.
+    before = ctx.widening_count
+    inner = condition_to_expr(child, ctx)
+    if ctx.widening_count > before:
+        ctx.approx("NOT over widened condition re-widened to TRUE")
+        return TRUE
+    return make_not(inner)
 
 
 def _comparison_to_expr(cond: ast.Comparison,
                         ctx: ExtractionContext) -> BoolExpr:
     op = _OPS.get(cond.op)
     if op is None:
-        ctx.note(f"unknown comparison operator {cond.op}")
+        ctx.approx(f"unknown comparison operator {cond.op}")
         return TRUE
 
     if isinstance(cond.right, ast.ScalarSubquery):
@@ -260,14 +279,16 @@ def _comparison_to_expr(cond: ast.Comparison,
     if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
         return atom(ColumnColumnPredicate(left, op, right))
     if isinstance(left, ColumnRef) and _is_constant(right):
-        return atom(ColumnConstantPredicate(left, op, right))
+        return atom(ColumnConstantPredicate(
+            left, op, _schema_coerce(left, right, ctx)))
     if _is_constant(left) and isinstance(right, ColumnRef):
-        return atom(ColumnConstantPredicate(right, op.flip(), left))
+        return atom(ColumnConstantPredicate(
+            right, op.flip(), _schema_coerce(right, left, ctx)))
     if _is_constant(left) and _is_constant(right):
         # Constant folding: e.g. WHERE 1 = 1.
         return TRUE if ColumnConstantPredicate(
             ColumnRef("", ""), op, right).evaluate(left) else FALSE
-    ctx.note("non-atomic comparison widened to TRUE")
+    ctx.approx("non-atomic comparison widened to TRUE")
     return TRUE
 
 
@@ -279,11 +300,13 @@ def _between_to_expr(cond: ast.Between,
     high = _operand(cond.high, ctx)
     if not isinstance(ref, ColumnRef) or not _is_constant(low) \
             or not _is_constant(high):
-        ctx.note("non-atomic BETWEEN widened to TRUE")
+        ctx.approx("non-atomic BETWEEN widened to TRUE")
         return TRUE
     expr = make_and([
-        atom(ColumnConstantPredicate(ref, Op.GE, low)),
-        atom(ColumnConstantPredicate(ref, Op.LE, high)),
+        atom(ColumnConstantPredicate(
+            ref, Op.GE, _schema_coerce(ref, low, ctx))),
+        atom(ColumnConstantPredicate(
+            ref, Op.LE, _schema_coerce(ref, high, ctx))),
     ])
     return make_not(expr) if cond.negated else expr
 
@@ -292,16 +315,16 @@ def _in_list_to_expr(cond: ast.InList,
                      ctx: ExtractionContext) -> BoolExpr:
     ref = _operand(cond.expr, ctx)
     if not isinstance(ref, ColumnRef):
-        ctx.note("non-column IN list widened to TRUE")
+        ctx.approx("non-column IN list widened to TRUE")
         return TRUE
     parts: list[BoolExpr] = []
     for value_expr in cond.values:
         value = _operand(value_expr, ctx)
         if _is_constant(value):
-            parts.append(atom(
-                ColumnConstantPredicate(ref, Op.EQ, value)))
+            parts.append(atom(ColumnConstantPredicate(
+                ref, Op.EQ, _schema_coerce(ref, value, ctx))))
         else:
-            ctx.note("non-constant IN member widened")
+            ctx.approx("non-constant IN member widened")
             return TRUE
     expr = make_or(parts)
     return make_not(expr) if cond.negated else expr
@@ -317,17 +340,21 @@ def _in_subquery_to_expr(cond: ast.InSubquery,
 
 
 def _quantified_to_expr(cond: ast.QuantifiedComparison,
-                        ctx: ExtractionContext) -> BoolExpr:
+                        ctx: ExtractionContext,
+                        under_not: bool = False) -> BoolExpr:
     """ANY/ALL flatten like IN but keep the comparison operator.
 
     For ALL this keeps the user's comparison as-is — an approximation
     aimed at intent capture (the boundary tuples differ only in operator
-    closure).
+    closure).  ALL (and NOT over ANY) holds vacuously on an empty
+    subquery, so those forms pass ``vacuous_truth`` down.
     """
     op = _OPS.get(cond.op, Op.EQ)
     if cond.quantifier == "ALL":
-        ctx.note("ALL quantifier approximated by ANY-style flattening")
-    return flatten_subquery(cond.query, ctx, link=(cond.expr, op))
+        ctx.approx("ALL quantifier approximated by ANY-style flattening")
+    vacuous = (cond.quantifier == "ALL") != under_not
+    return flatten_subquery(cond.query, ctx, link=(cond.expr, op),
+                            vacuous_truth=vacuous)
 
 
 def _scalar_subquery_to_expr(outer_expr: ast.Expr, op: Op,
@@ -340,12 +367,13 @@ def _scalar_subquery_to_expr(outer_expr: ast.Expr, op: Op,
 def _like_to_expr(cond: ast.Like, ctx: ExtractionContext) -> BoolExpr:
     ref = _operand(cond.expr, ctx)
     if not isinstance(ref, ColumnRef):
+        ctx.approx("non-column LIKE widened to TRUE")
         return TRUE
     if "%" not in cond.pattern and "_" not in cond.pattern:
         # Wildcard-free LIKE is an equality on a categorical column.
         op = Op.NE if cond.negated else Op.EQ
         return atom(ColumnConstantPredicate(ref, op, cond.pattern))
-    ctx.note(f"LIKE pattern {cond.pattern!r} widened to TRUE")
+    ctx.approx(f"LIKE pattern {cond.pattern!r} widened to TRUE")
     return TRUE
 
 
@@ -355,7 +383,8 @@ def _like_to_expr(cond: ast.Like, ctx: ExtractionContext) -> BoolExpr:
 
 def flatten_subquery(stmt: ast.SelectStatement, ctx: ExtractionContext,
                      link: Optional[tuple[ast.Expr, Op]] = None,
-                     negated: bool = False) -> BoolExpr:
+                     negated: bool = False,
+                     vacuous_truth: Optional[bool] = None) -> BoolExpr:
     """Flatten a nested query into a constraint on the enlarged U.
 
     The subquery's relations join the universal relation; its WHERE (and
@@ -366,6 +395,14 @@ def flatten_subquery(stmt: ast.SelectStatement, ctx: ExtractionContext,
 
     ``negated`` marks NOT EXISTS / NOT IN forms; by influence symmetry the
     flattening is identical, so the flag only feeds diagnostics.
+
+    ``vacuous_truth`` marks constructs that hold on an *empty* subquery
+    result (NOT EXISTS, NOT IN, ALL, NOT over ANY; defaults to
+    ``negated``).  Their flattened constraint must not be allowed to
+    contradict: an unsatisfiable subquery produces no rows in any state,
+    the construct is then TRUE everywhere, and conjoining the
+    contradiction would collapse the whole area to ∅ — wrongly ruling
+    out outer tuples that appear in every result.
     """
     sub = ctx.child()
     join_expr = from_items_to_expr(stmt.from_items, sub)
@@ -389,7 +426,24 @@ def flatten_subquery(stmt: ast.SelectStatement, ctx: ExtractionContext,
     if negated:
         ctx.note("negated subquery flattened without negation "
                  "(influence-symmetric approximation)")
-    return make_and([join_expr, where_expr, link_expr, having_expr])
+    expr = make_and([join_expr, where_expr, link_expr, having_expr])
+    if vacuous_truth is None:
+        vacuous_truth = negated
+    if vacuous_truth and _provably_unsat(expr):
+        ctx.note("vacuously-true nested construct over an unsatisfiable "
+                 "subquery: constraint dropped")
+        return TRUE
+    return expr
+
+
+def _provably_unsat(expr: BoolExpr) -> bool:
+    """Cheap satisfiability refutation via the consolidation engine."""
+    from ..algebra.cnf import to_cnf
+    from ..algebra.consolidate import consolidate
+    from ..algebra.nnf import to_nnf
+    if to_nnf(expr).count_atoms() > 64:
+        return False  # CNF blow-up guard: assume satisfiable
+    return consolidate(to_cnf(expr)).stats.contradiction
 
 
 def _subquery_output_operand(stmt: ast.SelectStatement,
@@ -407,16 +461,39 @@ def _link_predicate(outer: Operand, op: Op, inner: Operand,
     if isinstance(outer, ColumnRef) and isinstance(inner, ColumnRef):
         return atom(ColumnColumnPredicate(outer, op, inner))
     if isinstance(outer, ColumnRef) and _is_constant(inner):
-        return atom(ColumnConstantPredicate(outer, op, inner))
+        return atom(ColumnConstantPredicate(
+            outer, op, _schema_coerce(outer, inner, ctx)))
     if _is_constant(outer) and isinstance(inner, ColumnRef):
-        return atom(ColumnConstantPredicate(inner, op.flip(), outer))
-    ctx.note("subquery link predicate widened to TRUE")
+        return atom(ColumnConstantPredicate(
+            inner, op.flip(), _schema_coerce(inner, outer, ctx)))
+    ctx.approx("subquery link predicate widened to TRUE")
     return TRUE
 
 
 # ---------------------------------------------------------------------------
 # Operand extraction
 # ---------------------------------------------------------------------------
+
+def _schema_coerce(ref: ColumnRef, value: Constant,
+                   ctx: ExtractionContext) -> Constant:
+    """Build-time mirror of the shared mixed-type comparison coercion.
+
+    A numeric-string constant against a column the schema declares
+    numeric (``WHERE ra > '180'``) becomes its numeric value, so the
+    predicate consolidates, intervals, and interns exactly like its
+    unquoted spelling.  Evaluation semantics are unchanged — the
+    compare-time rule in :mod:`repro.algebra.coercion` performs the
+    same conversion — this only canonicalizes the stored constant.
+    """
+    if not isinstance(value, str) or ctx.schema is None:
+        return value
+    if not ctx.schema.has_relation(ref.relation):
+        return value
+    column = ctx.schema.relation(ref.relation).find_column(ref.column)
+    if column is None or not column.is_numeric:
+        return value
+    parsed = parse_number(value)
+    return value if parsed is None else parsed
 
 def _operand(expr: ast.Expr, ctx: ExtractionContext) -> Operand:
     """Reduce a scalar expression to a column reference or a constant.

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..algebra.coercion import compare_values
 from ..sqlparser import ast, parse
 from .database import Database
 from .table import Row
@@ -378,19 +379,20 @@ class QueryExecutor:
             high = self._eval_expr(cond.high, env, group)
             if value is None or low is None or high is None:
                 return False
-            result = low <= value <= high
+            result = (compare_values(low, "<=", value)
+                      and compare_values(value, "<=", high))
             return not result if cond.negated else result
         if isinstance(cond, ast.InList):
             value = self._eval_expr(cond.expr, env, group)
             members = [self._eval_expr(v, env, group) for v in cond.values]
-            result = value is not None and value in members
+            result = any(compare_values(value, "=", m) for m in members)
             return not result if cond.negated else result
         if isinstance(cond, ast.InSubquery):
             value = self._eval_expr(cond.expr, env, group)
             result_set = self.execute(cond.query, outer=env)
             members = {next(iter(row.values()), None)
                        for row in result_set.rows}
-            result = value is not None and value in members
+            result = any(compare_values(value, "=", m) for m in members)
             return not result if cond.negated else result
         if isinstance(cond, ast.Exists):
             result_set = self.execute(cond.query, outer=env)
@@ -493,23 +495,13 @@ class _SortValue:
 
 
 def _compare(left: Any, op: str, right: Any) -> bool:
-    if left is None or right is None:
-        return False
-    if isinstance(left, str) != isinstance(right, str):
-        left, right = str(left), str(right)
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == "=":
-        return left == right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
-    if op == "<>":
-        return left != right
-    raise ExecutionError(f"unknown comparison operator {op}")
+    # One shared comparison rule with the algebra's predicate evaluator
+    # (NULL rejection + numeric coercion of mixed operands): the
+    # differential oracle requires both sides to agree bit for bit.
+    try:
+        return compare_values(left, op, right)
+    except ValueError as exc:
+        raise ExecutionError(str(exc)) from None
 
 
 def _arith(op: str, left: Any, right: Any) -> Any:

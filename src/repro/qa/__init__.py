@@ -1,0 +1,53 @@
+"""Differential conformance testing of the access-area extractor.
+
+The paper's central claim (Definitions 1-4, Lemmas 1-6) is that the
+extracted access area is a *state-independent over-set* of every tuple
+that can influence a query's result.  This package checks that claim
+mechanically, across randomized schemas, database states, and queries:
+
+* :mod:`repro.qa.schemagen` — random schemas and small dense database
+  states (small value universes maximize boundary collisions);
+* :mod:`repro.qa.querygen` — random SQL per grammar profile
+  (``simple`` / ``join`` / ``aggregate`` / ``nested``), packaged as
+  :class:`~repro.workload.templates.QueryFamily` objects and drawn
+  through :func:`~repro.workload.generator.generate_workload`;
+* :mod:`repro.qa.oracle` — the two checked properties: **soundness**
+  (state-perturbation influence probes a la Lemmas 1-3: every tuple
+  whose removal changes the result must lie inside the area) and
+  **metamorphic stability** (semantics-preserving rewrites produce
+  identical canonical fingerprints and distance 0);
+* :mod:`repro.qa.shrink` — delta-debugging of failures down to a
+  minimal query + minimal database state;
+* :mod:`repro.qa.corpus` — JSON serialization of shrunken failures
+  into ``tests/qa/corpus`` for regression replay;
+* :mod:`repro.qa.harness` — the run loop behind ``repro qa``, with
+  ``repro_qa_*`` metrics and spans through :mod:`repro.obs`.
+"""
+
+from .corpus import QACase, load_case, load_corpus, replay_case, save_case
+from .harness import QAConfig, QAReport, run_qa
+from .oracle import (REWRITES, ConformanceFailure, check_metamorphic,
+                     check_soundness, covers_tuple, influence_probe)
+from .querygen import PROFILES, qa_families
+from .schemagen import random_database, random_schema
+
+__all__ = [
+    "PROFILES",
+    "QACase",
+    "QAConfig",
+    "QAReport",
+    "ConformanceFailure",
+    "REWRITES",
+    "check_metamorphic",
+    "check_soundness",
+    "covers_tuple",
+    "influence_probe",
+    "load_case",
+    "load_corpus",
+    "qa_families",
+    "random_database",
+    "random_schema",
+    "replay_case",
+    "run_qa",
+    "save_case",
+]

@@ -1,0 +1,148 @@
+"""Seed-corpus serialization and replay.
+
+Every shrunken failure becomes one JSON file under ``tests/qa/corpus``:
+the minimal SQL, the minimal database state, and the schema needed to
+rebuild both.  The corpus replays as ordinary regression tests — each
+historical bug stays pinned forever, independent of the randomized
+sweep that originally found it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..core.extractor import AccessAreaExtractor
+from ..distance.query_distance import QueryDistance
+from ..engine import Database
+from ..schema import Column, ColumnType, Relation, Schema
+from ..schema.statistics import StatisticsCatalog
+from ..sqlparser import parse
+from .oracle import ConformanceFailure, check_metamorphic, check_soundness
+
+
+@dataclass
+class QACase:
+    """One serialized conformance case (usually a shrunken failure)."""
+
+    name: str
+    kind: str  # "soundness" | "metamorphic"
+    sql: str
+    #: relation -> [[column, type-name], ...]
+    schema: dict[str, list[list[str]]]
+    #: relation -> row dicts
+    rows: dict[str, list[dict]]
+    detail: str = ""
+    rewrite: Optional[str] = None
+    seed: Optional[int] = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "sql": self.sql,
+            "schema": self.schema,
+            "rows": self.rows,
+            "detail": self.detail,
+            "rewrite": self.rewrite,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "QACase":
+        return QACase(
+            name=payload["name"],
+            kind=payload["kind"],
+            sql=payload["sql"],
+            schema={rel: [list(col) for col in cols]
+                    for rel, cols in payload["schema"].items()},
+            rows=payload["rows"],
+            detail=payload.get("detail", ""),
+            rewrite=payload.get("rewrite"),
+            seed=payload.get("seed"),
+        )
+
+
+def case_from_state(name: str, failure: ConformanceFailure,
+                    schema: Schema, db: Database,
+                    sql: str, seed: Optional[int] = None) -> QACase:
+    """Package a (possibly shrunken) failing state as a corpus case."""
+    return QACase(
+        name=name,
+        kind=failure.kind,
+        sql=sql,
+        schema={relation.name: [[c.name, c.ctype.value] for c in relation]
+                for relation in schema},
+        rows={table.name: [dict(row) for row in table.rows]
+              for table in db.tables},
+        detail=failure.detail,
+        rewrite=failure.rewrite,
+        seed=seed,
+    )
+
+
+def build_state(case: QACase) -> tuple[Schema, Database]:
+    """Rebuild the schema and database a case was serialized from."""
+    schema = Schema("qa")
+    for rel_name, columns in case.schema.items():
+        schema.add(Relation(rel_name, tuple(
+            Column(col_name, ColumnType(type_name))
+            for col_name, type_name in columns)))
+    db = Database(schema)
+    for rel_name, rows in case.rows.items():
+        db.insert(rel_name, rows)
+    return schema, db
+
+
+def replay_case(case: QACase) -> list[ConformanceFailure]:
+    """Re-run both oracle checks on a case; empty list = green."""
+    schema, db = build_state(case)
+    extractor = AccessAreaExtractor(schema)
+    stmt = parse(case.sql)
+    failures: list[ConformanceFailure] = []
+    soundness = check_soundness(case.sql, stmt, db, extractor)
+    if soundness:
+        failures.extend(soundness)
+    distance = QueryDistance(StatisticsCatalog.from_exact_content(
+        schema, {}))
+    outcome = check_metamorphic(case.sql, stmt, extractor, distance)
+    failures.extend(outcome.failures)
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Filesystem
+# ---------------------------------------------------------------------------
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")[:60]
+
+
+def save_case(directory: str | Path, case: QACase) -> Path:
+    """Write one case as ``<directory>/<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{_slug(case.name)}.json"
+    counter = 1
+    while path.exists():
+        counter += 1
+        path = directory / f"{_slug(case.name)}-{counter}.json"
+    path.write_text(json.dumps(case.to_json(), indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> QACase:
+    return QACase.from_json(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: str | Path) -> list[tuple[Path, QACase]]:
+    """All cases in a corpus directory, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [(path, load_case(path))
+            for path in sorted(directory.glob("*.json"))]

@@ -1,0 +1,254 @@
+"""The conformance run loop behind ``repro qa``.
+
+Each profile's budget is drawn in small chunks; every chunk gets a
+fresh randomized schema and database state (so the sweep covers many
+states, not one), and its statements are produced by the standard
+workload generator over the profile's
+:class:`~repro.workload.templates.QueryFamily`.  Every statement is
+probed for soundness (state-perturbation influence probe) and
+metamorphic stability; failures are shrunk to minimal cases and
+serialized for the regression corpus.
+
+Observability: one ``qa`` root span with a child span per profile, and
+``repro_qa_*`` counters/histograms in the process metrics registry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.extractor import AccessAreaExtractor
+from ..distance.query_distance import QueryDistance
+from ..engine import Database
+from ..obs import get_logger, get_registry, trace
+from ..schema import Schema
+from ..schema.statistics import StatisticsCatalog
+from ..sqlparser import SqlError, ast, parse
+from ..workload.generator import WorkloadConfig, generate_workload
+from .corpus import QACase, case_from_state, save_case
+from .oracle import (ConformanceFailure, check_metamorphic,
+                     check_soundness, covers_tuple, influence_probe)
+from .querygen import PROFILES, qa_families
+from .schemagen import random_database, random_schema
+from .shrink import shrink_case
+
+logger = get_logger("qa")
+
+#: statements drawn per (schema, database) state
+CHUNK_SIZE = 25
+
+
+@dataclass(frozen=True)
+class QAConfig:
+    """Knobs of one conformance run."""
+
+    n_queries: int = 200
+    seed: int = 0
+    profiles: tuple[str, ...] = PROFILES
+    max_rows: int = 6
+    shrink: bool = True
+    corpus_dir: Optional[str] = None
+
+
+@dataclass
+class ProfileStats:
+    """Per-profile outcome counts."""
+
+    generated: int = 0
+    skipped: int = 0  # engine rejected the statement
+    soundness_checks: int = 0
+    soundness_failures: int = 0
+    metamorphic_checks: int = 0
+    metamorphic_skipped_inexact: int = 0
+    metamorphic_failures: int = 0
+
+
+@dataclass
+class QAReport:
+    """Outcome of one conformance run."""
+
+    config: QAConfig
+    profiles: dict[str, ProfileStats] = field(default_factory=dict)
+    failures: list[QACase] = field(default_factory=list)
+    corpus_paths: list[str] = field(default_factory=list)
+
+    @property
+    def soundness_failures(self) -> int:
+        return sum(p.soundness_failures for p in self.profiles.values())
+
+    @property
+    def metamorphic_failures(self) -> int:
+        return sum(p.metamorphic_failures for p in self.profiles.values())
+
+    @property
+    def ok(self) -> bool:
+        return self.soundness_failures == 0 and \
+            self.metamorphic_failures == 0
+
+    def summary(self) -> str:
+        lines = []
+        for profile, stats in self.profiles.items():
+            lines.append(
+                f"{profile:>10}: {stats.generated} queries "
+                f"({stats.skipped} skipped), "
+                f"soundness {stats.soundness_failures}"
+                f"/{stats.soundness_checks} failed, "
+                f"metamorphic {stats.metamorphic_failures}"
+                f"/{stats.metamorphic_checks} failed "
+                f"({stats.metamorphic_skipped_inexact} inexact skipped)")
+        verdict = "OK" if self.ok else \
+            (f"FAIL: {self.soundness_failures} soundness, "
+             f"{self.metamorphic_failures} metamorphic")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _chunk_statements(profile: str, schema: Schema, n: int,
+                      seed: int) -> list[str]:
+    """Draw one chunk of statements through the workload generator."""
+    config = WorkloadConfig(
+        n_queries=n, seed=seed, noise_fraction=0.0, error_fraction=0.0,
+        malformed_fraction=0.0, min_family_size=1,
+        repeat_user_fraction=0.0)
+    workload = generate_workload(config, qa_families(schema, (profile,)))
+    return workload.log.statements()[:n]
+
+
+def _soundness_still_fails(sql_extractor_factory):
+    """Failure predicate for the shrinker: some influencing tuple is
+    outside the (re-extracted) area of the candidate statement."""
+
+    def predicate(stmt: ast.SelectStatement, db: Database) -> bool:
+        influencing = influence_probe(stmt, db)
+        if not influencing:
+            return False
+        area = sql_extractor_factory(db).extract_statement(stmt).area
+        return any(not covers_tuple(area, relation, row)
+                   for relation, row in influencing)
+
+    return predicate
+
+
+def _metamorphic_still_fails(rewrite_name: str):
+    """Failure predicate: the named rewrite still splits fingerprints."""
+    from .oracle import REWRITES
+    rewrite = dict(REWRITES)[rewrite_name]
+
+    def predicate(stmt: ast.SelectStatement, db: Database) -> bool:
+        extractor = AccessAreaExtractor(db.schema)
+        rewritten = rewrite(stmt)
+        if rewritten is None:
+            return False
+        base = extractor.extract_statement(stmt)
+        other = extractor.extract_statement(rewritten)
+        if not (base.exact and other.exact):
+            return False
+        return base.area != other.area
+
+    return predicate
+
+
+def run_qa(config: QAConfig) -> QAReport:
+    """Run the full conformance sweep described by ``config``."""
+    registry = get_registry()
+    report = QAReport(config)
+    rng = random.Random(config.seed)
+    per_profile = max(1, config.n_queries // len(config.profiles))
+
+    with trace.span("qa", seed=config.seed, n_queries=config.n_queries):
+        for profile in config.profiles:
+            stats = ProfileStats()
+            report.profiles[profile] = stats
+            with trace.span(f"qa.{profile}") as span:
+                _run_profile(profile, per_profile, config, rng, stats,
+                             report)
+                span.set(generated=stats.generated,
+                         soundness_failures=stats.soundness_failures,
+                         metamorphic_failures=stats.metamorphic_failures)
+            registry.counter("repro_qa_queries",
+                             profile=profile).inc(stats.generated)
+            registry.counter("repro_qa_skipped",
+                             profile=profile).inc(stats.skipped)
+            registry.counter(
+                "repro_qa_soundness_failures",
+                profile=profile).inc(stats.soundness_failures)
+            registry.counter(
+                "repro_qa_metamorphic_failures",
+                profile=profile).inc(stats.metamorphic_failures)
+            registry.counter(
+                "repro_qa_inexact_skips",
+                profile=profile).inc(stats.metamorphic_skipped_inexact)
+    return report
+
+
+def _run_profile(profile: str, budget: int, config: QAConfig,
+                 rng: random.Random, stats: ProfileStats,
+                 report: QAReport) -> None:
+    remaining = budget
+    while remaining > 0:
+        chunk = min(CHUNK_SIZE, remaining)
+        remaining -= chunk
+        schema = random_schema(rng)
+        db = random_database(schema, rng, config.max_rows)
+        extractor = AccessAreaExtractor(schema)
+        distance = QueryDistance(
+            StatisticsCatalog.from_exact_content(schema, {}))
+        statements = _chunk_statements(profile, schema, chunk,
+                                       seed=rng.randint(0, 2 ** 31))
+        for sql in statements:
+            stats.generated += 1
+            try:
+                stmt = parse(sql)
+            except SqlError:  # generator bug, not an extraction bug
+                logger.warning("generated unparseable SQL: %s", sql)
+                stats.skipped += 1
+                continue
+            _check_one(profile, sql, stmt, schema, db, extractor,
+                       distance, config, stats, report)
+
+
+def _check_one(profile: str, sql: str, stmt: ast.SelectStatement,
+               schema: Schema, db: Database,
+               extractor: AccessAreaExtractor, distance: QueryDistance,
+               config: QAConfig, stats: ProfileStats,
+               report: QAReport) -> None:
+    soundness = check_soundness(sql, stmt, db, extractor)
+    if soundness is None:
+        stats.skipped += 1
+    else:
+        stats.soundness_checks += 1
+        if soundness:
+            stats.soundness_failures += len(soundness)
+            _record_failure(profile, soundness[0], stmt, db, config,
+                            report)
+
+    outcome = check_metamorphic(sql, stmt, extractor, distance)
+    stats.metamorphic_checks += outcome.checked
+    stats.metamorphic_skipped_inexact += outcome.skipped_inexact
+    if outcome.failures:
+        stats.metamorphic_failures += len(outcome.failures)
+        _record_failure(profile, outcome.failures[0], stmt, db, config,
+                        report)
+
+
+def _record_failure(profile: str, failure: ConformanceFailure,
+                    stmt: ast.SelectStatement, db: Database,
+                    config: QAConfig, report: QAReport) -> None:
+    logger.error("conformance failure:\n%s", failure)
+    if config.shrink:
+        if failure.kind == "soundness":
+            predicate = _soundness_still_fails(
+                lambda d: AccessAreaExtractor(d.schema))
+        else:
+            predicate = _metamorphic_still_fails(failure.rewrite)
+        stmt, db = shrink_case(stmt, db, predicate)
+    name = f"{failure.kind}-{profile}-{len(report.failures) + 1}"
+    case = case_from_state(name, failure, db.schema, db, str(stmt),
+                           seed=config.seed)
+    report.failures.append(case)
+    if config.corpus_dir:
+        path = save_case(config.corpus_dir, case)
+        report.corpus_paths.append(str(path))
+        logger.info("shrunken case written to %s", path)

@@ -1,0 +1,371 @@
+"""The two conformance properties: soundness and metamorphic stability.
+
+**Soundness** (Definitions 1-4).  The access area must be a
+state-independent over-set of every tuple that can influence the query's
+result.  The probe is the one the lemmas are proved with: remove one
+tuple from the database, re-execute, and look for base-result rows that
+vanished or changed — that certifies the tuple contributed, and it must
+then satisfy the area's CNF under *partial* evaluation (only the
+tuple's own relation is bound; predicates touching other relations, or
+NULL values, count as satisfiable — a conservative three-valued
+treatment that can never raise a false alarm).
+
+**Metamorphic stability** (the PR-4 canonical fingerprint contract).
+Semantics-preserving rewrites of the statement — BETWEEN <-> bound
+pairs, De Morgan / NNF push-down, double negation, join-order
+commutation — must extract to areas with identical canonical
+fingerprints and distance 0.  Equality is only required of *exact*
+extractions: a widening approximation (``ExtractionResult.exact`` is
+False) legitimately loses syntactic information, so inexact areas are
+checked for soundness only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from ..core.area import AccessArea
+from ..core.extractor import AccessAreaExtractor
+from ..engine import Database, QueryExecutor
+from ..engine.executor import ExecutionError
+from ..algebra.predicates import (ColumnColumnPredicate,
+                                  ColumnConstantPredicate)
+from ..distance.query_distance import QueryDistance
+from ..sqlparser import ast
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ConformanceFailure:
+    """One confirmed oracle violation."""
+
+    kind: str  # "soundness" | "metamorphic"
+    sql: str
+    detail: str
+    rewrite: Optional[str] = None
+    rewritten_sql: Optional[str] = None
+    relation: Optional[str] = None
+    row: Optional[Row] = None
+
+    def __str__(self) -> str:
+        parts = [f"[{self.kind}] {self.sql}"]
+        if self.rewrite:
+            parts.append(f"  rewrite {self.rewrite}: {self.rewritten_sql}")
+        if self.relation is not None:
+            parts.append(f"  tuple {self.relation} {self.row}")
+        parts.append(f"  {self.detail}")
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Soundness: partial CNF evaluation + influence probe
+# ---------------------------------------------------------------------------
+
+def covers_tuple(area: AccessArea, relation: str, row: Row) -> bool:
+    """Can ``row`` (of ``relation``) extend to a tuple inside the area?
+
+    Three-valued partial evaluation of the CNF: a clause is satisfiable
+    when any of its predicates either touches an *unbound* relation,
+    reads a NULL value (the value-space model does not constrain NULL
+    membership), or evaluates to True on the bound values.  Only a
+    clause whose every predicate is fully bound, non-NULL, and False
+    rules the tuple out — so a ``False`` here is definitive.
+    """
+    rel_lower = relation.lower()
+    values = {key.lower(): value for key, value in row.items()}
+    for clause in area.cnf:
+        satisfiable = False
+        for pred in clause.predicates:
+            if any(ref.relation.lower() != rel_lower
+                   for ref in pred.columns):
+                satisfiable = True
+                break
+            bound = [values.get(ref.column.lower()) for ref in pred.columns]
+            if any(value is None for value in bound):
+                satisfiable = True
+                break
+            if isinstance(pred, ColumnConstantPredicate):
+                if pred.evaluate(bound[0]):
+                    satisfiable = True
+                    break
+            elif isinstance(pred, ColumnColumnPredicate):
+                if pred.evaluate(bound[0], bound[1]):
+                    satisfiable = True
+                    break
+            else:  # unknown predicate kind: never rule out
+                satisfiable = True
+                break
+        if not satisfiable:
+            return False
+    return True
+
+
+def _canonical_value(value: Any) -> tuple:
+    if value is None:
+        return ("_",)
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    return ("s", str(value))
+
+
+def result_key(rows: list[Row]) -> tuple:
+    """Order-insensitive canonical identity of a result set."""
+    return tuple(sorted(
+        tuple(sorted((k.lower(), _canonical_value(v))
+                     for k, v in row.items()))
+        for row in rows))
+
+
+def _result_counter(rows: list[Row]):
+    from collections import Counter
+    return Counter(
+        tuple(sorted((k.lower(), _canonical_value(v))
+                     for k, v in row.items()))
+        for row in rows)
+
+
+def execute_statement(stmt: ast.SelectStatement,
+                      db: Database) -> Optional[list[Row]]:
+    """Run one statement; ``None`` when the engine rejects it."""
+    try:
+        return QueryExecutor(db).execute(stmt).rows
+    except ExecutionError:
+        return None
+
+
+def _without_row(db: Database, relation: str, index: int) -> Database:
+    reduced = Database(db.schema)
+    for table in db.tables:
+        rows = table.rows
+        if table.name == relation:
+            rows = rows[:index] + rows[index + 1:]
+        reduced.insert(table.name, rows)
+    return reduced
+
+
+def influence_probe(stmt: ast.SelectStatement, db: Database
+                    ) -> Optional[list[tuple[str, Row]]]:
+    """Tuples that *contribute* to the current result (Lemmas 1-3 style).
+
+    A tuple contributes when removing it makes some base-result row
+    vanish or change — the one-directional probe matching the paper's
+    accessed-data notion.  The direction matters: removal can also *add*
+    result rows (removing the minimal element of a group flips
+    ``HAVING MIN(a) > c`` from false to true), and such "blocking"
+    tuples are deliberately outside the access area (Lemma 1's
+    sigma_{a>c} region would otherwise be wrong), so a symmetric
+    result-changed test would raise false alarms on exact lemma areas.
+
+    Returns ``None`` when the base statement does not execute.
+    """
+    base = execute_statement(stmt, db)
+    if base is None:
+        return None
+    base_count = _result_counter(base)
+    influencing: list[tuple[str, Row]] = []
+    for table in db.tables:
+        for index, row in enumerate(table.rows):
+            perturbed = execute_statement(
+                stmt, _without_row(db, table.name, index))
+            if perturbed is None:
+                continue  # engine rejected the perturbed state: no signal
+            if base_count - _result_counter(perturbed):
+                influencing.append((table.name, row))
+    return influencing
+
+
+def check_soundness(sql: str, stmt: ast.SelectStatement, db: Database,
+                    extractor: AccessAreaExtractor
+                    ) -> Optional[list[ConformanceFailure]]:
+    """Every influencing tuple must lie inside the extracted area.
+
+    Returns ``None`` when the statement is not executable (nothing to
+    check), otherwise the list of violations (empty = pass).
+    """
+    influencing = influence_probe(stmt, db)
+    if influencing is None:
+        return None
+    area = extractor.extract_statement(stmt).area
+    failures = []
+    for relation, row in influencing:
+        if not covers_tuple(area, relation, row):
+            failures.append(ConformanceFailure(
+                kind="soundness", sql=sql, relation=relation, row=row,
+                detail=f"influencing tuple outside area {area}"))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic rewrites (semantics-preserving by construction)
+# ---------------------------------------------------------------------------
+
+def _map_condition(cond: ast.Condition,
+                   fn: Callable[[ast.Condition], ast.Condition]
+                   ) -> ast.Condition:
+    """Bottom-up structural map over a condition tree."""
+    if isinstance(cond, ast.AndCondition):
+        cond = ast.AndCondition(tuple(
+            _map_condition(c, fn) for c in cond.children))
+    elif isinstance(cond, ast.OrCondition):
+        cond = ast.OrCondition(tuple(
+            _map_condition(c, fn) for c in cond.children))
+    elif isinstance(cond, ast.NotCondition):
+        cond = ast.NotCondition(_map_condition(cond.child, fn))
+    return fn(cond)
+
+
+def _rw_between(stmt: ast.SelectStatement
+                ) -> Optional[ast.SelectStatement]:
+    """BETWEEN <-> bound-pair: every BETWEEN becomes two comparisons."""
+    changed = False
+
+    def expand(cond: ast.Condition) -> ast.Condition:
+        nonlocal changed
+        if isinstance(cond, ast.Between):
+            changed = True
+            pair = ast.AndCondition((
+                ast.Comparison(cond.expr, ">=", cond.low),
+                ast.Comparison(cond.expr, "<=", cond.high)))
+            return ast.NotCondition(pair) if cond.negated else pair
+        return cond
+
+    if stmt.where is None:
+        return None
+    where = _map_condition(stmt.where, expand)
+    return replace(stmt, where=where) if changed else None
+
+
+_NEGATED_OP = {"=": "<>", "<>": "=", "<": ">=", ">=": "<",
+               ">": "<=", "<=": ">"}
+
+
+def _push_not(cond: ast.Condition) -> ast.Condition:
+    """NNF push-down at the *SQL* level (preserves query semantics)."""
+    if isinstance(cond, ast.NotCondition):
+        child = cond.child
+        if isinstance(child, ast.NotCondition):
+            return _push_not(child.child)
+        if isinstance(child, ast.AndCondition):
+            return ast.OrCondition(tuple(
+                _push_not(ast.NotCondition(c)) for c in child.children))
+        if isinstance(child, ast.OrCondition):
+            return ast.AndCondition(tuple(
+                _push_not(ast.NotCondition(c)) for c in child.children))
+        if isinstance(child, ast.Between):
+            return ast.Between(child.expr, child.low, child.high,
+                               negated=not child.negated)
+        if isinstance(child, ast.InList):
+            return ast.InList(child.expr, child.values,
+                              negated=not child.negated)
+        if isinstance(child, ast.Like):
+            return ast.Like(child.expr, child.pattern,
+                            negated=not child.negated)
+        if isinstance(child, ast.IsNull):
+            return ast.IsNull(child.expr, negated=not child.negated)
+        if isinstance(child, ast.Comparison) and \
+                isinstance(child.op, str) and child.op in _NEGATED_OP:
+            return ast.Comparison(child.left, _NEGATED_OP[child.op],
+                                  child.right)
+        return cond
+    if isinstance(cond, ast.AndCondition):
+        return ast.AndCondition(tuple(
+            _push_not(c) for c in cond.children))
+    if isinstance(cond, ast.OrCondition):
+        return ast.OrCondition(tuple(
+            _push_not(c) for c in cond.children))
+    return cond
+
+
+def _rw_demorgan(stmt: ast.SelectStatement
+                 ) -> Optional[ast.SelectStatement]:
+    """De Morgan / NNF push-down of every NOT over a connective."""
+    if stmt.where is None:
+        return None
+    where = _push_not(stmt.where)
+    if where == stmt.where:
+        return None
+    return replace(stmt, where=where)
+
+
+def _rw_not_not(stmt: ast.SelectStatement
+                ) -> Optional[ast.SelectStatement]:
+    """Double negation: WHERE c  ->  WHERE NOT (NOT c)."""
+    if stmt.where is None:
+        return None
+    return replace(stmt, where=ast.NotCondition(
+        ast.NotCondition(stmt.where)))
+
+
+def _rw_join_commute(stmt: ast.SelectStatement
+                     ) -> Optional[ast.SelectStatement]:
+    """Commute the FROM list / swap INNER JOIN sides."""
+    items = stmt.from_items
+    if len(items) > 1:
+        return replace(stmt, from_items=tuple(reversed(items)))
+    if len(items) == 1 and isinstance(items[0], ast.Join):
+        join = items[0]
+        if join.join_type in (ast.JoinType.INNER, ast.JoinType.CROSS):
+            swapped = ast.Join(join.right, join.left, join.join_type,
+                               join.condition)
+            return replace(stmt, from_items=(swapped,))
+    return None
+
+
+REWRITES: tuple[tuple[str, Callable[[ast.SelectStatement],
+                                    Optional[ast.SelectStatement]]], ...] = (
+    ("between_range", _rw_between),
+    ("demorgan_nnf", _rw_demorgan),
+    ("not_not", _rw_not_not),
+    ("join_commute", _rw_join_commute),
+)
+
+
+@dataclass
+class MetamorphicOutcome:
+    """Counts from one statement's metamorphic checks."""
+
+    checked: int = 0
+    skipped_inexact: int = 0
+    failures: list[ConformanceFailure] = field(default_factory=list)
+
+
+def check_metamorphic(sql: str, stmt: ast.SelectStatement,
+                      extractor: AccessAreaExtractor,
+                      distance: Optional[QueryDistance] = None
+                      ) -> MetamorphicOutcome:
+    """Rewritten statements must extract to fingerprint-equal areas.
+
+    Equality is asserted only when both extractions are exact; inexact
+    extractions are recorded as skipped (their soundness is still
+    covered by :func:`check_soundness`).
+    """
+    outcome = MetamorphicOutcome()
+    base = extractor.extract_statement(stmt)
+    for name, rewrite in REWRITES:
+        rewritten = rewrite(stmt)
+        if rewritten is None:
+            continue
+        other = extractor.extract_statement(rewritten)
+        if not (base.exact and other.exact):
+            outcome.skipped_inexact += 1
+            continue
+        outcome.checked += 1
+        if base.area != other.area:
+            outcome.failures.append(ConformanceFailure(
+                kind="metamorphic", sql=sql, rewrite=name,
+                rewritten_sql=str(rewritten),
+                detail=(f"fingerprints differ: {base.area} "
+                        f"vs {other.area}")))
+            continue
+        if distance is not None:
+            d = distance(base.area, other.area)
+            if d != 0:
+                outcome.failures.append(ConformanceFailure(
+                    kind="metamorphic", sql=sql, rewrite=name,
+                    rewritten_sql=str(rewritten),
+                    detail=f"distance {d} != 0 on equal fingerprints"))
+    return outcome

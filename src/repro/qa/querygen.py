@@ -1,0 +1,212 @@
+"""Randomized SQL per grammar profile, packaged as workload families.
+
+Four profiles mirror the grammar surface the extractor must cover:
+
+* ``simple`` — one relation, a random condition tree (comparisons,
+  BETWEEN / NOT BETWEEN, IN lists, LIKE, IS NULL, AND/OR/NOT nesting);
+* ``join`` — two or three relations (comma list or JOIN .. ON) plus a
+  condition over all of them;
+* ``aggregate`` — GROUP BY with a HAVING over SUM/COUNT/MIN/MAX/AVG,
+  including NOT and NOT BETWEEN forms (the Section 4.3 lemma mappings);
+* ``nested`` — IN / NOT IN subqueries, EXISTS / NOT EXISTS
+  (correlated and uncorrelated), and ANY/ALL quantified comparisons.
+
+Each profile is exposed as a :class:`~repro.workload.templates
+.QueryFamily`, so batches are drawn through the standard
+:func:`~repro.workload.generator.generate_workload` machinery — the
+same sizing, shuffling, and seeding path the synthetic log uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..schema import ColumnType, Schema
+from ..workload.templates import QueryFamily
+from .schemagen import CATEGORIES, random_constant
+
+PROFILES = ("simple", "join", "aggregate", "nested")
+
+_OPS = ("<", "<=", "=", ">", ">=", "<>")
+_AGGS = ("SUM", "COUNT", "MIN", "MAX", "AVG")
+
+
+def _numeric_columns(schema: Schema, relation: str) -> list[str]:
+    return [c.name for c in schema.relation(relation)
+            if c.ctype is not ColumnType.VARCHAR]
+
+
+def _varchar_columns(schema: Schema, relation: str) -> list[str]:
+    return [c.name for c in schema.relation(relation)
+            if c.ctype is ColumnType.VARCHAR]
+
+
+def _qualify(relation: str, column: str, qualified: bool) -> str:
+    return f"{relation}.{column}" if qualified else column
+
+
+def _atom(schema: Schema, relations: list[str], rng: random.Random,
+          qualified: bool) -> str:
+    """One atomic condition over a random column of the given scope."""
+    relation = rng.choice(relations)
+    roll = rng.random()
+    strings = _varchar_columns(schema, relation)
+    if roll < 0.10 and strings:
+        column = _qualify(relation, rng.choice(strings), qualified)
+        value = rng.choice(CATEGORIES)
+        if rng.random() < 0.5:
+            neg = "NOT " if rng.random() < 0.5 else ""
+            pattern = value if rng.random() < 0.7 else value[0] + "%"
+            return f"{column} {neg}LIKE '{pattern}'"
+        op = rng.choice(("=", "<>"))
+        return f"{column} {op} '{value}'"
+    numerics = _numeric_columns(schema, relation)
+    column = _qualify(relation, rng.choice(numerics), qualified)
+    if roll < 0.30:
+        a, b = sorted((random_constant(rng), random_constant(rng)))
+        neg = "NOT " if rng.random() < 0.4 else ""
+        return f"{column} {neg}BETWEEN {a} AND {b}"
+    if roll < 0.40:
+        values = sorted({random_constant(rng)
+                         for _ in range(rng.randint(1, 3))})
+        neg = "NOT " if rng.random() < 0.3 else ""
+        inlist = ", ".join(str(v) for v in values)
+        return f"{column} {neg}IN ({inlist})"
+    if roll < 0.45:
+        neg = "NOT " if rng.random() < 0.5 else ""
+        return f"{column} IS {neg}NULL"
+    if roll < 0.55 and len(relations) > 1:
+        other = rng.choice([r for r in relations if r != relation])
+        other_col = _qualify(other, rng.choice(
+            _numeric_columns(schema, other)), qualified)
+        return f"{column} {rng.choice(_OPS)} {other_col}"
+    constant = random_constant(rng)
+    literal = f"'{constant}'" if rng.random() < 0.08 else str(constant)
+    return f"{column} {rng.choice(_OPS)} {literal}"
+
+
+def _condition(schema: Schema, relations: list[str], rng: random.Random,
+               depth: int, qualified: bool) -> str:
+    if depth <= 0 or rng.random() < 0.45:
+        return _atom(schema, relations, rng, qualified)
+    roll = rng.random()
+    if roll < 0.25:
+        inner = _condition(schema, relations, rng, depth - 1, qualified)
+        return f"NOT ({inner})"
+    connective = "AND" if roll < 0.65 else "OR"
+    n = rng.randint(2, 3)
+    parts = [_condition(schema, relations, rng, depth - 1, qualified)
+             for _ in range(n)]
+    return f" {connective} ".join(f"({p})" for p in parts)
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+def gen_simple(schema: Schema, rng: random.Random) -> str:
+    relation = rng.choice([r.name for r in schema])
+    cond = _condition(schema, [relation], rng, depth=rng.randint(1, 3),
+                      qualified=rng.random() < 0.3)
+    return f"SELECT * FROM {relation} WHERE {cond}"
+
+
+def gen_join(schema: Schema, rng: random.Random) -> str:
+    names = [r.name for r in schema]
+    if len(names) < 2:
+        return gen_simple(schema, rng)
+    k = rng.randint(2, len(names))
+    relations = rng.sample(names, k)
+    cond = _condition(schema, relations, rng, depth=rng.randint(1, 2),
+                      qualified=True)
+    if rng.random() < 0.5:
+        a, b = relations[0], relations[1]
+        from_clause = f"{a} JOIN {b} ON {a}.u = {b}.u"
+        for extra in relations[2:]:
+            from_clause += f" JOIN {extra} ON {a}.u = {extra}.u"
+        return f"SELECT * FROM {from_clause} WHERE {cond}"
+    joins = " AND ".join(f"{relations[0]}.u = {r}.u"
+                         for r in relations[1:])
+    return (f"SELECT * FROM {', '.join(relations)} "
+            f"WHERE {joins} AND ({cond})")
+
+
+def gen_aggregate(schema: Schema, rng: random.Random) -> str:
+    relation = rng.choice([r.name for r in schema])
+    numerics = _numeric_columns(schema, relation)
+    group_col = rng.choice(numerics)
+    agg = rng.choice(_AGGS)
+    agg_arg = "*" if agg == "COUNT" and rng.random() < 0.5 else \
+        rng.choice(numerics)
+    call = f"{agg}({agg_arg})"
+    c = random_constant(rng)
+    roll = rng.random()
+    if roll < 0.2:
+        a, b = sorted((random_constant(rng), random_constant(rng)))
+        neg = "NOT " if rng.random() < 0.5 else ""
+        having = f"{call} {neg}BETWEEN {a} AND {b}"
+    elif roll < 0.4:
+        having = f"NOT ({call} {rng.choice(_OPS)} {c})"
+    else:
+        having = f"{call} {rng.choice(_OPS)} {c}"
+    where = ""
+    if rng.random() < 0.5:
+        cond = _condition(schema, [relation], rng, depth=1,
+                          qualified=False)
+        where = f" WHERE {cond}"
+    return (f"SELECT {group_col}, {call} FROM {relation}{where} "
+            f"GROUP BY {group_col} HAVING {having}")
+
+
+def gen_nested(schema: Schema, rng: random.Random) -> str:
+    names = [r.name for r in schema]
+    if len(names) < 2:
+        return gen_simple(schema, rng)
+    outer, inner = rng.sample(names, 2)
+    inner_cond = _condition(schema, [inner], rng, depth=1, qualified=False)
+    roll = rng.random()
+    neg = "NOT " if rng.random() < 0.3 else ""
+    if roll < 0.4:
+        sub = f"SELECT u FROM {inner} WHERE {inner_cond}"
+        return f"SELECT * FROM {outer} WHERE u {neg}IN ({sub})"
+    if roll < 0.7:
+        corr = f"{inner}.u = {outer}.u AND " if rng.random() < 0.5 else ""
+        sub = f"SELECT * FROM {inner} WHERE {corr}({inner_cond})"
+        return f"SELECT * FROM {outer} WHERE {neg}EXISTS ({sub})"
+    quantifier = rng.choice(("ANY", "ALL"))
+    sub = f"SELECT u FROM {inner} WHERE {inner_cond}"
+    op = rng.choice(_OPS)
+    return f"SELECT * FROM {outer} WHERE u {op} {quantifier} ({sub})"
+
+
+_GENERATORS = {
+    "simple": gen_simple,
+    "join": gen_join,
+    "aggregate": gen_aggregate,
+    "nested": gen_nested,
+}
+
+
+def qa_families(schema: Schema,
+                profiles: tuple[str, ...] = PROFILES) -> list[QueryFamily]:
+    """One :class:`QueryFamily` per requested profile.
+
+    Equal cardinalities give :func:`generate_workload` an even split;
+    family ids are 100+index so they can never collide with the Table-1
+    families (1-24).
+    """
+    families = []
+    for index, profile in enumerate(profiles):
+        generator = _GENERATORS[profile]
+
+        def generate(rng: random.Random, _gen=generator) -> str:
+            return _gen(schema, rng)
+
+        families.append(QueryFamily(
+            family_id=100 + index,
+            name=f"qa-{profile}",
+            relations=tuple(r.name for r in schema),
+            cardinality=1000,
+            generate=generate,
+        ))
+    return families

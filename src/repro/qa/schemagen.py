@@ -1,0 +1,80 @@
+"""Random schemas and database states for the conformance harness.
+
+The generator optimizes for *collision density*, not realism: a few
+relations sharing a join column, integer values drawn from a tiny
+universe, and constants drawn from the same universe (plus its edges)
+so that boundary conditions — BETWEEN endpoints, negated intervals,
+aggregate thresholds — are hit constantly rather than almost never.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..engine import Database
+from ..schema import Column, ColumnType, Relation, Schema
+
+#: the tiny value universe of every generated integer column
+VALUE_LO, VALUE_HI = -3, 5
+
+#: categorical values for VARCHAR columns
+CATEGORIES = ("alpha", "beta", "gamma", "a1")
+
+#: probability that a nullable column's cell is NULL
+NULL_FRACTION = 0.08
+
+#: column pools per relation; "u" is the shared join column
+_RELATION_POOL: tuple[tuple[str, tuple[tuple[str, ColumnType], ...]], ...] = (
+    ("T", (("u", ColumnType.INT), ("v", ColumnType.INT),
+           ("s", ColumnType.VARCHAR))),
+    ("S", (("u", ColumnType.INT), ("w", ColumnType.INT))),
+    ("R", (("u", ColumnType.INT), ("x", ColumnType.FLOAT))),
+)
+
+
+def random_schema(rng: random.Random, n_relations: int | None = None
+                  ) -> Schema:
+    """A schema of 1-3 relations drawn from the fixed pool.
+
+    Relation ``T`` is always present (every profile queries it); the
+    others join through the shared ``u`` column.
+    """
+    if n_relations is None:
+        n_relations = rng.randint(1, len(_RELATION_POOL))
+    n_relations = max(1, min(n_relations, len(_RELATION_POOL)))
+    schema = Schema("qa")
+    for name, columns in _RELATION_POOL[:n_relations]:
+        schema.add(Relation(name, tuple(
+            Column(cname, ctype) for cname, ctype in columns)))
+    return schema
+
+
+def random_row(relation: Relation, rng: random.Random) -> dict:
+    row: dict = {}
+    for column in relation:
+        if rng.random() < NULL_FRACTION:
+            row[column.name] = None
+        elif column.ctype is ColumnType.VARCHAR:
+            row[column.name] = rng.choice(CATEGORIES)
+        elif column.ctype is ColumnType.FLOAT:
+            # Half-integers keep float boundaries decidable exactly.
+            row[column.name] = rng.randint(2 * VALUE_LO, 2 * VALUE_HI) / 2
+        else:
+            row[column.name] = rng.randint(VALUE_LO, VALUE_HI)
+    return row
+
+
+def random_database(schema: Schema, rng: random.Random,
+                    max_rows: int = 8) -> Database:
+    """A small dense state: 1..max_rows rows per relation."""
+    db = Database(schema)
+    for relation in schema:
+        n = rng.randint(1, max_rows)
+        db.insert(relation.name,
+                  [random_row(relation, rng) for _ in range(n)])
+    return db
+
+
+def random_constant(rng: random.Random) -> int:
+    """An integer constant overlapping the value universe and its edges."""
+    return rng.randint(VALUE_LO - 1, VALUE_HI + 1)

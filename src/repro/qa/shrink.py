@@ -1,0 +1,183 @@
+"""Greedy delta-debugging of conformance failures.
+
+A failing case is a (statement, database) pair plus a failure predicate.
+Shrinking alternates two passes until a fixpoint:
+
+* **state minimization** — drop database rows one at a time while the
+  failure persists (the classic ddmin inner loop, granularity 1: our
+  states are tiny, so the quadratic pass is cheap and yields the true
+  1-minimal state);
+* **query minimization** — try one-step structural reductions of the
+  WHERE / HAVING trees (unwrap NOT, drop a conjunct/disjunct, split a
+  BETWEEN into one bound, thin an IN list, simplify a subquery's WHERE)
+  and of the FROM list.
+
+The failure predicate guards executability itself: a reduction that
+makes the statement unparseable-to-the-engine simply fails to
+reproduce and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..engine import Database
+from ..sqlparser import ast
+
+FailurePredicate = Callable[[ast.SelectStatement, Database], bool]
+
+#: hard cap on predicate evaluations per shrink, against pathological trees
+MAX_ATTEMPTS = 2000
+
+
+def shrink_case(stmt: ast.SelectStatement, db: Database,
+                still_fails: FailurePredicate
+                ) -> tuple[ast.SelectStatement, Database]:
+    """1-minimal (statement, state) pair still exhibiting the failure."""
+    budget = [MAX_ATTEMPTS]
+
+    def attempt(candidate_stmt: ast.SelectStatement,
+                candidate_db: Database) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return still_fails(candidate_stmt, candidate_db)
+        except Exception:
+            return False
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        db, removed = _shrink_rows(stmt, db, attempt)
+        changed = changed or removed
+        stmt, reduced = _shrink_statement(stmt, db, attempt)
+        changed = changed or reduced
+    return stmt, db
+
+
+# ---------------------------------------------------------------------------
+# Database-state minimization
+# ---------------------------------------------------------------------------
+
+def _without_row(db: Database, relation: str, index: int) -> Database:
+    reduced = Database(db.schema)
+    for table in db.tables:
+        rows = table.rows
+        if table.name == relation:
+            rows = rows[:index] + rows[index + 1:]
+        reduced.insert(table.name, rows)
+    return reduced
+
+
+def _shrink_rows(stmt: ast.SelectStatement, db: Database,
+                 attempt) -> tuple[Database, bool]:
+    shrunk = False
+    progress = True
+    while progress:
+        progress = False
+        for table in db.tables:
+            for index in range(len(table.rows)):
+                candidate = _without_row(db, table.name, index)
+                if attempt(stmt, candidate):
+                    db = candidate
+                    shrunk = progress = True
+                    break
+            if progress:
+                break
+    return db, shrunk
+
+
+# ---------------------------------------------------------------------------
+# Statement minimization
+# ---------------------------------------------------------------------------
+
+def _shrink_statement(stmt: ast.SelectStatement, db: Database,
+                      attempt) -> tuple[ast.SelectStatement, bool]:
+    shrunk = False
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _statement_reductions(stmt):
+            if attempt(candidate, db):
+                stmt = candidate
+                shrunk = progress = True
+                break
+    return stmt, shrunk
+
+
+def _statement_reductions(stmt: ast.SelectStatement
+                          ) -> Iterator[ast.SelectStatement]:
+    if stmt.where is not None:
+        yield replace(stmt, where=None)
+        for reduced in _condition_reductions(stmt.where):
+            yield replace(stmt, where=reduced)
+    if stmt.having is not None:
+        yield replace(stmt, having=None)
+        for reduced in _condition_reductions(stmt.having):
+            yield replace(stmt, having=reduced)
+    if len(stmt.from_items) > 1:
+        for index in range(len(stmt.from_items)):
+            kept = (stmt.from_items[:index]
+                    + stmt.from_items[index + 1:])
+            yield replace(stmt, from_items=kept)
+
+
+def _condition_reductions(cond: ast.Condition
+                          ) -> Iterator[ast.Condition]:
+    """One-step structurally smaller variants of a condition tree."""
+    if isinstance(cond, ast.NotCondition):
+        yield cond.child
+        for reduced in _condition_reductions(cond.child):
+            yield ast.NotCondition(reduced)
+    elif isinstance(cond, (ast.AndCondition, ast.OrCondition)):
+        cls = type(cond)
+        children = cond.children
+        for index, child in enumerate(children):
+            yield child
+            rest = children[:index] + children[index + 1:]
+            if len(rest) == 1:
+                yield rest[0]
+            elif rest:
+                yield cls(rest)
+            for reduced in _condition_reductions(child):
+                yield cls(children[:index] + (reduced,)
+                          + children[index + 1:])
+    elif isinstance(cond, ast.Between):
+        yield ast.Comparison(cond.expr, "<" if cond.negated else ">=",
+                             cond.low)
+        yield ast.Comparison(cond.expr, ">" if cond.negated else "<=",
+                             cond.high)
+        if cond.negated:
+            yield ast.Between(cond.expr, cond.low, cond.high,
+                              negated=False)
+    elif isinstance(cond, ast.InList):
+        if len(cond.values) > 1:
+            for index in range(len(cond.values)):
+                kept = cond.values[:index] + cond.values[index + 1:]
+                yield ast.InList(cond.expr, kept, cond.negated)
+        elif cond.negated:
+            yield ast.InList(cond.expr, cond.values, negated=False)
+    elif isinstance(cond, ast.Exists):
+        for query in _subquery_reductions(cond.query):
+            yield ast.Exists(query, cond.negated)
+        if cond.negated:
+            yield ast.Exists(cond.query, negated=False)
+    elif isinstance(cond, ast.InSubquery):
+        for query in _subquery_reductions(cond.query):
+            yield ast.InSubquery(cond.expr, query, cond.negated)
+        if cond.negated:
+            yield ast.InSubquery(cond.expr, cond.query, negated=False)
+    elif isinstance(cond, ast.QuantifiedComparison):
+        for query in _subquery_reductions(cond.query):
+            yield ast.QuantifiedComparison(cond.expr, cond.op,
+                                           cond.quantifier, query)
+
+
+def _subquery_reductions(query: ast.SelectStatement
+                         ) -> Iterator[ast.SelectStatement]:
+    if query.where is not None:
+        yield replace(query, where=None)
+        for reduced in _condition_reductions(query.where):
+            yield replace(query, where=reduced)

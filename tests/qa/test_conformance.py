@@ -1,0 +1,91 @@
+"""Tier-1 conformance gate: the randomized sweep must run clean.
+
+Promoted from the lemma-oracle benchmark validation: a fixed-seed
+~200-query sweep over all four grammar profiles asserting zero
+soundness and zero metamorphic violations, plus a hypothesis-driven
+pass over the simple profile whose condition trees are built by a
+genuine composite strategy (so hypothesis shrinking applies).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extractor import AccessAreaExtractor
+from repro.engine import Database
+from repro.qa import QAConfig, run_qa
+from repro.qa.oracle import check_metamorphic, check_soundness
+from repro.qa.schemagen import random_database, random_schema
+from repro.sqlparser import parse
+
+
+def test_fixed_seed_sweep_is_clean():
+    report = run_qa(QAConfig(n_queries=200, seed=0, shrink=False))
+    detail = "\n".join(str(case.to_json()) for case in report.failures)
+    assert report.ok, detail
+    assert set(report.profiles) == {"simple", "join", "aggregate",
+                                    "nested"}
+    for profile, stats in report.profiles.items():
+        assert stats.soundness_checks > 0, profile
+        assert stats.metamorphic_checks > 0, profile
+
+
+# -- hypothesis strategy for the simple profile -------------------------------
+
+_COLUMNS = ("u", "v")
+_OPS = ("<", "<=", "=", ">", ">=", "<>")
+
+_constants = st.integers(min_value=-4, max_value=6)
+
+
+@st.composite
+def _atoms(draw):
+    column = draw(st.sampled_from(_COLUMNS))
+    kind = draw(st.sampled_from(
+        ("cmp", "between", "inlist", "isnull", "colcol")))
+    if kind == "between":
+        a, b = sorted((draw(_constants), draw(_constants)))
+        neg = "NOT " if draw(st.booleans()) else ""
+        return f"{column} {neg}BETWEEN {a} AND {b}"
+    if kind == "inlist":
+        values = sorted(draw(st.sets(_constants, min_size=1, max_size=3)))
+        neg = "NOT " if draw(st.booleans()) else ""
+        return f"{column} {neg}IN ({', '.join(map(str, values))})"
+    if kind == "isnull":
+        neg = "NOT " if draw(st.booleans()) else ""
+        return f"{column} IS {neg}NULL"
+    if kind == "colcol":
+        return f"u {draw(st.sampled_from(_OPS))} v"
+    return f"{column} {draw(st.sampled_from(_OPS))} {draw(_constants)}"
+
+
+_conditions = st.recursive(
+    _atoms(),
+    lambda children: st.one_of(
+        children.map(lambda c: f"NOT ({c})"),
+        st.tuples(children, children, st.sampled_from(("AND", "OR")))
+        .map(lambda t: f"({t[0]}) {t[2]} ({t[1]})"),
+    ),
+    max_leaves=5)
+
+
+@pytest.fixture(scope="module")
+def simple_state():
+    schema = random_schema(random.Random(7), 1)
+    db = random_database(schema, random.Random(7), max_rows=6)
+    return schema, db, AccessAreaExtractor(schema)
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(condition=_conditions)
+def test_simple_profile_conformance(simple_state, condition):
+    schema, db, extractor = simple_state
+    sql = f"SELECT * FROM T WHERE {condition}"
+    stmt = parse(sql)
+    failures = check_soundness(sql, stmt, db, extractor)
+    assert not failures, "\n".join(str(f) for f in failures)
+    outcome = check_metamorphic(sql, stmt, extractor)
+    assert outcome.failures == [], \
+        "\n".join(str(f) for f in outcome.failures)

@@ -1,0 +1,27 @@
+"""Every corpus seed must replay green, forever.
+
+Each JSON under ``tests/qa/corpus`` is a (usually shrunken) minimal
+query + minimal database state that once exhibited a conformance bug.
+Replaying them as plain tests pins every historical fix independently
+of the randomized sweep.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.corpus import load_case, replay_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASE_PATHS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CASE_PATHS) >= 9
+
+
+@pytest.mark.parametrize("path", CASE_PATHS, ids=lambda p: p.stem)
+def test_corpus_case_replays_green(path):
+    case = load_case(path)
+    failures = replay_case(case)
+    assert failures == [], "\n".join(str(f) for f in failures)

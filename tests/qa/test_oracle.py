@@ -1,0 +1,188 @@
+"""Unit tests of the conformance oracle primitives."""
+
+import random
+
+import pytest
+
+from repro.core.extractor import AccessAreaExtractor
+from repro.engine import Database
+from repro.qa.oracle import (REWRITES, check_metamorphic, check_soundness,
+                             covers_tuple, execute_statement,
+                             influence_probe)
+from repro.qa.schemagen import random_schema
+from repro.sqlparser import parse
+
+
+@pytest.fixture
+def schema():
+    return random_schema(random.Random(0), 3)
+
+
+@pytest.fixture
+def extractor(schema):
+    return AccessAreaExtractor(schema)
+
+
+def _db(schema, rows_by_relation):
+    db = Database(schema)
+    for name, rows in rows_by_relation.items():
+        db.insert(name, rows)
+    return db
+
+
+# -- covers_tuple -------------------------------------------------------------
+
+def test_covers_simple_range(extractor):
+    area = extractor.extract("SELECT * FROM T WHERE u > 2").area
+    assert covers_tuple(area, "T", {"u": 3, "v": 0, "s": "x"})
+    assert not covers_tuple(area, "T", {"u": 2, "v": 0, "s": "x"})
+
+
+def test_covers_null_value_is_satisfiable(extractor):
+    area = extractor.extract("SELECT * FROM T WHERE u > 2").area
+    assert covers_tuple(area, "T", {"u": None, "v": 0, "s": "x"})
+
+
+def test_covers_other_relation_clause_is_satisfiable(extractor):
+    area = extractor.extract(
+        "SELECT * FROM T, S WHERE T.u = S.u AND S.w = 5").area
+    # The S.w = 5 clause cannot rule out a T tuple.
+    assert covers_tuple(area, "T", {"u": 1, "v": 0, "s": "x"})
+    assert not covers_tuple(area, "S", {"u": 1, "w": 4})
+
+
+def test_covers_disjunction_needs_one_true(extractor):
+    area = extractor.extract(
+        "SELECT * FROM T WHERE u < 0 OR u > 4").area
+    assert covers_tuple(area, "T", {"u": -1, "v": 0, "s": "x"})
+    assert covers_tuple(area, "T", {"u": 5, "v": 0, "s": "x"})
+    assert not covers_tuple(area, "T", {"u": 2, "v": 0, "s": "x"})
+
+
+def test_empty_area_covers_nothing(extractor):
+    area = extractor.extract(
+        "SELECT * FROM T WHERE u < 0 AND u > 4").area
+    assert area.is_empty
+    assert not covers_tuple(area, "T", {"u": 1, "v": 0, "s": "x"})
+
+
+# -- influence probe (contribution semantics) ---------------------------------
+
+def test_probe_flags_matching_rows_only(schema):
+    db = _db(schema, {"T": [{"u": 1, "v": 0, "s": "a"},
+                            {"u": 5, "v": 0, "s": "a"}],
+                      "S": [], "R": []})
+    stmt = parse("SELECT * FROM T WHERE u > 2")
+    assert influence_probe(stmt, db) == [("T", {"u": 5, "v": 0, "s": "a"})]
+
+
+def test_probe_includes_all_group_members(schema):
+    db = _db(schema, {"T": [{"u": 1, "v": 2, "s": "a"},
+                            {"u": 1, "v": 3, "s": "a"}],
+                      "S": [], "R": []})
+    stmt = parse("SELECT u, SUM(v) FROM T GROUP BY u "
+                 "HAVING SUM(v) > 4")
+    assert len(influence_probe(stmt, db)) == 2
+
+
+def test_probe_excludes_blocking_tuples(schema):
+    # Removing u=1,v=1 would FLIP the group into the result (min rises
+    # above 2) — blocking influence, which the access-area model and
+    # hence the one-directional probe deliberately exclude.
+    db = _db(schema, {"T": [{"u": 1, "v": 1, "s": "a"},
+                            {"u": 1, "v": 5, "s": "a"}],
+                      "S": [], "R": []})
+    stmt = parse("SELECT u, MIN(v) FROM T GROUP BY u "
+                 "HAVING MIN(v) > 2")
+    assert influence_probe(stmt, db) == []
+
+
+def test_probe_none_on_unexecutable(schema):
+    db = _db(schema, {"T": [], "S": [], "R": []})
+    stmt = parse("SELECT * FROM Nosuchtable WHERE u > 1")
+    assert influence_probe(stmt, db) is None
+
+
+# -- soundness check ----------------------------------------------------------
+
+def test_soundness_passes_on_simple_query(schema, extractor):
+    db = _db(schema, {"T": [{"u": 1, "v": 0, "s": "a"},
+                            {"u": 4, "v": 2, "s": "b"}],
+                      "S": [{"u": 4, "w": 0}], "R": []})
+    sql = "SELECT * FROM T WHERE u > 2"
+    assert check_soundness(sql, parse(sql), db, extractor) == []
+
+
+def test_soundness_catches_a_too_small_area(schema):
+    # An extractor whose area is the WRONG half-space must be caught.
+    class Lying:
+        def extract_statement(self, stmt):
+            real = AccessAreaExtractor(schema)
+            return real.extract("SELECT * FROM T WHERE u < 0")
+
+    db = _db(schema, {"T": [{"u": 3, "v": 0, "s": "a"}],
+                      "S": [], "R": []})
+    sql = "SELECT * FROM T WHERE u > 2"
+    failures = check_soundness(sql, parse(sql), db, Lying())
+    assert failures and failures[0].kind == "soundness"
+
+
+# -- metamorphic rewrites -----------------------------------------------------
+
+def test_all_rewrites_produce_parseable_sql(schema):
+    sqls = [
+        "SELECT * FROM T WHERE u BETWEEN 1 AND 3",
+        "SELECT * FROM T WHERE NOT (u > 1 AND v < 2)",
+        "SELECT * FROM T WHERE u NOT BETWEEN -1 AND 1",
+        "SELECT * FROM T, S WHERE T.u = S.u",
+        "SELECT * FROM T JOIN S ON T.u = S.u WHERE T.v > 0",
+    ]
+    applied = 0
+    for sql in sqls:
+        stmt = parse(sql)
+        for _name, rewrite in REWRITES:
+            rewritten = rewrite(stmt)
+            if rewritten is None:
+                continue
+            applied += 1
+            parse(str(rewritten))  # must round-trip
+    assert applied >= 8
+
+
+def test_rewrites_preserve_engine_semantics_where_defined(schema):
+    # On NULL-free states every rewrite is engine-observable equal.
+    db = _db(schema, {"T": [{"u": u, "v": v, "s": "a"}
+                            for u in range(-2, 4) for v in (-1, 2)],
+                      "S": [{"u": 0, "w": 1}, {"u": 2, "w": 3}],
+                      "R": []})
+    sqls = [
+        "SELECT * FROM T WHERE u BETWEEN -1 AND 2",
+        "SELECT * FROM T WHERE u NOT BETWEEN -1 AND 1",
+        "SELECT * FROM T WHERE NOT (u > 1 AND v < 2)",
+        "SELECT * FROM T, S WHERE T.u = S.u AND S.w > 0",
+    ]
+    from repro.qa.oracle import result_key
+    for sql in sqls:
+        stmt = parse(sql)
+        base = result_key(execute_statement(stmt, db))
+        for name, rewrite in REWRITES:
+            rewritten = rewrite(stmt)
+            if rewritten is None:
+                continue
+            got = execute_statement(rewritten, db)
+            assert got is not None, (sql, name)
+            assert result_key(got) == base, (sql, name)
+
+
+def test_metamorphic_stability_on_exact_queries(schema, extractor):
+    sql = "SELECT * FROM T WHERE u NOT BETWEEN -1 AND 1"
+    outcome = check_metamorphic(sql, parse(sql), extractor)
+    assert outcome.checked >= 2
+    assert outcome.failures == []
+
+
+def test_metamorphic_skips_inexact_extractions(schema, extractor):
+    sql = "SELECT * FROM T WHERE NOT (s LIKE 'a%') AND u BETWEEN 0 AND 2"
+    outcome = check_metamorphic(sql, parse(sql), extractor)
+    assert outcome.skipped_inexact >= 1
+    assert outcome.failures == []

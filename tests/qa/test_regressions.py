@@ -1,0 +1,223 @@
+"""Unit pins for the bugs the conformance harness flushed out.
+
+Each test block matches one corpus seed under ``tests/qa/corpus`` and
+states the pre-fix failure it guards against.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.coercion import coerce_pair, compare_values, parse_number
+from repro.core.extractor import AccessAreaExtractor
+from repro.engine import Database, QueryExecutor
+from repro.qa.oracle import covers_tuple
+from repro.qa.schemagen import random_schema
+
+
+@pytest.fixture
+def schema():
+    return random_schema(random.Random(0), 3)
+
+
+@pytest.fixture
+def extractor(schema):
+    return AccessAreaExtractor(schema)
+
+
+def _area_members(extractor, sql, values):
+    area = extractor.extract(sql).area
+    return [v for v in values
+            if covers_tuple(area, "T", {"u": v, "v": 0, "s": "x"})]
+
+
+# -- satellite: shared mixed-type comparison coercion -------------------------
+
+class TestCoercion:
+    def test_parse_number(self):
+        assert parse_number("3") == 3
+        assert parse_number("3.5") == 3.5
+        assert parse_number("a1") is None
+
+    def test_coerce_pair_numeric_string(self):
+        assert coerce_pair(3, "1") == (3, 1)
+        assert coerce_pair("2.5", 1) == (2.5, 1)
+
+    def test_coerce_pair_non_numeric_string(self):
+        assert coerce_pair(3, "a1") == ("3", "a1")
+
+    def test_null_never_satisfies(self):
+        assert not compare_values(None, "=", None)
+        assert not compare_values(1, "<>", None)
+
+    def test_engine_and_area_agree_on_quoted_numeric(self, schema,
+                                                     extractor):
+        # Pre-fix: the engine coerced '1' to 1 but the area predicate
+        # compared by type tag, so the returned row escaped the area.
+        db = Database(schema)
+        db.insert("T", [{"u": 3, "v": 0, "s": "a"}])
+        db.insert("S", [])
+        db.insert("R", [])
+        sql = "SELECT * FROM T WHERE u > '1'"
+        rows = QueryExecutor(db).execute_sql(sql).rows
+        assert len(rows) == 1
+        area = extractor.extract(sql).area
+        assert covers_tuple(area, "T", rows[0])
+
+    def test_quoted_between_bounds(self, extractor):
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE u BETWEEN '0' AND '2'",
+            [-1, 0, 1, 2, 3])
+        assert members == [0, 1, 2]
+
+    def test_quoted_in_list(self, extractor):
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE u IN ('1')", [0, 1, 2])
+        assert members == [1]
+
+
+# -- satellite: exactness-flag propagation ------------------------------------
+
+class TestExactness:
+    @pytest.mark.parametrize("sql", [
+        "SELECT * FROM T WHERE u > 2",
+        "SELECT * FROM T WHERE u NOT BETWEEN -1 AND 1",
+        "SELECT * FROM T WHERE NOT (u = 1 OR u = 2)",
+        "SELECT * FROM T WHERE s LIKE 'a1'",
+    ])
+    def test_exact_paths(self, extractor, sql):
+        assert extractor.extract(sql).exact
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT * FROM T WHERE s LIKE 'a%'",
+        "SELECT * FROM T WHERE u IS NULL",
+        "SELECT * FROM T WHERE u + v > 3",
+        "SELECT * FROM T WHERE NOT (u + v > 3)",
+    ])
+    def test_widened_paths(self, extractor, sql):
+        result = extractor.extract(sql)
+        assert not result.exact
+        assert result.area.exact is False
+
+    def test_exact_flag_outside_fingerprint(self, extractor):
+        exact = extractor.extract("SELECT * FROM T WHERE u > 2").area
+        inexact = extractor.extract(
+            "SELECT * FROM T WHERE u > 2 AND s LIKE 'a%'").area
+        assert not inexact.exact
+        # Identity ignores the flag: both widen to the same constraint.
+        assert exact == inexact
+        assert hash(exact) == hash(inexact)
+
+    def test_predicate_cap_marks_inexact(self, schema):
+        capped = AccessAreaExtractor(schema, predicate_cap=2)
+        result = capped.extract(
+            "SELECT * FROM T WHERE (u = 1 AND v = 1) "
+            "OR (u = 2 AND v = 2) OR (u = 3 AND v = 3)")
+        assert not result.exact
+
+
+# -- satellite: re-widening NOT over widened conditions -----------------------
+
+class TestNotRewidening:
+    @pytest.mark.parametrize("sql", [
+        "SELECT * FROM T WHERE NOT (s LIKE 'a%')",
+        "SELECT * FROM T WHERE NOT (u IS NULL)",
+        "SELECT * FROM T WHERE NOT (u + v > 3)",
+    ])
+    def test_not_over_widened_stays_total(self, extractor, sql):
+        # Pre-fix: NOT flipped the TRUE widening into an empty area.
+        result = extractor.extract(sql)
+        assert not result.area.is_empty
+        assert covers_tuple(result.area, "T", {"u": 1, "v": 1, "s": "b"})
+        assert not result.exact
+
+    def test_exact_negations_still_narrow(self, extractor):
+        # The re-widening must not catch genuinely exact negations.
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE NOT (u <> 1)", [0, 1, 2])
+        assert members == [1]
+
+    def test_having_not_pushes_into_comparison(self, extractor):
+        negated = extractor.extract(
+            "SELECT u, SUM(v) FROM T GROUP BY u "
+            "HAVING NOT (SUM(v) > 100)")
+        direct = extractor.extract(
+            "SELECT u, SUM(v) FROM T GROUP BY u "
+            "HAVING SUM(v) <= 100")
+        assert negated.area == direct.area
+        assert not negated.area.is_empty
+
+
+# -- satellite: interval-negation boundary semantics --------------------------
+
+class TestIntervalNegationBoundaries:
+    def test_not_between_excludes_exact_endpoints(self, extractor):
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE u NOT BETWEEN -1 AND 1",
+            [-2, -1.0001, -1, -0.9999, 0, 0.9999, 1, 1.0001, 2])
+        assert members == [-2, -1.0001, 1.0001, 2]
+
+    def test_double_negation_restores_closed_interval(self, extractor):
+        members = _area_members(
+            extractor,
+            "SELECT * FROM T WHERE NOT (u NOT BETWEEN -1 AND 1)",
+            [-2, -1, 0, 1, 2])
+        assert members == [-1, 0, 1]
+
+    def test_degenerate_point_interval(self, extractor):
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE u NOT BETWEEN 1 AND 1",
+            [0, 1, 2])
+        assert members == [0, 2]
+
+    def test_inverted_bounds_negate_to_total(self, extractor):
+        result = extractor.extract(
+            "SELECT * FROM T WHERE u NOT BETWEEN 3 AND -1")
+        assert result.area.is_unconstrained
+        empty = extractor.extract(
+            "SELECT * FROM T WHERE u BETWEEN 3 AND -1")
+        assert empty.area.is_empty
+
+    def test_not_of_open_rays_is_point(self, extractor):
+        members = _area_members(
+            extractor, "SELECT * FROM T WHERE NOT (u < 1 OR u > 1)",
+            [0, 1, 2])
+        assert members == [1]
+
+
+# -- bug found by the sweep: vacuous truth over unsatisfiable subqueries ------
+
+class TestVacuousTruth:
+    @pytest.mark.parametrize("sql", [
+        "SELECT * FROM T WHERE u > ALL "
+        "(SELECT u FROM S WHERE w = 0 AND w = 1)",
+        "SELECT * FROM T WHERE NOT EXISTS "
+        "(SELECT * FROM S WHERE w = 0 AND w = 1)",
+        "SELECT * FROM T WHERE u NOT IN "
+        "(SELECT u FROM S WHERE w > 5 AND w < 0)",
+        "SELECT * FROM T WHERE NOT (u > ANY "
+        "(SELECT u FROM S WHERE w = 0 AND w = 1))",
+    ])
+    def test_unsat_subquery_must_not_empty_the_area(self, extractor,
+                                                    sql):
+        # Pre-fix: the contradictory inner constraint collapsed the
+        # whole area to ∅, although the construct is vacuously true on
+        # the (always-) empty subquery and every outer row is returned.
+        area = extractor.extract(sql).area
+        assert not area.is_empty
+        assert covers_tuple(area, "T", {"u": -1, "v": 3, "s": None})
+
+    def test_plain_exists_over_unsat_subquery_stays_empty(self,
+                                                          extractor):
+        # EXISTS (never-true) never returns rows: ∅ is the right area.
+        area = extractor.extract(
+            "SELECT * FROM T WHERE EXISTS "
+            "(SELECT * FROM S WHERE w = 0 AND w = 1)").area
+        assert area.is_empty
+
+    def test_satisfiable_subquery_keeps_its_constraint(self, extractor):
+        area = extractor.extract(
+            "SELECT * FROM T WHERE u > ALL "
+            "(SELECT u FROM S WHERE w = 0)").area
+        assert not area.is_empty
+        assert not covers_tuple(area, "S", {"u": 0, "w": 4})
