@@ -29,7 +29,8 @@ from ..core.area import AccessArea
 from ..core.extractor import AccessAreaExtractor
 from ..core.pipeline import (LogProcessingReport, dedupe_areas,
                              expand_labels, process_log)
-from ..distance.block_sparse import MATRIX_MODES, compute_matrix
+from ..distance.block_sparse import (MATRIX_MODES, NEIGHBOR_BACKENDS,
+                                     compute_matrix)
 from ..distance.query_distance import QueryDistance
 from ..obs import get_logger, trace
 from ..engine.database import Database
@@ -66,6 +67,10 @@ class CaseStudyConfig:
     #: partitioned), or "auto" (sparse whenever eps lies below the
     #: population's partition exactness bound)
     matrix_mode: str = "auto"
+    #: neighbour-query backend: "matrix" (materialized storage) or
+    #: "vptree" (per-partition vantage-point trees; falls back to the
+    #: matrix backend with a warning when its preconditions fail)
+    neighbor_backend: str = "matrix"
     #: True → intern areas by canonical fingerprint and cluster the
     #: unique areas with multiplicity weights (distance stage computes
     #: u(u−1)/2 pairs instead of n(n−1)/2), expanding labels back
@@ -77,6 +82,10 @@ class CaseStudyConfig:
             raise ValueError(
                 f"matrix_mode must be one of {MATRIX_MODES}, "
                 f"got {self.matrix_mode!r}")
+        if self.neighbor_backend not in NEIGHBOR_BACKENDS:
+            raise ValueError(
+                f"neighbor_backend must be one of {NEIGHBOR_BACKENDS}, "
+                f"got {self.neighbor_backend!r}")
 
 
 @dataclass
@@ -197,7 +206,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
                 unique, area_weights, inverse = dedupe_areas(sample_areas)
                 matrix = compute_matrix(
                     unique, distance, mode=config.matrix_mode,
-                    eps=config.eps, n_jobs=config.n_jobs)
+                    eps=config.eps, n_jobs=config.n_jobs,
+                    neighbor_backend=config.neighbor_backend)
                 matrix.stats.n_source_items = len(sample_areas)
                 deduped = partitioned_dbscan(
                     unique, distance, config.eps, config.min_pts,
@@ -209,7 +219,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
             else:
                 matrix = compute_matrix(
                     sample_areas, distance, mode=config.matrix_mode,
-                    eps=config.eps, n_jobs=config.n_jobs)
+                    eps=config.eps, n_jobs=config.n_jobs,
+                    neighbor_backend=config.neighbor_backend)
                 # auto mode already hands us a dense matrix when eps is
                 # too large for exact partitioning; fall back to plain
                 # DBSCAN on it instead of failing the whole study.

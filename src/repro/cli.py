@@ -42,7 +42,8 @@ from .analysis import format_summary, format_table1
 from .analysis.experiments import CaseStudyConfig, run_case_study
 from .core import AccessAreaExtractor, process_log
 from .core.stream import StreamMonitor
-from .distance.block_sparse import compute_matrix
+from .distance.block_sparse import (MATRIX_MODES, NEIGHBOR_BACKENDS,
+                                    compute_matrix)
 from .distance.query_distance import QueryDistance
 from .obs import (Tracer, configure_logging, export, get_logger,
                   get_registry, set_tracer, trace)
@@ -114,10 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes for the distance "
                                 "matrix (1 = serial, 0 = all cores)")
     p_process.add_argument("--matrix-mode", default="auto",
-                           choices=["auto", "dense", "sparse"],
+                           choices=list(MATRIX_MODES),
                            help="distance-matrix layout (auto: block-"
                                 "sparse when eps is below the partition "
-                                "exactness bound)")
+                                "exactness bound; kernel: block-sparse "
+                                "with vectorized struct-of-arrays "
+                                "blocks)")
+    p_process.add_argument("--neighbor-backend", default="matrix",
+                           choices=list(NEIGHBOR_BACKENDS),
+                           help="range-query backend (vptree: per-"
+                                "partition vantage-point trees; falls "
+                                "back to matrix when preconditions "
+                                "fail)")
     p_process.add_argument("--intern", default=True,
                            action=argparse.BooleanOptionalAction,
                            help="pool areas by canonical fingerprint and "
@@ -148,10 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "distance matrix (1 = serial, 0 = all "
                              "CPU cores)")
     p_case.add_argument("--matrix-mode", default="auto",
-                        choices=["auto", "dense", "sparse"],
+                        choices=list(MATRIX_MODES),
                         help="distance-matrix layout (auto: block-"
                              "sparse when eps is below the partition "
-                             "exactness bound)")
+                             "exactness bound; kernel: block-sparse "
+                             "with vectorized struct-of-arrays blocks)")
+    p_case.add_argument("--neighbor-backend", default="matrix",
+                        choices=list(NEIGHBOR_BACKENDS),
+                        help="range-query backend (vptree: per-"
+                             "partition vantage-point trees; falls "
+                             "back to matrix when preconditions fail)")
     p_case.add_argument("--intern", default=True,
                         action=argparse.BooleanOptionalAction,
                         help="pool areas by canonical fingerprint and "
@@ -303,14 +318,16 @@ def _cluster_report(report, schema, args: argparse.Namespace):
     if args.intern:
         unique, weights, inverse = dedupe_areas(areas)
         matrix = compute_matrix(unique, distance, mode=args.matrix_mode,
-                                eps=args.eps, n_jobs=args.n_jobs)
+                                eps=args.eps, n_jobs=args.n_jobs,
+                                neighbor_backend=args.neighbor_backend)
         matrix.stats.n_source_items = len(areas)
         deduped = partitioned_dbscan(
             unique, distance, args.eps, args.min_pts, matrix=matrix,
             weights=weights, on_inexact="fallback")
         return DBSCANResult(expand_labels(deduped.labels, inverse))
     matrix = compute_matrix(areas, distance, mode=args.matrix_mode,
-                            eps=args.eps, n_jobs=args.n_jobs)
+                            eps=args.eps, n_jobs=args.n_jobs,
+                            neighbor_backend=args.neighbor_backend)
     return partitioned_dbscan(areas, distance, args.eps, args.min_pts,
                               matrix=matrix, on_inexact="fallback")
 
@@ -345,6 +362,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         min_pts=args.min_pts,
         n_jobs=args.n_jobs,
         matrix_mode=args.matrix_mode,
+        neighbor_backend=args.neighbor_backend,
         intern=args.intern,
     )
     result = run_case_study(config)

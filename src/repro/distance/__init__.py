@@ -3,13 +3,19 @@
 Besides the pairwise metric, the package hosts the shared
 :class:`DistanceMatrix` engine every clustering algorithm consumes: the
 condensed pairwise matrix with multiprocessing fan-out, relation-set
-memoization, bound-skipping, and :class:`MatrixStats` instrumentation.
+memoization, bound-skipping, and :class:`MatrixStats` instrumentation —
+plus the vectorized struct-of-arrays kernel (:mod:`.kernel`) and the
+vantage-point-tree neighbour index (:mod:`.metric_index`), both
+differentially validated against the pure-Python oracle.
 """
 
 from .alternatives import FootprintDistance, WeightedQueryDistance
 from .block_sparse import (BlockSparseDistanceMatrix, MATRIX_MODES,
-                           compute_matrix)
+                           NEIGHBOR_BACKENDS, compute_matrix)
+from .kernel import (KernelStats, KernelUnsupported, PackedPartition,
+                     compute_kernel_blocks, kernel_available)
 from .matrix import DistanceMatrix, MatrixStats, condensed_index
+from .metric_index import VPTree, VPTreeIndex, VPTreeStats
 from .parallel import resolve_n_jobs
 from .predicate_distance import (CacheInfo, DEFAULT_CACHE_SIZE,
                                  DEFAULT_RESOLUTION, PredicateDistance)
@@ -22,6 +28,10 @@ __all__ = [
     "QueryDistance", "jaccard_distance", "partition_exactness_bound",
     "FootprintDistance", "WeightedQueryDistance",
     "DistanceMatrix", "MatrixStats", "condensed_index",
-    "BlockSparseDistanceMatrix", "MATRIX_MODES", "compute_matrix",
+    "BlockSparseDistanceMatrix", "MATRIX_MODES", "NEIGHBOR_BACKENDS",
+    "compute_matrix",
+    "KernelStats", "KernelUnsupported", "PackedPartition",
+    "compute_kernel_blocks", "kernel_available",
+    "VPTree", "VPTreeIndex", "VPTreeStats",
     "resolve_n_jobs",
 ]

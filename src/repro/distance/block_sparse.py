@@ -52,8 +52,19 @@ from .query_distance import partition_exactness_bound
 
 logger = get_logger(__name__)
 
-#: Modes accepted by :func:`compute_matrix`.
-MATRIX_MODES = ("auto", "dense", "sparse")
+#: Modes accepted by :func:`compute_matrix`.  ``kernel`` is the
+#: block-sparse layout with partition blocks produced by the vectorized
+#: struct-of-arrays kernel (:mod:`repro.distance.kernel`) instead of
+#: per-pair Python evaluation — bitwise-identical values, an order of
+#: magnitude less interpreter time.
+MATRIX_MODES = ("auto", "dense", "sparse", "kernel")
+
+#: Neighbour-query backends accepted by :func:`compute_matrix`:
+#: ``matrix`` materializes distance storage (dense or block-sparse),
+#: ``vptree`` answers range queries through per-partition vantage-point
+#: trees (:mod:`repro.distance.metric_index`) without materializing
+#: blocks.
+NEIGHBOR_BACKENDS = ("matrix", "vptree")
 
 
 def is_decomposed(metric, items: Sequence) -> bool:
@@ -128,6 +139,7 @@ class BlockSparseDistanceMatrix:
     def compute(cls, items: Sequence, metric: Metric, *,
                 n_jobs: int = 1, cutoff: Optional[float] = None,
                 registry: Optional[metrics.MetricsRegistry] = None,
+                engine: str = "python",
                 ) -> "BlockSparseDistanceMatrix":
         """Evaluate ``metric`` block-sparsely over ``items``.
 
@@ -139,13 +151,27 @@ class BlockSparseDistanceMatrix:
         (:meth:`compute` raises — use the dense matrix instead).
         ``n_jobs`` — worker processes for the partition-granular fan-out
         (1 = serial); ``registry`` — metrics sink (defaults to the
-        process-wide registry).
+        process-wide registry).  ``engine`` — ``"python"`` (per-pair
+        oracle evaluation, optionally parallel) or ``"kernel"`` (serial
+        vectorized struct-of-arrays blocks, bitwise-identical values;
+        partitions the kernel cannot replay fall back to the oracle,
+        and the engine itself degrades to ``"python"`` when numpy is
+        unavailable).
         """
         if not is_decomposed(metric, items):
             raise ValueError(
                 "block-sparse matrix requires a decomposed metric "
                 "(d_tables/d_conj) over items with table_set/cnf; "
                 "use DistanceMatrix for arbitrary metrics")
+        if engine not in ("python", "kernel"):
+            raise ValueError(f"engine must be 'python' or 'kernel', "
+                             f"got {engine!r}")
+        if engine == "kernel":
+            from .kernel import kernel_available
+            if not kernel_available():  # pragma: no cover - env-specific
+                logger.warning("kernel engine requires numpy; falling "
+                               "back to the python engine")
+                engine = "python"
         n = len(items)
         n_jobs = resolve_n_jobs(n_jobs)
         if registry is None:
@@ -188,18 +214,28 @@ class BlockSparseDistanceMatrix:
             stats = MatrixStats(n_items=n, pairs_total=n * (n - 1) // 2,
                                 n_jobs=n_jobs, cutoff=cutoff)
             mode = "serial" if n_jobs == 1 else "parallel"
+            if engine == "kernel":
+                mode = "kernel"
             chunk_seconds = registry.histogram(
                 "repro_distance_chunk_seconds", mode=mode)
             worker_hits = worker_misses = 0
             with trace.span("fill", partitions=p, mode=mode):
-                raw_blocks, infos = compute_blocks(items, metric,
-                                                   members, n_jobs)
+                if engine == "kernel":
+                    from .kernel import compute_kernel_blocks
+                    raw_blocks, kernel_stats = compute_kernel_blocks(
+                        items, metric, members)
+                    kernel_stats.record(registry)
+                    chunk_seconds.observe(kernel_stats.pack_seconds
+                                          + kernel_stats.block_seconds)
+                else:
+                    raw_blocks, infos = compute_blocks(items, metric,
+                                                       members, n_jobs)
+                    for info in infos:
+                        chunk_seconds.observe(info.seconds)
+                        worker_hits += info.cache_hits
+                        worker_misses += info.cache_misses
                 blocks = [np.asarray(raw, dtype=float)
                           for raw in raw_blocks]
-                for info in infos:
-                    chunk_seconds.observe(info.seconds)
-                    worker_hits += info.cache_hits
-                    worker_misses += info.cache_misses
 
             stats.pairs_computed = sum(len(b) for b in blocks)
             stats.pairs_skipped = stats.pairs_total - stats.pairs_computed
@@ -314,20 +350,54 @@ class BlockSparseDistanceMatrix:
 def compute_matrix(items: Sequence, metric: Metric, *,
                    mode: str = "auto", eps: Optional[float] = None,
                    n_jobs: int = 1,
-                   registry: Optional[metrics.MetricsRegistry] = None):
+                   registry: Optional[metrics.MetricsRegistry] = None,
+                   neighbor_backend: str = "matrix"):
     """Build a distance matrix in the requested ``mode``.
 
-    ``mode`` — ``"dense"``, ``"sparse"``, or ``"auto"`` (default):
-    block-sparse whenever the metric decomposes and the query radius
-    ``eps`` lies strictly below the population's partition exactness
-    bound (conservatively ``1/(max |table-set union|)``, i.e.
+    ``mode`` — ``"dense"``, ``"sparse"``, ``"kernel"``, or ``"auto"``
+    (default): block-sparse whenever the metric decomposes and the
+    query radius ``eps`` lies strictly below the population's partition
+    exactness bound (conservatively ``1/(max |table-set union|)``, i.e.
     ``1/(k+1)`` for ``k``-table joins — see
     :func:`~repro.distance.query_distance.partition_exactness_bound`),
-    dense otherwise.  ``eps`` doubles as the dense matrix's ``cutoff``.
+    dense otherwise.  ``"kernel"`` is the block-sparse layout with
+    blocks produced by the vectorized kernel (bitwise-identical
+    values).  ``eps`` doubles as the dense matrix's ``cutoff``.
+
+    ``neighbor_backend`` — ``"matrix"`` (default; materialized storage)
+    or ``"vptree"``: a :class:`~.metric_index.VPTreeIndex` whose range
+    queries run through per-partition vantage-point trees.  The vptree
+    backend has the same preconditions as the sparse layout (decomposed
+    metric, ``eps`` strictly below the partition exactness bound plus
+    numpy); when any fails it logs a warning and serves the requested
+    matrix ``mode`` instead, so threshold queries keep their exact
+    semantics — in particular ``partitioned_dbscan``'s
+    ``on_inexact="fallback"`` whole-population rerun always lands on a
+    matrix backend that can answer it.
     """
     if mode not in MATRIX_MODES:
         raise ValueError(f"mode must be one of {MATRIX_MODES}, "
                          f"got {mode!r}")
+    if neighbor_backend not in NEIGHBOR_BACKENDS:
+        raise ValueError(f"neighbor_backend must be one of "
+                         f"{NEIGHBOR_BACKENDS}, got {neighbor_backend!r}")
+    if neighbor_backend == "vptree":
+        from .kernel import kernel_available
+        from .metric_index import VPTreeIndex
+        if (kernel_available() and eps is not None
+                and is_decomposed(metric, items)
+                and eps < partition_exactness_bound(
+                    item.table_set for item in items)):
+            return VPTreeIndex.compute(items, metric, cutoff=eps,
+                                       registry=registry)
+        logger.warning(
+            "vptree backend requires numpy, a decomposed metric and a "
+            "radius below the partition exactness bound; falling back "
+            "to the %s matrix backend", mode)
+    if mode == "kernel":
+        return BlockSparseDistanceMatrix.compute(
+            items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry,
+            engine="kernel")
     if mode == "sparse":
         return BlockSparseDistanceMatrix.compute(
             items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry)

@@ -1,0 +1,338 @@
+"""VP-tree neighbour index correctness.
+
+The load-bearing property: subtree pruning never drops a true
+eps-neighbour.  This is sharper than it sounds because the access-area
+distance is only a **semi-metric** — the triangle inequality fails
+(``TestSemiMetric`` pins a concrete violation), so the tree must prune
+with certified lower bounds rather than pivot/threshold triangle
+arithmetic.  Checked by hypothesis against brute-force rows at
+randomized radii with a tiny leaf size (so real prune structure exists
+even for small populations) over populations that mix one- and
+two-clause CNFs — exactly the shape that produces triangle violations
+— plus the degenerate shapes the tree must survive: all points
+identical (distance 0 everywhere — the split degenerates and the tree
+must fall back to a scanned leaf), singleton partitions, and radii at
+or above the partition exactness bound, where the index must refuse
+rather than silently under-report (mirroring the block-sparse
+contract, including ``partitioned_dbscan``'s ``on_inexact``
+behaviour).
+"""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.cnf import CNF, Clause
+from repro.algebra.intervals import Interval
+from repro.algebra.predicates import (ColumnConstantPredicate, ColumnRef,
+                                      Op)
+from repro.clustering import DBSCAN, partitioned_dbscan
+from repro.core.area import AccessArea
+from repro.distance import QueryDistance
+from repro.distance.block_sparse import (BlockSparseDistanceMatrix,
+                                         compute_matrix)
+from repro.distance.kernel import PackedPartition
+from repro.distance.metric_index import (VPTree, VPTreeIndex,
+                                         VPTreeStats)
+from repro.obs import get_registry
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+T_X = ColumnRef("T", "x")
+S_X = ColumnRef("S", "x")
+
+
+def _stats():
+    schema = Schema("vp")
+    for name in ("T", "S"):
+        schema.add(Relation(name, (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+        ("S", "x"): Interval(0.0, 100.0),
+    })
+
+
+def _window(relation, lo, hi):
+    ref = ColumnRef(relation, "x")
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, Op.GE, lo)]),
+        Clause.of([ColumnConstantPredicate(ref, Op.LE, hi)]),
+    ]))
+
+
+def _half(relation, op, value):
+    ref = ColumnRef(relation, "x")
+    return AccessArea((relation,), CNF.of([
+        Clause.of([ColumnConstantPredicate(ref, op, value)]),
+    ]))
+
+
+windows = st.builds(
+    lambda lo, width: _window("T", lo, lo + width),
+    st.floats(min_value=0.0, max_value=80.0),
+    st.floats(min_value=0.5, max_value=20.0))
+
+#: Single-clause half-lines: mixing these with the two-clause windows
+#: produces the unequal-clause-count populations where the distance
+#: violates the triangle inequality, so the pruning property is
+#: exercised where triangle-based pruning would be unsound.
+half_windows = st.builds(
+    lambda value, le: _half("T", Op.LE if le else Op.GE, value),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.booleans())
+
+areas = st.one_of(windows, half_windows)
+
+
+class TestPruningNeverDropsNeighbours:
+    @settings(max_examples=60, deadline=None)
+    @given(population=st.lists(areas, min_size=2, max_size=30),
+           eps=st.floats(min_value=0.0, max_value=1.0),
+           probe=st.integers(min_value=0, max_value=1_000_000))
+    def test_query_equals_brute_force(self, population, eps, probe):
+        metric = QueryDistance(_stats())
+        pack = PackedPartition(population, metric)
+        tree = VPTree(pack, leaf_size=2)
+        m = len(population)
+        i = probe % m
+        row = pack.pair_rows(i, np.arange(m))
+        want = [(int(j), float(row[j]))
+                for j in np.flatnonzero(row <= eps)]
+        assert tree.query(i, eps) == want
+
+    def test_pruning_actually_happens(self):
+        # Two tight families far apart: querying inside one must prune
+        # the other's subtree (otherwise the tree is a slow scan).
+        population = [_window("T", float(i) / 10, 5.0 + i / 10)
+                      for i in range(20)]
+        population += [_window("T", 80.0 + i / 10, 90.0 + i / 10)
+                       for i in range(20)]
+        stats = VPTreeStats()
+        pack = PackedPartition(population, QueryDistance(_stats()))
+        tree = VPTree(pack, leaf_size=2, stats=stats)
+        tree.query(0, 0.05)
+        assert stats.pruned > 0
+        assert stats.queries == 1
+        assert 0 < stats.prune_rate < 1
+
+
+class TestSemiMetric:
+    """The distance is a semi-metric: symmetric with identity (proved
+    by the PR 1 metric-laws battery) but **not** triangle-inequal.
+    These tests pin a concrete violation — the population shape that
+    made triangle-based VP pruning silently drop a true neighbour —
+    and check the certified-bound tree stays exact on it."""
+
+    def _abc(self):
+        # A = one clause near the left edge, C = one clause near the
+        # right edge, B = one clause near each: d(A,C) ≈ 1 while
+        # d(A,B) ≈ d(B,C) ≈ 1/3, violating d(A,C) ≤ d(A,B) + d(B,C).
+        a = _half("T", Op.LE, 5.0)
+        c = _half("T", Op.GE, 95.0)
+        b = AccessArea(("T",), CNF.of([
+            Clause.of([ColumnConstantPredicate(T_X, Op.LE, 5.5)]),
+            Clause.of([ColumnConstantPredicate(T_X, Op.GE, 94.5)]),
+        ]))
+        return a, b, c
+
+    def test_triangle_inequality_fails(self):
+        metric = QueryDistance(_stats())
+        a, b, c = self._abc()
+        direct = metric.distance(a, c)
+        two_hop = metric.distance(a, b) + metric.distance(b, c)
+        assert direct > two_hop, \
+            "expected a triangle violation; the distance became a " \
+            "metric — revisit whether triangle pruning is now sound"
+
+    def test_tree_exact_on_triangle_violating_population(self):
+        # Embed the violating triple in a larger mixed population and
+        # check every query against brute force at radii bracketing
+        # the violating distances.
+        a, b, c = self._abc()
+        population = [a, b, c]
+        population += [_window("T", float(7 * k % 60),
+                               float(7 * k % 60) + 10.0)
+                       for k in range(12)]
+        population += [_half("T", Op.GE, float(90 - 3 * k))
+                       for k in range(6)]
+        metric = QueryDistance(_stats())
+        pack = PackedPartition(population, metric)
+        tree = VPTree(pack, leaf_size=2)
+        m = len(population)
+        for i in range(m):
+            row = pack.pair_rows(i, np.arange(m))
+            for eps in (0.1, 0.34, 0.5, 0.99):
+                want = [(int(j), float(row[j]))
+                        for j in np.flatnonzero(row <= eps)]
+                assert tree.query(i, eps) == want
+
+
+class TestDegenerateShapes:
+    def test_all_duplicates_distance_zero(self):
+        population = [_window("T", 1.0, 2.0)] * 25
+        pack = PackedPartition(population, QueryDistance(_stats()))
+        tree = VPTree(pack, leaf_size=2)
+        # The split degenerates (every distance is 0): the tree must
+        # still answer, via an oversized scanned leaf.
+        assert [j for j, _ in tree.query(7, 0.0)] == list(range(25))
+        assert tree.query(0, 0.5) == [(j, 0.0) for j in range(25)]
+
+    def test_singleton_partition(self):
+        index = VPTreeIndex.compute([_window("T", 0.0, 1.0)],
+                                    QueryDistance(_stats()))
+        assert len(index) == 1
+        assert index.neighbors(0, 0.1) == [0]
+        assert index.value(0, 0) == 0.0
+        assert math.isinf(index.exactness_bound)
+
+    def test_zero_eps_returns_self_and_duplicates(self):
+        population = [_window("T", 0.0, 10.0), _window("T", 50.0, 60.0),
+                      _window("T", 0.0, 10.0)]
+        index = VPTreeIndex.compute(population, QueryDistance(_stats()))
+        assert index.neighbors(1, 0.0) == [1]
+        assert index.neighbors(0, 0.0) == [0, 2]
+
+
+class TestExactnessBoundContract:
+    def _mixed_population(self):
+        return ([_window("T", float(i), float(i) + 5.0)
+                 for i in range(6)]
+                + [_window("S", float(i), float(i) + 5.0)
+                   for i in range(5)])
+
+    def test_neighbors_raises_at_bound(self):
+        population = self._mixed_population()
+        index = VPTreeIndex.compute(population, QueryDistance(_stats()))
+        assert index.exactness_bound == 1.0  # disjoint table sets
+        with pytest.raises(ValueError, match="exactness bound"):
+            index.neighbors(0, 1.0)
+
+    def test_compute_refuses_cutoff_at_bound(self):
+        with pytest.raises(ValueError, match="exactness bound"):
+            VPTreeIndex.compute(self._mixed_population(),
+                                QueryDistance(_stats()), cutoff=1.0)
+
+    @pytest.mark.filterwarnings("ignore:partitioned DBSCAN")
+    def test_compute_matrix_falls_back_above_bound(self):
+        # The factory never hands out a vptree it would have to refuse:
+        # at eps >= bound the matrix backend serves the request, so
+        # partitioned_dbscan's on_inexact="fallback" whole-population
+        # rerun still works.
+        population = self._mixed_population()
+        matrix = compute_matrix(population, QueryDistance(_stats()),
+                                mode="auto", eps=1.5,
+                                neighbor_backend="vptree")
+        assert not isinstance(matrix, VPTreeIndex)
+        labels = partitioned_dbscan(
+            population, QueryDistance(_stats()), eps=1.5, min_pts=2,
+            matrix=matrix, on_inexact="fallback").labels
+        assert len(labels) == len(population)
+
+    def test_partitioned_dbscan_on_inexact_raise(self):
+        population = self._mixed_population()
+        index = VPTreeIndex.compute(population, QueryDistance(_stats()))
+        with pytest.raises(ValueError, match="only exact for eps"):
+            partitioned_dbscan(population, QueryDistance(_stats()),
+                               eps=1.0, min_pts=2, matrix=index,
+                               on_inexact="raise")
+
+
+class TestIndexMatrixParity:
+    """The index is the block-sparse matrix behind a different engine:
+    value/row/neighbors/submatrix must agree entry for entry."""
+
+    def _pair(self):
+        population = ([_window("T", float(3 * i), float(3 * i) + 10.0)
+                       for i in range(9)]
+                      + [_window("S", float(2 * i), float(2 * i) + 8.0)
+                         for i in range(7)])
+        metric = QueryDistance(_stats())
+        index = VPTreeIndex.compute(population, metric)
+        sparse = BlockSparseDistanceMatrix.compute(population, metric)
+        return population, index, sparse
+
+    def test_values_rows_neighbors(self):
+        population, index, sparse = self._pair()
+        n = len(population)
+        assert index.exactness_bound == sparse.exactness_bound
+        for i in range(n):
+            assert list(index.row(i)) == list(sparse.row(i))
+            assert index.neighbors(i, 0.12) == sparse.neighbors(i, 0.12)
+            for j in range(n):
+                assert index.value(i, j) == sparse.value(i, j)
+
+    def test_range_query_pairs(self):
+        population, index, sparse = self._pair()
+        for i in range(len(population)):
+            row = sparse.row(i)
+            want = [(int(j), float(row[j]))
+                    for j in np.flatnonzero(row <= 0.2)]
+            assert index.range_query(i, 0.2) == want
+
+    def test_submatrix_single_partition_view(self):
+        population, index, sparse = self._pair()
+        indices = [k for k, area in enumerate(population)
+                   if area.table_set == frozenset({"T"})]
+        view = index.submatrix(indices)
+        block = sparse.submatrix(indices)
+        assert len(view) == len(block)
+        for a in range(len(indices)):
+            assert list(view.row(a)) == list(block.row(a))
+            assert view.neighbors(a, 0.3) \
+                == list(np.flatnonzero(block.row(a) <= 0.3))
+
+    def test_submatrix_subset_and_mixed(self):
+        population, index, sparse = self._pair()
+        subset = [0, 2, 5]  # proper subset of the T partition
+        view = index.submatrix(subset)
+        block = sparse.submatrix(subset)
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert view.value(a, b) == block.value(a, b)
+        assert view.neighbors(0, 0.4) \
+            == list(np.flatnonzero(block.row(0) <= 0.4))
+        mixed = index.submatrix([0, 1, 9, 10])
+        mixed_want = sparse.submatrix([0, 1, 9, 10])
+        assert list(mixed.condensed) == list(mixed_want.condensed)
+
+    def test_dbscan_labels_identical(self):
+        population, index, sparse = self._pair()
+        metric = QueryDistance(_stats())
+        want = partitioned_dbscan(population, metric, eps=0.12,
+                                  min_pts=2, matrix=sparse).labels
+        got = partitioned_dbscan(population, metric, eps=0.12,
+                                 min_pts=2, matrix=index).labels
+        assert got == want
+        # plain (non-partitioned) DBSCAN consumes either matrix too
+        plain_want = DBSCAN(eps=0.12, min_pts=2).fit(
+            population, matrix=sparse).labels
+        plain_got = DBSCAN(eps=0.12, min_pts=2).fit(
+            population, matrix=index).labels
+        assert plain_got == plain_want
+
+
+class TestInstrumentation:
+    def test_stats_and_registry(self):
+        registry = get_registry()
+        population = [_window("T", float(i), float(i) + 6.0)
+                      for i in range(40)]
+        index = VPTreeIndex.compute(population, QueryDistance(_stats()),
+                                    leaf_size=2, registry=registry)
+        before = registry.counter("repro_vptree_queries_total").value
+        index.neighbors(0, 0.1)
+        assert registry.counter("repro_vptree_queries_total").value \
+            == before + 1
+        assert index.vpstats.trees_built == 1
+        assert index.vpstats.build_evals > 0
+        # build evaluates far fewer pairs than the full triangle
+        assert index.stats.pairs_computed \
+            < len(population) * (len(population) - 1) // 2
+        assert index.stats.stored_floats > 0
+        assert "trees" in index.vpstats.summary()
