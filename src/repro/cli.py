@@ -12,13 +12,22 @@ Subcommands:
 * ``qa`` — randomized extraction-conformance harness (soundness +
   metamorphic oracles over random schemas/states, shrinking failures
   to a replayable JSON corpus);
-* ``stats`` — render a ``--metrics-out`` dump / ``--trace-out`` trace.
+* ``stats`` — render a ``--metrics-out`` dump / ``--trace-out`` trace;
+* ``runs`` — the flight recorder: list/show/diff run records;
+* ``perf`` — benchmark trajectories and the perf-regression guard.
 
 Observability: every subcommand takes ``--log-level`` / ``--log-format``
 (stderr diagnostics; also via ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT``),
 and the pipeline subcommands take ``--trace-out FILE`` (JSONL span
 trees) and ``--metrics-out FILE`` (JSON metrics dump).  User-facing
 results stay on stdout; diagnostics go through the logging layer.
+
+Flight recorder: ``process``/``casestudy``/``qa``/``stream`` write one
+JSON run record per invocation under ``--runs-dir`` (default ``runs/``
+or ``REPRO_RUNS_DIR``; ``--no-run-record`` opts out) with the config,
+git SHA, stage waterfall, and metrics snapshot; ``--profile`` wraps
+the stage bodies in cProfile and embeds hotspot tables plus a
+``<run_id>.folded`` flamegraph file.
 
 Examples::
 
@@ -30,11 +39,17 @@ Examples::
     repro-skyserver qa --n-queries 500 --seed 0
     repro-skyserver qa --replay tests/qa/corpus
     repro-skyserver stats m.json --trace t.jsonl
+    repro-skyserver runs list
+    repro-skyserver runs diff prev latest
+    repro-skyserver perf record --label baseline
+    repro-skyserver perf check --budgets perf_budgets.toml
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -45,8 +60,10 @@ from .core.stream import StreamMonitor
 from .distance.block_sparse import (MATRIX_MODES, NEIGHBOR_BACKENDS,
                                     compute_matrix)
 from .distance.query_distance import QueryDistance
-from .obs import (Tracer, configure_logging, export, get_logger,
-                  get_registry, set_tracer, trace)
+from .obs import (Profiler, Tracer, configure_logging, export,
+                  get_logger, get_registry, profile_section, runrec,
+                  set_profiler, set_tracer, trace)
+from .obs import perf as obs_perf
 from .schema import StatisticsCatalog, skyserver_schema
 from .schema.skyserver import CONTENT_BOUNDS
 from .sqlparser import SqlError
@@ -75,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parent.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="write the metrics registry as JSON on exit")
+    # Flight-recorder options shared by the recorded subcommands.
+    obs_parent.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-record directory (default: runs/ or REPRO_RUNS_DIR)")
+    obs_parent.add_argument(
+        "--no-run-record", action="store_true",
+        help="skip writing the JSON run record")
 
     parser = argparse.ArgumentParser(
         prog="repro-skyserver",
@@ -133,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "cluster unique areas with multiplicity "
                                 "weights (--no-intern: one object per "
                                 "statement)")
+    p_process.add_argument("--profile", dest="profile_hotspots",
+                           action="store_true",
+                           help="cProfile the extract/cluster stages "
+                                "into the run record + folded stacks")
 
     p_stream = sub.add_parser(
         "stream", parents=[obs_parent],
@@ -173,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "cluster unique areas with multiplicity "
                              "weights (--no-intern: one object per "
                              "statement)")
+    p_case.add_argument("--profile", dest="profile_hotspots",
+                        action="store_true",
+                        help="cProfile the pipeline stages into the "
+                             "run record + folded stacks")
 
     p_qa = sub.add_parser(
         "qa", parents=[obs_parent],
@@ -194,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_qa.add_argument("--shrink", default=True,
                       action=argparse.BooleanOptionalAction,
                       help="delta-debug failures to minimal cases")
+    # ``--profile`` is taken by the grammar-profile selector above.
+    p_qa.add_argument("--profile-hotspots", dest="profile_hotspots",
+                      action="store_true",
+                      help="cProfile each QA grammar profile into the "
+                           "run record + folded stacks")
 
     p_stats = sub.add_parser(
         "stats", parents=[logging_parent],
@@ -205,7 +242,114 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--format", default="table",
                          choices=["table", "prometheus", "json"],
                          help="metrics rendering (default: table)")
+
+    runs_dir_parent = argparse.ArgumentParser(add_help=False)
+    runs_dir_parent.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-record directory (default: runs/ or REPRO_RUNS_DIR)")
+    p_runs = sub.add_parser(
+        "runs", parents=[logging_parent],
+        help="list/show/diff flight-recorder run records")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", parents=[runs_dir_parent],
+                        help="tabulate all run records")
+    r_show = runs_sub.add_parser("show", parents=[runs_dir_parent],
+                                 help="print one run record")
+    r_show.add_argument("run", nargs="?", default="latest",
+                        help="run id prefix, 'latest', or 'prev'")
+    r_show.add_argument("--json", action="store_true",
+                        help="dump the raw record instead of the "
+                             "summary")
+    r_diff = runs_sub.add_parser(
+        "diff", parents=[runs_dir_parent],
+        help="compare two run records (config, stage waterfall, "
+             "metrics)")
+    r_diff.add_argument("a", nargs="?", default="prev",
+                        help="baseline run (id prefix/'latest'/'prev')")
+    r_diff.add_argument("b", nargs="?", default="latest",
+                        help="candidate run (id prefix/'latest'/'prev')")
+    r_diff.add_argument("--json", action="store_true",
+                        help="emit the structured diff as JSON")
+
+    p_perf = sub.add_parser(
+        "perf", parents=[logging_parent],
+        help="benchmark trajectories and the perf-regression guard")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    f_record = perf_sub.add_parser(
+        "record", help="flatten BENCH_*.json artifacts into the "
+                       "trajectory store")
+    f_record.add_argument("--bench-dir", default="benchmarks/out",
+                          metavar="DIR",
+                          help="directory holding BENCH_*.json")
+    f_record.add_argument("--trajectory",
+                          default="benchmarks/out/BENCH_trajectory.json",
+                          metavar="FILE")
+    f_record.add_argument("--label", default="baseline",
+                          help="entry label (check compares labels)")
+    f_check = perf_sub.add_parser(
+        "check", help="compare trajectory labels against budgets; "
+                      "exit 1 on regression")
+    f_check.add_argument("--trajectory",
+                         default="benchmarks/out/BENCH_trajectory.json",
+                         metavar="FILE")
+    f_check.add_argument("--budgets", default="perf_budgets.toml",
+                         metavar="FILE")
+    f_check.add_argument("--baseline", default="baseline",
+                         help="baseline entry label")
+    f_check.add_argument("--candidate", default="candidate",
+                         help="candidate entry label")
+    f_check.add_argument("--json", action="store_true",
+                         help="emit the structured result as JSON")
     return parser
+
+
+#: Subcommands that leave a flight-recorder run record by default.
+_RECORDED_COMMANDS = ("process", "casestudy", "qa", "stream")
+
+#: ``args`` entries excluded from the recorded config: bookkeeping,
+#: not knobs that change what the run computes.
+_UNRECORDED_ARGS = ("command", "log_level", "log_format", "runs_dir",
+                    "no_run_record", "trace_out", "metrics_out")
+
+
+def _resolve_runs_dir(args: argparse.Namespace) -> str:
+    return (getattr(args, "runs_dir", None)
+            or os.environ.get("REPRO_RUNS_DIR")
+            or runrec.DEFAULT_RUNS_DIR)
+
+
+def _dispatch(command: str, args: argparse.Namespace) -> int:
+    if command == "extract":
+        return _cmd_extract(args)
+    if command == "generate":
+        return _cmd_generate(args)
+    if command == "process":
+        return _cmd_process(args)
+    if command == "stream":
+        return _cmd_stream(args)
+    if command == "stats":
+        return _cmd_stats(args)
+    if command == "qa":
+        return _cmd_qa(args)
+    if command == "runs":
+        return _cmd_runs(args)
+    if command == "perf":
+        return _cmd_perf(args)
+    return _cmd_casestudy(args)
+
+
+def _finish_record(recorder, tracer, profiler) -> None:
+    """Distill the run's trace/metrics/profile into the record and
+    write it (plus the folded flamegraph file when profiling)."""
+    if tracer is not None:
+        recorder.set_waterfall(tracer.roots + tracer.open_roots)
+    recorder.set_metrics(get_registry())
+    if profiler is not None:
+        recorder.set_profile(profiler)
+    path = recorder.finalize()
+    if profiler is not None and profiler.sections:
+        profiler.write_folded(path.with_suffix(".folded"))
+    logger.info("run record written to %s", path)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -214,25 +358,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       getattr(args, "log_format", None))
     command = args.command
 
+    recording = (command in _RECORDED_COMMANDS
+                 and not getattr(args, "no_run_record", False))
     tracer = None
-    if getattr(args, "trace_out", None):
-        tracer = Tracer(sink=args.trace_out, keep=False)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out or recording:
+        # keep=True so the recorder can distill the stage waterfall
+        # from the completed roots after the command returns.
+        tracer = Tracer(sink=trace_out, keep=True)
         set_tracer(tracer)
+    profiler = None
+    if getattr(args, "profile_hotspots", False):
+        profiler = Profiler()
+        set_profiler(profiler)
+    recorder = None
+    if recording:
+        config = {key: value for key, value in vars(args).items()
+                  if key not in _UNRECORDED_ARGS}
+        recorder = runrec.RunRecorder(
+            command, runs_dir=_resolve_runs_dir(args), config=config,
+            argv=list(argv) if argv is not None else None)
     try:
-        if command == "extract":
-            return _cmd_extract(args)
-        if command == "generate":
-            return _cmd_generate(args)
-        if command == "process":
-            return _cmd_process(args)
-        if command == "stream":
-            return _cmd_stream(args)
-        if command == "stats":
-            return _cmd_stats(args)
-        if command == "qa":
-            return _cmd_qa(args)
-        return _cmd_casestudy(args)
+        exit_code = _dispatch(command, args)
+        if recorder is not None:
+            recorder.set(exit_code=exit_code)
+            if exit_code != 0:
+                recorder.record["status"] = "failed"
+            _finish_record(recorder, tracer, profiler)
+        return exit_code
+    except BrokenPipeError:
+        # Downstream closed the pipe (`runs list | head`) — not a
+        # failure of the run; silence the interpreter's closing flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except BaseException as exc:
+        # A crashed run still leaves its flight-recorder entry: flush
+        # the open span trees as partial traces, then write the record
+        # with the error inline.
+        if tracer is not None:
+            open_roots = tracer.open_roots
+            tracer.flush_open()
+        else:
+            open_roots = []
+        if recorder is not None:
+            recorder.record["status"] = "error"
+            recorder.record["error"] = f"{type(exc).__name__}: {exc}"
+            if tracer is not None:
+                recorder.set_waterfall(tracer.roots + open_roots)
+            recorder.set_metrics(get_registry())
+            if profiler is not None:
+                recorder.set_profile(profiler)
+            recorder.finalize()
+        raise
     finally:
+        if profiler is not None:
+            set_profiler(None)
         if tracer is not None:
             set_tracer(None)
             tracer.close()
@@ -270,8 +451,9 @@ def _cmd_process(args: argparse.Namespace) -> int:
     log = QueryLog.load_auto(args.log)
     schema = skyserver_schema()
     extractor = AccessAreaExtractor(schema)
-    report = process_log(log.statements_with_users(), extractor,
-                         intern=args.intern)
+    with profile_section("extract"):
+        report = process_log(log.statements_with_users(), extractor,
+                             intern=args.intern)
     report.continuation_lines = log.continuation_lines
     print(f"statements       : {report.total:,}")
     print(f"areas extracted  : {report.extraction_count:,} "
@@ -293,7 +475,8 @@ def _cmd_process(args: argparse.Namespace) -> int:
                        log[index].sql[:60], message[:50])
 
     if not args.no_cluster and report.extraction_count:
-        result = _cluster_report(report, schema, args)
+        with profile_section("cluster"):
+            result = _cluster_report(report, schema, args)
         print(f"clusters found   : {result.n_clusters} "
               f"({result.noise_count} noise points)")
     return 0
@@ -347,7 +530,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     monitor = StreamMonitor(
         AccessAreaExtractor(schema), stats=stats, on_event=emit,
         warmup=args.warmup)
-    with trace.span("stream", warmup=args.warmup):
+    with trace.span("stream", warmup=args.warmup), \
+            profile_section("stream"):
         monitor.process_many(log.statements())
     print()
     print(monitor.summary())
@@ -365,7 +549,8 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         neighbor_backend=args.neighbor_backend,
         intern=args.intern,
     )
-    result = run_case_study(config)
+    with profile_section("casestudy"):
+        result = run_case_study(config)
     print(format_summary(result))
     print()
     print(format_table1(result.rows, max_rows=args.rows))
@@ -430,6 +615,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(trace.format_span_tree(root))
         shown.append("trace")
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    runs_dir = _resolve_runs_dir(args)
+    try:
+        if args.runs_command == "list":
+            print(runrec.format_runs_table(runrec.list_runs(runs_dir)))
+            return 0
+        if args.runs_command == "show":
+            record = runrec.resolve_run(args.run, runs_dir)
+            if args.json:
+                print(json.dumps(record, indent=2, sort_keys=True))
+            else:
+                print(runrec.format_run(record))
+            return 0
+        # diff
+        record_a = runrec.resolve_run(args.a, runs_dir)
+        record_b = runrec.resolve_run(args.b, runs_dir)
+        diff = runrec.diff_runs(record_a, record_b)
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(runrec.format_diff(diff))
+        return 0
+    except KeyError as exc:
+        print(f"runs: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "record":
+        metrics = obs_perf.collect_bench_metrics(args.bench_dir)
+        if not metrics:
+            print(f"perf record: no BENCH_*.json under "
+                  f"{args.bench_dir}", file=sys.stderr)
+            return 2
+        entry = obs_perf.append_entry(
+            args.trajectory, metrics, label=args.label,
+            git_sha=runrec.git_sha())
+        print(f"recorded {len(metrics)} metrics as "
+              f"{entry['label']!r} in {args.trajectory}")
+        return 0
+    # check
+    try:
+        trajectory = obs_perf.load_trajectory(args.trajectory)
+        budgets = obs_perf.load_budgets(args.budgets)
+        result = obs_perf.check_regressions(
+            trajectory, budgets, baseline_label=args.baseline,
+            candidate_label=args.candidate)
+    except (KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"perf check: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(obs_perf.format_check(result))
+    return 0 if result["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -61,6 +61,10 @@ class ExtractionResult:
     area: AccessArea
     timings: StageTimings
     statement: Optional[ast.SelectStatement] = None
+    #: Span id of the ``query`` trace span (None when tracing is off);
+    #: lets stage-latency histograms attach exemplars pointing at the
+    #: exact trace subtree that produced a slow observation.
+    span_id: Optional[str] = None
 
     @property
     def exact(self) -> bool:
@@ -96,15 +100,20 @@ class AccessAreaExtractor:
         past resource limits — the paper's unparseable/pathological
         classes.
         """
-        with trace.span("query"):
+        with trace.span("query") as query_span:
             start = time.perf_counter()
             with trace.span("parse"):
                 statement = parse(sql)
             parse_time = time.perf_counter() - start
-            return self.extract_statement(statement, parse_time)
+            span = query_span.span
+            return self.extract_statement(
+                statement, parse_time,
+                span_id=None if span is None else span.span_id)
 
     def extract_statement(self, statement: ast.SelectStatement,
-                          parse_time: float = 0.0) -> ExtractionResult:
+                          parse_time: float = 0.0,
+                          span_id: Optional[str] = None
+                          ) -> ExtractionResult:
         start = time.perf_counter()
         with trace.span("extract"):
             ctx = ExtractionContext(self.schema)
@@ -134,7 +143,7 @@ class AccessAreaExtractor:
                           exact=ctx.exact)
         timings = StageTimings(parse_time, extract_time, cnf_time,
                                consolidate_time)
-        return ExtractionResult(area, timings, statement)
+        return ExtractionResult(area, timings, statement, span_id=span_id)
 
     def _statement_to_expr(self, statement: ast.SelectStatement,
                            ctx: ExtractionContext) -> BoolExpr:

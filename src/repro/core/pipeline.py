@@ -360,7 +360,8 @@ def process_log(statements: Iterable[str | tuple[str, str]],
             report.record_timings(result.timings)
             for stage in _STAGES:
                 stage_histograms[stage].observe(
-                    getattr(result.timings, stage))
+                    getattr(result.timings, stage),
+                    exemplar=result.span_id)
             area = result.area
             if interner is not None:
                 area = interner.intern(area)

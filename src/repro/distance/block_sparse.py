@@ -231,9 +231,15 @@ class BlockSparseDistanceMatrix:
                     raw_blocks, infos = compute_blocks(items, metric,
                                                        members, n_jobs)
                     for info in infos:
-                        chunk_seconds.observe(info.seconds)
+                        trace.attach(info.span)
+                        chunk_seconds.observe(
+                            info.seconds,
+                            exemplar=info.span.get("span_id")
+                            if info.span else None)
                         worker_hits += info.cache_hits
                         worker_misses += info.cache_misses
+                    registry.merge_all(
+                        info.metrics for info in infos)
                 blocks = [np.asarray(raw, dtype=float)
                           for raw in raw_blocks]
 

@@ -242,9 +242,15 @@ class DistanceMatrix:
                     for k, value in entries:
                         values[k] = value
                     for info in infos:
-                        chunk_seconds.observe(info.seconds)
+                        trace.attach(info.span)
+                        chunk_seconds.observe(
+                            info.seconds,
+                            exemplar=info.span.get("span_id")
+                            if info.span else None)
                         worker_hits += info.cache_hits
                         worker_misses += info.cache_misses
+                    registry.merge_all(
+                        info.metrics for info in infos)
 
             if before is not None:
                 after = pred_info()

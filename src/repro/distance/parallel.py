@@ -33,8 +33,12 @@ import multiprocessing as mp
 import os
 import pickle
 import time
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.trace import Span, TraceContext
 
 Pair = tuple[int, int, int]  # (condensed index, i, j)
 
@@ -47,13 +51,25 @@ _WORKER_STATE: dict = {}
 
 @dataclass(frozen=True)
 class BlockInfo:
-    """Telemetry for one evaluated block of pairs."""
+    """Telemetry for one evaluated block of pairs.
+
+    Beyond the scalar counters, two optional payloads ride back over
+    the same IPC channel: ``span`` — the completed span tree of this
+    block (a :meth:`repro.obs.trace.Span.to_dict`), minted under the
+    propagated :class:`~repro.obs.trace.TraceContext` so the parent can
+    stitch one whole-run trace out of every worker's pieces — and
+    ``metrics`` — the worker-local registry snapshot of everything the
+    metric recorded while evaluating this block (lost before: a forked
+    worker's registry writes landed in its private copy-on-write copy
+    of the parent registry and died with the worker)."""
 
     pairs: int
     seconds: float
     pid: int
     cache_hits: int = 0
     cache_misses: int = 0
+    span: Optional[dict] = None
+    metrics: Optional[dict] = None
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -63,13 +79,32 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
-def _init_worker(metric, items) -> None:
+def _init_worker(metric, items, trace_ctx: Optional[TraceContext] = None,
+                 ship_metrics: bool = False) -> None:
     _WORKER_STATE["metric"] = metric
     _WORKER_STATE["items"] = items
+    _WORKER_STATE["trace_ctx"] = trace_ctx
+    _WORKER_STATE["ship_metrics"] = ship_metrics
 
 
-def _evaluate_block(metric, items,
-                    block: Sequence[Pair],
+def _block_span(name: str, ctx: Optional[TraceContext],
+                started: float, elapsed: float,
+                info_attrs: dict) -> Optional[dict]:
+    """A completed span dict for one evaluated block, minted under the
+    propagated trace context (None when tracing is off)."""
+    if ctx is None:
+        return None
+    span = Span(name, {"pid": os.getpid(),
+                       "parent_span_id": ctx.parent_span_id,
+                       **info_attrs},
+                trace_id=ctx.trace_id)
+    span.start = started
+    span.end = started + elapsed
+    return span.to_dict()
+
+
+def _evaluate_block(metric, items, block: Sequence[Pair],
+                    trace_ctx: Optional[TraceContext] = None,
                     ) -> tuple[list[tuple[int, float]], BlockInfo]:
     started = time.perf_counter()
     pred_info = getattr(metric, "pred_cache_info", None)
@@ -81,18 +116,42 @@ def _evaluate_block(metric, items,
         after = pred_info()
         hits = after.hits - before.hits
         misses = after.misses - before.misses
+    span = _block_span("distance_chunk", trace_ctx, started, elapsed,
+                       {"pairs": len(block), "cache_hits": hits,
+                        "cache_misses": misses})
     return entries, BlockInfo(pairs=len(block), seconds=elapsed,
                               pid=os.getpid(), cache_hits=hits,
-                              cache_misses=misses)
+                              cache_misses=misses, span=span)
+
+
+def _with_worker_registry(evaluate):
+    """Run ``evaluate`` under a fresh worker-local registry when the
+    parent asked for metric shipping; returns ``(result, snapshot)``."""
+    if not _WORKER_STATE.get("ship_metrics"):
+        return evaluate(), None
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = evaluate()
+    snapshot = registry.snapshot(include_reservoir=True)
+    if not (snapshot["counters"] or snapshot["gauges"]
+            or snapshot["histograms"]):
+        snapshot = None
+    return result, snapshot
 
 
 def _compute_block(block: list[Pair]
                    ) -> tuple[list[tuple[int, float]], BlockInfo]:
-    return _evaluate_block(_WORKER_STATE["metric"],
-                           _WORKER_STATE["items"], block)
+    (entries, info), snapshot = _with_worker_registry(
+        lambda: _evaluate_block(_WORKER_STATE["metric"],
+                                _WORKER_STATE["items"], block,
+                                _WORKER_STATE.get("trace_ctx")))
+    if snapshot is not None:
+        info = replace(info, metrics=snapshot)
+    return entries, info
 
 
 def _evaluate_partition(metric, items, members: Sequence[int],
+                        trace_ctx: Optional[TraceContext] = None,
                         ) -> tuple[list[float], BlockInfo]:
     """The full condensed block of one partition, row-major upper triangle."""
     started = time.perf_counter()
@@ -108,24 +167,36 @@ def _evaluate_partition(metric, items, members: Sequence[int],
         after = pred_info()
         hits = after.hits - before.hits
         misses = after.misses - before.misses
+    span = _block_span("distance_partition", trace_ctx, started, elapsed,
+                       {"members": m, "pairs": len(values),
+                        "cache_hits": hits, "cache_misses": misses})
     return values, BlockInfo(pairs=len(values), seconds=elapsed,
                              pid=os.getpid(), cache_hits=hits,
-                             cache_misses=misses)
+                             cache_misses=misses, span=span)
 
 
 def _compute_partition(members: Sequence[int]
                        ) -> tuple[list[float], BlockInfo]:
-    return _evaluate_partition(_WORKER_STATE["metric"],
-                               _WORKER_STATE["items"], members)
+    (values, info), snapshot = _with_worker_registry(
+        lambda: _evaluate_partition(_WORKER_STATE["metric"],
+                                    _WORKER_STATE["items"], members,
+                                    _WORKER_STATE.get("trace_ctx")))
+    if snapshot is not None:
+        info = replace(info, metrics=snapshot)
+    return values, info
 
 
 def _serial_blocks(items: Sequence, metric: Callable,
                    partitions: Sequence[Sequence[int]],
                    ) -> tuple[list[list[float]], list[BlockInfo]]:
+    # The serial path mints the same per-partition span dicts as the
+    # workers do, so serial and parallel runs stitch into trees of
+    # identical shape.
+    ctx = obs_trace.current_context()
     blocks: list[list[float]] = []
     infos: list[BlockInfo] = []
     for members in partitions:
-        values, info = _evaluate_partition(metric, items, members)
+        values, info = _evaluate_partition(metric, items, members, ctx)
         blocks.append(values)
         infos.append(info)
     return blocks, infos
@@ -159,7 +230,9 @@ def compute_blocks(items: Sequence,
         context = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else None)
         with context.Pool(workers, initializer=_init_worker,
-                          initargs=(metric, items)) as pool:
+                          initargs=(metric, items,
+                                    obs_trace.current_context(),
+                                    True)) as pool:
             # chunksize=1: partitions are heavily skewed (one hot table
             # set dominates a real log); let the pool load-balance them.
             results = pool.map(_compute_partition,
@@ -176,10 +249,11 @@ def compute_blocks(items: Sequence,
 def _serial(items: Sequence, metric: Callable, pairs: Sequence[Pair],
             chunk_pairs: int,
             ) -> tuple[list[tuple[int, float]], list[BlockInfo]]:
+    ctx = obs_trace.current_context()
     entries: list[tuple[int, float]] = []
     infos: list[BlockInfo] = []
     for block in _blocks(pairs, chunk_pairs):
-        block_entries, info = _evaluate_block(metric, items, block)
+        block_entries, info = _evaluate_block(metric, items, block, ctx)
         entries.extend(block_entries)
         infos.append(info)
     return entries, infos
@@ -209,7 +283,9 @@ def compute_pairs(items: Sequence, metric: Callable[[object, object], float],
         context = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else None)
         with context.Pool(workers, initializer=_init_worker,
-                          initargs=(metric, items)) as pool:
+                          initargs=(metric, items,
+                                    obs_trace.current_context(),
+                                    True)) as pool:
             results = pool.map(_compute_block, blocks)
     except (OSError, ValueError, RuntimeError, AttributeError,
             pickle.PicklingError):

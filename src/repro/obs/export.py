@@ -49,46 +49,135 @@ def _prom_number(value: float) -> str:
     return repr(float(value))
 
 
+#: Cumulative bucket upper bounds for histogram exposition (seconds-
+#: flavoured ladder; ``+Inf`` is always appended).
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: ``# HELP`` text for the known instrument families; anything not
+#: listed falls back to a name-derived description so every exported
+#: family still carries a HELP line.
+HELP_TEXTS = {
+    "repro_pipeline_statements_total": "Log statements processed.",
+    "repro_pipeline_extracted_total":
+        "Statements with an extracted access area.",
+    "repro_pipeline_failures_total":
+        "Extraction failures by kind (parse/lex/unsupported/cnf).",
+    "repro_pipeline_stage_seconds":
+        "Per-statement extractor stage latency.",
+    "repro_distance_chunk_seconds":
+        "Distance-engine chunk/partition evaluation latency.",
+    "repro_distance_matrix_seconds": "Whole distance-matrix build time.",
+    "repro_intern_pool_size": "Unique access areas in the intern pool.",
+    "repro_intern_hits_total": "Intern-pool fingerprint hits.",
+    "repro_intern_misses_total": "Intern-pool fingerprint misses.",
+    "repro_intern_dedup_ratio": "Source areas per unique area.",
+}
+
+
+def _help_text(name: str) -> str:
+    return HELP_TEXTS.get(name, name.replace("_", " ") + ".")
+
+
+def _bucket_counts(reservoir: list, count: int,
+                   bounds=DEFAULT_BUCKETS) -> list[tuple[str, int]]:
+    """Cumulative ``(le, count)`` pairs estimated from the reservoir.
+
+    Exact while the reservoir is exact (≤ its capacity); beyond that
+    the uniform sample is scaled to the true count, which keeps the
+    buckets consistent with ``_count``/``_sum`` and monotone.
+    """
+    ordered = sorted(float(v) for v in reservoir)
+    total = len(ordered)
+    pairs: list[tuple[str, int]] = []
+    position = 0
+    for bound in bounds:
+        while position < total and ordered[position] <= bound:
+            position += 1
+        scaled = round(count * position / total) if total else 0
+        pairs.append((_prom_number(bound), scaled))
+    pairs.append(("+Inf", count))
+    return pairs
+
+
+def _exemplar_suffix(entry: dict, low: float, high: float) -> str:
+    """OpenMetrics exemplar annotation for the bucket ``(low, high]``
+    (empty when no exemplar landed in it)."""
+    for exemplar in entry.get("exemplars", ()):
+        value = exemplar["value"]
+        if low < value <= high:
+            span_id = _prom_escape(str(exemplar["span_id"]))
+            return (f' # {{span_id="{span_id}"}} '
+                    f"{_prom_number(value)}")
+    return ""
+
+
 def to_prometheus(source: _SourceType) -> str:
     """The Prometheus text exposition format.
 
-    Histograms are exported as summaries (``quantile`` label plus
-    ``_sum`` / ``_count`` series), which matches the reservoir
-    estimator better than fixed buckets would.
+    Counters and gauges export directly; histograms export as native
+    Prometheus histograms — cumulative ``_bucket{le=...}`` series
+    (reconstructed from the quantile reservoir and scaled to the true
+    count) plus ``_sum``/``_count`` — with OpenMetrics span-id
+    exemplars on buckets containing a recorded slow observation, so a
+    scrape can link a latency spike straight to its span tree.  The
+    reservoir quantiles additionally export as a companion
+    ``<name>_quantiles`` gauge family (a family must be one type, so
+    they cannot share the histogram's name).  Every family carries
+    ``# HELP`` and ``# TYPE`` lines.
     """
-    snapshot = _as_snapshot(source, include_reservoir=False)
+    snapshot = _as_snapshot(source, include_reservoir=True)
     lines: list[str] = []
     seen_types: set[str] = set()
 
-    for entry in snapshot.get("counters", ()):
-        name = entry["name"]
+    def _head(name: str, kind: str) -> None:
         if name not in seen_types:
             seen_types.add(name)
-            lines.append(f"# TYPE {name} counter")
+            lines.append(f"# HELP {name} {_help_text(name)}")
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = entry["name"]
+        _head(name, "counter")
         lines.append(f"{name}{_prom_labels(entry['labels'])} "
                      f"{_prom_number(entry['value'])}")
     for entry in snapshot.get("gauges", ()):
         name = entry["name"]
-        if name not in seen_types:
-            seen_types.add(name)
-            lines.append(f"# TYPE {name} gauge")
+        _head(name, "gauge")
         lines.append(f"{name}{_prom_labels(entry['labels'])} "
                      f"{_prom_number(entry['value'])}")
     for entry in snapshot.get("histograms", ()):
         name = entry["name"]
-        if name not in seen_types:
-            seen_types.add(name)
-            lines.append(f"# TYPE {name} summary")
+        _head(name, "histogram")
+        labels = entry["labels"]
+        # A compact snapshot loaded from disk may lack the reservoir;
+        # fall back to a two-bucket histogram that is still valid.
+        reservoir = entry.get("reservoir")
+        if reservoir:
+            buckets = _bucket_counts(reservoir, entry["count"])
+        else:
+            buckets = [("+Inf", entry["count"])]
+        low = float("-inf")
+        for le, bucket_count in buckets:
+            high = float("inf") if le == "+Inf" else float(le)
+            suffix = _exemplar_suffix(entry, low, high)
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, {'le': le})} "
+                f"{bucket_count}{suffix}")
+            low = high
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_number(entry['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} "
+                     f"{entry['count']}")
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"] + "_quantiles"
+        _head(name, "gauge")
         labels = entry["labels"]
         for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
                                ("0.99", "p99")):
             lines.append(
                 f"{name}{_prom_labels(labels, {'quantile': q_label})} "
                 f"{_prom_number(entry[q_key])}")
-        lines.append(f"{name}_sum{_prom_labels(labels)} "
-                     f"{_prom_number(entry['sum'])}")
-        lines.append(f"{name}_count{_prom_labels(labels)} "
-                     f"{_prom_number(entry['count'])}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -32,14 +32,18 @@ appends.
 
 from __future__ import annotations
 
+import json
 import threading
 import zlib
 from contextlib import contextmanager
 from random import Random
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 #: Observations kept exactly before reservoir sampling kicks in.
 DEFAULT_RESERVOIR_SIZE = 512
+
+#: Slowest observations per histogram that keep a span-id exemplar.
+EXEMPLAR_CAP = 5
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -140,8 +144,8 @@ class Histogram:
     deterministic pipeline reports deterministic quantiles.
     """
 
-    __slots__ = ("name", "labels", "stats", "reservoir", "_size", "_rng",
-                 "_lock")
+    __slots__ = ("name", "labels", "stats", "reservoir", "exemplars",
+                 "_size", "_rng", "_lock")
 
     def __init__(self, name: str = "", labels: Optional[dict] = None,
                  reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
@@ -149,11 +153,16 @@ class Histogram:
         self.labels = dict(labels or {})
         self.stats = RunningStats()
         self.reservoir: list[float] = []
+        #: ``(value, span_id)`` of the slowest exemplar-bearing
+        #: observations — the link from a bad quantile back to the span
+        #: tree that produced it.
+        self.exemplars: list[tuple[float, str]] = []
         self._size = reservoir_size
         self._rng = Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
         value = float(value)
         with self._lock:
             self.stats.add(value)
@@ -163,6 +172,16 @@ class Histogram:
                 slot = self._rng.randrange(self.stats.count)
                 if slot < self._size:
                     self.reservoir[slot] = value
+            if exemplar is not None:
+                self._note_exemplar(value, str(exemplar))
+
+    def _note_exemplar(self, value: float, span_id: str) -> None:
+        # Keep the top EXEMPLAR_CAP by (value, span_id) — a total order,
+        # so the surviving set never depends on arrival order.
+        self.exemplars.append((value, span_id))
+        if len(self.exemplars) > EXEMPLAR_CAP:
+            self.exemplars.sort(key=lambda pair: (-pair[0], pair[1]))
+            del self.exemplars[EXEMPLAR_CAP:]
 
     # -- summary statistics -------------------------------------------------
 
@@ -231,7 +250,8 @@ class _NullGauge(Gauge):
 
 
 class _NullHistogram(Histogram):
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
         pass
 
 
@@ -307,6 +327,12 @@ class MetricsRegistry:
             }
             if include_reservoir:
                 entry["reservoir"] = list(h.reservoir)
+            if h.exemplars:
+                entry["exemplars"] = [
+                    {"value": value, "span_id": span_id}
+                    for value, span_id in sorted(
+                        h.exemplars,
+                        key=lambda pair: (-pair[0], pair[1]))]
             histograms.append(entry)
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
@@ -319,8 +345,14 @@ class MetricsRegistry:
         """Fold a :meth:`snapshot` (e.g. from a worker process) in.
 
         Counters add, gauges take the incoming value, histograms pool
-        the accumulator statistics and append the incoming reservoir
-        (re-sampling down once over capacity).
+        the accumulator statistics, exemplars, and the incoming
+        reservoir (re-sampling down once over capacity).  Pooling is
+        deterministic for a *given* merge order — the combined
+        reservoir is sorted before the down-sample and the sampler is
+        re-seeded from the pooled count — but a *set* of worker
+        snapshots arriving in completion order should go through
+        :meth:`merge_all`, which first sorts them by a stable key so
+        worker scheduling cannot change the surviving sample.
         """
         for entry in snapshot.get("counters", ()):
             self.counter(entry["name"], **entry["labels"]).inc(
@@ -343,8 +375,30 @@ class MetricsRegistry:
                         stats._maximum = entry["max"]
                 histogram.reservoir.extend(incoming)
                 if len(histogram.reservoir) > histogram._size:
-                    histogram.reservoir = histogram._rng.sample(
-                        histogram.reservoir, histogram._size)
+                    pooled = sorted(histogram.reservoir)
+                    seed = zlib.crc32(
+                        f"{histogram.name}:{stats.count}".encode("utf-8"))
+                    histogram.reservoir = Random(seed).sample(
+                        pooled, histogram._size)
+                for exemplar in entry.get("exemplars", ()):
+                    histogram._note_exemplar(exemplar["value"],
+                                             exemplar["span_id"])
+
+    def merge_all(self, snapshots: Iterable[dict]) -> int:
+        """Merge worker snapshots in a canonical order.
+
+        Multiprocessing pools hand results back in completion order,
+        which varies run to run; merging in that order would let
+        scheduling noise pick which reservoir samples survive the
+        down-sample, making p50/p95/p99 flap across identical runs.
+        Sorting the snapshots by their canonical JSON serialization
+        first makes the merged state a pure function of the snapshot
+        *set*.  Returns the number of snapshots merged."""
+        ordered = sorted((s for s in snapshots if s),
+                         key=lambda s: json.dumps(s, sort_keys=True))
+        for snapshot in ordered:
+            self.merge(snapshot)
+        return len(ordered)
 
 
 class NullRegistry(MetricsRegistry):

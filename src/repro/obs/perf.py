@@ -1,0 +1,371 @@
+"""Perf-regression guard: benchmark trajectories, budgets, noise-aware
+deltas.
+
+Benchmarks write ``BENCH_*.json`` artifacts with nested numeric leaves
+(seconds, speedups, throughput).  This module turns those one-shot
+artifacts into a *trajectory* — ``BENCH_trajectory.json``, an
+append-only series of labelled entries mapping flattened metric keys
+(``BENCH_kernel:sizes[1].kernel_seconds``) to values — and checks new
+entries against a budget file with noise-aware statistics:
+
+* the **baseline** for a metric is the median over up to the last *k*
+  labelled baseline entries (median-of-k absorbs one bad run);
+* a candidate only regresses when the budgeted direction worsens by
+  more than the budget's ``max_ratio`` *and* ``min_abs_delta``, and —
+  once enough history exists — its **robust z-score**
+  (``|x - median| / (1.4826 * MAD)``) clears the budget's threshold,
+  so a noisy metric needs a proportionally louder signal to trip.
+
+``repro perf record`` appends an entry; ``repro perf check`` compares
+two labels (default: the two most recent) and exits nonzero on any
+budget violation, which is how CI turns a 2x slowdown on the smoke
+benchmarks into a red build.
+
+Budgets live in TOML (``perf_budgets.toml``).  :mod:`tomllib` ships
+with Python >= 3.11; on 3.10 a deliberately small fallback parser
+handles the subset the budget file uses (tables, arrays of tables,
+string/number/bool scalars) so the guard runs on every CI leg without
+new dependencies.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import re
+import statistics
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Scale factor relating MAD to the standard deviation of a normal
+#: distribution; makes the robust z comparable to an ordinary z-score.
+MAD_TO_SIGMA = 1.4826
+
+#: Nested keys never flattened into trajectory metrics (raw samples and
+#: embedded snapshots would bloat the series without being comparable).
+_SKIP_KEYS = frozenset({"reservoir", "metrics", "exemplars"})
+
+
+# -- flattening -------------------------------------------------------------
+
+def flatten_numeric(value, prefix: str = "") -> dict[str, float]:
+    """All numeric leaves of a nested JSON value as ``path -> float``.
+
+    Dict keys join with ``.``; list items index as ``[i]``.  Booleans
+    are excluded (they are ints in Python but not measurements), and
+    subtrees under :data:`_SKIP_KEYS` are pruned.
+    """
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+        return out
+    if isinstance(value, dict):
+        for key, child in value.items():
+            if key in _SKIP_KEYS:
+                continue
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(child, child_prefix))
+        return out
+    if isinstance(value, list):
+        for index, child in enumerate(value):
+            out.update(flatten_numeric(child, f"{prefix}[{index}]"))
+        return out
+    return out
+
+
+def collect_bench_metrics(bench_dir: Union[str, Path]
+                          ) -> dict[str, float]:
+    """Flatten every ``BENCH_*.json`` under ``bench_dir`` into one
+    metric map keyed ``BENCH_name:path``."""
+    directory = Path(bench_dir)
+    metrics: dict[str, float] = {}
+    if not directory.is_dir():
+        return metrics
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == "BENCH_trajectory.json":
+            continue  # the store itself lives next to the artifacts
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        family = path.stem
+        for key, value in flatten_numeric(payload).items():
+            metrics[f"{family}:{key}"] = value
+    return metrics
+
+
+# -- trajectory store -------------------------------------------------------
+
+def load_trajectory(path: Union[str, Path]) -> dict:
+    trajectory_path = Path(path)
+    if trajectory_path.exists():
+        data = json.loads(trajectory_path.read_text(encoding="utf-8"))
+        if data.get("schema_version") != TRAJECTORY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trajectory schema "
+                f"{data.get('schema_version')!r} in {path}")
+        return data
+    return {"schema_version": TRAJECTORY_SCHEMA_VERSION, "entries": []}
+
+
+def append_entry(path: Union[str, Path], metrics: dict[str, float],
+                 label: str = "run",
+                 git_sha: Optional[str] = None,
+                 recorded: Optional[str] = None) -> dict:
+    """Append one labelled entry to the trajectory file and return it."""
+    trajectory = load_trajectory(path)
+    entry = {
+        "recorded": recorded or datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": label,
+        "git_sha": git_sha,
+        "metrics": dict(sorted(metrics.items())),
+    }
+    trajectory["entries"].append(entry)
+    trajectory_path = Path(path)
+    trajectory_path.parent.mkdir(parents=True, exist_ok=True)
+    trajectory_path.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return entry
+
+
+def entries_for_label(trajectory: dict, label: str) -> list[dict]:
+    return [entry for entry in trajectory.get("entries", ())
+            if entry.get("label") == label]
+
+
+# -- budgets ----------------------------------------------------------------
+
+class Budget:
+    """One budget rule: a metric-key glob plus regression thresholds.
+
+    ``direction`` states which way is *bad*: ``"up"`` for costs
+    (seconds, bytes — more is worse), ``"down"`` for rates (speedups,
+    queries/second — less is worse).
+    """
+
+    __slots__ = ("pattern", "direction", "max_ratio", "min_abs_delta",
+                 "robust_z", "baseline_k")
+
+    def __init__(self, pattern: str, direction: str = "up",
+                 max_ratio: float = 1.5, min_abs_delta: float = 0.005,
+                 robust_z: float = 4.0, baseline_k: int = 5) -> None:
+        if direction not in ("up", "down"):
+            raise ValueError(f"budget direction must be 'up' or 'down',"
+                             f" got {direction!r}")
+        self.pattern = pattern
+        self.direction = direction
+        self.max_ratio = float(max_ratio)
+        self.min_abs_delta = float(min_abs_delta)
+        self.robust_z = float(robust_z)
+        self.baseline_k = int(baseline_k)
+
+    def matches(self, key: str) -> bool:
+        return fnmatch.fnmatchcase(key, self.pattern)
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """A small TOML-subset parser for 3.10 (no :mod:`tomllib`).
+
+    Supports ``[table]``, ``[[array-of-tables]]``, and
+    ``key = value`` lines with string/float/int/bool scalars — exactly
+    what ``perf_budgets.toml`` uses.  Not a general TOML parser.
+    """
+    root: dict = {}
+    current = root
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        array_header = re.fullmatch(r"\[\[([A-Za-z0-9_.-]+)\]\]", line)
+        if array_header:
+            current = {}
+            root.setdefault(array_header.group(1), []).append(current)
+            continue
+        table_header = re.fullmatch(r"\[([A-Za-z0-9_.-]+)\]", line)
+        if table_header:
+            current = root.setdefault(table_header.group(1), {})
+            continue
+        if "=" not in line:
+            raise ValueError(f"cannot parse TOML line: {raw_line!r}")
+        key, _, value_text = line.partition("=")
+        key = key.strip().strip('"')
+        value_text = value_text.strip()
+        if value_text.startswith('"') and value_text.endswith('"'):
+            value: object = value_text[1:-1]
+        elif value_text in ("true", "false"):
+            value = value_text == "true"
+        else:
+            try:
+                value = int(value_text)
+            except ValueError:
+                value = float(value_text)
+        current[key] = value
+    return root
+
+
+def load_budgets(path: Union[str, Path]) -> list[Budget]:
+    """Parse ``perf_budgets.toml`` into :class:`Budget` rules.
+
+    ``[defaults]`` sets thresholds inherited by every ``[[budget]]``
+    entry; each entry needs at least a ``pattern``.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+    else:
+        data = _parse_toml_minimal(text)
+    defaults = data.get("defaults", {})
+    budgets = []
+    for raw in data.get("budget", []):
+        merged = {**defaults, **raw}
+        if "pattern" not in merged:
+            raise ValueError("each [[budget]] needs a 'pattern'")
+        budgets.append(Budget(
+            pattern=merged["pattern"],
+            direction=merged.get("direction", "up"),
+            max_ratio=merged.get("max_ratio", 1.5),
+            min_abs_delta=merged.get("min_abs_delta", 0.005),
+            robust_z=merged.get("robust_z", 4.0),
+            baseline_k=merged.get("baseline_k", 5),
+        ))
+    return budgets
+
+
+# -- the check --------------------------------------------------------------
+
+def robust_z_score(value: float, history: list[float]) -> Optional[float]:
+    """``|value - median| / (1.4826 * MAD)`` over ``history``.
+
+    Returns None when the history is too short (< 3 points) or has
+    zero spread — callers fall back to the ratio test alone.
+    """
+    if len(history) < 3:
+        return None
+    median = statistics.median(history)
+    mad = statistics.median(abs(x - median) for x in history)
+    if mad == 0.0:
+        return None
+    return abs(value - median) / (MAD_TO_SIGMA * mad)
+
+
+def check_regressions(trajectory: dict, budgets: list[Budget],
+                      baseline_label: str = "baseline",
+                      candidate_label: str = "candidate") -> dict:
+    """Compare the latest ``candidate`` entry against the ``baseline``
+    history under the given budgets.
+
+    Returns ``{"ok": bool, "findings": [...], "checked": int}``;
+    every finding carries the metric key, baseline median, candidate
+    value, ratio, robust z (when computable), and verdict.  A metric
+    missing from the candidate is reported as ``"missing"`` but does
+    not fail the check (benchmarks may be skipped in smoke runs).
+    """
+    baseline_entries = entries_for_label(trajectory, baseline_label)
+    candidate_entries = entries_for_label(trajectory, candidate_label)
+    if not baseline_entries:
+        raise KeyError(f"no trajectory entries labelled "
+                       f"{baseline_label!r}")
+    if not candidate_entries:
+        raise KeyError(f"no trajectory entries labelled "
+                       f"{candidate_label!r}")
+    candidate = candidate_entries[-1]["metrics"]
+
+    findings = []
+    checked = 0
+    baseline_keys = set()
+    for entry in baseline_entries:
+        baseline_keys.update(entry["metrics"])
+
+    for key in sorted(baseline_keys):
+        budget = next((b for b in budgets if b.matches(key)), None)
+        if budget is None:
+            continue
+        history = [entry["metrics"][key]
+                   for entry in baseline_entries[-budget.baseline_k:]
+                   if key in entry["metrics"]]
+        if not history:
+            continue
+        checked += 1
+        baseline_value = statistics.median(history)
+        if key not in candidate:
+            findings.append({
+                "key": key, "verdict": "missing",
+                "baseline": baseline_value, "candidate": None})
+            continue
+        candidate_value = candidate[key]
+        delta = candidate_value - baseline_value
+        worse = delta > 0 if budget.direction == "up" else delta < 0
+        if not worse:
+            continue
+        if abs(delta) <= budget.min_abs_delta:
+            continue
+        if baseline_value > 0:
+            ratio = candidate_value / baseline_value
+        else:
+            ratio = float("inf") if candidate_value > 0 else 1.0
+        if budget.direction == "up":
+            tripped_ratio = ratio > budget.max_ratio
+        else:
+            tripped_ratio = ratio < 1.0 / budget.max_ratio
+        if not tripped_ratio:
+            continue
+        z = robust_z_score(candidate_value, history)
+        if z is not None and z <= budget.robust_z:
+            # Loud enough in ratio but within this metric's own noise
+            # band — record it as suspicious, don't fail the build.
+            findings.append({
+                "key": key, "verdict": "noisy",
+                "baseline": baseline_value,
+                "candidate": candidate_value,
+                "ratio": round(ratio, 4), "robust_z": round(z, 2),
+                "budget": budget.pattern})
+            continue
+        findings.append({
+            "key": key, "verdict": "regression",
+            "baseline": baseline_value,
+            "candidate": candidate_value,
+            "ratio": round(ratio, 4),
+            "robust_z": round(z, 2) if z is not None else None,
+            "budget": budget.pattern})
+
+    ok = not any(finding["verdict"] == "regression"
+                 for finding in findings)
+    return {"ok": ok, "checked": checked, "findings": findings,
+            "baseline_label": baseline_label,
+            "candidate_label": candidate_label,
+            "baseline_n": len(baseline_entries)}
+
+
+def format_check(result: dict) -> str:
+    lines = [f"perf check: {result['checked']} budgeted metrics, "
+             f"baseline {result['baseline_label']!r} "
+             f"(n={result['baseline_n']}) vs candidate "
+             f"{result['candidate_label']!r}"]
+    for finding in result["findings"]:
+        verdict = finding["verdict"]
+        if verdict == "missing":
+            lines.append(f"  MISSING    {finding['key']} "
+                         f"(baseline {finding['baseline']:.6g})")
+            continue
+        z_text = (f", z={finding['robust_z']}"
+                  if finding.get("robust_z") is not None else "")
+        lines.append(
+            f"  {verdict.upper():<10} {finding['key']}: "
+            f"{finding['baseline']:.6g} -> "
+            f"{finding['candidate']:.6g} "
+            f"({finding['ratio']}x{z_text})")
+    lines.append("RESULT: " + ("ok" if result["ok"]
+                               else "REGRESSION DETECTED"))
+    return "\n".join(lines)

@@ -23,20 +23,59 @@ streaming, so a crash mid-run loses at most the open roots.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import threading
 import time
+import weakref
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator, Optional, TextIO, Union
+
+_id_lock = threading.Lock()
+_id_counter = 0
+
+
+def new_span_id() -> str:
+    """A process-unique 16-hex-char span id.
+
+    Built from the pid and a process-local counter, so ids minted in
+    forked multiprocessing workers never collide with the parent's —
+    the property cross-process stitching and histogram exemplars rely
+    on.  (A counter, not a clock: two spans opened within one timer
+    tick must still get distinct ids.)
+    """
+    global _id_counter
+    with _id_lock:
+        _id_counter += 1
+        count = _id_counter
+    return f"{os.getpid() & 0xFFFFFF:06x}{count & 0xFFFFFFFFFF:010x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable cross-process handle of an open trace.
+
+    Carries just enough to let a worker process mint spans that the
+    parent can stitch back under the right node: the root trace id and
+    the span id of the parent-side span the worker's tree will become
+    a child of.
+    """
+
+    trace_id: str
+    parent_span_id: str
 
 
 class Span:
     """One timed region: name, attributes, children, outcome."""
 
     __slots__ = ("name", "attrs", "children", "start", "end", "status",
-                 "error")
+                 "error", "span_id", "trace_id")
 
-    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+    def __init__(self, name: str, attrs: Optional[dict] = None,
+                 span_id: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
         self.name = name
         self.attrs = dict(attrs or {})
         self.children: list[Span] = []
@@ -44,6 +83,8 @@ class Span:
         self.end: Optional[float] = None
         self.status = "ok"
         self.error: Optional[str] = None
+        self.span_id = span_id or new_span_id()
+        self.trace_id = trace_id
 
     def set(self, **attrs) -> None:
         """Attach attributes to the span (overwrites same keys)."""
@@ -57,9 +98,12 @@ class Span:
     def to_dict(self) -> dict:
         out = {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_s": round(self.duration, 9),
             "status": self.status,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.attrs:
             out["attrs"] = _jsonable(self.attrs)
         if self.error is not None:
@@ -67,6 +111,25 @@ class Span:
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
         return out
+
+    @classmethod
+    def from_dict(cls, node: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Timing is reconstructed relative to zero (``start=0``,
+        ``end=duration_s``) — good enough for rendering and duration
+        arithmetic, which is all a stitched-in foreign subtree needs.
+        """
+        span = cls(node["name"], node.get("attrs"),
+                   span_id=node.get("span_id"),
+                   trace_id=node.get("trace_id"))
+        span.start = 0.0
+        span.end = float(node.get("duration_s", 0.0))
+        span.status = node.get("status", "ok")
+        span.error = node.get("error")
+        span.children = [cls.from_dict(child)
+                         for child in node.get("children", ())]
+        return span
 
     def find(self, name: str) -> Optional["Span"]:
         """Depth-first lookup of a descendant span by name."""
@@ -134,12 +197,16 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._own_handle = False
+        self._open_roots: dict[int, Span] = {}
+        self._flushed: set[int] = set()
         if isinstance(sink, str):
             self._sink: Optional[TextIO] = open(sink, "a",
                                                 encoding="utf-8")
             self._own_handle = True
         else:
             self._sink = sink
+        if self._sink is not None:
+            _register_atexit_flush(self)
 
     @property
     def enabled(self) -> bool:
@@ -153,10 +220,15 @@ class Tracer:
 
     def span(self, name: str, **attrs) -> _SpanContext:
         """Open a nested span; use as a context manager."""
-        span = Span(name, attrs)
         stack = self._stack()
         if stack:
+            span = Span(name, attrs, trace_id=stack[-1].trace_id)
             stack[-1].children.append(span)
+        else:
+            span = Span(name, attrs)
+            span.trace_id = span.span_id
+            with self._lock:
+                self._open_roots[id(span)] = span
         stack.append(span)
         return _SpanContext(self, span)
 
@@ -164,6 +236,44 @@ class Tracer:
         """The innermost open span of this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_context(self) -> Optional[TraceContext]:
+        """A picklable handle of the innermost open span, for workers."""
+        current = self.current()
+        if current is None:
+            return None
+        return TraceContext(trace_id=current.trace_id or current.span_id,
+                            parent_span_id=current.span_id)
+
+    def attach(self, tree: Union[Span, dict]) -> Span:
+        """Graft a completed foreign span tree (e.g. shipped back from a
+        multiprocessing worker as a :meth:`Span.to_dict`) under the
+        innermost open span of this thread; returns the grafted
+        :class:`Span`.  With no span open it becomes a completed root
+        (kept/sunk like any other)."""
+        span = tree if isinstance(tree, Span) else Span.from_dict(tree)
+        stack = self._stack()
+        if stack:
+            span.trace_id = stack[-1].trace_id
+            stack[-1].children.append(span)
+        else:
+            if self.keep:
+                self.roots.append(span)
+            self._write(span)
+        return span
+
+    def _write(self, span: Span) -> None:
+        if self._sink is None:
+            return
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        try:
+            with self._lock:
+                self._sink.write(line + "\n")
+                self._sink.flush()
+        except ValueError:
+            # Sink already closed (interpreter shutdown race) — the
+            # flush hooks must never turn a crash into another crash.
+            pass
 
     def _close(self, span: Span) -> None:
         stack = self._stack()
@@ -174,16 +284,46 @@ class Tracer:
         if stack:
             stack.pop()
         if not stack:  # a root completed
+            with self._lock:
+                self._open_roots.pop(id(span), None)
+                already_flushed = id(span) in self._flushed
             if self.keep:
                 self.roots.append(span)
-            if self._sink is not None:
-                line = json.dumps(span.to_dict(), sort_keys=True)
-                with self._lock:
-                    self._sink.write(line + "\n")
-                    self._sink.flush()
+            if not already_flushed:
+                self._write(span)
+
+    @property
+    def open_roots(self) -> list[Span]:
+        """Root spans still open right now (crash handlers read this
+        before :meth:`flush_open` pops them)."""
+        with self._lock:
+            return list(self._open_roots.values())
+
+    def flush_open(self) -> int:
+        """Write every still-open root span to the sink as a partial
+        trace (``status == "partial"`` unless already an error).
+
+        Called from the :mod:`atexit` hook and from CLI crash handlers,
+        so an interrupted run still leaves its in-flight span trees in
+        the JSONL sink.  Roots flushed here are remembered and not
+        re-written if they later close normally.  Returns the number of
+        roots flushed."""
+        with self._lock:
+            pending = list(self._open_roots.values())
+        flushed = 0
+        for root in pending:
+            if root.status == "ok":
+                root.status = "partial"
+            self._write(root)
+            with self._lock:
+                self._flushed.add(id(root))
+                self._open_roots.pop(id(root), None)
+            flushed += 1
+        return flushed
 
     def close(self) -> None:
         if self._own_handle and self._sink is not None:
+            self.flush_open()
             self._sink.close()
             self._sink = None
 
@@ -225,8 +365,21 @@ class NullTracer:
     def current(self) -> None:
         return None
 
+    def current_context(self) -> None:
+        return None
+
+    def attach(self, tree) -> None:
+        return None
+
+    def flush_open(self) -> int:
+        return 0
+
     @property
     def roots(self) -> list:
+        return []
+
+    @property
+    def open_roots(self) -> list:
         return []
 
     def close(self) -> None:
@@ -235,6 +388,36 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 _tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+# -- crash-time flushing ----------------------------------------------------
+#
+# Tracers with a sink enrol themselves here; one atexit hook flushes
+# whatever roots are still open when the interpreter exits, so a run
+# killed mid-span (sys.exit deep in a library, an abandoned generator,
+# a signal-triggered shutdown) still leaves a usable partial trace.
+
+_sink_tracers: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+_atexit_registered = False
+
+
+def _register_atexit_flush(tracer: "Tracer") -> None:
+    global _atexit_registered
+    _sink_tracers.add(tracer)
+    if not _atexit_registered:
+        atexit.register(flush_all_open)
+        _atexit_registered = True
+
+
+def flush_all_open() -> int:
+    """Flush open root spans of every sink-backed tracer; returns the
+    number of partial roots written.  Safe to call repeatedly."""
+    flushed = 0
+    for tracer in list(_sink_tracers):
+        try:
+            flushed += tracer.flush_open()
+        except Exception:  # never let a flush hook raise at shutdown
+            pass
+    return flushed
 
 
 def get_tracer() -> Union[Tracer, NullTracer]:
@@ -264,6 +447,21 @@ def use_tracer(tracer: Union[Tracer, NullTracer]
 def span(name: str, **attrs):
     """Open a span on the process-wide tracer (no-op by default)."""
     return _tracer.span(name, **attrs)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The innermost open span's cross-process handle (None when
+    tracing is off or nothing is open)."""
+    return _tracer.current_context()
+
+
+def attach(tree: Union[Span, dict, None]) -> Optional[Span]:
+    """Graft a completed span tree under the current open span of the
+    process-wide tracer.  ``None`` (no tree shipped) is a no-op, so
+    call sites can pass ``info.span`` straight through."""
+    if tree is None:
+        return None
+    return _tracer.attach(tree)
 
 
 # -- trace file rendering ---------------------------------------------------

@@ -22,7 +22,7 @@ from typing import Optional
 from ..core.extractor import AccessAreaExtractor
 from ..distance.query_distance import QueryDistance
 from ..engine import Database
-from ..obs import get_logger, get_registry, trace
+from ..obs import get_logger, get_registry, profile_section, trace
 from ..schema import Schema
 from ..schema.statistics import StatisticsCatalog
 from ..sqlparser import SqlError, ast, parse
@@ -161,7 +161,8 @@ def run_qa(config: QAConfig) -> QAReport:
         for profile in config.profiles:
             stats = ProfileStats()
             report.profiles[profile] = stats
-            with trace.span(f"qa.{profile}") as span:
+            with trace.span(f"qa.{profile}") as span, \
+                    profile_section(f"qa.{profile}"):
                 _run_profile(profile, per_profile, config, rng, stats,
                              report)
                 span.set(generated=stats.generated,

@@ -1,9 +1,29 @@
 """Session-wide fixtures: one small case-study run shared by many tests."""
 
+import os
+
 import pytest
 
 from repro import CaseStudyConfig, run_case_study
 from repro.workload import ContentConfig, WorkloadConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _runs_dir_in_tmp(tmp_path_factory):
+    """Route flight-recorder run records into a session tmp dir.
+
+    CLI subcommands write a run record by default; during the test
+    suite (in-process ``main()`` calls and subprocess invocations,
+    which inherit the environment) those must not accumulate in the
+    developer's ``runs/`` directory."""
+    directory = tmp_path_factory.mktemp("runs")
+    previous = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(directory)
+    yield directory
+    if previous is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

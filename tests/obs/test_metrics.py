@@ -182,10 +182,42 @@ class TestPrometheusExport:
         assert ('repro_pipeline_failures_total{kind="parse"} 2'
                 in text)
         assert "# TYPE repro_clustering_clusters gauge" in text
-        assert "# TYPE repro_pipeline_stage_seconds summary" in text
-        assert ('repro_pipeline_stage_seconds{quantile="0.95",'
+        assert "# TYPE repro_pipeline_stage_seconds histogram" in text
+        assert ('repro_pipeline_stage_seconds_quantiles{quantile="0.95",'
                 'stage="cnf"}') in text
         assert 'repro_pipeline_stage_seconds_count{stage="cnf"} 100' in text
+
+    def test_help_lines_accompany_every_type(self):
+        text = to_prometheus(self.build())
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert f"# HELP {name} " in text
+
+    def test_bucket_series_cumulative_and_terminated(self):
+        text = to_prometheus(self.build())
+        buckets = [line for line in text.splitlines()
+                   if line.startswith("repro_pipeline_stage_seconds_"
+                                      "bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative → monotone
+        assert buckets[-1].startswith(
+            'repro_pipeline_stage_seconds_bucket{le="+Inf"')
+        assert counts[-1] == 100
+        # The 0...0.099 ladder: everything fits under le="0.1".
+        le_01 = next(line for line in buckets if 'le="0.1"' in line)
+        assert le_01.endswith(" 100")
+
+    def test_exemplars_annotate_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_chunk_seconds")
+        histogram.observe(0.2, exemplar="span-slow")
+        histogram.observe(0.01)
+        text = to_prometheus(registry)
+        annotated = [line for line in text.splitlines()
+                     if '# {span_id="span-slow"}' in line]
+        assert len(annotated) == 1
+        assert 'le="0.25"' in annotated[0]
 
     def test_label_values_escaped(self):
         registry = MetricsRegistry()
@@ -195,7 +227,14 @@ class TestPrometheusExport:
 
     def test_every_line_is_sample_or_comment(self):
         for line in to_prometheus(self.build()).strip().splitlines():
-            assert line.startswith("# TYPE ") or " " in line
+            assert line.startswith(("# TYPE ", "# HELP ")) or " " in line
+
+    def test_compact_snapshot_without_reservoir_still_valid(self):
+        registry = self.build()
+        compact = registry.snapshot(include_reservoir=False)
+        text = to_prometheus(compact)
+        assert ('repro_pipeline_stage_seconds_bucket{le="+Inf",'
+                'stage="cnf"} 100') in text
 
 
 class TestJsonExport:

@@ -124,6 +124,67 @@ class TestDistanceMatrixParallelMetrics:
             "repro_distance_pairs_computed_total").value == 28
 
 
+class TestMergeOrderIndependence:
+    """Worker snapshots arrive in scheduler order; the merged quantiles
+    must not depend on it.
+
+    ``merge_all`` sorts snapshots by a canonical key before merging and
+    the reservoir downsample re-seeds deterministically from (name,
+    merged count), so any arrival permutation of the same snapshots
+    produces the identical pooled reservoir."""
+
+    @staticmethod
+    def _worker_snapshot(worker: int, observations: int):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_chunk_seconds")
+        for i in range(observations):
+            histogram.observe(0.001 * (worker * 1000 + i))
+        registry.counter("repro_pairs_total").inc(observations)
+        return registry.snapshot(include_reservoir=True)
+
+    def _merged(self, snapshots):
+        parent = MetricsRegistry()
+        # A parent-side observation too, so the pool pre-exists.
+        parent.histogram("repro_chunk_seconds").observe(5.0)
+        parent.merge_all(snapshots)
+        return parent
+
+    def test_permuted_merge_orders_agree_exactly(self):
+        import itertools
+        # Three over-capacity snapshots: each worker alone overflows
+        # the 1024-slot default reservoir, forcing the downsample path.
+        snapshots = [self._worker_snapshot(w, 700) for w in range(3)]
+        reference = None
+        for order in itertools.permutations(range(3)):
+            merged = self._merged([snapshots[i] for i in order])
+            histogram = merged.histogram("repro_chunk_seconds")
+            key = (tuple(histogram.reservoir), histogram.count,
+                   histogram.p50, histogram.p95, histogram.p99)
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, f"order {order} diverged"
+        assert reference[1] == 3 * 700 + 1
+
+    def test_merge_all_skips_empty_snapshots(self):
+        parent = MetricsRegistry()
+        merged = parent.merge_all(
+            [None, self._worker_snapshot(0, 5), None])
+        assert merged == 1
+        assert parent.counter("repro_pairs_total").value == 5
+
+    def test_exemplars_survive_merge(self):
+        worker = MetricsRegistry()
+        worker.histogram("repro_chunk_seconds").observe(
+            9.0, exemplar="slow-span")
+        parent = MetricsRegistry()
+        parent.merge_all([worker.snapshot(include_reservoir=True)])
+        snapshot = parent.snapshot(include_reservoir=True)
+        entry = snapshot["histograms"][0]
+        assert {"value": 9.0, "span_id": "slow-span"} \
+            in entry["exemplars"]
+
+
 class TestNoOpOverhead:
     """Disabled instruments must stay within noise of bare code.
 

@@ -1,0 +1,229 @@
+"""Perf-regression guard: flattening, trajectory store, budgets,
+robust statistics, and the check verdicts."""
+
+import json
+
+import pytest
+
+from repro.obs.perf import (Budget, append_entry, check_regressions,
+                            collect_bench_metrics, entries_for_label,
+                            flatten_numeric, format_check,
+                            load_budgets, load_trajectory,
+                            robust_z_score)
+
+
+class TestFlatten:
+    def test_nested_paths_and_indices(self):
+        payload = {"total_seconds": 1.5, "smoke": True,
+                   "sizes": [{"n": 100, "kernel_seconds": 0.2},
+                             {"n": 200, "kernel_seconds": 0.9}],
+                   "label": "tiny"}
+        flat = flatten_numeric(payload)
+        assert flat == {"total_seconds": 1.5,
+                        "sizes[0].n": 100.0,
+                        "sizes[0].kernel_seconds": 0.2,
+                        "sizes[1].n": 200.0,
+                        "sizes[1].kernel_seconds": 0.9}
+
+    def test_booleans_and_skip_keys_excluded(self):
+        flat = flatten_numeric({"ok": False, "reservoir": [1, 2],
+                                "metrics": {"x": 1}, "value": 3})
+        assert flat == {"value": 3.0}
+
+    def test_collect_prefixes_family_and_skips_store(self, tmp_path):
+        (tmp_path / "BENCH_alpha.json").write_text(
+            json.dumps({"seconds": 2.0}))
+        (tmp_path / "BENCH_trajectory.json").write_text(
+            json.dumps({"schema_version": 1, "entries": []}))
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        metrics = collect_bench_metrics(tmp_path)
+        assert metrics == {"BENCH_alpha:seconds": 2.0}
+
+
+class TestTrajectoryStore:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        append_entry(path, {"a:x": 1.0}, label="baseline",
+                     git_sha="abc")
+        append_entry(path, {"a:x": 2.0}, label="candidate")
+        trajectory = load_trajectory(path)
+        assert trajectory["schema_version"] == 1
+        assert len(trajectory["entries"]) == 2
+        baseline = entries_for_label(trajectory, "baseline")
+        assert baseline[0]["metrics"] == {"a:x": 1.0}
+        assert baseline[0]["git_sha"] == "abc"
+        assert baseline[0]["recorded"]
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="unsupported trajectory"):
+            load_trajectory(path)
+
+
+class TestBudgets:
+    def test_toml_defaults_and_overrides(self, tmp_path):
+        path = tmp_path / "budgets.toml"
+        path.write_text(
+            '[defaults]\n'
+            'max_ratio = 2.0\n'
+            'robust_z = 3.5\n'
+            '\n'
+            '[[budget]]\n'
+            'pattern = "*:*seconds*"\n'
+            '\n'
+            '[[budget]]\n'
+            'pattern = "*:*_per_second"\n'
+            'direction = "down"\n'
+            'max_ratio = 1.5\n')
+        budgets = load_budgets(path)
+        assert len(budgets) == 2
+        assert budgets[0].max_ratio == 2.0
+        assert budgets[0].robust_z == 3.5
+        assert budgets[0].direction == "up"
+        assert budgets[1].direction == "down"
+        assert budgets[1].max_ratio == 1.5
+        assert budgets[0].matches("BENCH_kernel:sizes[0].kernel_seconds")
+        assert not budgets[0].matches("BENCH_kernel:sizes[0].n")
+
+    def test_minimal_parser_agrees_with_tomllib(self, tmp_path):
+        # The 3.10 fallback must parse the real budget file to the
+        # same structure tomllib produces.
+        import tomllib
+        from repro.obs.perf import _parse_toml_minimal
+        from pathlib import Path
+        text = (Path(__file__).parents[2]
+                / "perf_budgets.toml").read_text()
+        assert _parse_toml_minimal(text) == tomllib.loads(text)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Budget("*", direction="sideways")
+
+    def test_repo_budget_file_loads(self):
+        from pathlib import Path
+        budgets = load_budgets(
+            Path(__file__).parents[2] / "perf_budgets.toml")
+        assert any(b.matches("BENCH_kernel:sizes[0].kernel_seconds")
+                   for b in budgets)
+
+
+class TestRobustZ:
+    def test_needs_history_and_spread(self):
+        assert robust_z_score(5.0, [1.0, 1.1]) is None
+        assert robust_z_score(5.0, [2.0, 2.0, 2.0]) is None
+
+    def test_scales_with_mad(self):
+        history = [1.0, 1.1, 0.9, 1.05, 0.95]
+        near = robust_z_score(1.1, history)
+        far = robust_z_score(3.0, history)
+        assert near < 2.0
+        assert far > 10.0
+
+
+def _trajectory(baselines, candidate):
+    entries = [{"recorded": f"t{i}", "label": "baseline",
+                "git_sha": None, "metrics": m}
+               for i, m in enumerate(baselines)]
+    entries.append({"recorded": "tc", "label": "candidate",
+                    "git_sha": None, "metrics": candidate})
+    return {"schema_version": 1, "entries": entries}
+
+
+class TestCheck:
+    BUDGETS = [Budget("*:*seconds*", max_ratio=1.5,
+                      min_abs_delta=0.005, robust_z=4.0),
+               Budget("*:*_per_second", direction="down",
+                      max_ratio=1.5, min_abs_delta=1.0)]
+
+    def test_clean_rerun_passes(self):
+        baselines = [{"b:run_seconds": 1.0, "b:ops_per_second": 100.0}
+                     for _ in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, dict(baselines[0])), self.BUDGETS)
+        assert result["ok"]
+        assert result["findings"] == []
+        assert result["checked"] == 2
+
+    def test_injected_2x_slowdown_detected(self):
+        baselines = [{"b:run_seconds": 1.0 + 0.01 * i}
+                     for i in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:run_seconds": 2.0}),
+            self.BUDGETS)
+        assert not result["ok"]
+        finding = result["findings"][0]
+        assert finding["verdict"] == "regression"
+        assert finding["ratio"] == pytest.approx(2.0, rel=0.05)
+
+    def test_direction_down_flags_throughput_collapse(self):
+        baselines = [{"b:ops_per_second": 100.0 + i}
+                     for i in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:ops_per_second": 40.0}),
+            self.BUDGETS)
+        assert not result["ok"]
+
+    def test_improvement_never_flags(self):
+        baselines = [{"b:run_seconds": 1.0} for _ in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:run_seconds": 0.2}),
+            self.BUDGETS)
+        assert result["ok"]
+
+    def test_small_absolute_delta_ignored(self):
+        # 3x ratio but only 3ms absolute: below min_abs_delta.
+        baselines = [{"b:tiny_seconds": 0.001} for _ in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:tiny_seconds": 0.003}),
+            self.BUDGETS)
+        assert result["ok"]
+
+    def test_noisy_metric_downgraded_not_failed(self):
+        # Baseline history is wildly spread: the ratio trips but the
+        # robust z stays inside the noise band.
+        baselines = [{"b:jitter_seconds": v}
+                     for v in (0.5, 2.0, 1.0, 3.0, 0.2)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:jitter_seconds": 4.0}),
+            self.BUDGETS)
+        assert result["ok"]
+        assert result["findings"][0]["verdict"] == "noisy"
+
+    def test_short_history_falls_back_to_ratio(self):
+        # Two baseline runs: no robust z yet, the ratio alone decides.
+        baselines = [{"b:run_seconds": 1.0}, {"b:run_seconds": 1.02}]
+        result = check_regressions(
+            _trajectory(baselines, {"b:run_seconds": 2.0}),
+            self.BUDGETS)
+        assert not result["ok"]
+
+    def test_median_of_k_absorbs_one_bad_baseline(self):
+        baselines = [{"b:run_seconds": v}
+                     for v in (1.0, 1.01, 9.0, 0.99, 1.02)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:run_seconds": 1.05}),
+            self.BUDGETS)
+        assert result["ok"]
+
+    def test_missing_candidate_metric_reported_not_failed(self):
+        baselines = [{"b:gone_seconds": 1.0} for _ in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {}), self.BUDGETS)
+        assert result["ok"]
+        assert result["findings"][0]["verdict"] == "missing"
+
+    def test_unknown_labels_raise(self):
+        with pytest.raises(KeyError, match="baseline"):
+            check_regressions({"schema_version": 1, "entries": []},
+                              self.BUDGETS)
+
+    def test_format_check_renders_verdicts(self):
+        baselines = [{"b:run_seconds": 1.0} for _ in range(3)]
+        result = check_regressions(
+            _trajectory(baselines, {"b:run_seconds": 2.5}),
+            self.BUDGETS)
+        text = format_check(result)
+        assert "REGRESSION" in text
+        assert "b:run_seconds" in text
+        assert "RESULT: REGRESSION DETECTED" in text
