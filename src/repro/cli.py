@@ -169,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--warmup", type=int, default=100)
     p_stream.add_argument("--events", type=int, default=30,
                           help="max events to print")
+    p_stream.add_argument("--cluster", action="store_true",
+                          help="maintain live DBSCAN labels while "
+                               "streaming (incremental clustering)")
+    p_stream.add_argument("--eps", type=float, default=0.12)
+    p_stream.add_argument("--min-pts", type=int, default=5)
+    p_stream.add_argument("--cluster-backend", default="sparse",
+                          choices=("sparse", "vptree", "dense"),
+                          help="neighbourhood index for --cluster")
 
     p_case = sub.add_parser(
         "casestudy", parents=[obs_parent],
@@ -529,12 +537,25 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     monitor = StreamMonitor(
         AccessAreaExtractor(schema), stats=stats, on_event=emit,
-        warmup=args.warmup)
-    with trace.span("stream", warmup=args.warmup), \
+        warmup=args.warmup,
+        cluster_incrementally=args.cluster,
+        cluster_eps=args.eps, cluster_min_pts=args.min_pts,
+        cluster_backend=args.cluster_backend)
+    with trace.span("stream", warmup=args.warmup,
+                    cluster=args.cluster), \
             profile_section("stream"):
         monitor.process_many(log.statements())
     print()
     print(monitor.summary())
+    if monitor.clusterer is not None:
+        labels = monitor.clusterer.labels()
+        sizes: dict[int, float] = {}
+        for label, weight in zip(labels,
+                                 monitor.clusterer.weights()):
+            sizes[label] = sizes.get(label, 0.0) + weight
+        for label in sorted(sizes):
+            name = "noise" if label < 0 else f"cluster {label}"
+            print(f"  {name:<12}: {sizes[label]:g} statements")
     return 0
 
 

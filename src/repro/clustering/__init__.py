@@ -8,6 +8,7 @@ from .agglomerative import SingleLinkage
 from .optics import OPTICS, OPTICSResult, extract_dbscan
 from .dbscan import DBSCAN, NOISE, DBSCANResult, pairwise_matrix
 from .density import (ColumnDensity, DensityReport, density_contrast)
+from .incremental import IncrementalDBSCAN, IncrementalUpdate
 from .partitioned import partitioned_dbscan
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "SingleLinkage",
     "OPTICS", "OPTICSResult", "extract_dbscan",
     "ColumnDensity", "DensityReport", "density_contrast",
+    "IncrementalDBSCAN", "IncrementalUpdate",
 ]

@@ -16,7 +16,9 @@ predicates and query types".  This module implements that operator view:
 
 from __future__ import annotations
 
+import copy
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
@@ -41,6 +43,7 @@ class EventKind(enum.Enum):
     NEW_QUERY_FEATURE = "new-query-feature"
     OUT_OF_RANGE_CONSTANT = "out-of-range-constant"
     FAILURE_BURST = "failure-burst"
+    CLUSTER_CHANGED = "cluster-changed"
 
 
 @dataclass(frozen=True)
@@ -104,11 +107,41 @@ class StreamMonitor:
     out_of_range_slack: float = 0.05
     #: metrics sink; ``None`` → the process-wide default registry.
     registry: Optional[metrics.MetricsRegistry] = None
+    #: maintain live cluster labels over the extracted areas
+    #: (:class:`~repro.clustering.incremental.IncrementalDBSCAN`);
+    #: requires :attr:`stats`.
+    cluster_incrementally: bool = False
+    cluster_eps: float = 0.15
+    cluster_min_pts: int = 5
+    cluster_backend: str = "sparse"
 
     def __post_init__(self) -> None:
         self.state = StreamState()
         self.events: list[StreamEvent] = []
         self.areas: list[AccessArea] = []
+        #: per extracted statement (aligned with :attr:`areas`): its
+        #: live cluster label, or ``None`` when the area was refused by
+        #: the clusterer's exactness precondition.
+        self.statement_labels: list[Optional[int]] = []
+        self.clusterer = None
+        if self.cluster_incrementally:
+            if self.stats is None:
+                raise ValueError(
+                    "cluster_incrementally=True requires a statistics "
+                    "catalog (the distance metric needs access ranges)")
+            from ..clustering.incremental import IncrementalDBSCAN
+            from ..distance import QueryDistance
+            # The clusterer gets a *frozen* copy of the catalog: the
+            # monitor keeps widening access(a) as statements arrive
+            # (out-of-range detection needs that), but the metric's
+            # normalization must stay fixed or distances of
+            # already-inserted rows would silently drift.
+            frozen = copy.deepcopy(self.stats)
+            self.clusterer = IncrementalDBSCAN(
+                QueryDistance(frozen), eps=self.cluster_eps,
+                min_pts=self.cluster_min_pts,
+                backend=self.cluster_backend,
+                registry=self.registry or metrics.get_registry())
         self._recent_failures: deque[bool] = deque(maxlen=self.failure_window)
         self._burst_active = False
         registry = self.registry or metrics.get_registry()
@@ -141,15 +174,46 @@ class StreamMonitor:
             return None
         self._recent_failures.append(False)
         self._maybe_rearm_burst()
+        # Warmup counts *extracted* statements: parse failures teach the
+        # monitor no vocabulary, so they must not burn warmup slots — a
+        # noisy prefix would otherwise silently disable novelty
+        # suppression learning.
+        warmed_up = self.state.extracted >= self.warmup
         self.state.extracted += 1
         self._extracted_total.inc()
 
         area = result.area
         self.areas.append(area)
-        if index >= self.warmup:
+        if warmed_up:
             self._notify_novelties(index, sql, area, result.statement)
         self._learn(area, result.statement)
+        if self.clusterer is not None:
+            self._cluster(index, sql, area)
         return area
+
+    def _cluster(self, index: int, sql: str, area: AccessArea) -> None:
+        try:
+            update = self.clusterer.add(area)
+        except ValueError as exc:
+            # Pre-mutation exactness refusal: the area's table set would
+            # drop the partition bound to cluster_eps or below.  The
+            # clusterer state is untouched; keep monitoring, leave this
+            # statement unlabelled.
+            logger.warning("incremental clustering refused statement "
+                           "#%d: %s", index, exc)
+            (self.registry or metrics.get_registry()).counter(
+                "repro_incremental_refused_total").inc()
+            self.statement_labels.append(None)
+            return
+        self.statement_labels.append(update.label)
+        if update.structure_changed:
+            self._emit(
+                EventKind.CLUSTER_CHANGED, index,
+                f"cluster structure changed: {update.promotions} "
+                f"promotions, {update.demotions} demotions, "
+                f"{update.merges} merges, {update.splits} splits, "
+                f"{update.new_clusters} new clusters "
+                f"({self.clusterer.n_clusters} total)", sql)
 
     def process_many(self, statements: Iterable[str]) -> list[AccessArea]:
         out = []
@@ -197,17 +261,46 @@ class StreamMonitor:
                     or not pred.is_numeric:
                 continue
             access = self.stats.access_interval(pred.ref)
+            if not math.isfinite(access.width):
+                # Unknown column fell back to the widest float range
+                # (whose width already overflows to inf): nothing can
+                # be out of range, and carrying the inf into the
+                # margin arithmetic risks inf - inf = nan comparisons.
+                continue
             value = float(pred.value)
-            margin = self.out_of_range_slack * max(access.width, 0.0)
+            # The relative margin alone breaks down when the access
+            # interval is a single point (width 0, e.g. a column only
+            # ever queried with one constant): every different constant
+            # would be flagged.  Floor the width at the column's
+            # declared domain, so "slack" always means a fraction of a
+            # real value range.
+            width = max(access.width, self._domain_width(pred.ref))
+            margin = self.out_of_range_slack * max(width, 0.0)
             if value < access.lo - margin or value > access.hi + margin:
                 self._emit(
                     EventKind.OUT_OF_RANGE_CONSTANT, index,
                     f"{pred} outside access({pred.ref}) = {access}", sql)
 
+    def _domain_width(self, ref) -> float:
+        """Finite declared-domain width of ``ref``'s column (0.0 when
+        the column or its domain bounds are unknown)."""
+        assert self.stats is not None
+        try:
+            domain = self.stats.schema.column(
+                ref.relation, ref.column).effective_domain
+        except (KeyError, TypeError):
+            return 0.0
+        width = domain.width
+        return width if math.isfinite(width) else 0.0
+
     def _check_failure_burst(self, index: int, sql: str,
                              exc: Exception) -> None:
         window = self._recent_failures
-        if len(window) < self.failure_window or self._burst_active:
+        # A short stream that is mostly unparseable should still alarm:
+        # fire once half the window has been observed rather than
+        # waiting for failure_window statements that may never come.
+        minimum = max(1, self.failure_window // 2)
+        if len(window) < minimum or self._burst_active:
             return
         rate = sum(window) / len(window)
         if rate >= self.failure_burst_threshold:
@@ -276,6 +369,9 @@ class StreamMonitor:
             f"query features seen  : {len(state.features)}",
             f"events emitted       : {len(self.events)}",
         ]
+        if self.clusterer is not None:
+            lines.insert(5, "clustering           : "
+                         + self.clusterer.summary())
         for kind in EventKind:
             if kind in counts:
                 lines.append(f"  {kind.value:<22}: {counts[kind]}")

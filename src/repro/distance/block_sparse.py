@@ -46,11 +46,72 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..obs import get_logger, metrics, trace
+from .kernel import KernelUnsupported, PackedPartition
 from .matrix import DistanceMatrix, MatrixStats, Metric
 from .parallel import compute_blocks, resolve_n_jobs
 from .query_distance import partition_exactness_bound
 
 logger = get_logger(__name__)
+
+#: ``_packs`` sentinel distinguishing "never attempted" from "retired to
+#: the per-pair fallback".
+_UNSET = object()
+
+
+class _GrowableBlock:
+    """Square in-partition distance block that accepts appended rows.
+
+    Condensed storage cannot grow in place — every index depends on the
+    item count — so the first :meth:`BlockSparseDistanceMatrix.insert_row`
+    into a partition converts its block to this square capacity-doubled
+    form.  Mirrors the :class:`DistanceMatrix` lookup API the clustering
+    layer consumes (``value``/``row``/``neighbors``/``submatrix``).
+    """
+
+    def __init__(self, dense: DistanceMatrix) -> None:
+        m = len(dense)
+        cap = max(2 * m, 4)
+        self._buf = np.zeros((cap, cap), dtype=float)
+        self._buf[:m, :m] = dense.to_square()
+        self.n = m
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def condensed(self) -> np.ndarray:
+        """The condensed upper triangle (copied from the square form)."""
+        m = self.n
+        return self._buf[:m, :m][np.triu_indices(m, k=1)]
+
+    def append(self, row: np.ndarray) -> None:
+        """Adopt the distances from a new item to every existing one."""
+        m = self.n
+        if len(row) != m:
+            raise ValueError(f"row of {len(row)} distances does not "
+                             f"match {m} items")
+        if m >= self._buf.shape[0]:
+            cap = 2 * self._buf.shape[0]
+            buf = np.zeros((cap, cap), dtype=float)
+            buf[:m, :m] = self._buf[:m, :m]
+            self._buf = buf
+        self._buf[m, :m] = row
+        self._buf[:m, m] = row
+        self._buf[m, m] = 0.0
+        self.n = m + 1
+
+    def value(self, i: int, j: int) -> float:
+        return float(self._buf[i, j])
+
+    def row(self, i: int) -> np.ndarray:
+        return self._buf[i, :self.n].copy()
+
+    def neighbors(self, i: int, eps: float) -> list[int]:
+        return list(np.flatnonzero(self._buf[i, :self.n] <= eps))
+
+    def submatrix(self, indices: Sequence[int]) -> DistanceMatrix:
+        idx = np.asarray(indices, dtype=np.intp)
+        return DistanceMatrix.from_square(self._buf[np.ix_(idx, idx)])
 
 #: Modes accepted by :func:`compute_matrix`.  ``kernel`` is the
 #: block-sparse layout with partition blocks produced by the vectorized
@@ -106,12 +167,12 @@ class BlockSparseDistanceMatrix:
                              f"match {p} partitions")
         self._bounds = bounds
 
-        self._pids = np.full(n, -1, dtype=np.intp)
-        self._local = np.zeros(n, dtype=np.intp)
+        self._pids_buf = np.full(n, -1, dtype=np.intp)
+        self._local_buf = np.zeros(n, dtype=np.intp)
         for pid, m in enumerate(self._members):
-            self._pids[m] = pid
-            self._local[m] = np.arange(len(m), dtype=np.intp)
-        if n and int(self._pids.min()) < 0:
+            self._pids_buf[m] = pid
+            self._local_buf[m] = np.arange(len(m), dtype=np.intp)
+        if n and int(self._pids_buf.min()) < 0:
             raise ValueError("partitions do not cover every item")
 
         if p >= 2:
@@ -120,6 +181,23 @@ class BlockSparseDistanceMatrix:
         else:
             self.exactness_bound = math.inf
         self.stats = stats or self._default_stats()
+        self._key_to_pid = {key: pid
+                            for pid, key in enumerate(self._keys)}
+        #: retained by :meth:`compute` so :meth:`insert_row` can evaluate
+        #: new intra-partition distances; ``None`` for constructor-adopted
+        #: matrices, which therefore cannot grow.
+        self._items: Optional[list] = None
+        #: per-partition :class:`~.kernel.PackedPartition` cache for the
+        #: insert fast path (``None`` = retired to the per-pair oracle).
+        self._packs: dict[int, Optional[PackedPartition]] = {}
+
+    @property
+    def _pids(self) -> np.ndarray:
+        return self._pids_buf[:self.n]
+
+    @property
+    def _local(self) -> np.ndarray:
+        return self._local_buf[:self.n]
 
     def _default_stats(self) -> MatrixStats:
         n = self.n
@@ -268,7 +346,158 @@ class BlockSparseDistanceMatrix:
 
         stats.record(registry)
         logger.debug("block-sparse matrix: %s", stats.summary())
-        return cls(n, keys, members, blocks, bounds, stats)
+        matrix = cls(n, keys, members, blocks, bounds, stats)
+        matrix._items = list(items)
+        return matrix
+
+    # -- incremental growth -------------------------------------------------
+
+    def insert_row(self, item, metric: Metric, *,
+                   engine: str = "kernel",
+                   max_radius: Optional[float] = None) -> int:
+        """Append one item, computing only intra-partition distances.
+
+        The affected partition's block gains a row of exact ``d_conj``
+        values (via the vectorized kernel when ``engine="kernel"`` —
+        :meth:`~.kernel.PackedPartition.extend` plus one
+        ``pair_rows`` gather, bitwise-equal to the per-pair oracle — or
+        the per-pair metric otherwise); a previously unseen table set
+        opens a fresh singleton partition, extending the ``d_tables``
+        bound table by one representative evaluation per existing
+        partition.  No cross-partition distance is ever computed, so the
+        cost is ``O(c + m_p)`` in the affected partition, independent of
+        the total population.
+
+        Note a new partition can *lower* :attr:`exactness_bound`;
+        :meth:`neighbors` keeps refusing radii at or beyond the current
+        bound, so threshold queries stay exact.  Pass ``max_radius`` to
+        reject such an insert *before* any mutation: if opening the new
+        partition would drop the bound to ``max_radius`` or below, a
+        ``ValueError`` is raised and the matrix is left untouched —
+        callers that hold a fixed query radius (e.g. incremental DBSCAN
+        with a fixed ``eps``) stay consistent instead of discovering a
+        poisoned state on their next neighbourhood query.  Returns the
+        item's new global index.  Only matrices built by
+        :meth:`compute` retain the items this needs.
+        """
+        if self._items is None:
+            raise ValueError(
+                "insert_row requires a matrix built by compute(); "
+                "constructor-adopted matrices do not retain their items")
+        if engine not in ("python", "kernel"):
+            raise ValueError(f"engine must be 'python' or 'kernel', "
+                             f"got {engine!r}")
+        index = self.n
+        key = frozenset(item.table_set)
+        pid = self._key_to_pid.get(key)
+        row = None
+        if pid is None:
+            if max_radius is not None:
+                self._check_radius(key, item, metric, max_radius)
+            pid = self._open_partition(key, item, metric)
+        else:
+            row = self._partition_row(pid, item, metric, engine)
+            block = self._blocks[pid]
+            if not isinstance(block, _GrowableBlock):
+                block = _GrowableBlock(block)
+                self._blocks[pid] = block
+            block.append(row)
+            self._members[pid] = np.append(self._members[pid], index)
+        self._items.append(item)
+        if index >= len(self._pids_buf):
+            cap = max(2 * len(self._pids_buf), 4)
+            for name in ("_pids_buf", "_local_buf"):
+                buf = np.zeros(cap, dtype=np.intp)
+                buf[:index] = getattr(self, name)[:index]
+                setattr(self, name, buf)
+        self._pids_buf[index] = pid
+        self._local_buf[index] = len(self._members[pid]) - 1
+        self.n = index + 1
+
+        st = self.stats
+        st.n_items = self.n
+        st.pairs_total = self.n * (self.n - 1) // 2
+        if row is not None:
+            st.pairs_computed += len(row)
+            st.stored_floats += len(row)
+        st.pairs_skipped = st.pairs_total - st.pairs_computed
+        st.largest_block = max(st.largest_block,
+                               len(self._members[pid]))
+        return index
+
+    def _check_radius(self, key: frozenset, item, metric: Metric,
+                      max_radius: float) -> None:
+        """Raise before mutation if opening a partition for ``item``'s
+        unseen table set would invalidate queries at ``max_radius``."""
+        bound = self.exactness_bound
+        for members in self._members:
+            bound = min(bound, metric.d_tables(
+                self._items[int(members[0])], item))
+        if max_radius >= bound:
+            raise ValueError(
+                f"inserting an item with unseen table set {sorted(key)} "
+                f"would lower the partition exactness bound to "
+                f"{bound:.4g}, at or below the reserved query radius "
+                f"{max_radius:.4g}; neighbors() at that radius would no "
+                f"longer be exact")
+
+    def _open_partition(self, key: frozenset, item, metric: Metric) -> int:
+        """Register a new singleton partition, extending the bound table
+        with one ``d_tables`` evaluation per existing partition."""
+        p = len(self._keys)
+        bounds = np.zeros((p + 1, p + 1), dtype=float)
+        bounds[:p, :p] = self._bounds
+        for pid, members in enumerate(self._members):
+            value = metric.d_tables(self._items[int(members[0])], item)
+            bounds[pid, p] = bounds[p, pid] = value
+        self._bounds = bounds
+        self._keys.append(key)
+        self._key_to_pid[key] = p
+        self._members.append(np.array([self.n], dtype=np.intp))
+        self._blocks.append(
+            DistanceMatrix(1, np.zeros(0, dtype=float)))
+        if p >= 1:
+            off_diagonal = bounds[~np.eye(p + 1, dtype=bool)]
+            self.exactness_bound = float(off_diagonal.min())
+        self.stats.n_blocks = p + 1
+        self.stats.stored_floats += 2 * p + 1
+        return p
+
+    def _partition_row(self, pid: int, item, metric: Metric,
+                       engine: str) -> np.ndarray:
+        """Distances from ``item`` to every current member of partition
+        ``pid`` (equal table sets, so the metric collapses to
+        ``d_conj``)."""
+        members = self._members[pid]
+        if engine == "kernel":
+            pack = self._packs.get(pid, _UNSET)
+            if pack is _UNSET or (pack is not None
+                                  and pack.n_areas != len(members)):
+                # First insert into this partition (or the pack went
+                # stale through a python-engine insert): pack it once,
+                # amortized over every later insert.
+                try:
+                    pack = PackedPartition(
+                        [self._items[int(g)] for g in members], metric)
+                except KernelUnsupported as exc:
+                    logger.debug("insert_row pack fallback for "
+                                 "partition %d: %s", pid, exc)
+                    pack = None
+                self._packs[pid] = pack
+            if pack is not None:
+                try:
+                    pack.extend([item])
+                    return pack.pair_rows(
+                        pack.n_areas - 1,
+                        np.arange(pack.n_areas - 1, dtype=np.intp))
+                except KernelUnsupported as exc:
+                    # The pack no longer covers the partition; retire it
+                    # so later inserts go straight to the oracle.
+                    logger.debug("insert_row extend fallback for "
+                                 "partition %d: %s", pid, exc)
+                    self._packs[pid] = None
+        return np.array([metric(self._items[int(g)], item)
+                         for g in members], dtype=float)
 
     # -- lookups ------------------------------------------------------------
 
@@ -322,7 +551,13 @@ class BlockSparseDistanceMatrix:
                 f"bound {self.exactness_bound:.4g}; cross-partition "
                 f"entries are d_tables lower bounds only — use the "
                 f"dense DistanceMatrix for radii this large")
-        return list(np.flatnonzero(self.row(i) <= eps))
+        # Below the bound every cross-partition entry exceeds eps, so
+        # the scan confines itself to i's partition — O(m_p), the term
+        # that keeps streaming label repair sublinear in the population.
+        pid = int(self._pids[i])
+        members = self._members[pid]
+        block_row = self._blocks[pid].row(int(self._local[i]))
+        return list(members[np.flatnonzero(block_row <= eps)])
 
     def to_square(self) -> np.ndarray:
         """Expand to the full ``(n, n)`` matrix (bounds off-block)."""

@@ -186,74 +186,260 @@ class PackedPartition:
     def __init__(self, areas: Sequence, metric) -> None:
         if np is None:
             raise KernelUnsupported("numpy is not available")
-        oracle = oracle_of(metric)
-        stats = metric.stats
+        self._oracle = oracle_of(metric)
+        self._stats_catalog = metric.stats
 
-        # Dedup clauses and predicates by *value* — the same dataclass
-        # equality the oracle's memo keys use, so spelling variants
-        # (``x = 5`` vs ``x = 5.0``) share one packed row exactly like
-        # they share one memo entry.  Per-position id lists keep
-        # duplicates: direction sums count positions, not values.
-        clause_ids: dict[Clause, int] = {}
-        area_clause_ids: list[list[int]] = []
+        # Dedup state is retained so :meth:`extend` can append areas
+        # with stable predicate/clause/area ids: clauses and predicates
+        # are deduplicated by *value* — the same dataclass equality the
+        # oracle's memo keys use, so spelling variants (``x = 5`` vs
+        # ``x = 5.0``) share one packed row exactly like they share one
+        # memo entry.  Per-position id lists keep duplicates: direction
+        # sums count positions, not values.
+        self._clause_ids: dict[Clause, int] = {}
+        self._clauses: list[Clause] = []
+        self._pred_ids: dict = {}
+        self._preds: list = []
+        self._clause_pred_ids: list[list[int]] = []
+        self._area_clause_ids: list[list[int]] = []
+
+        self.n_areas = 0
+        self.n_predicates = 0
+        self.n_clauses = 0
+        self._dp = np.zeros((0, 0), dtype=float)
+        self._finish_area_layer([], np.zeros((0, 0), dtype=float))
+        self.extend(areas)
+
+    def extend(self, areas: Sequence) -> None:
+        """Append ``areas`` to the pack, keeping every existing
+        predicate/clause/area id stable.
+
+        The grown pack is **bitwise-identical** to a from-scratch pack
+        over the concatenated area list: appending preserves the
+        first-seen enumeration order of the dedup pass, predicate and
+        clause entries are independent per pair, and the best-match
+        table's exact ``min`` is order-insensitive.  Raises
+        :class:`KernelUnsupported` — *before* mutating any state — when
+        a new area's predicates cannot be replayed exactly; callers can
+        keep using the unmodified pack after catching it.
+
+        Requires the statistics catalog used at construction to be
+        unchanged since: widened access intervals would silently
+        invalidate the old predicate rows (the incremental clustering
+        layer freezes a private snapshot for exactly this reason).
+        """
+        areas = list(areas)
+        if not areas:
+            return
+        # -- tentative dedup (no mutation until every check passes) ----
+        clause_ids = dict(self._clause_ids)
+        clauses = list(self._clauses)
+        area_clause_ids = []
         for area in areas:
             ids = []
             for clause in area.cnf.clauses:
                 cid = clause_ids.get(clause)
                 if cid is None:
-                    cid = len(clause_ids)
+                    cid = len(clauses)
                     clause_ids[clause] = cid
+                    clauses.append(clause)
                 ids.append(cid)
             area_clause_ids.append(ids)
-        clauses = list(clause_ids)
+        c_old = self.n_clauses
+        new_clauses = clauses[c_old:]
 
-        pred_ids: dict = {}
-        clause_pred_ids: list[list[int]] = []
-        for clause in clauses:
+        pred_ids = dict(self._pred_ids)
+        preds = list(self._preds)
+        clause_pred_ids = list(self._clause_pred_ids)
+        for clause in new_clauses:
             ids = []
             for pred in clause.predicates:
                 pid = pred_ids.get(pred)
                 if pid is None:
-                    pid = len(pred_ids)
+                    pid = len(preds)
                     pred_ids[pred] = pid
+                    preds.append(pred)
                 ids.append(pid)
             clause_pred_ids.append(ids)
-        preds = list(pred_ids)
-        _check_supported(preds)
+        p_old = self.n_predicates
+        _check_supported(preds[p_old:])
 
-        self.n_areas = len(areas)
+        # -- rebuild/extend the vectorized tables ----------------------
+        # The predicate block raises KernelUnsupported for constants it
+        # cannot replay bitwise, so it runs before any commit; nothing
+        # below this point can fail.
+        dp = self._dp
+        if len(preds) > p_old:
+            # Full vectorized rebuild: entries between old predicates
+            # are elementwise formulas over unchanged inputs, so they
+            # stay bitwise-identical and every old clause entry built
+            # from them remains valid.
+            dp = _predicate_block(preds, self._oracle,
+                                  self._stats_catalog)
+
+        # -- commit ----------------------------------------------------
+        self._clause_ids = clause_ids
+        self._clauses = clauses
+        self._pred_ids = pred_ids
+        self._preds = preds
+        self._clause_pred_ids = clause_pred_ids
         self.n_predicates = len(preds)
-        self.n_clauses = len(clauses)
-        self._dp = _predicate_block(preds, oracle, stats)
-        self._dc = _clause_block(clauses, clause_pred_ids, self._dp)
-        self._finish_area_layer(area_clause_ids)
+        self._dp = dp
+        self._area_clause_ids.extend(area_clause_ids)
+        if self.n_areas == 0:
+            # First fill: build every layer from scratch.
+            self.n_clauses = len(clauses)
+            self.n_areas = len(self._area_clause_ids)
+            self._finish_area_layer(
+                self._area_clause_ids,
+                _clause_block(clauses, clause_pred_ids, dp))
+        else:
+            if new_clauses:
+                self._append_clause_rows(
+                    _clause_rows(clauses, clause_pred_ids, dp, c_old))
+            self._append_area_columns(area_clause_ids)
+
+    # -- growable views -----------------------------------------------------
+    #
+    # The clause and area layers live in capacity-doubled buffers so a
+    # streaming insert appends rows/columns instead of reallocating
+    # O(c·m) state; the public ``_dc``/``_best``/``_counts``/``_id_pad``
+    # names are views of the live region.  Downstream consumers only
+    # ever *gather* from these (fancy indexing copies into fresh
+    # C-contiguous arrays), so the strided views preserve the bitwise
+    # summation-order guarantees documented on each method.
+
+    @property
+    def _dc(self) -> "np.ndarray":
+        return self._dc_ext_buf[:self.n_clauses, :self.n_clauses]
+
+    @property
+    def _dc_ext(self) -> "np.ndarray":
+        return self._dc_ext_buf[:self.n_clauses, :self.n_clauses + 1]
+
+    @property
+    def _counts(self) -> "np.ndarray":
+        return self._counts_buf[:self.n_areas]
+
+    @property
+    def _id_pad(self) -> "np.ndarray":
+        return self._id_pad_buf[:self.n_areas]
+
+    @property
+    def _best(self) -> "np.ndarray":
+        return self._best_buf[:self.n_clauses, :self.n_areas]
 
     # -- area layer ---------------------------------------------------------
 
-    def _finish_area_layer(self, area_clause_ids: list[list[int]]) -> None:
+    def _finish_area_layer(self, area_clause_ids: list[list[int]],
+                           dc: "np.ndarray") -> None:
         m = self.n_areas
         c = self.n_clauses
-        self._counts = np.array([len(ids) for ids in area_clause_ids],
-                                dtype=np.intp)
+        counts = np.array([len(ids) for ids in area_clause_ids],
+                          dtype=np.intp)
         self._ids = [np.asarray(ids, dtype=np.intp)
                      for ids in area_clause_ids]
-        lmax = int(self._counts.max()) if m else 0
+        lmax = int(counts.max()) if m else 0
+        self._l_cap = max(lmax, 1)
+        self._m_cap = max(m, 4)
+        self._c_cap = max(c, 4)
+        self._counts_buf = np.zeros(self._m_cap, dtype=np.intp)
+        self._counts_buf[:m] = counts
         # Padded clause-id matrix: pad index ``c`` addresses a sentinel
-        # column/value in the extended tables below.
-        self._id_pad = np.full((m, max(lmax, 1)), c, dtype=np.intp)
+        # column/value in the extended tables below; the sentinel index
+        # is remapped whenever the clause layer grows.
+        self._id_pad_buf = np.full((self._m_cap, self._l_cap), c,
+                                   dtype=np.intp)
         for row, ids in enumerate(area_clause_ids):
-            self._id_pad[row, :len(ids)] = ids
-        dc_ext = np.empty((c, c + 1), dtype=float)
-        dc_ext[:, :c] = self._dc
-        dc_ext[:, c] = np.inf
-        self._dc_ext = dc_ext
+            self._id_pad_buf[row, :len(ids)] = ids
+        self._dc_ext_buf = np.full(
+            (self._c_cap, self._c_cap + 1), np.inf)
+        self._dc_ext_buf[:c, :c] = dc
         # best_match[k, j] = min over area j's clauses of d_disj(k, ·):
         # the shared inner term of both direction sums.
-        best = np.full((c, m), np.inf)
+        best = self._best_buf = np.full((self._c_cap, self._m_cap),
+                                        np.inf)
+        dc_ext = self._dc_ext
         for level in range(lmax):
-            np.minimum(best, dc_ext[:, self._id_pad[:, level]], out=best)
-        self._best = best
+            np.minimum(best[:c, :m], dc_ext[:, self._id_pad[:, level]],
+                       out=best[:c, :m])
         self._row_cache: Optional[tuple[int, np.ndarray]] = None
+
+    def _append_clause_rows(self, rows: "np.ndarray") -> None:
+        """Commit ``_clause_rows`` output: grow the clause dimension of
+        the ``d_disj`` and best-match tables and remap the pad
+        sentinel."""
+        c_old = self.n_clauses
+        c = c_old + rows.shape[0]
+        if c > self._c_cap:
+            cap = max(self._c_cap * 2, c)
+            dc_buf = np.full((cap, cap + 1), np.inf)
+            dc_buf[:c_old, :c_old] = self._dc_ext_buf[:c_old, :c_old]
+            self._dc_ext_buf = dc_buf
+            best_buf = np.full((cap, self._m_cap), np.inf)
+            best_buf[:c_old] = self._best_buf[:c_old]
+            self._best_buf = best_buf
+            self._c_cap = cap
+        buf = self._dc_ext_buf
+        buf[c_old:c, :c] = rows
+        buf[:c_old, c_old:c] = rows[:, :c_old].T
+        buf[:c, c] = np.inf
+        # Old pad rows address the former sentinel column: remap.
+        self._id_pad_buf[self._id_pad_buf == c_old] = c
+        self.n_clauses = c
+        # Best-match rows of the new clauses against every existing
+        # area, by the same exact min-gather the full build performs.
+        m = self.n_areas
+        if m:
+            new = self._best_buf[c_old:c, :m]
+            new[:] = np.inf
+            for level in range(self._l_cap):
+                np.minimum(
+                    new,
+                    buf[c_old:c, :][:, self._id_pad_buf[:m, level]],
+                    out=new)
+        self._row_cache = None
+
+    def _append_area_columns(
+            self, area_clause_ids: list[list[int]]) -> None:
+        """Append per-area columns for new members (clause layer must
+        already cover their clause ids)."""
+        c = self.n_clauses
+        m_old = self.n_areas
+        m = m_old + len(area_clause_ids)
+        need_l = max((len(ids) for ids in area_clause_ids), default=0)
+        if need_l > self._l_cap:
+            pad = np.full((self._m_cap, max(need_l, 2 * self._l_cap)),
+                          c, dtype=np.intp)
+            pad[:, :self._l_cap] = self._id_pad_buf
+            self._id_pad_buf = pad
+            self._l_cap = pad.shape[1]
+        if m > self._m_cap:
+            cap = max(self._m_cap * 2, m)
+            counts = np.zeros(cap, dtype=np.intp)
+            counts[:m_old] = self._counts_buf[:m_old]
+            self._counts_buf = counts
+            pad = np.full((cap, self._l_cap), c, dtype=np.intp)
+            pad[:m_old] = self._id_pad_buf[:m_old]
+            self._id_pad_buf = pad
+            best = np.full((self._c_cap, cap), np.inf)
+            best[:, :m_old] = self._best_buf[:, :m_old]
+            self._best_buf = best
+            self._m_cap = cap
+        for offset, ids in enumerate(area_clause_ids):
+            row = m_old + offset
+            arr = np.asarray(ids, dtype=np.intp)
+            self._ids.append(arr)
+            self._counts_buf[row] = len(arr)
+            self._id_pad_buf[row, :] = c
+            self._id_pad_buf[row, :len(arr)] = arr
+            if len(arr):
+                self._best_buf[:c, row] = \
+                    self._dc_ext_buf[:c, arr].min(axis=1)
+            else:
+                self._best_buf[:c, row] = np.inf
+        self.n_areas = m
+        self._row_cache = None
 
     @property
     def storage_floats(self) -> int:
@@ -585,6 +771,65 @@ def _clause_block(clauses: Sequence, clause_pred_ids: Sequence,
             dc[ci, cj] = dc[cj, ci] = (forward + backward) / (n1 + n2)
     np.fill_diagonal(dc, 0.0)
     return dc
+
+
+def _clause_rows(clauses: Sequence, clause_pred_ids: Sequence,
+                 dp: "np.ndarray", c_old: int) -> "np.ndarray":
+    """``d_disj`` rows of the clauses at ids ``c_old..len(clauses)``
+    against *every* clause (old and new).
+
+    Each pair runs the exact :func:`_clause_block` formula for its
+    category, so stacking these rows under (and their transpose beside)
+    an existing block reproduces the from-scratch matrix bitwise.
+    """
+    c = len(clauses)
+    rows = np.ones((c - c_old, c), dtype=float)
+    lengths = np.array([len(ids) for ids in clause_pred_ids],
+                       dtype=np.intp)
+
+    unit = np.flatnonzero(lengths == 1)
+    new_unit = unit[unit >= c_old]
+    if len(new_unit):
+        pids_all = np.array([clause_pred_ids[int(k)][0] for k in unit],
+                            dtype=np.intp)
+        pids_new = np.array(
+            [clause_pred_ids[int(k)][0] for k in new_unit],
+            dtype=np.intp)
+        rows[np.ix_(new_unit - c_old, unit)] = \
+            dp[np.ix_(pids_new, pids_all)]
+    empty = np.flatnonzero(lengths == 0)
+    new_empty = empty[empty >= c_old]
+    if len(new_empty):
+        rows[np.ix_(new_empty - c_old, empty)] = 0.0
+
+    multi_set = {int(k) for k in np.flatnonzero(lengths >= 2)}
+    for ci in sorted(multi_set):
+        ids1 = np.asarray(clause_pred_ids[ci], dtype=np.intp)
+        n1 = len(ids1)
+        # Old-old pairs are retained from the existing block; an old
+        # multi clause only pairs against the new id range.
+        for cj in range(c_old if ci < c_old else 0, c):
+            n2 = int(lengths[cj])
+            if n2 == 0 or cj == ci:
+                continue
+            if cj in multi_set and cj < ci:
+                continue  # symmetric, already filled
+            sub = dp[np.ix_(ids1, np.asarray(clause_pred_ids[cj],
+                                             dtype=np.intp))]
+            forward = 0.0
+            for value in sub.min(axis=1).tolist():
+                forward += value
+            backward = 0.0
+            for value in sub.min(axis=0).tolist():
+                backward += value
+            value = (forward + backward) / (n1 + n2)
+            if ci >= c_old:
+                rows[ci - c_old, cj] = value
+            if cj >= c_old:
+                rows[cj - c_old, ci] = value
+    for k in range(c_old, c):
+        rows[k - c_old, k] = 0.0
+    return rows
 
 
 # -- partition fan-out -------------------------------------------------------

@@ -180,11 +180,78 @@ class VPTree:
         started = time.perf_counter()
         counts = pack._counts
         self._empty = np.flatnonzero(counts == 0).astype(np.intp)
-        self._nonempty = np.flatnonzero(counts != 0).astype(np.intp)
-        self.root = self._build(self._nonempty)[0] \
-            if len(self._nonempty) else None
+        #: indices covered by the built tree — frozen until a rebuild;
+        #: later inserts accumulate in ``_overflow`` and are scanned
+        #: brute-force (they are few by the rebuild threshold).
+        self._tree_indices = np.flatnonzero(counts != 0).astype(np.intp)
+        self._overflow: list[int] = []
+        self._built_clauses = pack.n_clauses
+        self._suffix = np.zeros(0, dtype=float)
+        self.root = self._build(self._tree_indices)[0] \
+            if len(self._tree_indices) else None
         self.stats.trees_built += 1
         self.stats.build_seconds += time.perf_counter() - started
+
+    @property
+    def _nonempty(self) -> "np.ndarray":
+        if self._overflow:
+            return np.concatenate([
+                self._tree_indices,
+                np.asarray(self._overflow, dtype=np.intp)])
+        return self._tree_indices
+
+    def insert(self, li: int) -> None:
+        """Adopt pack-local point ``li`` (already appended to the pack
+        by :meth:`~.kernel.PackedPartition.extend`).
+
+        Node membership never changes — the point lands in the overflow
+        list (or the empty-CNF fixup set), so every stored subtree bound
+        stays valid; queries scan the overflow brute-force.  Once the
+        overflow outgrows ``max(leaf_size, size/4)`` the tree is rebuilt
+        over the full population, amortizing the rebuild to O(1)
+        evaluations per insert.
+        """
+        if int(self.pack._counts[li]) == 0:
+            self._empty = np.append(self._empty, np.intp(li))
+            return
+        self._overflow.append(li)
+        if len(self._overflow) > max(self.leaf_size,
+                                     len(self._tree_indices) // 4):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        started = time.perf_counter()
+        counts = self.pack._counts
+        self._empty = np.flatnonzero(counts == 0).astype(np.intp)
+        self._tree_indices = np.flatnonzero(counts != 0).astype(np.intp)
+        self._overflow = []
+        self._built_clauses = self.pack.n_clauses
+        self._suffix = np.zeros(0, dtype=float)
+        self.root = self._build(self._tree_indices)[0] \
+            if len(self._tree_indices) else None
+        self.stats.trees_built += 1
+        self.stats.build_seconds += time.perf_counter() - started
+
+    def _suffix_mins(self) -> "np.ndarray":
+        """Lower bounds for clause ids minted after the tree was built:
+        ``suffix[k] = min over tree-covered areas of best[built+k, ·]``.
+
+        Node ``ms`` vectors are frozen at ``_built_clauses`` entries, so
+        a query whose area uses newer clauses needs this tail.  The
+        tree-covered set is a superset of every subtree, so the shared
+        minima stay sound (if looser) for any node's bound.  Extended
+        incrementally: best-match rows never change once computed.
+        """
+        c = self.pack.n_clauses
+        have = self._built_clauses + len(self._suffix)
+        if have < c:
+            if len(self._tree_indices):
+                tail = self.pack._best[
+                    have:c, self._tree_indices].min(axis=1)
+            else:
+                tail = np.full(c - have, np.inf)
+            self._suffix = np.concatenate([self._suffix, tail])
+        return self._suffix
 
     def _build(self, indices):
         """Build the subtree over ``indices`` (all nonempty), returning
@@ -234,6 +301,16 @@ class VPTree:
             out.extend((int(e), 1.0) for e in self._empty)
         ids_q = pack._ids[i]
         v_ext = pack.clause_best(i)
+        # Clause ids minted after the build index past the frozen node
+        # ``ms`` vectors; their forward contribution comes from the
+        # shared suffix minima instead.
+        built_c = self._built_clauses
+        extra = 0.0
+        if len(ids_q) and int(ids_q.max()) >= built_c:
+            suffix = self._suffix_mins()
+            extra = float(suffix[ids_q[ids_q >= built_c]
+                                 - built_c].sum())
+            ids_q = ids_q[ids_q < built_c]
         frontier: list = [self.root] if self.root is not None else []
         while frontier:
             leaves = [e.indices for e in frontier
@@ -248,7 +325,7 @@ class VPTree:
                     out.append((int(batch[k]), float(distances[k])))
             frontier = []
             for node in nodes:
-                forward = float(node.ms[ids_q].sum())
+                forward = float(node.ms[ids_q].sum()) + extra
                 backward = float(v_ext[node.cs].min())
                 bound = min(
                     (forward + node.nmin * backward)
@@ -259,6 +336,12 @@ class VPTree:
                     stats.pruned += node.size
                 else:
                     frontier.extend(node.children)
+        if self._overflow:
+            batch = np.asarray(self._overflow, dtype=np.intp)
+            distances = pack.pair_rows(i, batch)
+            stats.query_evals += len(batch)
+            for k in np.flatnonzero(distances <= eps):
+                out.append((int(batch[k]), float(distances[k])))
         out.sort()
         return out
 
@@ -306,7 +389,7 @@ class VPTreeIndex:
                  bounds: "np.ndarray", stats: MatrixStats,
                  vpstats: VPTreeStats,
                  registry: Optional[metrics.MetricsRegistry] = None,
-                 ) -> None:
+                 leaf_size: int = DEFAULT_LEAF_SIZE) -> None:
         self.n = n
         self._keys = list(keys)
         self._members = [np.asarray(m, dtype=np.intp) for m in members]
@@ -315,13 +398,20 @@ class VPTreeIndex:
         self.stats = stats
         self.vpstats = vpstats
         self._registry = registry or metrics.get_registry()
+        self._leaf_size = leaf_size
+        self._key_to_pid = {key: pid
+                            for pid, key in enumerate(self._keys)}
+        #: retained by :meth:`compute` so :meth:`insert` can evaluate
+        #: new intra-partition distances; ``None`` for constructor-
+        #: adopted indexes, which therefore cannot grow.
+        self._items: Optional[list] = None
 
-        self._pids = np.full(n, -1, dtype=np.intp)
-        self._local = np.zeros(n, dtype=np.intp)
+        self._pids_buf = np.full(n, -1, dtype=np.intp)
+        self._local_buf = np.zeros(n, dtype=np.intp)
         for pid, m in enumerate(self._members):
-            self._pids[m] = pid
-            self._local[m] = np.arange(len(m), dtype=np.intp)
-        if n and int(self._pids.min()) < 0:
+            self._pids_buf[m] = pid
+            self._local_buf[m] = np.arange(len(m), dtype=np.intp)
+        if n and int(self._pids_buf.min()) < 0:
             raise ValueError("partitions do not cover every item")
         p = len(self._keys)
         if p >= 2:
@@ -333,6 +423,14 @@ class VPTreeIndex:
         # local row turns the per-pair probes into a per-row amortized
         # vectorized evaluation.
         self._row_cache: Optional[tuple[int, np.ndarray]] = None
+
+    @property
+    def _pids(self) -> "np.ndarray":
+        return self._pids_buf[:self.n]
+
+    @property
+    def _local(self) -> "np.ndarray":
+        return self._local_buf[:self.n]
 
     # -- construction -------------------------------------------------------
 
@@ -430,8 +528,122 @@ class VPTreeIndex:
         stats.record(registry)
         vpstats.record(registry)
         logger.debug("vptree index: %s", vpstats.summary())
-        return cls(n, keys, members, parts, bounds, stats, vpstats,
-                   registry)
+        index = cls(n, keys, members, parts, bounds, stats, vpstats,
+                    registry, leaf_size)
+        index._items = list(items)
+        return index
+
+    # -- incremental growth -------------------------------------------------
+
+    def insert(self, item, metric, *,
+               max_radius: Optional[float] = None) -> int:
+        """Append one item, extending only its partition's tree.
+
+        The common path is a pack :meth:`~.kernel.PackedPartition.extend`
+        plus a leaf-append :meth:`VPTree.insert` — no distance is
+        evaluated at all until a query reaches the overflow list.  A
+        previously unseen table set opens a singleton partition (one
+        ``d_tables`` evaluation per existing partition, possibly
+        lowering :attr:`exactness_bound`); a partition the kernel can no
+        longer replay degrades to a materialized growable block.  Pass
+        ``max_radius`` to reject, before any mutation, an insert whose
+        new partition would drop the exactness bound to ``max_radius``
+        or below (see ``BlockSparseDistanceMatrix.insert_row``).
+        Returns the item's new global index.  Only indexes built by
+        :meth:`compute` retain the items this needs.
+        """
+        if self._items is None:
+            raise ValueError(
+                "insert requires an index built by compute(); "
+                "constructor-adopted indexes do not retain their items")
+        from .block_sparse import _GrowableBlock
+        index = self.n
+        key = frozenset(item.table_set)
+        pid = self._key_to_pid.get(key)
+        if pid is None:
+            if max_radius is not None:
+                bound = self.exactness_bound
+                for members in self._members:
+                    bound = min(bound, metric.d_tables(
+                        self._items[int(members[0])], item))
+                if max_radius >= bound:
+                    raise ValueError(
+                        f"inserting an item with unseen table set "
+                        f"{sorted(key)} would lower the partition "
+                        f"exactness bound to {bound:.4g}, at or below "
+                        f"the reserved query radius {max_radius:.4g}")
+            pid = len(self._keys)
+            p = pid
+            bounds = np.zeros((p + 1, p + 1), dtype=float)
+            bounds[:p, :p] = self._bounds
+            for q, members in enumerate(self._members):
+                value = metric.d_tables(
+                    self._items[int(members[0])], item)
+                bounds[q, p] = bounds[p, q] = value
+            self._bounds = bounds
+            self._keys.append(key)
+            self._key_to_pid[key] = pid
+            self._members.append(np.array([index], dtype=np.intp))
+            try:
+                pack = PackedPartition([item], metric)
+                self._parts.append(_TreePart(
+                    pack, VPTree(pack, self._leaf_size, self.vpstats)))
+            except KernelUnsupported as exc:
+                logger.debug("vptree insert fallback for new "
+                             "partition: %s", exc)
+                self._parts.append(_MatrixPart(_GrowableBlock(
+                    DistanceMatrix(1, np.zeros(0, dtype=float)))))
+                self.vpstats.fallback_partitions += 1
+            if p >= 1:
+                off = bounds[~np.eye(p + 1, dtype=bool)]
+                self.exactness_bound = float(off.min())
+            self.stats.n_blocks = p + 1
+        else:
+            members = self._members[pid]
+            part = self._parts[pid]
+            if part.kind == "tree":
+                try:
+                    part.pack.extend([item])
+                    part.tree.insert(part.pack.n_areas - 1)
+                except KernelUnsupported as exc:
+                    # Degrade the partition to a materialized block the
+                    # per-pair oracle can keep growing.
+                    logger.debug("vptree insert degrading partition %d "
+                                 "to a matrix block: %s", pid, exc)
+                    block = _GrowableBlock(DistanceMatrix(
+                        len(members), part.pack.condensed_block()))
+                    block.append(np.array(
+                        [metric(self._items[int(g)], item)
+                         for g in members], dtype=float))
+                    part = _MatrixPart(block)
+                    self._parts[pid] = part
+                    self.vpstats.fallback_partitions += 1
+            else:
+                block = part.block
+                if not isinstance(block, _GrowableBlock):
+                    block = _GrowableBlock(block)
+                    part.block = block
+                block.append(np.array(
+                    [metric(self._items[int(g)], item)
+                     for g in members], dtype=float))
+            self._members[pid] = np.append(members, index)
+        self._items.append(item)
+        if index >= len(self._pids_buf):
+            cap = max(2 * len(self._pids_buf), 4)
+            for name in ("_pids_buf", "_local_buf"):
+                buf = np.zeros(cap, dtype=np.intp)
+                buf[:index] = getattr(self, name)[:index]
+                setattr(self, name, buf)
+        self._pids_buf[index] = pid
+        self._local_buf[index] = len(self._members[pid]) - 1
+        self.n = index + 1
+        self._row_cache = None
+        st = self.stats
+        st.n_items = self.n
+        st.pairs_total = self.n * (self.n - 1) // 2
+        st.largest_block = max(st.largest_block,
+                               len(self._members[pid]))
+        return index
 
     # -- lookups ------------------------------------------------------------
 

@@ -271,3 +271,78 @@ class TestComputeMatrixFactory:
         matrix = compute_matrix(areas, lambda a, b: 0.5, mode="auto",
                                 eps=EPS)
         assert isinstance(matrix, DistanceMatrix)
+
+
+class TestInsertRow:
+    """Incremental growth parity: a matrix grown row by row must be
+    indistinguishable — bitwise — from one computed from scratch."""
+
+    @pytest.mark.parametrize("engine", ["kernel", "python"])
+    def test_grown_matrix_matches_recompute(self, population, engine):
+        areas, metric = population
+        prefix, suffix = areas[:40], areas[40:60]
+        grown = BlockSparseDistanceMatrix.compute(prefix, metric)
+        for area in suffix:
+            grown.insert_row(area, metric, engine=engine)
+        ref = BlockSparseDistanceMatrix.compute(prefix + suffix, metric)
+        assert grown.n == ref.n
+        assert grown.exactness_bound == ref.exactness_bound
+        assert np.array_equal(grown.to_square(), ref.to_square())
+        for i in range(0, ref.n, 7):
+            assert grown.neighbors(i, EPS) == ref.neighbors(i, EPS)
+
+    def test_bootstrap_from_empty(self, population):
+        areas, metric = population
+        grown = BlockSparseDistanceMatrix.compute([], metric)
+        for area in areas[:30]:
+            grown.insert_row(area, metric)
+        ref = BlockSparseDistanceMatrix.compute(areas[:30], metric)
+        assert np.array_equal(grown.to_square(), ref.to_square())
+
+    def test_mixed_engines_stay_consistent(self, population):
+        areas, metric = population
+        grown = BlockSparseDistanceMatrix.compute(areas[:10], metric)
+        for k, area in enumerate(areas[10:40]):
+            grown.insert_row(area, metric,
+                             engine="kernel" if k % 3 else "python")
+        ref = BlockSparseDistanceMatrix.compute(areas[:40], metric)
+        assert np.array_equal(grown.to_square(), ref.to_square())
+
+    def test_stats_pair_accounting(self, population):
+        areas, metric = population
+        grown = BlockSparseDistanceMatrix.compute(areas[:40], metric)
+        for area in areas[40:60]:
+            grown.insert_row(area, metric)
+        want = sum(len(m) * (len(m) - 1) // 2
+                   for _, m in grown.partitions())
+        assert grown.stats.pairs_computed == want
+        assert grown.stats.pairs_total == grown.n * (grown.n - 1) // 2
+        assert grown.stats.n_items == grown.n
+
+    def test_max_radius_refuses_before_mutation(self, population):
+        areas, metric = population
+        grown = BlockSparseDistanceMatrix.compute(areas[:20], metric)
+        covered = {frozenset(x.table_set) for x in areas[:20]}
+        unseen = next((a for a in areas[20:]
+                       if frozenset(a.table_set) not in covered), None)
+        if unseen is None:
+            pytest.skip("workload prefix already covers every table set")
+        before = grown.to_square().copy()
+        n_before = grown.n
+        with pytest.raises(ValueError, match="bound"):
+            grown.insert_row(unseen, metric, max_radius=1.0)
+        assert grown.n == n_before
+        assert np.array_equal(grown.to_square(), before)
+        # Without the reservation the same insert succeeds.
+        grown.insert_row(unseen, metric)
+        assert grown.n == n_before + 1
+
+    def test_requires_compute_built_matrix(self, population):
+        areas, metric = population
+        ref = BlockSparseDistanceMatrix.compute(areas[:5], metric)
+        clone = BlockSparseDistanceMatrix(
+            ref.n, list(ref._keys), [m.copy() for m in ref._members],
+            [b.condensed for b in ref._blocks], ref._bounds.copy(),
+            ref.stats)
+        with pytest.raises(ValueError, match="compute"):
+            clone.insert_row(areas[5], metric)

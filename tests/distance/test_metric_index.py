@@ -336,3 +336,100 @@ class TestInstrumentation:
             < len(population) * (len(population) - 1) // 2
         assert index.stats.stored_floats > 0
         assert "trees" in index.vpstats.summary()
+
+
+class TestIncrementalInsert:
+    """Leaf-append inserts keep every neighbour query exact.
+
+    Soundness argument under test: node membership is frozen at build
+    (certified ``ms``/``nmin``/``nmax`` bounds stay valid), post-build
+    clause ids are bounded by suffix minima over the whole tree-covered
+    set, and overflow points are scanned exactly — so a tree grown by
+    :meth:`VPTreeIndex.insert` must agree with brute force at any
+    radius below the exactness bound, across rebuild thresholds.
+    """
+
+    def _mixed_population(self, k):
+        out = []
+        for i in range(k):
+            if i % 3 == 2:
+                out.append(_half("T" if i % 2 else "S",
+                                 Op.LE if i % 4 else Op.GE,
+                                 float((11 * i) % 100)))
+            else:
+                lo = float((7 * i) % 80)
+                out.append(_window("T" if i % 2 else "S", lo, lo + 5.0))
+        return out
+
+    @settings(max_examples=25, deadline=None)
+    @given(total=st.integers(min_value=3, max_value=36),
+           split=st.integers(min_value=0, max_value=1_000_000),
+           eps=st.floats(min_value=0.0, max_value=0.45))
+    def test_grown_index_matches_brute_force(self, total, split, eps):
+        population = self._mixed_population(total)
+        k = split % total
+        metric = QueryDistance(_stats())
+        index = VPTreeIndex.compute(population[:k], metric,
+                                    leaf_size=2)
+        for area in population[k:]:
+            index.insert(area, metric)
+        dense = np.zeros((total, total))
+        for i in range(total):
+            for j in range(total):
+                if i != j:
+                    dense[i, j] = metric(population[i], population[j])
+        for i in range(total):
+            got = index.neighbors(i, eps)
+            pids = [index._pids[j] for j in range(total)]
+            want = [j for j in np.flatnonzero(dense[i] <= eps)
+                    if pids[j] == pids[i]]
+            assert got == want
+
+    def test_insert_triggers_rebuild(self):
+        metric = QueryDistance(_stats())
+        base = [_window("T", float(i), float(i) + 6.0) for i in range(8)]
+        index = VPTreeIndex.compute(base, metric, leaf_size=2)
+        built_before = index.vpstats.trees_built
+        for i in range(8, 24):
+            index.insert(_window("T", float(i), float(i) + 6.0), metric)
+        assert index.vpstats.trees_built > built_before
+        ref = VPTreeIndex.compute(
+            [_window("T", float(i), float(i) + 6.0) for i in range(24)],
+            metric, leaf_size=2)
+        for i in range(24):
+            assert index.neighbors(i, 0.1) == ref.neighbors(i, 0.1)
+
+    def test_max_radius_refusal_leaves_index_untouched(self):
+        metric = QueryDistance(_stats())
+        index = VPTreeIndex.compute([_window("T", 0, 10)], metric)
+        both = AccessArea(("T", "S"), CNF.of([Clause.of([
+            ColumnConstantPredicate(T_X, Op.GE, 1.0)])]))
+        with pytest.raises(ValueError, match="bound"):
+            index.insert(both, metric, max_radius=0.6)
+        assert index.n == 1
+        index.insert(_window("T", 1, 11), metric)
+        assert index.neighbors(0, 0.2) == [0, 1]
+
+    def test_kernel_unsupported_degrades_to_matrix_block(self):
+        # A constant the kernel refuses to replay bitwise (bool, whose
+        # ``True == 1`` identity is evaluation-order dependent) must
+        # degrade that partition to a growable block, with queries
+        # still exact.
+        metric = QueryDistance(_stats())
+        base = [_window("T", float(i), float(i) + 6.0) for i in range(6)]
+        index = VPTreeIndex.compute(base, metric, leaf_size=2)
+        # LE so the bool does not collapse into the existing float
+        # ``T.x >= 1.0`` predicate via the ``True == 1.0`` identity
+        # (that collapse mirrors the per-pair oracle's own memo and is
+        # exactly why bools are refused as *new* predicates).
+        odd = AccessArea(("T",), CNF.of([Clause.of([
+            ColumnConstantPredicate(T_X, Op.LE, True)])]))
+        fallbacks_before = index.vpstats.fallback_partitions
+        index.insert(odd, metric)
+        assert index.vpstats.fallback_partitions == fallbacks_before + 1
+        extra = _window("T", 0.5, 6.5)
+        index.insert(extra, metric)
+        from repro.distance import DistanceMatrix
+        dense = DistanceMatrix.compute(base + [odd, extra], metric)
+        for i in range(len(base) + 2):
+            assert index.neighbors(i, 0.12) == dense.neighbors(i, 0.12)
