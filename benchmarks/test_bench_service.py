@@ -1,0 +1,115 @@
+"""Interest service benchmark: sustained ingest + request latency.
+
+Drives the ASGI application in-process (no sockets, no kernel
+networking noise) with the synthetic SkyServer workload:
+
+* **ingest** — sustained ``POST /queries`` throughput while the
+  incremental clusterer, intern pool, and per-user ledgers absorb the
+  stream;
+* **reads** — latency quantiles for the snapshot-backed endpoints
+  (``/clusters``, ``/healthz``) and the recommender path
+  (``/recommend``) measured against the loaded state;
+* **parity** — the live labels after the run equal a from-scratch
+  weighted batch DBSCAN over the resident unique areas.
+
+Writes ``benchmarks/out/BENCH_service.json``; the perf guard budgets
+``*_per_second`` (down = bad) and the dedicated ``BENCH_service``
+latency entry in ``perf_budgets.toml``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the stream ~10x.
+"""
+
+import json
+import os
+import time
+
+from repro.clustering import DBSCAN
+from repro.distance import QueryDistance
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AppState, ServiceConfig, TestClient, create_app
+from repro.workload import WorkloadConfig, generate_workload
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N_QUERIES = 250 if SMOKE else 2_500
+N_READS = 60 if SMOKE else 400
+EPS = 0.12
+MIN_PTS = 5
+
+
+def _quantile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_service_throughput_and_latency(benchmark, out_dir):
+    registry = MetricsRegistry()
+    state = AppState(ServiceConfig(eps=EPS, min_pts=MIN_PTS, warmup=50),
+                     registry=registry)
+    app = create_app(state=state)
+    client = TestClient(app)
+    workload = generate_workload(WorkloadConfig(n_queries=N_QUERIES,
+                                                seed=17))
+    statements = workload.log.statements_with_users()
+
+    ingest = {}
+
+    def run():
+        started = time.perf_counter()
+        for sql, user in statements:
+            response = client.post("/queries",
+                                   json={"sql": sql, "user": user})
+            assert response.status == 200
+        ingest["seconds"] = time.perf_counter() - started
+        return state
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Read latency against the loaded state, one sample per request.
+    latencies = {"/clusters": [], "/healthz": [], "/recommend": []}
+    client.get("/recommend")  # fit once outside the timed loop
+    for path, samples in latencies.items():
+        for _ in range(N_READS):
+            started = time.perf_counter()
+            response = client.get(path)
+            samples.append(time.perf_counter() - started)
+            assert response.status == 200
+
+    # Parity: the answer being served is the batch answer.
+    clusterer = state.clusterer
+    batch = DBSCAN(eps=EPS, min_pts=MIN_PTS).fit(
+        clusterer.areas(), distance=QueryDistance(state.frozen_stats),
+        weights=clusterer.weights())
+    labels_match_batch = clusterer.labels() == list(batch.labels)
+
+    read_samples = [s for samples in latencies.values()
+                    for s in samples]
+    artifact = {
+        "statements": len(statements),
+        "ingest_seconds": round(ingest["seconds"], 4),
+        "ingest_per_second": round(
+            len(statements) / ingest["seconds"], 2),
+        "unique_areas": clusterer.n_unique,
+        "n_clusters": clusterer.n_clusters,
+        "labels_match_batch": labels_match_batch,
+        "request_p50_seconds": round(_quantile(read_samples, 0.50), 6),
+        "request_p99_seconds": round(_quantile(read_samples, 0.99), 6),
+        "routes": {
+            path: {
+                "p50_seconds": round(_quantile(samples, 0.50), 6),
+                "p99_seconds": round(_quantile(samples, 0.99), 6),
+            }
+            for path, samples in latencies.items()
+        },
+    }
+    path = out_dir / "BENCH_service.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True),
+                    encoding="utf-8")
+    print("\n" + json.dumps(artifact, indent=2, sort_keys=True))
+
+    assert labels_match_batch
+    assert artifact["ingest_per_second"] > 0
+    # The per-route service histograms exist and saw the traffic.
+    exposition = client.get("/metrics").text
+    assert "repro_service_request_seconds" in exposition
+    assert "repro_service_ingested_total" in exposition

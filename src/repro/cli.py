@@ -8,6 +8,10 @@ Subcommands:
   auto-detected; flat text folds indented multi-line SQL), cluster the
   areas, and print the Section 6.1 report;
 * ``stream`` — monitor a log file incrementally, printing novelty events;
+* ``serve`` — run the interest service: an async HTTP API holding the
+  intern pool, incremental clusterer, and recommender resident;
+* ``recommend`` — fit a recommender on a processed log and print the
+  interest areas nearest to ``--sql`` (or the most popular ones);
 * ``casestudy`` — run the full pipeline and print the Table-1 report;
 * ``qa`` — randomized extraction-conformance harness (soundness +
   metamorphic oracles over random schemas/states, shrinking failures
@@ -35,6 +39,8 @@ Examples::
     repro-skyserver generate --queries 5000 --out log.jsonl
     repro-skyserver process log.jsonl --metrics-out m.json
     repro-skyserver stream log.jsonl --warmup 200
+    repro-skyserver serve --port 8080 --eps 0.12
+    repro-skyserver recommend log.jsonl --sql "SELECT * FROM Photoz" -k 3
     repro-skyserver casestudy --queries 4000 --sample 1500
     repro-skyserver qa --n-queries 500 --seed 0
     repro-skyserver qa --replay tests/qa/corpus
@@ -178,6 +184,49 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("sparse", "vptree", "dense"),
                           help="neighbourhood index for --cluster")
 
+    p_serve = sub.add_parser(
+        "serve", parents=[obs_parent],
+        help="run the interest service (async HTTP API over the "
+             "resident pipeline)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--backend", default="auto",
+                         choices=("auto", "sparse", "vptree", "dense"),
+                         help="incremental-clustering neighbourhood "
+                              "backend (auto: sparse when eps is below "
+                              "the conservative partition exactness "
+                              "bound, dense otherwise)")
+    p_serve.add_argument("--eps", type=float, default=0.12)
+    p_serve.add_argument("--min-pts", type=int, default=5)
+    p_serve.add_argument("--warmup", type=int, default=100,
+                         help="extracted statements before novelty "
+                              "events fire")
+    p_serve.add_argument("--min-cluster-size", type=int, default=5,
+                         help="smallest weighted cluster the "
+                              "recommender indexes")
+
+    p_recommend = sub.add_parser(
+        "recommend", parents=[obs_parent],
+        help="recommend interest areas mined from a processed log")
+    p_recommend.add_argument("log", help="JSONL or flat-text log path")
+    p_recommend.add_argument("--sql", default=None,
+                             help="the user's query (omit for the "
+                                  "globally most popular areas)")
+    p_recommend.add_argument("-k", type=int, default=5,
+                             help="recommendations to print")
+    p_recommend.add_argument("--eps", type=float, default=0.12)
+    p_recommend.add_argument("--min-pts", type=int, default=5)
+    p_recommend.add_argument("--min-cluster-size", type=int, default=5)
+    p_recommend.add_argument("--sample", type=int, default=2000,
+                             help="max areas to cluster")
+    p_recommend.add_argument("--cluster-seed", type=int, default=99,
+                             help="sampling seed above --sample areas")
+    p_recommend.add_argument("--matrix-mode", default="auto",
+                             choices=list(MATRIX_MODES))
+    p_recommend.add_argument("--neighbor-backend", default="matrix",
+                             choices=list(NEIGHBOR_BACKENDS))
+
     p_case = sub.add_parser(
         "casestudy", parents=[obs_parent],
         help="run the full case-study pipeline")
@@ -312,7 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Subcommands that leave a flight-recorder run record by default.
-_RECORDED_COMMANDS = ("process", "casestudy", "qa", "stream")
+_RECORDED_COMMANDS = ("process", "casestudy", "qa", "stream", "serve",
+                      "recommend")
 
 #: ``args`` entries excluded from the recorded config: bookkeeping,
 #: not knobs that change what the run computes.
@@ -335,6 +385,10 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
         return _cmd_process(args)
     if command == "stream":
         return _cmd_stream(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "recommend":
+        return _cmd_recommend(args)
     if command == "stats":
         return _cmd_stats(args)
     if command == "qa":
@@ -556,6 +610,80 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         for label in sorted(sizes):
             name = "noise" if label < 0 else f"cluster {label}"
             print(f"  {name:<12}: {sizes[label]:g} statements")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, create_app, run_server
+
+    config = ServiceConfig(
+        eps=args.eps, min_pts=args.min_pts, backend=args.backend,
+        warmup=args.warmup, min_cluster_size=args.min_cluster_size)
+    app = create_app(config)
+    print(f"interest service on http://{args.host}:{args.port} "
+          f"(backend={config.resolved_backend()}, eps={config.eps}, "
+          f"min_pts={config.min_pts}) — Ctrl-C to stop")
+    try:
+        # On SIGINT, asyncio.run cancels the server task; run_server
+        # absorbs the cancellation and returns normally, so the
+        # summary prints on both the clean and the double-Ctrl-C path.
+        asyncio.run(run_server(app, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    state = app.state.monitor.state
+    print(f"\nstopped after {state.processed:,} statements "
+          f"({app.state.clusterer.n_clusters} clusters, "
+          f"{len(app.state.interner)} pooled areas)")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    import random
+
+    from .recommend import fit_from_areas
+
+    log = QueryLog.load_auto(args.log)
+    schema = skyserver_schema()
+    extractor = AccessAreaExtractor(schema)
+    with profile_section("extract"):
+        report = process_log(log.statements_with_users(), extractor,
+                             keep_failures=False)
+    if not report.extraction_count:
+        print("recommend: no access areas could be extracted from "
+              f"{args.log}", file=sys.stderr)
+        return 2
+    stats = StatisticsCatalog.from_exact_content(schema, CONTENT_BOUNDS)
+    areas = report.areas()
+    for area in areas:
+        stats.observe_cnf(area.cnf)
+    if len(areas) > args.sample:
+        areas = random.Random(args.cluster_seed).sample(areas,
+                                                        args.sample)
+    with profile_section("fit"):
+        recommender = fit_from_areas(
+            areas, stats, extractor, eps=args.eps,
+            min_pts=args.min_pts, matrix_mode=args.matrix_mode,
+            neighbor_backend=args.neighbor_backend,
+            min_cluster_size=args.min_cluster_size)
+    if args.sql is not None:
+        try:
+            recommendations = recommender.recommend_for_sql(args.sql,
+                                                            k=args.k)
+        except SqlError as exc:
+            print(f"cannot extract an access area: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{len(recommendations)} recommendation(s) from "
+              f"{recommender.n_clusters} interest areas")
+    else:
+        recommendations = recommender.popular(k=args.k)
+        print(f"{len(recommendations)} popular interest area(s) of "
+              f"{recommender.n_clusters}")
+    for rec in recommendations:
+        print(f"  {rec.describe()}")
+        print(f"    try: {rec.suggested_sql}")
     return 0
 
 

@@ -246,6 +246,15 @@ class IncrementalDBSCAN:
         expansion map of :func:`~repro.core.pipeline.expand_labels`)."""
         return list(self._inverse)
 
+    def index_of(self, area) -> Optional[int]:
+        """Unique-area index of ``area`` by canonical fingerprint, or
+        ``None`` when it was never (successfully) added.  Requires
+        ``intern=True`` — without interning, equal areas are distinct
+        points and the lookup is ambiguous."""
+        if not self.intern:
+            raise ValueError("index_of() requires intern=True")
+        return self._index_of.get(area)
+
     # -- union-find ---------------------------------------------------
 
     def _find(self, x: int) -> int:

@@ -72,6 +72,17 @@ HELP_TEXTS = {
     "repro_intern_hits_total": "Intern-pool fingerprint hits.",
     "repro_intern_misses_total": "Intern-pool fingerprint misses.",
     "repro_intern_dedup_ratio": "Source areas per unique area.",
+    "repro_service_requests_total":
+        "HTTP requests served, by route/method/status code.",
+    "repro_service_request_seconds": "Per-route request latency.",
+    "repro_service_ingested_total":
+        "POST /queries outcomes (clustered/unclustered/failed).",
+    "repro_service_ingest_seconds":
+        "End-to-end ingest latency (extract + intern + cluster).",
+    "repro_service_intern_pool":
+        "Unique access areas resident in the service intern pool.",
+    "repro_service_recommender_refreshes_total":
+        "Recommender refits triggered by cluster-structure changes.",
 }
 
 

@@ -1,5 +1,7 @@
 """Query recommendation over mined interest areas (QueRIE-style)."""
 
+from .fitting import fit_from_areas, fit_recommender
 from .recommender import InterestRecommender, Recommendation
 
-__all__ = ["InterestRecommender", "Recommendation"]
+__all__ = ["InterestRecommender", "Recommendation", "fit_from_areas",
+           "fit_recommender"]

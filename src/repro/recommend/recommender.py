@@ -10,6 +10,14 @@ sense 'Which parts of the data do others deem important?'".
 clustered access areas of the community, it takes a user's query (or its
 area) and returns the nearest aggregated interest areas — each with its
 popularity, a representative medoid query, and ready-to-run SQL.
+
+Multiplicity matters: SkyServer-style logs collapse 33–133× under the
+intern pool, so a cluster of 3 unique areas may stand for 10,000 logged
+queries.  :meth:`InterestRecommender.fit` therefore accepts per-area
+``weights`` and canonicalizes *every* population — weighted-unique or
+expanded — to the same (unique representatives, multiplicities) form
+before aggregating, so the two fits are bitwise identical and
+``popularity`` always reports the true weighted cardinality.
 """
 
 from __future__ import annotations
@@ -29,15 +37,25 @@ Distance = Callable[[AccessArea, AccessArea], float]
 
 @dataclass(frozen=True)
 class Recommendation:
-    """One suggested interest area."""
+    """One suggested interest area.
+
+    ``distance`` is ``None`` for cold-start suggestions from
+    :meth:`InterestRecommender.popular` — there is no reference query to
+    measure from, and a ``NaN`` placeholder would poison any caller
+    sorting mixed recommendation lists (``nan`` compares false against
+    everything, so sorts silently misplace it).
+    """
 
     aggregated: AggregatedArea
-    distance: float
-    popularity: int  # cluster cardinality
+    distance: Optional[float]
+    popularity: int  # weighted cluster cardinality (logged queries)
     suggested_sql: str
     medoid: AccessArea
 
     def describe(self) -> str:
+        if self.distance is None:
+            return (f"(popular, {self.popularity} queries) "
+                    f"{self.aggregated.describe()}")
         return (f"(d={self.distance:.2f}, {self.popularity} queries) "
                 f"{self.aggregated.describe()}")
 
@@ -47,6 +65,7 @@ class _FittedCluster:
     aggregated: AggregatedArea
     medoid: AccessArea
     members: list[AccessArea]
+    weights: list[int]
 
 
 @dataclass
@@ -68,30 +87,58 @@ class InterestRecommender:
 
     def fit(self, areas: Sequence[AccessArea],
             clustering: DBSCANResult,
-            sigma: float = 3.0) -> "InterestRecommender":
-        """Index the clusters of a finished clustering run."""
+            sigma: float = 3.0,
+            weights: Optional[Sequence[int]] = None
+            ) -> "InterestRecommender":
+        """Index the clusters of a finished clustering run.
+
+        ``weights`` — optional positive multiplicities aligned with
+        ``areas`` (intern-pool duplicate counts): area ``i`` stands for
+        ``weights[i]`` logged queries.  Cluster members are first
+        collapsed to their unique representatives (summing
+        multiplicities), so ``min_cluster_size``, the 3σ aggregation,
+        medoid choice, and ``popularity`` all see the weighted
+        population.  Fitting ``u`` unique areas with weights is bitwise
+        identical to fitting the expanded ``n``-query population
+        unweighted.
+        """
+        if weights is not None and len(weights) != len(areas):
+            raise ValueError(f"{len(weights)} weights do not match "
+                             f"{len(areas)} areas")
         self._clusters = []
         for cluster_id, indices in clustering.clusters().items():
             members = [areas[i] for i in indices]
-            if len(members) < self.min_cluster_size:
+            raw = ([1] * len(members) if weights is None
+                   else [int(weights[i]) for i in indices])
+            unique, counts = _collapse(members, raw)
+            if sum(counts) < self.min_cluster_size:
                 continue
-            aggregated = aggregate_cluster(cluster_id, members,
-                                           self.stats, sigma=sigma)
-            medoid = self._medoid(members)
+            aggregated = aggregate_cluster(cluster_id, unique,
+                                           self.stats, sigma=sigma,
+                                           weights=counts)
+            medoid = self._medoid(unique, counts)
             self._clusters.append(
-                _FittedCluster(aggregated, medoid, members))
+                _FittedCluster(aggregated, medoid, unique, counts))
         self._clusters.sort(key=lambda c: c.aggregated.cardinality,
                             reverse=True)
         return self
 
     def _medoid(self, members: list[AccessArea],
+                weights: Sequence[int],
                 sample_cap: int = 25) -> AccessArea:
-        """The member minimizing total distance to the others (sampled)."""
+        """The member minimizing total weighted distance to the others.
+
+        The candidate/reference pool is capped at the first
+        ``sample_cap`` *unique* members; each reference counts with its
+        multiplicity, so a representative of 10k identical queries
+        pulls the medoid as hard as 10k expanded copies would.
+        """
         candidates = members[:sample_cap]
+        counts = list(weights[:sample_cap])
         best, best_cost = candidates[0], float("inf")
         for candidate in candidates:
-            cost = sum(self._distance(candidate, other)
-                       for other in candidates)
+            cost = sum(count * self._distance(candidate, other)
+                       for other, count in zip(candidates, counts))
             if cost < best_cost:
                 best, best_cost = candidate, cost
         return best
@@ -141,9 +188,29 @@ class InterestRecommender:
         for cluster in self._clusters[:k]:
             out.append(Recommendation(
                 aggregated=cluster.aggregated,
-                distance=float("nan"),
+                distance=None,
                 popularity=cluster.aggregated.cardinality,
                 suggested_sql=cluster.aggregated.to_sql(),
                 medoid=cluster.medoid,
             ))
         return out
+
+
+def _collapse(members: Sequence[AccessArea],
+              weights: Sequence[int]
+              ) -> tuple[list[AccessArea], list[int]]:
+    """Order-preserving dedupe by canonical area identity, summing
+    multiplicities — the shared canonical form both the expanded and
+    the weighted-unique fit paths reduce to."""
+    unique: list[AccessArea] = []
+    counts: list[int] = []
+    position: dict[AccessArea, int] = {}
+    for area, weight in zip(members, weights):
+        index = position.get(area)
+        if index is None:
+            position[area] = len(unique)
+            unique.append(area)
+            counts.append(0)
+            index = position[area]
+        counts[index] += int(weight)
+    return unique, counts

@@ -1,0 +1,236 @@
+"""A minimal ASGI 3 micro-framework (the service's stdlib fallback).
+
+The container image ships no FastAPI/Starlette, so the service layer
+carries its own dependency-free routing core: an :class:`App` is a
+plain ASGI callable — ``await app(scope, receive, send)`` — that any
+compliant server (uvicorn, hypercorn, the in-repo
+:mod:`~repro.service.server`) can host, plus the few pieces six
+endpoints actually need:
+
+* :class:`Request` — lazily parsed query string, headers, JSON body;
+* :class:`Response` / :class:`JSONResponse` — status, headers, body;
+* ``{param}`` path templates matched segment-wise;
+* :class:`HTTPError` — raise anywhere in a handler to return a JSON
+  error envelope (``404``/``405`` fall out of routing the same way).
+
+Handlers are ``async def handler(request) -> Response | dict``; a bare
+dict is wrapped in a 200 :class:`JSONResponse`.  The app never leaks
+exceptions to the server: unexpected failures become a 500 envelope
+and a logged traceback, so one poisoned request cannot take the
+resident pipeline down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import Awaitable, Callable, Iterable, Optional
+from urllib.parse import parse_qsl, unquote
+
+from ..obs import get_logger
+
+logger = get_logger(__name__)
+
+_PARAM = re.compile(r"^\{([a-zA-Z_][a-zA-Z0-9_]*)\}$")
+
+
+class HTTPError(Exception):
+    """Raise inside a handler to produce a JSON error response."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class Request:
+    """One HTTP request, parsed on demand."""
+
+    def __init__(self, scope: dict, body: bytes) -> None:
+        self.scope = scope
+        self.method: str = scope.get("method", "GET").upper()
+        self.path: str = scope.get("path", "/")
+        self.path_params: dict[str, str] = {}
+        self._body = body
+        self._query: Optional[dict[str, str]] = None
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query parameters (last occurrence wins)."""
+        if self._query is None:
+            raw = self.scope.get("query_string", b"")
+            if isinstance(raw, bytes):
+                raw = raw.decode("latin-1")
+            self._query = dict(parse_qsl(raw, keep_blank_values=True))
+        return self._query
+
+    @property
+    def body(self) -> bytes:
+        return self._body
+
+    def json(self) -> dict:
+        """The request body as a JSON object (400 on anything else)."""
+        if not self._body:
+            raise HTTPError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self._body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return data
+
+
+class Response:
+    """Status + headers + body, ready for the ASGI send channel."""
+
+    def __init__(self, body: bytes | str = b"", status: int = 200,
+                 content_type: str = "text/plain; charset=utf-8",
+                 headers: Optional[Iterable[tuple[str, str]]] = None
+                 ) -> None:
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        self.body = body
+        self.status = status
+        self.headers: list[tuple[str, str]] = [
+            ("content-type", content_type),
+            ("content-length", str(len(body))),
+        ]
+        if headers:
+            self.headers.extend(headers)
+
+    async def send(self, send: Callable[[dict], Awaitable[None]]) -> None:
+        await send({
+            "type": "http.response.start",
+            "status": self.status,
+            "headers": [(k.encode("latin-1"), v.encode("latin-1"))
+                        for k, v in self.headers],
+        })
+        await send({"type": "http.response.body", "body": self.body})
+
+
+class JSONResponse(Response):
+    def __init__(self, data, status: int = 200) -> None:
+        super().__init__(json.dumps(data, sort_keys=True), status,
+                         content_type="application/json")
+
+
+class _Route:
+    """One method + path template, matched segment-wise."""
+
+    def __init__(self, method: str, template: str, handler) -> None:
+        self.method = method.upper()
+        self.template = template
+        self.handler = handler
+        self.segments = [s for s in template.strip("/").split("/") if s]
+
+    def match(self, path: str) -> Optional[dict[str, str]]:
+        parts = [s for s in path.strip("/").split("/") if s]
+        if len(parts) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for pattern, part in zip(self.segments, parts):
+            named = _PARAM.match(pattern)
+            if named:
+                params[named.group(1)] = unquote(part)
+            elif pattern != part:
+                return None
+        return params
+
+
+Handler = Callable[[Request], Awaitable["Response | dict"]]
+Observer = Callable[[str, str, int, float], None]
+
+
+class App:
+    """An ASGI 3 application with template routing.
+
+    ``observer(route_template, method, status, seconds)`` is invoked
+    after every handled request — the hook the service uses for its
+    per-route latency histograms without the framework knowing about
+    metrics.
+    """
+
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        self._routes: list[_Route] = []
+        self.observer = observer
+
+    def route(self, method: str, template: str):
+        def register(handler: Handler) -> Handler:
+            self._routes.append(_Route(method, template, handler))
+            return handler
+        return register
+
+    def get(self, template: str):
+        return self.route("GET", template)
+
+    def post(self, template: str):
+        return self.route("POST", template)
+
+    # -- ASGI ----------------------------------------------------------
+
+    async def __call__(self, scope: dict, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported scope {scope['type']!r}")
+        started = time.perf_counter()
+        body = await self._read_body(receive)
+        request = Request(scope, body)
+        route, response = await self._dispatch(request)
+        await response.send(send)
+        if self.observer is not None:
+            template = route.template if route else request.path
+            self.observer(template, request.method, response.status,
+                          time.perf_counter() - started)
+
+    async def _dispatch(self, request: Request
+                        ) -> tuple[Optional[_Route], Response]:
+        matched_path = False
+        for route in self._routes:
+            params = route.match(request.path)
+            if params is None:
+                continue
+            matched_path = True
+            if route.method != request.method:
+                continue
+            request.path_params = params
+            try:
+                result = await route.handler(request)
+            except HTTPError as exc:
+                return route, JSONResponse({"error": exc.detail},
+                                           status=exc.status)
+            except Exception:
+                logger.exception("handler %s %s failed",
+                                 route.method, route.template)
+                return route, JSONResponse(
+                    {"error": "internal server error"}, status=500)
+            if isinstance(result, Response):
+                return route, result
+            return route, JSONResponse(result)
+        if matched_path:
+            return None, JSONResponse({"error": "method not allowed"},
+                                      status=405)
+        return None, JSONResponse({"error": "not found"}, status=404)
+
+    async def _read_body(self, receive) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                break
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body", False):
+                break
+        return b"".join(chunks)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return

@@ -1,0 +1,310 @@
+"""The service's resident pipeline state.
+
+One :class:`AppState` lives for the whole process and owns everything
+the endpoints read or write:
+
+* the :class:`~repro.core.pipeline.AccessAreaInterner` pool (shared,
+  immutable area objects with warmed footprint caches);
+* a :class:`~repro.core.stream.StreamMonitor` with
+  ``cluster_incrementally=True`` — which itself owns the
+  :class:`~repro.clustering.incremental.IncrementalDBSCAN` and its
+  distance backend (block-sparse / VP-tree / dense, chosen like
+  ``compute_matrix``'s auto mode);
+* a fitted :class:`~repro.recommend.InterestRecommender`, refreshed
+  lazily after ``CLUSTER_CHANGED`` events;
+* the per-user ledger behind ``GET /users/{id}/interests``.
+
+**Writer serialization.**  All mutation goes through :meth:`ingest`,
+and the application calls it under a single ``asyncio.Lock`` — the
+incremental clusterer's repair invariants assume one arrival at a
+time.  Reads never take that lock: they work off
+:class:`ClusterSnapshot`, an immutable copy of the label state that is
+rebuilt at most once per mutation (version-stamped) and swapped in
+atomically, so a burst of ``GET /clusters`` during heavy ingest serves
+consistent answers without stalling the writer.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..clustering.aggregation import AggregatedArea, aggregate_cluster
+from ..clustering.coverage import area_coverage
+from ..core.area import AccessArea
+from ..core.extractor import AccessAreaExtractor
+from ..core.pipeline import AccessAreaInterner
+from ..core.stream import EventKind, StreamEvent, StreamMonitor
+from ..obs import get_logger, metrics
+from ..recommend import InterestRecommender, fit_recommender
+from ..schema import StatisticsCatalog, skyserver_schema
+from ..schema.skyserver import CONTENT_BOUNDS
+
+logger = get_logger(__name__)
+
+BACKENDS = ("auto", "sparse", "vptree", "dense")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service process (CLI: ``repro serve``)."""
+
+    eps: float = 0.12
+    min_pts: int = 5
+    #: neighbourhood backend for the incremental clusterer; ``auto``
+    #: mirrors ``compute_matrix``: block-sparse when ``eps`` lies below
+    #: the conservative single-table partition exactness bound (1/2),
+    #: dense otherwise.  The sparse/vptree backends additionally refuse
+    #: (pre-mutation) any arrival whose table set would drop the live
+    #: bound to ``eps`` — ingest degrades to ``unclustered`` statements
+    #: instead of serving under-reported neighbourhoods.
+    backend: str = "auto"
+    warmup: int = 100
+    resolution: float = 0.05
+    min_cluster_size: int = 5
+    #: cap on ``GET /recommend``'s ``k``.
+    max_k: int = 50
+
+    def resolved_backend(self) -> str:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
+        if self.backend == "auto":
+            return "sparse" if self.eps < 0.5 else "dense"
+        return self.backend
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """An immutable view of the label state at one version.
+
+    Read endpoints hold a reference while they render; the writer never
+    mutates a published snapshot, it publishes a new one.
+    """
+
+    version: int
+    areas: tuple[AccessArea, ...]
+    weights: tuple[float, ...]
+    labels: tuple[int, ...]
+
+    @property
+    def n_clusters(self) -> int:
+        return len({label for label in self.labels if label >= 0})
+
+    def sizes(self) -> dict[int, float]:
+        """Weighted cardinality per cluster label (noise = -1)."""
+        out: dict[int, float] = {}
+        for label, weight in zip(self.labels, self.weights):
+            out[label] = out.get(label, 0.0) + weight
+        return out
+
+    def members(self, cluster_id: int
+                ) -> tuple[list[AccessArea], list[int]]:
+        members: list[AccessArea] = []
+        weights: list[int] = []
+        for area, weight, label in zip(self.areas, self.weights,
+                                       self.labels):
+            if label == cluster_id:
+                members.append(area)
+                weights.append(int(weight))
+        return members, weights
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """What one ``POST /queries`` did.
+
+    ``status`` mirrors the stream path's graceful degradation:
+    ``"clustered"`` (extracted, live label assigned),
+    ``"unclustered"`` (extracted, but the backend's max-radius
+    reservation refused the insert pre-mutation), or ``"failed"``
+    (the statement did not extract — tallied, never an HTTP error).
+    """
+
+    status: str
+    index: int
+    label: Optional[int] = None
+    unique_index: Optional[int] = None
+    error: Optional[str] = None
+    events: tuple[str, ...] = ()
+
+
+class AppState:
+    """Everything resident; see the module docstring."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 schema=None,
+                 registry: Optional[metrics.MetricsRegistry] = None
+                 ) -> None:
+        self.config = config or ServiceConfig()
+        self.schema = schema or skyserver_schema()
+        self.registry = registry or metrics.get_registry()
+        self.started = time.time()
+        stats = StatisticsCatalog.from_exact_content(
+            self.schema, CONTENT_BOUNDS if schema is None else {})
+        # The recommender must measure with the same normalization the
+        # clusterer does, so it gets the same frozen catalog the
+        # monitor hands its clusterer (the monitor's own copy keeps
+        # widening for out-of-range novelty detection).
+        self.frozen_stats = copy.deepcopy(stats)
+        self.extractor = AccessAreaExtractor(self.schema)
+        self.interner = AccessAreaInterner()
+        self._pending_events: list[StreamEvent] = []
+        self.monitor = StreamMonitor(
+            self.extractor, stats=stats,
+            on_event=self._pending_events.append,
+            warmup=self.config.warmup,
+            cluster_incrementally=True,
+            cluster_eps=self.config.eps,
+            cluster_min_pts=self.config.min_pts,
+            cluster_backend=self.config.resolved_backend(),
+            registry=self.registry)
+        self.clusterer = self.monitor.clusterer
+        self.users: dict[str, dict[AccessArea, int]] = {}
+        self.user_unclustered: dict[str, int] = {}
+        #: bumped on every mutation; read paths rebuild their snapshot
+        #: lazily when it moved.
+        self.version = 0
+        #: bumped only on CLUSTER_CHANGED — the recommender refresh
+        #: trigger (weight-only arrivals keep the fitted model).
+        self.structure_version = 0
+        self._snapshot = ClusterSnapshot(0, (), (), ())
+        self._recommender: Optional[InterestRecommender] = None
+        self._recommender_version = -1
+        self._ingest_seconds = self.registry.histogram(
+            "repro_service_ingest_seconds")
+        self._ingest_total = {
+            status: self.registry.counter(
+                "repro_service_ingested_total", status=status)
+            for status in ("clustered", "unclustered", "failed")
+        }
+
+    # -- ingestion (the single writer) --------------------------------
+
+    def ingest(self, sql: str, user: Optional[str] = None
+               ) -> IngestOutcome:
+        """Extract → intern → incremental cluster one statement.
+
+        Must run serialized (the app holds its writer lock around this
+        call): the clusterer's local-repair invariants assume arrivals
+        mutate one at a time.
+        """
+        started = time.perf_counter()
+        index = self.monitor.state.processed
+        self._pending_events.clear()
+        area = self.monitor.process(sql)
+        events = tuple(str(event) for event in self._pending_events)
+        if any(event.kind is EventKind.CLUSTER_CHANGED
+               for event in self._pending_events):
+            self.structure_version += 1
+        self.version += 1
+        if area is None:
+            outcome = IngestOutcome(
+                status="failed", index=index, events=events,
+                error=_last_failure_detail(self.monitor, sql)
+                or "statement did not extract")
+        else:
+            pooled = self.interner.intern(area)
+            label = self.monitor.statement_labels[-1]
+            if label is None:
+                outcome = IngestOutcome(status="unclustered",
+                                        index=index, events=events)
+            else:
+                outcome = IngestOutcome(
+                    status="clustered", index=index, label=label,
+                    unique_index=self.clusterer.index_of(pooled),
+                    events=events)
+            if user:
+                ledger = self.users.setdefault(user, {})
+                if label is None:
+                    self.user_unclustered[user] = \
+                        self.user_unclustered.get(user, 0) + 1
+                else:
+                    ledger[pooled] = ledger.get(pooled, 0) + 1
+        self._ingest_total[outcome.status].inc()
+        self._ingest_seconds.observe(time.perf_counter() - started)
+        self.registry.gauge("repro_service_intern_pool").set(
+            len(self.interner))
+        return outcome
+
+    # -- lock-free reads ----------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """The current immutable label state (rebuilt lazily)."""
+        if self._snapshot.version != self.version:
+            clusterer = self.clusterer
+            self._snapshot = ClusterSnapshot(
+                version=self.version,
+                areas=tuple(clusterer.areas()),
+                weights=tuple(clusterer.weights()),
+                labels=tuple(clusterer.labels()),
+            )
+        return self._snapshot
+
+    def recommender(self) -> InterestRecommender:
+        """The fitted recommender, refreshed after CLUSTER_CHANGED."""
+        if (self._recommender is None
+                or self._recommender_version != self.structure_version):
+            snapshot = self.snapshot()
+            self._recommender = fit_recommender(
+                snapshot.areas, [int(w) for w in snapshot.weights],
+                snapshot.labels, self.frozen_stats, self.extractor,
+                resolution=self.config.resolution,
+                min_cluster_size=self.config.min_cluster_size)
+            self._recommender_version = self.structure_version
+            self.registry.counter(
+                "repro_service_recommender_refreshes_total").inc()
+        return self._recommender
+
+    def aggregate(self, cluster_id: int) -> Optional[AggregatedArea]:
+        """The aggregated access area of one live cluster."""
+        members, weights = self.snapshot().members(cluster_id)
+        if not members:
+            return None
+        return aggregate_cluster(cluster_id, members,
+                                 self.frozen_stats, weights=weights)
+
+    def cluster_coverage(self, aggregated: AggregatedArea) -> float:
+        return area_coverage(aggregated, self.frozen_stats)
+
+    def user_interests(self, user: str) -> list[dict]:
+        """Per-user aggregated areas, grouped by current live label."""
+        ledger = self.users.get(user, {})
+        by_label: dict[int, tuple[list[AccessArea], list[int]]] = {}
+        labels = self.snapshot().labels
+        for area, count in ledger.items():
+            unique_index = self.clusterer.index_of(area)
+            label = (labels[unique_index]
+                     if unique_index is not None else -1)
+            members, weights = by_label.setdefault(label, ([], []))
+            members.append(area)
+            weights.append(count)
+        out = []
+        for label in sorted(by_label):
+            members, weights = by_label[label]
+            aggregated = aggregate_cluster(label, members,
+                                           self.frozen_stats,
+                                           weights=weights)
+            out.append({
+                "cluster": label,
+                "queries": sum(weights),
+                "description": aggregated.describe(),
+                "suggested_sql": aggregated.to_sql(),
+            })
+        out.sort(key=lambda row: row["queries"], reverse=True)
+        return out
+
+
+def _last_failure_detail(monitor: StreamMonitor,
+                         sql: str) -> Optional[str]:
+    """The monitor logs failure kinds through counters, not a list;
+    re-extract cheaply to report the exception text to the caller."""
+    from ..algebra.cnf import CNFConversionError
+    from ..sqlparser import SqlError
+    try:
+        monitor.extractor.extract(sql)
+    except (SqlError, CNFConversionError) as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return None

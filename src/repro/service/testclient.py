@@ -1,0 +1,123 @@
+"""An in-process ASGI client for tests and benchmarks.
+
+Drives the application object directly — no socket, no serialization
+of the HTTP framing beyond what ASGI itself requires — so service
+tests measure the application, and latency benchmarks measure the
+request path without kernel networking noise.
+
+Two surfaces:
+
+* the async methods (:meth:`TestClient.arequest` / ``aget`` /
+  ``apost``) for use *inside* an event loop — this is how the
+  concurrency tests interleave readers with the single writer;
+* sync wrappers (:meth:`TestClient.get` / :meth:`TestClient.post`)
+  that spin a private loop per call for plain assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as jsonlib
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import urlencode
+
+
+@dataclass
+class ClientResponse:
+    status: int
+    headers: dict[str, str]
+    body: bytes
+    _json: object = field(default=None, repr=False)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self):
+        if self._json is None:
+            self._json = jsonlib.loads(self.body.decode("utf-8"))
+        return self._json
+
+
+class TestClient:
+    """Call an ASGI app as if over HTTP, without a server."""
+
+    __test__ = False  # "Test" prefix, but not a pytest collectable
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    # -- async surface -------------------------------------------------
+
+    async def arequest(self, method: str, path: str, *,
+                       json: Optional[dict] = None,
+                       params: Optional[dict] = None,
+                       body: bytes = b"") -> ClientResponse:
+        if json is not None:
+            body = jsonlib.dumps(json).encode("utf-8")
+        query = urlencode(params or {})
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"content-length",
+                         str(len(body)).encode("latin-1"))],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+        messages = [{"type": "http.request", "body": body,
+                     "more_body": False}]
+
+        async def receive() -> dict:
+            if messages:
+                return messages.pop(0)
+            return {"type": "http.disconnect"}
+
+        collected = {"status": 500, "headers": [], "chunks": []}
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                collected["status"] = message["status"]
+                collected["headers"] = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                collected["chunks"].append(message.get("body", b""))
+
+        await self.app(scope, receive, send)
+        headers = {
+            bytes(name).decode("latin-1"): bytes(value).decode("latin-1")
+            for name, value in collected["headers"]
+        }
+        return ClientResponse(collected["status"], headers,
+                              b"".join(collected["chunks"]))
+
+    async def aget(self, path: str, *,
+                   params: Optional[dict] = None) -> ClientResponse:
+        return await self.arequest("GET", path, params=params)
+
+    async def apost(self, path: str, *,
+                    json: Optional[dict] = None,
+                    body: bytes = b"") -> ClientResponse:
+        return await self.arequest("POST", path, json=json, body=body)
+
+    # -- sync wrappers -------------------------------------------------
+
+    def request(self, method: str, path: str, *,
+                json: Optional[dict] = None,
+                params: Optional[dict] = None,
+                body: bytes = b"") -> ClientResponse:
+        return asyncio.run(self.arequest(method, path, json=json,
+                                         params=params, body=body))
+
+    def get(self, path: str, *,
+            params: Optional[dict] = None) -> ClientResponse:
+        return self.request("GET", path, params=params)
+
+    def post(self, path: str, *, json: Optional[dict] = None,
+             body: bytes = b"") -> ClientResponse:
+        return self.request("POST", path, json=json, body=body)

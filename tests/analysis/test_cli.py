@@ -71,3 +71,46 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestRecommend:
+    @pytest.fixture(scope="class")
+    def log_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("reclog") / "log.jsonl"
+        workload = generate_workload(WorkloadConfig(n_queries=300,
+                                                    seed=11))
+        workload.log.save(path)
+        return str(path)
+
+    def test_recommend_for_sql(self, log_path, capsys):
+        code = main(["recommend", log_path, "--sql",
+                     "SELECT * FROM PhotoObjAll "
+                     "WHERE ra BETWEEN 100 AND 120",
+                     "-k", "3", "--min-cluster-size", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recommendation(s)" in out
+        assert "(d=" in out
+        assert "try: SELECT" in out
+
+    def test_recommend_popular(self, log_path, capsys):
+        code = main(["recommend", log_path, "-k", "2",
+                     "--min-cluster-size", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "popular interest area(s)" in out
+        assert "(popular," in out
+        assert "nan" not in out
+
+    def test_recommend_bad_sql_exit_code(self, log_path, capsys):
+        code = main(["recommend", log_path, "--sql", "NOT SQL",
+                     "--min-cluster-size", "3"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "cannot extract" in err
+
+
+class TestServeParser:
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--backend", "frobnicate"])

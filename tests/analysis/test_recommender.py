@@ -1,8 +1,8 @@
 """Interest-area recommendation (QueRIE-style)."""
 
-import math
-
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algebra.intervals import Interval
 from repro.clustering import partitioned_dbscan
@@ -113,5 +113,150 @@ class TestRecommendation:
         with pytest.raises(ValueError):
             bare.recommend_for_sql("SELECT 1")
 
-    def test_popular_distance_is_nan(self, fitted):
-        assert math.isnan(fitted.popular(k=1)[0].distance)
+    def test_popular_distance_is_none(self, fitted):
+        # Regression: popular() used to stamp float("nan"), which
+        # breaks JSON serialization and every == comparison downstream.
+        rec = fitted.popular(k=1)[0]
+        assert rec.distance is None
+
+    def test_popular_describe_renders_popular(self, fitted):
+        text = fitted.popular(k=1)[0].describe()
+        assert text.startswith("(popular, ")
+        assert "nan" not in text
+
+    def test_recommend_describe_renders_distance(self, fitted):
+        area = fitted.extractor.extract(
+            "SELECT * FROM T WHERE x BETWEEN 12 AND 19").area
+        text = fitted.recommend(area, k=1)[0].describe()
+        assert text.startswith("(d=")
+
+
+def _interval_area(extractor, relation, column, lo, hi):
+    return extractor.extract(
+        f"SELECT * FROM {relation} WHERE {column} BETWEEN "
+        f"{lo:.2f} AND {hi:.2f}").area
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    schema = Schema("recw")
+    schema.add(Relation("T", (
+        Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+    stats = StatisticsCatalog.from_exact_content(schema, {
+        ("T", "x"): Interval(0.0, 100.0),
+    })
+    return schema, stats, AccessAreaExtractor(schema)
+
+
+class TestWeightedFit:
+    """``fit(..., weights=...)`` must treat a weight-w unique area
+    exactly like w expanded copies — aggregation support, medoid cost,
+    popularity, and min_cluster_size all count multiplicity."""
+
+    def _fit(self, stats, extractor, areas, labels, weights=None,
+             min_cluster_size=4):
+        from repro.clustering.dbscan import DBSCANResult
+        rec = InterestRecommender(stats, extractor=extractor,
+                                  resolution=0.02,
+                                  min_cluster_size=min_cluster_size)
+        rec.fit(areas, DBSCANResult(list(labels)), weights=weights)
+        return rec
+
+    def test_popularity_is_weighted_cardinality(self, small_world):
+        _, stats, extractor = small_world
+        areas = [_interval_area(extractor, "T", "x", 10 + i, 20 + i)
+                 for i in range(3)]
+        rec = self._fit(stats, extractor, areas, [0, 0, 0],
+                        weights=[7, 2, 1], min_cluster_size=4)
+        assert rec.popular(k=1)[0].popularity == 10
+
+    def test_min_cluster_size_counts_weights(self, small_world):
+        _, stats, extractor = small_world
+        areas = [_interval_area(extractor, "T", "x", 10, 20),
+                 _interval_area(extractor, "T", "x", 11, 21)]
+        starved = self._fit(stats, extractor, areas, [0, 0],
+                            weights=[1, 1], min_cluster_size=4)
+        assert starved.n_clusters == 0
+        fed = self._fit(stats, extractor, areas, [0, 0],
+                        weights=[3, 2], min_cluster_size=4)
+        assert fed.n_clusters == 1
+
+    def test_weights_length_validated(self, small_world):
+        _, stats, extractor = small_world
+        areas = [_interval_area(extractor, "T", "x", 10, 20)]
+        with pytest.raises(ValueError, match="weights"):
+            self._fit(stats, extractor, areas, [0], weights=[1, 2])
+
+    def test_weighted_medoid_follows_multiplicity(self, small_world):
+        """A dominant-weight member drags the medoid to itself."""
+        _, stats, extractor = small_world
+        areas = [_interval_area(extractor, "T", "x", 10, 20),
+                 _interval_area(extractor, "T", "x", 30, 40),
+                 _interval_area(extractor, "T", "x", 31, 41)]
+        heavy_first = self._fit(stats, extractor, areas, [0, 0, 0],
+                                weights=[50, 1, 1], min_cluster_size=1)
+        assert heavy_first.popular(k=1)[0].medoid == areas[0]
+        heavy_last = self._fit(stats, extractor, areas, [0, 0, 0],
+                               weights=[1, 50, 50], min_cluster_size=1)
+        assert heavy_last.popular(k=1)[0].medoid in (areas[1], areas[2])
+
+
+class TestInternedExpandedParity:
+    """Weighted-unique fits must be *bitwise identical* to fits over
+    the expanded population (the intern-pool contract of PR 4, now
+    extended through the recommender)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5),
+                  st.integers(min_value=1, max_value=6)),
+        min_size=2, max_size=10, unique_by=lambda t: t[0]))
+    def test_bitwise_parity(self, spec):
+        schema = Schema("parity")
+        schema.add(Relation("T", (
+            Column("x", ColumnType.FLOAT, Interval(0.0, 100.0)),)))
+        stats = StatisticsCatalog.from_exact_content(schema, {
+            ("T", "x"): Interval(0.0, 100.0),
+        })
+        extractor = AccessAreaExtractor(schema)
+        from repro.clustering.dbscan import DBSCANResult
+
+        unique_areas, counts, unique_labels = [], [], []
+        expanded_areas, expanded_labels = [], []
+        for slot, count in spec:
+            # Two well-separated groups of overlapping ranges.
+            lo = 10.0 + slot if slot < 3 else 60.0 + slot
+            area = _interval_area(extractor, "T", "x", lo, lo + 10)
+            label = 0 if slot < 3 else 1
+            unique_areas.append(area)
+            counts.append(count)
+            unique_labels.append(label)
+            expanded_areas.extend([area] * count)
+            expanded_labels.extend([label] * count)
+
+        def fit(areas, labels, weights):
+            rec = InterestRecommender(stats, extractor=extractor,
+                                      resolution=0.02,
+                                      min_cluster_size=1)
+            rec.fit(areas, DBSCANResult(list(labels)), weights=weights)
+            return rec
+
+        weighted = fit(unique_areas, unique_labels, counts)
+        expanded = fit(expanded_areas, expanded_labels, None)
+
+        assert weighted.n_clusters == expanded.n_clusters
+        w_pop = weighted.popular(k=10)
+        e_pop = expanded.popular(k=10)
+        assert [r.popularity for r in w_pop] == \
+            [r.popularity for r in e_pop]
+        assert [r.describe() for r in w_pop] == \
+            [r.describe() for r in e_pop]
+        assert [r.medoid for r in w_pop] == [r.medoid for r in e_pop]
+
+        probe = _interval_area(extractor, "T", "x", 12.0, 23.0)
+        w_recs = weighted.recommend(probe, k=10, exclude_exact=False)
+        e_recs = expanded.recommend(probe, k=10, exclude_exact=False)
+        assert [r.distance for r in w_recs] == \
+            [r.distance for r in e_recs]  # bitwise, not approx
+        assert [r.suggested_sql for r in w_recs] == \
+            [r.suggested_sql for r in e_recs]

@@ -1,0 +1,119 @@
+"""The dependency-free ASGI routing core."""
+
+import pytest
+
+from repro.service import (App, HTTPError, JSONResponse, Request,
+                           Response, TestClient)
+
+
+@pytest.fixture()
+def app():
+    application = App()
+
+    @application.get("/ping")
+    async def ping(request: Request):
+        return {"pong": True}
+
+    @application.get("/items/{key}")
+    async def item(request: Request):
+        return {"key": request.path_params["key"]}
+
+    @application.post("/echo")
+    async def echo(request: Request):
+        return {"got": request.json()}
+
+    @application.get("/teapot")
+    async def teapot(request: Request):
+        raise HTTPError(418, "short and stout")
+
+    @application.get("/boom")
+    async def boom(request: Request):
+        raise RuntimeError("kaboom")
+
+    @application.get("/raw")
+    async def raw(request: Request):
+        return Response("plain", status=201,
+                        content_type="text/x-custom")
+
+    return application
+
+
+class TestRouting:
+    def test_dict_becomes_json_200(self, app):
+        response = TestClient(app).get("/ping")
+        assert response.status == 200
+        assert response.headers["content-type"] == "application/json"
+        assert response.json() == {"pong": True}
+
+    def test_path_params_decoded(self, app):
+        response = TestClient(app).get("/items/a%20user")
+        assert response.json() == {"key": "a user"}
+
+    def test_unknown_path_is_404(self, app):
+        response = TestClient(app).get("/nope")
+        assert response.status == 404
+        assert response.json() == {"error": "not found"}
+
+    def test_wrong_method_is_405(self, app):
+        response = TestClient(app).post("/ping", json={})
+        assert response.status == 405
+
+    def test_response_passthrough(self, app):
+        response = TestClient(app).get("/raw")
+        assert (response.status, response.text) == (201, "plain")
+        assert response.headers["content-type"] == "text/x-custom"
+
+    def test_query_params_last_wins(self, app):
+        client = TestClient(app)
+        response = client.request("GET", "/ping",
+                                  params={"a": "1", "b": "2"})
+        assert response.status == 200
+
+
+class TestErrors:
+    def test_http_error_envelope(self, app):
+        response = TestClient(app).get("/teapot")
+        assert response.status == 418
+        assert response.json() == {"error": "short and stout"}
+
+    def test_unexpected_exception_is_500(self, app):
+        response = TestClient(app).get("/boom")
+        assert response.status == 500
+        assert response.json() == {"error": "internal server error"}
+
+    def test_invalid_json_body_is_400(self, app):
+        response = TestClient(app).post("/echo", body=b"{nope")
+        assert response.status == 400
+        assert "invalid JSON" in response.json()["error"]
+
+    def test_non_object_body_is_400(self, app):
+        response = TestClient(app).post("/echo", body=b"[1, 2]")
+        assert response.status == 400
+
+    def test_empty_body_is_400(self, app):
+        response = TestClient(app).post("/echo")
+        assert response.status == 400
+
+
+class TestObserver:
+    def test_observer_sees_route_template(self):
+        seen = []
+        application = App(observer=lambda *a: seen.append(a))
+
+        @application.get("/items/{key}")
+        async def item(request: Request):
+            return {"key": request.path_params["key"]}
+
+        client = TestClient(application)
+        client.get("/items/42")
+        client.get("/missing")
+        assert len(seen) == 2
+        template, method, status, seconds = seen[0]
+        assert (template, method, status) == ("/items/{key}", "GET", 200)
+        assert seconds >= 0.0
+        # Unrouted requests report the raw path (no template to name).
+        assert seen[1][:3] == ("/missing", "GET", 404)
+
+    def test_json_response_sorts_keys(self):
+        response = JSONResponse({"b": 1, "a": 2})
+        assert response.body == b'{"a": 2, "b": 1}'
