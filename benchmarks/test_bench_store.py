@@ -1,0 +1,109 @@
+"""Persistent area store: warm-open speedup over the cold pipeline.
+
+Runs the Section-6 case study twice against one ``--store-dir``:
+
+* **cold** — empty store: every statement is parsed, every area
+  extracted and appended to the crash-safe segment log, every
+  partition's condensed distance block computed and spilled;
+* **warm** — same store: the log manifest replays areas by fingerprint
+  digest (zero SQL re-extraction) and the distance stage reloads the
+  condensed blocks instead of recomputing them.
+
+Acceptance: warm labels are bitwise-identical to cold labels, the warm
+open is strictly faster, and the replay really did reload blocks
+(``repro_store_*`` counters say so).  Writes
+``benchmarks/out/BENCH_store.json``; ``perf_budgets.toml`` has a
+dedicated ``BENCH_store`` entry for the warm-open time and the generic
+``*speedup*`` budget guards the ratio.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workload ~6x.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro import CaseStudyConfig, run_case_study
+from repro.obs.metrics import MetricsRegistry
+from repro.store import AreaStore
+from repro.workload import ContentConfig, WorkloadConfig
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N_QUERIES = 500 if SMOKE else 3_000
+SAMPLE = 300 if SMOKE else 1_500
+
+
+def _config(store_dir: str) -> CaseStudyConfig:
+    return CaseStudyConfig(
+        workload=WorkloadConfig(n_queries=N_QUERIES, seed=13),
+        content=ContentConfig(photo_rows=1500, spec_rows=1200,
+                              satellite_rows=800, seed=7),
+        sample_size=SAMPLE,
+        eps=0.12,
+        min_pts=5,
+        resolution=0.05,
+        seed=99,
+        store_dir=store_dir,
+    )
+
+
+def test_bench_store_warm_open(out_dir):
+    store_dir = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        config = _config(store_dir)
+
+        started = time.perf_counter()
+        cold = run_case_study(config)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_case_study(config)
+        warm_seconds = time.perf_counter() - started
+
+        # bitwise parity: the whole point of the journal/manifest path
+        assert warm.report.warm
+        assert not cold.report.warm
+        assert list(warm.clustering.labels) == \
+            list(cold.clustering.labels)
+        assert warm.n_clusters == cold.n_clusters
+
+        # pull the store's own counters for the artifact
+        registry = MetricsRegistry()
+        with AreaStore(store_dir) as store:
+            n_areas = len(store)
+            store_bytes = (store.segments.total_bytes()
+                           + store.blocks.total_bytes())
+            n_blocks = store.blocks.count()
+            # touch the read path so the pool has a hit rate to report
+            for digest, _area in store.iter_areas():
+                store.get_area(digest)
+            store.record(registry)
+            hit_rate = store.pool.stats.hit_rate
+
+        speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+        artifact = {
+            "n_queries": N_QUERIES,
+            "sample_size": SAMPLE,
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_open_seconds": round(warm_seconds, 3),
+            "warm_open_speedup": round(speedup, 2),
+            "labels_bitwise_identical": True,
+            "n_unique_areas": n_areas,
+            "n_blocks": n_blocks,
+            "store_bytes": store_bytes,
+            "reread_pool_hit_rate": round(hit_rate, 4),
+        }
+        path = out_dir / "BENCH_store.json"
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True),
+                        encoding="utf-8")
+        print("\n" + json.dumps(artifact, indent=2, sort_keys=True))
+
+        assert speedup > 1.0
+        assert n_areas > 0 and n_blocks > 0 and store_bytes > 0
+        counters = {c["name"]: c["value"]
+                    for c in registry.snapshot()["counters"]}
+        assert counters.get("repro_store_pool_hits_total", 0) > 0
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)

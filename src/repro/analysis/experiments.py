@@ -76,6 +76,12 @@ class CaseStudyConfig:
     #: u(u−1)/2 pairs instead of n(n−1)/2), expanding labels back
     #: afterwards; False → one area object per statement (``--no-intern``)
     intern: bool = True
+    #: directory for the persistent :class:`~repro.store.AreaStore`
+    #: (``--store-dir``): a cold run persists extracted areas, the log
+    #: manifest, and condensed distance blocks; a warm re-run on the
+    #: same directory replays them — zero SQL re-extraction, reloaded
+    #: blocks, bitwise-identical labels.  ``None`` = in-memory only.
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.matrix_mode not in MATRIX_MODES:
@@ -172,8 +178,23 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
         extractor = AccessAreaExtractor(
             schema, predicate_cap=config.predicate_cap,
             consolidate=config.consolidate)
+        store = None
+        store_token = None
+        if config.store_dir:
+            from ..store import AreaStore
+            store = AreaStore(config.store_dir)
+            # Everything beyond area identity that shapes distance
+            # values: metric resolution plus the provenance of the
+            # statistics the metric widens with (content + workload
+            # configs pin both deterministically).  Any drift misses
+            # the block cache instead of serving stale distances.
+            store_token = (f"res={config.resolution}"
+                           f"|est={config.estimate_stats}"
+                           f"|workload={config.workload!r}"
+                           f"|content={config.content!r}")
         report = process_log(workload.log.statements_with_users(),
-                             extractor, intern=config.intern)
+                             extractor, intern=config.intern,
+                             store=store)
 
         # access(a) = content(a) ∪ MBR(a): widen with the whole log's
         # constants.
@@ -207,7 +228,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
                 matrix = compute_matrix(
                     unique, distance, mode=config.matrix_mode,
                     eps=config.eps, n_jobs=config.n_jobs,
-                    neighbor_backend=config.neighbor_backend)
+                    neighbor_backend=config.neighbor_backend,
+                    store=store, store_token=store_token)
                 matrix.stats.n_source_items = len(sample_areas)
                 deduped = partitioned_dbscan(
                     unique, distance, config.eps, config.min_pts,
@@ -220,7 +242,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
                 matrix = compute_matrix(
                     sample_areas, distance, mode=config.matrix_mode,
                     eps=config.eps, n_jobs=config.n_jobs,
-                    neighbor_backend=config.neighbor_backend)
+                    neighbor_backend=config.neighbor_backend,
+                    store=store, store_token=store_token)
                 # auto mode already hands us a dense matrix when eps is
                 # too large for exact partitioning; fall back to plain
                 # DBSCAN on it instead of failing the whole study.
@@ -230,6 +253,8 @@ def run_case_study(config: CaseStudyConfig | None = None) -> CaseStudyResult:
 
         with trace.span("aggregate"):
             rows = _build_rows(sample, clustering, stats, db, config)
+        if store is not None:
+            store.close()
         root.set(clusters=clustering.n_clusters)
     logger.info("case study: %d statements, %d sampled, %d clusters",
                 report.total, len(sample), clustering.n_clusters)

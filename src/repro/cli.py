@@ -163,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "cluster unique areas with multiplicity "
                                 "weights (--no-intern: one object per "
                                 "statement)")
+    p_process.add_argument("--store-dir", default=None, metavar="DIR",
+                           help="persistent area store: cold runs "
+                                "persist areas + a log manifest, warm "
+                                "re-runs skip SQL re-extraction "
+                                "entirely")
     p_process.add_argument("--profile", dest="profile_hotspots",
                            action="store_true",
                            help="cProfile the extract/cluster stages "
@@ -202,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--warmup", type=int, default=100,
                          help="extracted statements before novelty "
                               "events fire")
+    p_serve.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="persistent area store backing the "
+                              "resident state: ingests are journaled "
+                              "and replayed on restart, and the "
+                              "intern pool evicts to disk")
+    p_serve.add_argument("--max-resident", type=int, default=None,
+                         metavar="N",
+                         help="cap on in-memory interned areas "
+                              "(requires --store-dir; older areas "
+                              "evict to the store)")
     p_serve.add_argument("--min-cluster-size", type=int, default=5,
                          help="smallest weighted cluster the "
                               "recommender indexes")
@@ -258,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "cluster unique areas with multiplicity "
                              "weights (--no-intern: one object per "
                              "statement)")
+    p_case.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="persistent area store: warm re-runs "
+                             "replay the log manifest and reload "
+                             "condensed distance blocks")
     p_case.add_argument("--profile", dest="profile_hotspots",
                         action="store_true",
                         help="cProfile the pipeline stages into the "
@@ -510,13 +529,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_process(args: argparse.Namespace) -> int:
+    from .store import open_store
+
     log = QueryLog.load_auto(args.log)
     schema = skyserver_schema()
     extractor = AccessAreaExtractor(schema)
+    store = open_store(args.store_dir)
     with profile_section("extract"):
         report = process_log(log.statements_with_users(), extractor,
-                             intern=args.intern)
+                             intern=args.intern, store=store)
     report.continuation_lines = log.continuation_lines
+    if store is not None:
+        mode = "warm replay" if report.warm else "cold run"
+        print(f"area store       : {args.store_dir} ({mode}, "
+              f"{len(store):,} areas, "
+              f"{store.pool.stats.hit_rate:.0%} pool hit rate)")
     print(f"statements       : {report.total:,}")
     print(f"areas extracted  : {report.extraction_count:,} "
           f"({report.extraction_rate:.2%})")
@@ -541,6 +568,8 @@ def _cmd_process(args: argparse.Namespace) -> int:
             result = _cluster_report(report, schema, args)
         print(f"clusters found   : {result.n_clusters} "
               f"({result.noise_count} noise points)")
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -620,11 +649,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     config = ServiceConfig(
         eps=args.eps, min_pts=args.min_pts, backend=args.backend,
-        warmup=args.warmup, min_cluster_size=args.min_cluster_size)
+        warmup=args.warmup, min_cluster_size=args.min_cluster_size,
+        store_dir=args.store_dir, max_resident=args.max_resident)
     app = create_app(config)
     print(f"interest service on http://{args.host}:{args.port} "
           f"(backend={config.resolved_backend()}, eps={config.eps}, "
           f"min_pts={config.min_pts}) — Ctrl-C to stop")
+    if config.store_dir:
+        print(f"area store {config.store_dir}: replayed "
+              f"{app.state.replayed:,} journalled arrivals "
+              f"({app.state.clusterer.n_clusters} clusters)")
     try:
         # On SIGINT, asyncio.run cancels the server task; run_server
         # absorbs the cancellation and returns normally, so the
@@ -632,6 +666,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_server(app, args.host, args.port))
     except KeyboardInterrupt:
         pass
+    app.state.close()
     state = app.state.monitor.state
     print(f"\nstopped after {state.processed:,} statements "
           f"({app.state.clusterer.n_clusters} clusters, "
@@ -697,6 +732,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         matrix_mode=args.matrix_mode,
         neighbor_backend=args.neighbor_backend,
         intern=args.intern,
+        store_dir=args.store_dir,
     )
     with profile_section("casestudy"):
         result = run_case_study(config)

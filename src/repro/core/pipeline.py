@@ -7,7 +7,9 @@ blow-ups) and per-stage timing distributions.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from hashlib import sha256
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..algebra.cnf import CNFConversionError
@@ -62,11 +64,39 @@ class AccessAreaInterner:
     regardless of clause/predicate arrival order or literal spelling —
     collapse to one shared, immutable object whose footprint caches are
     computed once.
+
+    Two backings:
+
+    * **memory** (default): a plain dict, unbounded — the batch path.
+    * **disk**: pass ``store`` (an :class:`~repro.store.AreaStore`) and
+      every new fingerprint is also appended to the store's crash-safe
+      segment log.  With ``max_resident`` the in-memory side becomes an
+      LRU of at most that many representatives; evicted areas remain
+      reachable through the store (a later probe for an evicted
+      fingerprint is still a *hit* — uniqueness is judged against the
+      persistent index, not resident memory).  This is what bounds the
+      resident footprint of ``repro serve``.
     """
 
-    def __init__(self) -> None:
-        self._pool: dict[AccessArea, AccessArea] = {}
+    def __init__(self, store=None,
+                 max_resident: Optional[int] = None) -> None:
+        if max_resident is not None and store is None:
+            raise ValueError(
+                "max_resident requires a backing store: evicting from "
+                "a memory-only pool would forget seen fingerprints")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1, got {max_resident}")
+        self._pool: OrderedDict[AccessArea, AccessArea] = OrderedDict()
         self.hits = 0
+        self.store = store
+        self.max_resident = max_resident
+        self.evictions = 0
+        self._recorded: dict[str, float] = {}
+
+    @property
+    def backing(self) -> str:
+        return "disk" if self.store is not None else "memory"
 
     def intern(self, area: AccessArea) -> AccessArea:
         """The pooled representative of ``area`` (``area`` itself when
@@ -74,33 +104,79 @@ class AccessAreaInterner:
         found = self._pool.get(area)
         if found is not None:
             self.hits += 1
+            if self.max_resident is not None:
+                self._pool.move_to_end(area)
             return found
+        if self.store is not None:
+            known = len(self.store)
+            digest = self.store.append_area(area)
+            if len(self.store) == known and digest in self.store:
+                # Fingerprint already persisted (evicted from memory,
+                # or written by an earlier run) — a hit, re-admitted
+                # to the resident pool under the caller's equal object.
+                self.hits += 1
         self._pool[area] = area
+        self._evict()
         return area
 
+    def _evict(self) -> None:
+        if self.max_resident is None:
+            return
+        while len(self._pool) > self.max_resident:
+            self._pool.popitem(last=False)
+            self.evictions += 1
+
     def __len__(self) -> int:
+        """Unique fingerprints seen (resident + store-persisted)."""
+        if self.store is not None:
+            return len(self.store)
+        return len(self._pool)
+
+    @property
+    def resident(self) -> int:
+        """Representatives currently held in memory."""
         return len(self._pool)
 
     def __contains__(self, area: AccessArea) -> bool:
-        return area in self._pool
+        if area in self._pool:
+            return True
+        if self.store is not None:
+            from ..store.codec import fingerprint_digest
+            return fingerprint_digest(area) in self.store
+        return False
 
     def areas(self) -> list[AccessArea]:
-        """The unique representatives in first-seen order."""
+        """The unique representatives in first-seen order.
+
+        Disk-backed pools read from the segment log (append order is
+        first-seen order), so the answer survives eviction and even a
+        process restart."""
+        if self.store is not None:
+            return [area for _digest, area in self.store.iter_areas()]
         return list(self._pool.values())
 
     def stats(self) -> InternStats:
-        return InternStats(pool_size=len(self._pool), hits=self.hits)
+        return InternStats(pool_size=len(self), hits=self.hits)
 
     def record(self, registry: metrics.MetricsRegistry) -> None:
-        """Fold pool state into a metrics registry (``repro_intern_*``)."""
-        registry.gauge("repro_intern_pool_size").set(len(self._pool))
-        if self.hits:
-            registry.counter("repro_intern_hits_total").inc(self.hits)
-        if self._pool:
-            registry.counter("repro_intern_misses_total").inc(
-                len(self._pool))
+        """Fold pool state into a metrics registry (``repro_intern_*``).
+
+        Counter recording is **delta-based**: only movement since the
+        previous call is added, so a resident process (the ``repro
+        serve`` lifecycle) can re-record on every scrape without
+        double-counting.  Gauges are plain sets and were never at risk.
+        """
+        registry.gauge("repro_intern_pool_size").set(len(self))
+        registry.gauge("repro_intern_pool_resident").set(self.resident)
+        metrics.record_counter_deltas(registry, self._recorded, (
+            ("repro_intern_hits_total", self.hits),
+            ("repro_intern_misses_total", len(self)),
+            ("repro_intern_evictions_total", self.evictions)))
+        if len(self):
             registry.gauge("repro_intern_dedup_ratio").set(
                 self.stats().dedup_ratio)
+        if self.store is not None:
+            self.store.record(registry)
 
 
 def dedupe_areas(areas: Sequence[AccessArea],
@@ -229,6 +305,9 @@ class LogProcessingReport:
     #: (e.g. by :meth:`repro.workload.QueryLog.load_plain`) — part of
     #: the extraction-rate taxonomy, *not* parse errors
     continuation_lines: int = 0
+    #: True when the report was replayed from a store's log manifest
+    #: (zero SQL extraction happened; stage timings are empty)
+    warm: bool = False
 
     @property
     def extraction_count(self) -> int:
@@ -283,12 +362,96 @@ class LogProcessingReport:
                                       n_jobs=n_jobs, cutoff=cutoff)
 
 
+def _extractor_signature(extractor: AccessAreaExtractor) -> str:
+    """A stable description of everything that shapes extraction.
+
+    Part of the log-manifest key: changing the predicate cap, the
+    consolidation toggle, or the schema must miss the warm cache —
+    replaying outcomes produced under different knobs would be wrong.
+    """
+    schema = extractor.schema
+    if schema is None:
+        schema_sig = "noschema"
+    else:
+        schema_sig = ";".join(
+            f"{relation.name}({','.join(relation.column_names)})"
+            for relation in sorted(schema,
+                                   key=lambda rel: rel.name.lower()))
+    return (f"cap={extractor.predicate_cap}"
+            f"|consolidate={extractor.consolidate}"
+            f"|schema={schema_sig}")
+
+
+def log_manifest_key(statements: Sequence[str | tuple[str, str]],
+                     extractor: AccessAreaExtractor) -> str:
+    """Content key of one (statement stream, extractor config) pair."""
+    h = sha256()
+    h.update(_extractor_signature(extractor).encode("utf-8"))
+    for item in statements:
+        sql, user = (item, None) if isinstance(item, str) else item
+        h.update(b"q")
+        h.update(sql.encode("utf-8"))
+        if user is not None:
+            h.update(b"u")
+            h.update(str(user).encode("utf-8"))
+    return h.hexdigest()
+
+
+_FAILURE_FIELDS = {"unsupported": "unsupported_statements",
+                   "lex": "lex_errors",
+                   "parse": "parse_errors",
+                   "cnf": "cnf_failures"}
+
+
+def _replay_log_manifest(manifest: dict, statements, store,
+                         registry, interner, keep_failures,
+                         ) -> Optional[LogProcessingReport]:
+    """Rebuild a :class:`LogProcessingReport` from a stored manifest —
+    the warm path: zero parsing, zero CNF work, areas fetched from the
+    segment log by digest.  ``None`` when the manifest references a
+    digest the store no longer holds (caller falls back to cold)."""
+    report = LogProcessingReport(interner=interner, warm=True)
+    statements_total = registry.counter("repro_pipeline_statements_total")
+    extracted_total = registry.counter("repro_pipeline_extracted_total")
+    failure_counters = {
+        kind: registry.counter("repro_pipeline_failures_total", kind=kind)
+        for kind in _FAILURE_FIELDS
+    }
+    cache: dict[str, AccessArea] = {}
+    for index, (item, outcome) in enumerate(
+            zip(statements, manifest["outcomes"])):
+        sql, user = (item, None) if isinstance(item, str) else item
+        report.total += 1
+        statements_total.inc()
+        if outcome[0] == "f":
+            kind, message = outcome[1], outcome[2]
+            setattr(report, _FAILURE_FIELDS[kind],
+                    getattr(report, _FAILURE_FIELDS[kind]) + 1)
+            failure_counters[kind].inc()
+            if keep_failures:
+                report.failures.append((index, kind, message))
+            continue
+        digest_hex = outcome[1]
+        area = cache.get(digest_hex)
+        if area is None:
+            area = store.get_area(bytes.fromhex(digest_hex))
+            if area is None:
+                return None
+            cache[digest_hex] = area
+        if interner is not None:
+            area = interner.intern(area)
+        extracted_total.inc()
+        report.extracted.append(ExtractedQuery(index, sql, area, user))
+    return report
+
+
 def process_log(statements: Iterable[str | tuple[str, str]],
                 extractor: AccessAreaExtractor | None = None,
                 keep_failures: bool = True,
                 registry: Optional[metrics.MetricsRegistry] = None,
                 intern: bool = True,
                 interner: Optional[AccessAreaInterner] = None,
+                store=None,
                 ) -> LogProcessingReport:
     """Extract access areas from every statement of a log.
 
@@ -305,6 +468,17 @@ def process_log(statements: Iterable[str | tuple[str, str]],
     :meth:`~LogProcessingReport.unique_areas` collapse is free.  Pass
     ``interner`` to share a pool across logs; ``intern=False`` restores
     the one-object-per-statement behaviour (``--no-intern`` debugging).
+
+    ``store`` (an :class:`~repro.store.AreaStore`) persists the run:
+    every unique area lands in the crash-safe segment log, and a **log
+    manifest** — the per-statement outcome sequence keyed by a hash of
+    the statement stream and extractor config — is published at the
+    end.  A later call with the same statements, config, and store
+    replays the manifest instead of re-extracting: zero SQL parsing,
+    areas fetched by fingerprint digest, and a report whose areas are
+    fingerprint-identical to the cold run's (so downstream clustering
+    labels match bitwise).  Warm reports have ``report.warm`` set and
+    empty stage timings.
     """
     if extractor is None:
         extractor = AccessAreaExtractor()
@@ -314,6 +488,30 @@ def process_log(statements: Iterable[str | tuple[str, str]],
         interner = AccessAreaInterner()
     elif not intern:
         interner = None
+
+    manifest_key = None
+    if store is not None:
+        statements = list(statements)
+        manifest_key = log_manifest_key(statements, extractor)
+        manifest = store.load_meta(f"log-{manifest_key}")
+        if manifest is not None \
+                and manifest.get("total") == len(statements):
+            report = _replay_log_manifest(
+                manifest, statements, store, registry, interner,
+                keep_failures)
+            if report is not None:
+                registry.counter(
+                    "repro_store_log_warm_hits_total").inc()
+                if interner is not None:
+                    interner.record(registry)
+                store.record(registry)
+                logger.info(
+                    "warm-replayed %d statements from manifest %s: "
+                    "%d extracted, zero SQL extraction",
+                    report.total, manifest_key[:12],
+                    report.extraction_count)
+                return report
+        registry.counter("repro_store_log_warm_misses_total").inc()
     statements_total = registry.counter("repro_pipeline_statements_total")
     extracted_total = registry.counter("repro_pipeline_extracted_total")
     failure_counters = {
@@ -327,11 +525,14 @@ def process_log(statements: Iterable[str | tuple[str, str]],
     }
 
     report = LogProcessingReport(interner=interner)
+    outcomes: Optional[list] = [] if store is not None else None
 
     def fail(index: int, kind: str, exc: Exception) -> None:
         failure_counters[kind].inc()
         if keep_failures:
             report.failures.append((index, kind, str(exc)))
+        if outcomes is not None:
+            outcomes.append(("f", kind, str(exc)))
 
     with trace.span("process_log") as root:
         for index, item in enumerate(statements):
@@ -365,11 +566,22 @@ def process_log(statements: Iterable[str | tuple[str, str]],
             area = result.area
             if interner is not None:
                 area = interner.intern(area)
+            if store is not None:
+                digest = store.append_area(area)
+                outcomes.append(("a", digest.hex()))
             report.extracted.append(
                 ExtractedQuery(index, sql, area, user))
         root.set(statements=report.total,
                  extracted=report.extraction_count,
                  failures=report.failure_count)
+        if store is not None:
+            store.save_meta(f"log-{manifest_key}", {
+                "total": report.total,
+                "extracted": report.extraction_count,
+                "outcomes": outcomes,
+            })
+            store.checkpoint()
+            store.record(registry)
         if interner is not None:
             interner.record(registry)
             root.set(intern_pool=len(interner),

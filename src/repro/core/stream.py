@@ -215,6 +215,52 @@ class StreamMonitor:
                 f"{update.new_clusters} new clusters "
                 f"({self.clusterer.n_clusters} total)", sql)
 
+    def replay(self, area: Optional[AccessArea]) -> Optional[int]:
+        """Re-apply one previously processed arrival without SQL work.
+
+        The service's restart path: areas come back from the store's
+        ingest journal in arrival order and re-enter the monitor here —
+        no parsing, no CNF conversion.  ``None`` replays a statement
+        that failed extraction (tallied, nothing learned).  Determinism
+        of :class:`~repro.clustering.incremental.IncrementalDBSCAN`
+        under arrival order makes the resulting labels bitwise
+        identical to the pre-restart state.
+
+        Novelty notifications and failure-burst tracking are
+        suppressed — those events already fired when the statement
+        first arrived.  Vocabulary learned from areas (relations,
+        columns, relation sets, access ranges) is fully restored;
+        AST-only query features are not (the journal stores areas, not
+        parse trees), so a NEW_QUERY_FEATURE may re-notify once after
+        a restart.
+
+        Returns the statement's live label (``None`` for failed or
+        refused arrivals).
+        """
+        self.state.processed += 1
+        self._statements_total.inc()
+        if area is None:
+            self.state.failures += 1
+            self._failures_total.inc()
+            self._recent_failures.append(True)
+            return None
+        self._recent_failures.append(False)
+        self.state.extracted += 1
+        self._extracted_total.inc()
+        self.areas.append(area)
+        self._learn(area, None)
+        if self.clusterer is None:
+            return None
+        try:
+            update = self.clusterer.add(area)
+        except ValueError:
+            (self.registry or metrics.get_registry()).counter(
+                "repro_incremental_refused_total").inc()
+            self.statement_labels.append(None)
+            return None
+        self.statement_labels.append(update.label)
+        return update.label
+
     def process_many(self, statements: Iterable[str]) -> list[AccessArea]:
         out = []
         for sql in statements:

@@ -218,6 +218,7 @@ class BlockSparseDistanceMatrix:
                 n_jobs: int = 1, cutoff: Optional[float] = None,
                 registry: Optional[metrics.MetricsRegistry] = None,
                 engine: str = "python",
+                store=None, store_token: Optional[str] = None,
                 ) -> "BlockSparseDistanceMatrix":
         """Evaluate ``metric`` block-sparsely over ``items``.
 
@@ -235,6 +236,17 @@ class BlockSparseDistanceMatrix:
         partitions the kernel cannot replay fall back to the oracle,
         and the engine itself degrades to ``"python"`` when numpy is
         unavailable).
+
+        ``store`` (an :class:`~repro.store.AreaStore`) spills every
+        computed in-partition condensed block to an mmap-able file
+        keyed by partition *content* (table set + ordered member
+        fingerprint digests + ``store_token``) and reloads matching
+        blocks on later runs instead of recomputing them.
+        ``store_token`` must capture everything else that shapes the
+        distance values (metric resolution, statistics provenance) so
+        a parameter change misses the cache rather than serving stale
+        distances.  The P×P ``d_tables`` bound table is always
+        recomputed — it is O(P²) for a handful of partitions.
         """
         if not is_decomposed(metric, items):
             raise ValueError(
@@ -297,17 +309,50 @@ class BlockSparseDistanceMatrix:
             chunk_seconds = registry.histogram(
                 "repro_distance_chunk_seconds", mode=mode)
             worker_hits = worker_misses = 0
-            with trace.span("fill", partitions=p, mode=mode):
-                if engine == "kernel":
+
+            # Store-backed reuse: a partition whose content key matches
+            # a persisted block skips computation entirely.
+            cached: dict[int, np.ndarray] = {}
+            partition_keys: Optional[list[str]] = None
+            if store is not None:
+                from ..store.codec import block_key as content_key
+                from ..store.codec import fingerprint_digest
+                digest_memo: dict[int, bytes] = {}
+
+                def digest_of(area) -> bytes:
+                    got = digest_memo.get(id(area))
+                    if got is None:
+                        got = fingerprint_digest(area)
+                        digest_memo[id(area)] = got
+                    return got
+
+                partition_keys = [
+                    content_key(key, [digest_of(items[i]) for i in m],
+                                store_token)
+                    for key, m in zip(keys, members)]
+                for bi, block_id in enumerate(partition_keys):
+                    loaded = store.blocks.load(block_id)
+                    m = len(members[bi])
+                    if loaded is not None \
+                            and len(loaded) == m * (m - 1) // 2:
+                        cached[bi] = np.asarray(loaded, dtype=float)
+
+            pending = [bi for bi in range(p) if bi not in cached]
+            pending_members = [members[bi] for bi in pending]
+            with trace.span("fill", partitions=p, mode=mode,
+                            reloaded=len(cached)):
+                if not pending:
+                    raw_blocks = []
+                elif engine == "kernel":
                     from .kernel import compute_kernel_blocks
                     raw_blocks, kernel_stats = compute_kernel_blocks(
-                        items, metric, members)
+                        items, metric, pending_members)
                     kernel_stats.record(registry)
                     chunk_seconds.observe(kernel_stats.pack_seconds
                                           + kernel_stats.block_seconds)
                 else:
-                    raw_blocks, infos = compute_blocks(items, metric,
-                                                       members, n_jobs)
+                    raw_blocks, infos = compute_blocks(
+                        items, metric, pending_members, n_jobs)
                     for info in infos:
                         trace.attach(info.span)
                         chunk_seconds.observe(
@@ -318,8 +363,14 @@ class BlockSparseDistanceMatrix:
                         worker_misses += info.cache_misses
                     registry.merge_all(
                         info.metrics for info in infos)
-                blocks = [np.asarray(raw, dtype=float)
-                          for raw in raw_blocks]
+                computed = {bi: np.asarray(raw, dtype=float)
+                            for bi, raw in zip(pending, raw_blocks)}
+                blocks = [cached[bi] if bi in cached else computed[bi]
+                          for bi in range(p)]
+            if store is not None:
+                for bi in pending:
+                    store.blocks.save(partition_keys[bi], blocks[bi])
+                store.record(registry)
 
             stats.pairs_computed = sum(len(b) for b in blocks)
             stats.pairs_skipped = stats.pairs_total - stats.pairs_computed
@@ -592,7 +643,8 @@ def compute_matrix(items: Sequence, metric: Metric, *,
                    mode: str = "auto", eps: Optional[float] = None,
                    n_jobs: int = 1,
                    registry: Optional[metrics.MetricsRegistry] = None,
-                   neighbor_backend: str = "matrix"):
+                   neighbor_backend: str = "matrix",
+                   store=None, store_token: Optional[str] = None):
     """Build a distance matrix in the requested ``mode``.
 
     ``mode`` — ``"dense"``, ``"sparse"``, ``"kernel"``, or ``"auto"``
@@ -630,7 +682,8 @@ def compute_matrix(items: Sequence, metric: Metric, *,
                 and eps < partition_exactness_bound(
                     item.table_set for item in items)):
             return VPTreeIndex.compute(items, metric, cutoff=eps,
-                                       registry=registry)
+                                       registry=registry, store=store,
+                                       store_token=store_token)
         logger.warning(
             "vptree backend requires numpy, a decomposed metric and a "
             "radius below the partition exactness bound; falling back "
@@ -638,10 +691,11 @@ def compute_matrix(items: Sequence, metric: Metric, *,
     if mode == "kernel":
         return BlockSparseDistanceMatrix.compute(
             items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry,
-            engine="kernel")
+            engine="kernel", store=store, store_token=store_token)
     if mode == "sparse":
         return BlockSparseDistanceMatrix.compute(
-            items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry)
+            items, metric, n_jobs=n_jobs, cutoff=eps, registry=registry,
+            store=store, store_token=store_token)
     if mode == "auto" and eps is not None and is_decomposed(metric, items):
         bound = partition_exactness_bound(
             item.table_set for item in items)
@@ -651,7 +705,8 @@ def compute_matrix(items: Sequence, metric: Metric, *,
                 "using block-sparse", eps, bound)
             return BlockSparseDistanceMatrix.compute(
                 items, metric, n_jobs=n_jobs, cutoff=eps,
-                registry=registry)
+                registry=registry, store=store,
+                store_token=store_token)
         logger.debug(
             "auto matrix mode: eps %g >= partition bound %.4g, "
             "using dense", eps, bound)

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 try:  # pragma: no cover - numpy is present in the supported toolchain
@@ -96,6 +96,9 @@ class KernelStats:
     pairs_fallback: int = 0
     pack_seconds: float = 0.0
     block_seconds: float = 0.0
+    #: per-metric totals already pushed to a registry (see :meth:`record`)
+    _recorded: dict = field(default_factory=dict, repr=False,
+                            compare=False)
 
     @property
     def vectorized_fraction(self) -> float:
@@ -115,24 +118,29 @@ class KernelStats:
             f"blocks {self.block_seconds:.3f} s")
 
     def record(self, registry) -> None:
-        """Fold this run into a metrics registry (``repro_kernel_*``)."""
-        for name, value in (
-                ("repro_kernel_partitions_packed_total",
-                 self.partitions_packed),
-                ("repro_kernel_partitions_fallback_total",
-                 self.partitions_fallback),
-                ("repro_kernel_pairs_vectorized_total",
-                 self.pairs_vectorized),
-                ("repro_kernel_pairs_fallback_total",
-                 self.pairs_fallback),
-                ("repro_kernel_predicates_total", self.n_predicates),
-                ("repro_kernel_clauses_total", self.n_clauses)):
-            if value:
-                registry.counter(name).inc(value)
-        registry.histogram("repro_kernel_pack_seconds").observe(
-            self.pack_seconds)
-        registry.histogram("repro_kernel_block_seconds").observe(
-            self.block_seconds)
+        """Fold this run into a metrics registry (``repro_kernel_*``).
+
+        Delta-based and idempotent under re-recording (see
+        :func:`repro.obs.metrics.record_counter_deltas`)."""
+        from ..obs.metrics import (observe_when_changed,
+                                   record_counter_deltas)
+        record_counter_deltas(registry, self._recorded, (
+            ("repro_kernel_partitions_packed_total",
+             self.partitions_packed),
+            ("repro_kernel_partitions_fallback_total",
+             self.partitions_fallback),
+            ("repro_kernel_pairs_vectorized_total",
+             self.pairs_vectorized),
+            ("repro_kernel_pairs_fallback_total",
+             self.pairs_fallback),
+            ("repro_kernel_predicates_total", self.n_predicates),
+            ("repro_kernel_clauses_total", self.n_clauses)))
+        observe_when_changed(registry, self._recorded,
+                             "repro_kernel_pack_seconds",
+                             self.pack_seconds)
+        observe_when_changed(registry, self._recorded,
+                             "repro_kernel_block_seconds",
+                             self.block_seconds)
 
 
 def oracle_of(metric) -> PredicateDistance:

@@ -29,7 +29,7 @@ pairs computed, pairs bound-skipped, cache hit rates, wall time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -80,6 +80,9 @@ class MatrixStats:
     #: to ``n_items`` unique areas (0 = the matrix was built without
     #: interning)
     n_source_items: int = 0
+    #: per-metric totals already pushed to a registry (see :meth:`record`)
+    _recorded: dict = field(default_factory=dict, repr=False,
+                            compare=False)
 
     @property
     def dedup_ratio(self) -> float:
@@ -131,23 +134,29 @@ class MatrixStats:
             f"{self.elapsed_seconds:.3f} s with n_jobs={self.n_jobs}")
 
     def record(self, registry) -> None:
-        """Fold this run into a metrics registry (``repro_distance_*``)."""
-        for name, value in (
-                ("repro_distance_pairs_total", self.pairs_total),
-                ("repro_distance_pairs_computed_total",
-                 self.pairs_computed),
-                ("repro_distance_pairs_skipped_total", self.pairs_skipped),
-                ("repro_distance_table_cache_hits_total",
-                 self.table_cache_hits),
-                ("repro_distance_pred_cache_hits_total",
-                 self.predicate_cache_hits),
-                ("repro_distance_pred_cache_misses_total",
-                 self.predicate_cache_misses),
-                ("repro_distance_blocks_total", self.n_blocks)):
-            if value:
-                registry.counter(name).inc(value)
-        registry.histogram("repro_distance_matrix_seconds").observe(
-            self.elapsed_seconds)
+        """Fold this run into a metrics registry (``repro_distance_*``).
+
+        Delta-based and idempotent: recording the same stats object
+        twice (a resident registry's lifecycle) adds nothing the
+        second time — counters end equal to the true totals.
+        """
+        from ..obs.metrics import (observe_when_changed,
+                                   record_counter_deltas)
+        record_counter_deltas(registry, self._recorded, (
+            ("repro_distance_pairs_total", self.pairs_total),
+            ("repro_distance_pairs_computed_total",
+             self.pairs_computed),
+            ("repro_distance_pairs_skipped_total", self.pairs_skipped),
+            ("repro_distance_table_cache_hits_total",
+             self.table_cache_hits),
+            ("repro_distance_pred_cache_hits_total",
+             self.predicate_cache_hits),
+            ("repro_distance_pred_cache_misses_total",
+             self.predicate_cache_misses),
+            ("repro_distance_blocks_total", self.n_blocks)))
+        observe_when_changed(registry, self._recorded,
+                             "repro_distance_matrix_seconds",
+                             self.elapsed_seconds)
         if self.stored_floats:
             registry.gauge("repro_distance_stored_floats").set(
                 self.stored_floats)

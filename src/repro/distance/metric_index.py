@@ -61,7 +61,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 try:  # pragma: no cover - numpy is present in the supported toolchain
@@ -102,6 +102,9 @@ class VPTreeStats:
     #: candidate points excluded by certified subtree lower bounds
     #: (never evaluated at query time)
     pruned: int = 0
+    #: per-metric totals already pushed to a registry (see :meth:`record`)
+    _recorded: dict = field(default_factory=dict, repr=False,
+                            compare=False)
 
     @property
     def prune_rate(self) -> float:
@@ -123,15 +126,16 @@ class VPTreeStats:
         """Fold the build-side counters into a registry
         (``repro_vptree_*``); query-side counters are folded in by the
         index as queries happen."""
-        for name, value in (
-                ("repro_vptree_trees_total", self.trees_built),
-                ("repro_vptree_fallback_partitions_total",
-                 self.fallback_partitions),
-                ("repro_vptree_build_evals_total", self.build_evals)):
-            if value:
-                registry.counter(name).inc(value)
-        registry.histogram("repro_vptree_build_seconds").observe(
-            self.build_seconds)
+        from ..obs.metrics import (observe_when_changed,
+                                   record_counter_deltas)
+        record_counter_deltas(registry, self._recorded, (
+            ("repro_vptree_trees_total", self.trees_built),
+            ("repro_vptree_fallback_partitions_total",
+             self.fallback_partitions),
+            ("repro_vptree_build_evals_total", self.build_evals)))
+        observe_when_changed(registry, self._recorded,
+                             "repro_vptree_build_seconds",
+                             self.build_seconds)
 
 
 class _Node:
@@ -439,12 +443,21 @@ class VPTreeIndex:
                 cutoff: Optional[float] = None,
                 leaf_size: int = DEFAULT_LEAF_SIZE,
                 registry: Optional[metrics.MetricsRegistry] = None,
+                store=None, store_token: Optional[str] = None,
                 ) -> "VPTreeIndex":
         """Build the index over ``items``.
 
         Same preconditions as the block-sparse matrix: a decomposed
         metric and, when ``cutoff`` is given, a radius strictly below
         the partition exactness bound.
+
+        ``store``/``store_token`` spill the *fallback* partitions'
+        materialized condensed blocks (the kernel-unsupported ones —
+        the only distance values this index ever fully evaluates at
+        build time) to the area store and reload them on later runs;
+        tree partitions hold lazy packs, so there is nothing to spill
+        for them.  Key semantics match
+        :meth:`~repro.distance.block_sparse.BlockSparseDistanceMatrix.compute`.
         """
         if np is None:
             raise ValueError("the vptree backend requires numpy; "
@@ -485,11 +498,21 @@ class VPTreeIndex:
                     f"entries would no longer answer threshold queries "
                     f"exactly; use the dense DistanceMatrix")
 
+            block_key_of = None
+            if store is not None:
+                from ..store.codec import block_key as content_key
+                from ..store.codec import fingerprint_digest
+
+                def block_key_of(key, member_list) -> str:
+                    return content_key(
+                        key, [fingerprint_digest(items[k])
+                              for k in member_list], store_token)
+
             vpstats = VPTreeStats()
             parts: list = []
             stored = p * p
             fallback_pairs = 0
-            for member_list in members:
+            for key, member_list in zip(keys, members):
                 try:
                     pack = PackedPartition(
                         [items[k] for k in member_list], metric)
@@ -500,15 +523,28 @@ class VPTreeIndex:
                     logger.debug(
                         "vptree fallback for %d-area partition: %s",
                         len(member_list), exc)
-                    values, _ = _evaluate_partition(metric, items,
-                                                    member_list)
-                    block = DistanceMatrix(
-                        len(member_list),
-                        np.asarray(values, dtype=float))
+                    m = len(member_list)
+                    values = None
+                    block_id = None
+                    if block_key_of is not None:
+                        block_id = block_key_of(key, member_list)
+                        loaded = store.blocks.load(block_id)
+                        if loaded is not None \
+                                and len(loaded) == m * (m - 1) // 2:
+                            values = np.asarray(loaded, dtype=float)
+                    if values is None:
+                        raw, _ = _evaluate_partition(metric, items,
+                                                     member_list)
+                        values = np.asarray(raw, dtype=float)
+                        if block_id is not None:
+                            store.blocks.save(block_id, values)
+                    block = DistanceMatrix(m, values)
                     parts.append(_MatrixPart(block))
                     vpstats.fallback_partitions += 1
                     fallback_pairs += len(values)
                     stored += len(values)
+            if store is not None:
+                store.record(registry)
 
             stats = MatrixStats(
                 n_items=n, pairs_total=n * (n - 1) // 2,

@@ -429,6 +429,40 @@ class NullRegistry(MetricsRegistry):
         pass
 
 
+def record_counter_deltas(registry: MetricsRegistry,
+                          recorded: dict,
+                          pairs) -> None:
+    """Inc each counter by its movement since the last call.
+
+    ``recorded`` is the caller's per-stats-object memory of what has
+    already been pushed (keyed per target registry, so a stats object
+    recorded into two registries gives each the full totals).
+    Cumulative totals recorded through this helper are therefore
+    idempotent under re-recording: calling a ``.record`` twice against
+    one registry — the resident ``repro serve`` lifecycle — leaves
+    counters equal to the true totals instead of double-counting.
+    """
+    seen = recorded.setdefault(("counters", id(registry)), {})
+    for name, value in pairs:
+        delta = value - seen.get(name, 0)
+        if delta > 0:
+            registry.counter(name).inc(delta)
+            seen[name] = value
+
+
+def observe_when_changed(registry: MetricsRegistry, recorded: dict,
+                         name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` unless this exact
+    value was already observed by this stats object — the histogram
+    analogue of :func:`record_counter_deltas` (one run contributes one
+    observation per registry no matter how often its stats are
+    re-recorded)."""
+    key = ("histogram", id(registry), name)
+    if recorded.get(key) != value:
+        registry.histogram(name).observe(value)
+        recorded[key] = value
+
+
 _default_registry: MetricsRegistry = MetricsRegistry()
 
 

@@ -33,7 +33,6 @@ observer hook.
 from __future__ import annotations
 
 import asyncio
-import time
 from typing import Optional
 
 from ..clustering.dbscan import NOISE
@@ -196,10 +195,12 @@ def create_app(config: Optional[ServiceConfig] = None,
     @app.get("/healthz")
     async def healthz(request: Request):
         monitor = state.monitor
-        return {
+        body = {
             "status": "ok",
-            "uptime_seconds": round(
-                max(0.0, time.time() - state.started), 3),
+            # Monotonic, so NTP slews and clock changes can't make a
+            # healthy process report negative (or absurd) uptime.
+            "uptime_seconds": round(state.uptime, 3),
+            "started_at": state.started,
             "backend": state.config.resolved_backend(),
             "eps": state.config.eps,
             "min_pts": state.config.min_pts,
@@ -207,10 +208,28 @@ def create_app(config: Optional[ServiceConfig] = None,
             "extracted": monitor.state.extracted,
             "failures": monitor.state.failures,
             "intern_pool": len(state.interner),
+            "intern_resident": state.interner.resident,
             "unique_areas": state.clusterer.n_unique,
             "n_clusters": state.clusterer.n_clusters,
             "structure_version": state.structure_version,
         }
+        if state.store is not None:
+            pool = state.store.pool.stats
+            body["store"] = {
+                "dir": state.config.store_dir,
+                "backing": state.interner.backing,
+                "max_resident": state.config.max_resident,
+                "replayed": state.replayed,
+                "journal_length": state.store.journal_length,
+                "segment_bytes": state.store.segments.total_bytes(),
+                "buffer_pool": {
+                    "hit_rate": round(pool.hit_rate, 4),
+                    "hits": pool.hits,
+                    "misses": pool.misses,
+                    "resident_bytes": state.store.pool.resident_bytes,
+                },
+            }
+        return body
 
     return app
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..clustering.aggregation import AggregatedArea, aggregate_cluster
@@ -41,6 +41,8 @@ from ..obs import get_logger, metrics
 from ..recommend import InterestRecommender, fit_recommender
 from ..schema import StatisticsCatalog, skyserver_schema
 from ..schema.skyserver import CONTENT_BOUNDS
+from ..store import open_store
+from ..store.codec import fingerprint_digest
 
 logger = get_logger(__name__)
 
@@ -66,6 +68,18 @@ class ServiceConfig:
     min_cluster_size: int = 5
     #: cap on ``GET /recommend``'s ``k``.
     max_k: int = 50
+    #: directory of the persistent :class:`~repro.store.AreaStore`
+    #: (``--store-dir``).  When set, every ingest is journalled and the
+    #: resident state is rebuilt from the journal on restart — the same
+    #: areas re-enter the clusterer in arrival order, with zero SQL
+    #: re-extraction, reproducing the pre-restart labels bitwise.
+    #: ``None`` = in-memory only; state dies with the process.
+    store_dir: Optional[str] = None
+    #: cap on areas held resident by the intern pool (``--max-resident``,
+    #: requires ``store_dir``).  Least-recently-interned areas are
+    #: evicted to the store; uniqueness accounting is unaffected because
+    #: it is judged against the persistent fingerprint index.
+    max_resident: Optional[int] = None
 
     def resolved_backend(self) -> str:
         if self.backend not in BACKENDS:
@@ -74,6 +88,11 @@ class ServiceConfig:
         if self.backend == "auto":
             return "sparse" if self.eps < 0.5 else "dense"
         return self.backend
+
+    def __post_init__(self) -> None:
+        if self.max_resident is not None and not self.store_dir:
+            raise ValueError("max_resident requires store_dir: evicted "
+                             "areas must have a store to come back from")
 
 
 @dataclass(frozen=True)
@@ -141,7 +160,12 @@ class AppState:
         self.config = config or ServiceConfig()
         self.schema = schema or skyserver_schema()
         self.registry = registry or metrics.get_registry()
+        #: wall-clock birth stamp — display only.  Uptime is computed
+        #: from the monotonic stamp below: ``time.time()`` jumps under
+        #: NTP slews and manual clock changes, so a wall-clock
+        #: difference can report negative or wildly wrong uptime.
         self.started = time.time()
+        self._started_monotonic = time.monotonic()
         stats = StatisticsCatalog.from_exact_content(
             self.schema, CONTENT_BOUNDS if schema is None else {})
         # The recommender must measure with the same normalization the
@@ -150,7 +174,13 @@ class AppState:
         # widening for out-of-range novelty detection).
         self.frozen_stats = copy.deepcopy(stats)
         self.extractor = AccessAreaExtractor(self.schema)
-        self.interner = AccessAreaInterner()
+        self.store = open_store(self.config.store_dir)
+        if self.store is not None:
+            self.interner = AccessAreaInterner(
+                store=self.store,
+                max_resident=self.config.max_resident)
+        else:
+            self.interner = AccessAreaInterner()
         self._pending_events: list[StreamEvent] = []
         self.monitor = StreamMonitor(
             self.extractor, stats=stats,
@@ -180,6 +210,64 @@ class AppState:
                 "repro_service_ingested_total", status=status)
             for status in ("clustered", "unclustered", "failed")
         }
+        #: arrivals restored from the store's journal at startup.
+        self.replayed = 0
+        if self.store is not None:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Rebuild the resident state from the store's ingest journal.
+
+        Each entry re-enters the monitor through
+        :meth:`StreamMonitor.replay` — the persisted area is fetched by
+        fingerprint digest and fed to the incremental clusterer in the
+        original arrival order, so the restored labels are bitwise
+        identical to the pre-restart state without parsing a single
+        statement.  Failed arrivals replay as counter bumps only.
+        """
+        for entry in self.store.iter_journal():
+            digest_hex = entry.get("digest")
+            area = None
+            if digest_hex:
+                area = self.store.get_area(bytes.fromhex(digest_hex))
+                if area is None:
+                    # Journal entry without its area record: the index
+                    # recovery invariant (index ⊆ segments) means this
+                    # cannot happen for a record that was durably
+                    # published; treat it like a failed arrival rather
+                    # than poisoning the whole replay.
+                    logger.warning("journal references missing area %s; "
+                                   "replaying as failure", digest_hex)
+            label = self.monitor.replay(area)
+            self.version += 1
+            self.replayed += 1
+            if area is None:
+                continue
+            pooled = self.interner.intern(area)
+            user = entry.get("user")
+            if user:
+                if label is None:
+                    self.user_unclustered[user] = \
+                        self.user_unclustered.get(user, 0) + 1
+                else:
+                    ledger = self.users.setdefault(user, {})
+                    ledger[pooled] = ledger.get(pooled, 0) + 1
+        if self.replayed:
+            self.structure_version += 1
+            logger.info("replayed %d journalled arrivals from %s "
+                        "(%d live clusters)", self.replayed,
+                        self.config.store_dir,
+                        self.clusterer.n_clusters)
+
+    @property
+    def uptime(self) -> float:
+        """Seconds since construction, immune to wall-clock jumps."""
+        return time.monotonic() - self._started_monotonic
+
+    def close(self) -> None:
+        """Checkpoint and release the store (no-op when memory-only)."""
+        if self.store is not None:
+            self.store.close()
 
     # -- ingestion (the single writer) --------------------------------
 
@@ -200,6 +288,7 @@ class AppState:
                for event in self._pending_events):
             self.structure_version += 1
         self.version += 1
+        digest: Optional[bytes] = None
         if area is None:
             outcome = IngestOutcome(
                 status="failed", index=index, events=events,
@@ -207,6 +296,7 @@ class AppState:
                 or "statement did not extract")
         else:
             pooled = self.interner.intern(area)
+            digest = fingerprint_digest(pooled)
             label = self.monitor.statement_labels[-1]
             if label is None:
                 outcome = IngestOutcome(status="unclustered",
@@ -223,10 +313,21 @@ class AppState:
                         self.user_unclustered.get(user, 0) + 1
                 else:
                     ledger[pooled] = ledger.get(pooled, 0) + 1
+        if self.store is not None:
+            # The journal is the restart contract: one entry per
+            # arrival, in order.  Failed statements are journalled too
+            # (digest None) so replay reproduces the processed/failure
+            # counters, not just the happy path.
+            self.store.append_journal({
+                "digest": digest.hex() if digest else None,
+                "user": user,
+            })
+            self.store.record(self.registry)
         self._ingest_total[outcome.status].inc()
         self._ingest_seconds.observe(time.perf_counter() - started)
         self.registry.gauge("repro_service_intern_pool").set(
             len(self.interner))
+        self.interner.record(self.registry)
         return outcome
 
     # -- lock-free reads ----------------------------------------------

@@ -1,0 +1,111 @@
+"""mmap-able condensed distance blocks, one file per partition.
+
+Each partition of the block-sparse matrix owns one file,
+``blocks/<content-key>.blk``::
+
+    RPBK header (magic, version, count u64, crc32 of data)
+    raw little-endian float64 condensed distances (count values)
+
+The name is a **content key** (:func:`repro.store.codec.block_key`):
+a hash of the partition's table set, its ordered member fingerprint
+digests, and the metric token.  Any drift in partition population or
+metric parameters changes the key and misses the cache — stale
+distances are unreachable by construction, so no invalidation
+protocol is needed.
+
+Files are published via tmp-write + fsync + atomic ``os.replace``.
+Loads go through :func:`numpy.memmap`, so a reload maps the float
+payload without copying; the CRC in the header is verified on first
+load (cheap relative to the distance computation it replaces) and the
+result is returned as a read-only array view.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from typing import Optional
+
+import numpy as np
+
+from .codec import (BLOCK_HEADER_SIZE, CodecError, pack_block_header,
+                    unpack_block_header)
+from .pager import fsync_dir
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class BlockStore:
+    """Condensed-block cache keyed by partition content hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.saves = 0
+        self.loads = 0
+        self.load_misses = 0
+
+    def _path(self, key: str) -> str:
+        if not _KEY_RE.match(key):
+            raise CodecError(f"malformed block key {key!r}")
+        return os.path.join(self.directory, f"{key}.blk")
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def save(self, key: str, condensed: np.ndarray) -> None:
+        """Publish one condensed block atomically (idempotent)."""
+        data = np.ascontiguousarray(condensed,
+                                    dtype="<f8").tobytes()
+        crc = zlib.crc32(data) & 0xFFFFFFFF
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(pack_block_header(condensed.size, crc))
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(self.directory)
+        self.saves += 1
+
+    def load(self, key: str, *, verify: bool = True
+             ) -> Optional[np.ndarray]:
+        """The condensed block for ``key`` as a read-only memmap view,
+        or ``None`` when absent/corrupt (caller recomputes)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                header = fh.read(BLOCK_HEADER_SIZE)
+            count, crc = unpack_block_header(header)
+            expected = BLOCK_HEADER_SIZE + 8 * count
+            if os.path.getsize(path) < expected:
+                raise CodecError("block file shorter than its header")
+            values = np.memmap(path, dtype="<f8", mode="r",
+                               offset=BLOCK_HEADER_SIZE, shape=(count,))
+            if verify and zlib.crc32(values.tobytes()) \
+                    & 0xFFFFFFFF != crc:
+                raise CodecError("block data CRC mismatch")
+        except (OSError, CodecError):
+            self.load_misses += 1
+            return None
+        self.loads += 1
+        view = values.view()
+        view.flags.writeable = False
+        return view
+
+    def total_bytes(self) -> int:
+        total = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".blk"):
+                try:
+                    total += os.path.getsize(
+                        os.path.join(self.directory, name))
+                except OSError:
+                    continue
+        return total
+
+    def count(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".blk"))

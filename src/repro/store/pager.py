@@ -1,0 +1,175 @@
+"""Page-granular buffer pool over the store's read path.
+
+Every random read of a segment or index file goes through one
+:class:`BufferPool` — the ``mini_db`` idiom (page cache shared across
+statements, ``\\bpstat``-style observability) adapted to the area
+store.  Pages are fixed-size byte slices keyed by ``(file token,
+page number)`` with LRU replacement; the pool never writes (the store's
+write path is append-only + atomic replace, so cached pages of
+immutable published bytes can never go stale — the one mutable file,
+the active segment, is invalidated explicitly on append).
+
+Stats are cumulative over the pool's lifetime and fold into the
+metrics registry **delta-based** (see :meth:`BufferPool.record`): a
+resident service can re-record every scrape without double-counting.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+DEFAULT_PAGE_SIZE = 4096
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class PoolStats:
+    """Cumulative buffer-pool counters (``\\bpstat`` equivalent)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    read_bytes: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.probes:
+            return 0.0
+        return self.hits / self.probes
+
+
+class BufferPool:
+    """LRU page cache over the store's files.
+
+    ``capacity`` is in pages; resident bytes are therefore bounded by
+    ``capacity * page_size`` regardless of how many areas the store
+    holds — the eviction backstop the resident service relies on.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if page_size < 64:
+            raise ValueError(f"page_size must be >= 64, got {page_size}")
+        self.capacity = capacity
+        self.page_size = page_size
+        self._pages: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self.stats = PoolStats()
+        self._recorded: dict[str, float] = {}
+
+    # -- cache --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(len(page) for page in self._pages.values())
+
+    def _get_page(self, token: str, path: str, page_no: int
+                  ) -> Optional[bytes]:
+        key = (token, page_no)
+        cached = self._pages.get(key)
+        if cached is not None:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(page_no * self.page_size)
+                page = handle.read(self.page_size)
+        except OSError:
+            return None
+        self.stats.read_bytes += len(page)
+        self._pages[key] = page
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return page
+
+    def read(self, token: str, path: str, offset: int,
+             length: int) -> Optional[bytes]:
+        """``length`` bytes of ``path`` at ``offset``, page-cached.
+
+        ``token`` identifies the file's *content* (include a
+        generation stamp for files that are replaced in place via
+        ``os.replace``).  Returns ``None`` when the file is shorter
+        than requested — the caller treats that as a missing record.
+        """
+        if length <= 0:
+            return b""
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        chunks: list[bytes] = []
+        for page_no in range(first, last + 1):
+            page = self._get_page(token, path, page_no)
+            if page is None:
+                return None
+            chunks.append(page)
+        blob = b"".join(chunks)
+        start = offset - first * self.page_size
+        if start + length > len(blob):
+            return None
+        return blob[start:start + length]
+
+    def invalidate(self, token: str) -> None:
+        """Drop every cached page of ``token`` (active-segment append)."""
+        stale = [key for key in self._pages if key[0] == token]
+        for key in stale:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    # -- observability ------------------------------------------------
+
+    def record(self, registry) -> None:
+        """Fold pool counters into a registry (``repro_store_pool_*``).
+
+        Delta-based: only the movement since the previous call is added
+        to each counter, so a resident process may call this on every
+        scrape (the ``repro serve`` lifecycle) without double-counting.
+        """
+        from ..obs.metrics import record_counter_deltas
+        record_counter_deltas(registry, self._recorded, (
+            ("repro_store_pool_hits_total", self.stats.hits),
+            ("repro_store_pool_misses_total", self.stats.misses),
+            ("repro_store_pool_evictions_total", self.stats.evictions),
+            ("repro_store_pool_read_bytes_total",
+             self.stats.read_bytes)))
+        registry.gauge("repro_store_pool_pages").set(len(self._pages))
+        registry.gauge("repro_store_pool_capacity").set(self.capacity)
+        registry.gauge("repro_store_pool_hit_rate").set(
+            self.stats.hit_rate)
+
+
+def fsync_file(path: str) -> None:
+    """Durably flush ``path`` (best-effort on filesystems without it)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Durably flush directory metadata after an ``os.replace``."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not all fs support dir fsync
+        pass
+    finally:
+        os.close(fd)

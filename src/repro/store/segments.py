@@ -1,0 +1,221 @@
+"""Append-only record segments with crash-safe recovery.
+
+A :class:`SegmentLog` is a directory of numbered segment files::
+
+    segments/
+        seg-000000.log      (sealed — immutable once published)
+        seg-000001.log      (sealed)
+        seg-000002.log      (active — appended in place)
+
+Records use the framing of :mod:`repro.store.codec` (magic + lengths +
+CRC32), so every byte on disk is self-validating.  The write
+discipline:
+
+* appends go to the **active** segment only, record-at-a-time, flushed
+  per append (``fsync`` optional via ``durable=True``);
+* when the active segment exceeds ``roll_bytes`` it is **sealed**:
+  written to ``<name>.tmp`` and published with an atomic
+  ``os.replace`` — a reader never observes a half-sealed file;
+* on open, sealed segments are trusted as published; the **active**
+  segment is scanned and any torn tail (a writer killed mid-append)
+  is **truncated** to the last valid record boundary.
+
+Reads of sealed segments go through the shared
+:class:`~repro.store.pager.BufferPool`; the active segment's pages are
+invalidated on every append so the pool can cache it too.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..obs import get_logger
+from .codec import pack_record, scan_records
+from .pager import BufferPool, fsync_dir, fsync_file
+
+logger = get_logger(__name__)
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{6})\.log$")
+
+DEFAULT_ROLL_BYTES = 4 * 1024 * 1024
+
+
+def _segment_name(segment_id: int) -> str:
+    return f"seg-{segment_id:06d}.log"
+
+
+@dataclass(frozen=True)
+class RecordLocation:
+    """Where one record lives: segment id + byte offset + total size."""
+
+    segment_id: int
+    offset: int
+    length: int
+
+
+class SegmentLog:
+    """The append-only record store behind areas and the ingest journal."""
+
+    def __init__(self, directory: str, pool: BufferPool, *,
+                 roll_bytes: int = DEFAULT_ROLL_BYTES,
+                 durable: bool = False) -> None:
+        self.directory = directory
+        self.pool = pool
+        self.roll_bytes = roll_bytes
+        self.durable = durable
+        os.makedirs(directory, exist_ok=True)
+        self.truncated_tail_bytes = 0
+        self._segment_ids = self._discover()
+        if not self._segment_ids:
+            self._segment_ids = [0]
+            self._create_segment(0)
+        self.active_id = self._segment_ids[-1]
+        self._recover_active()
+        self._active_size = os.path.getsize(
+            self._path(self.active_id))
+        self.appended_records = 0
+        self.appended_bytes = 0
+
+    # -- layout -------------------------------------------------------
+
+    def _path(self, segment_id: int) -> str:
+        return os.path.join(self.directory, _segment_name(segment_id))
+
+    def _token(self, segment_id: int) -> str:
+        return f"{self.directory}:{segment_id}"
+
+    def _discover(self) -> list[int]:
+        ids = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def _create_segment(self, segment_id: int) -> None:
+        # Publish even the empty active segment atomically, so a crash
+        # between roll and first append leaves a valid (empty) file.
+        tmp = self._path(segment_id) + ".tmp"
+        with open(tmp, "wb"):
+            pass
+        os.replace(tmp, self._path(segment_id))
+        fsync_dir(self.directory)
+
+    def _recover_active(self) -> None:
+        """Truncate a torn tail off the active segment (crash repair)."""
+        path = self._path(self.active_id)
+        with open(path, "rb") as handle:
+            buf = handle.read()
+        _, valid = scan_records(buf)
+        if valid < len(buf):
+            self.truncated_tail_bytes = len(buf) - valid
+            logger.warning(
+                "segment %s: truncating %d torn tail byte(s) left by "
+                "an interrupted append", _segment_name(self.active_id),
+                self.truncated_tail_bytes)
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+            if self.durable:
+                fsync_file(path)
+            self.pool.invalidate(self._token(self.active_id))
+
+    @property
+    def segment_ids(self) -> list[int]:
+        return list(self._segment_ids)
+
+    # -- writes -------------------------------------------------------
+
+    def append(self, kind: int, key: bytes,
+               payload: bytes) -> RecordLocation:
+        """Append one record to the active segment; returns its
+        location.  Rolls to a fresh segment past ``roll_bytes``."""
+        if self._active_size >= self.roll_bytes:
+            self._roll()
+        record = pack_record(kind, key, payload)
+        path = self._path(self.active_id)
+        with open(path, "ab") as handle:
+            offset = handle.tell()
+            handle.write(record)
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        self._active_size = offset + len(record)
+        self.appended_records += 1
+        self.appended_bytes += len(record)
+        self.pool.invalidate(self._token(self.active_id))
+        return RecordLocation(self.active_id, offset, len(record))
+
+    def _roll(self) -> None:
+        """Seal the active segment and open the next one.
+
+        The sealed bytes are re-published through ``<name>.tmp`` +
+        atomic ``os.replace`` so the durable rename is the publication
+        point, then the next active segment is created.
+        """
+        path = self._path(self.active_id)
+        tmp = path + ".tmp"
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_dir(self.directory)
+        next_id = self.active_id + 1
+        self._create_segment(next_id)
+        self._segment_ids.append(next_id)
+        self.active_id = next_id
+        self._active_size = 0
+
+    # -- reads --------------------------------------------------------
+
+    def read(self, location: RecordLocation
+             ) -> Optional[tuple[int, bytes, bytes]]:
+        """The ``(kind, key, payload)`` at ``location`` (pool-cached),
+        or ``None`` when the bytes are missing/torn."""
+        raw = self.pool.read(self._token(location.segment_id),
+                             self._path(location.segment_id),
+                             location.offset, location.length)
+        if raw is None:
+            return None
+        records, _ = scan_records(raw)
+        if not records:
+            return None
+        kind, key, payload, _ = records[0]
+        return kind, key, payload
+
+    def scan(self) -> Iterator[tuple[int, bytes, bytes,
+                                     RecordLocation]]:
+        """Every valid record across all segments, in append order."""
+        for segment_id in self._segment_ids:
+            yield from self.scan_segment(segment_id)
+
+    def scan_segment(self, segment_id: int, start_offset: int = 0
+                     ) -> Iterator[tuple[int, bytes, bytes,
+                                         RecordLocation]]:
+        """Valid records of one segment from ``start_offset`` onward."""
+        path = self._path(segment_id)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(start_offset)
+                buf = handle.read()
+        except OSError:
+            return
+        records, _ = scan_records(buf)
+        for kind, key, payload, offset in records:
+            length = len(pack_record(kind, key, payload))
+            yield kind, key, payload, RecordLocation(
+                segment_id, start_offset + offset, length)
+
+    def end_position(self) -> tuple[int, int]:
+        """``(active segment id, its byte length)`` — the log frontier."""
+        return self.active_id, self._active_size
+
+    def total_bytes(self) -> int:
+        return sum(os.path.getsize(self._path(segment_id))
+                   for segment_id in self._segment_ids
+                   if os.path.exists(self._path(segment_id)))

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small schema, its extractor, and sample areas."""
+
+import pytest
+
+from repro.algebra.intervals import Interval
+from repro.core.extractor import AccessAreaExtractor
+from repro.schema import (Column, ColumnType, Relation, Schema,
+                          StatisticsCatalog)
+
+SQLS = [
+    "SELECT a FROM T WHERE a > 1 AND a < 3",
+    "SELECT a FROM T WHERE a > 2 AND a < 4",
+    "SELECT a, a1 FROM T WHERE a1 BETWEEN 0 AND 2",
+    "SELECT b FROM S WHERE b < 5",
+    "SELECT b, u FROM S WHERE u > 1 AND b > 2",
+]
+
+
+def build_schema() -> Schema:
+    schema = Schema("store")
+    schema.add(Relation("T", (
+        Column("a", ColumnType.FLOAT, Interval(0.0, 5.0)),
+        Column("a1", ColumnType.FLOAT, Interval(0.0, 5.0)),
+        Column("s", ColumnType.VARCHAR, categories=("x", "y", "z")),
+    )))
+    schema.add(Relation("S", (
+        Column("b", ColumnType.FLOAT, Interval(0.0, 10.0)),
+        Column("u", ColumnType.FLOAT, Interval(0.0, 10.0)),
+    )))
+    return schema
+
+
+@pytest.fixture()
+def schema():
+    return build_schema()
+
+
+@pytest.fixture()
+def extractor(schema):
+    return AccessAreaExtractor(schema)
+
+
+@pytest.fixture()
+def areas(extractor):
+    return [extractor.extract(sql).area for sql in SQLS]
+
+
+@pytest.fixture()
+def stats(schema):
+    return StatisticsCatalog.from_exact_content(schema, {
+        ("T", "a"): Interval(0.0, 5.0),
+        ("T", "a1"): Interval(0.0, 5.0),
+        ("S", "b"): Interval(0.0, 10.0),
+        ("S", "u"): Interval(0.0, 10.0),
+    })

@@ -1,0 +1,106 @@
+"""Round-trips and torn-tail behaviour of the store's codecs."""
+
+import pytest
+
+from repro.store import (CodecError, KIND_AREA, KIND_JOURNAL, block_key,
+                         decode_area, encode_area, fingerprint_digest,
+                         pack_record, scan_records)
+from repro.store.codec import (BLOCK_HEADER_SIZE, pack_block_header,
+                               unpack_block_header)
+
+
+def test_area_payload_round_trip(areas):
+    for area in areas:
+        clone = decode_area(encode_area(area))
+        assert clone.fingerprint == area.fingerprint
+        assert fingerprint_digest(clone) == fingerprint_digest(area)
+
+
+def test_digest_is_canonical(extractor):
+    """Clause order and literal spelling don't change the key."""
+    a = extractor.extract(
+        "SELECT a FROM T WHERE a > 1 AND a < 3").area
+    b = extractor.extract(
+        "SELECT a FROM T WHERE a < 3.0 AND a > 1.00").area
+    assert fingerprint_digest(a) == fingerprint_digest(b)
+    c = extractor.extract(
+        "SELECT a FROM T WHERE a > 1 AND a < 4").area
+    assert fingerprint_digest(a) != fingerprint_digest(c)
+
+
+def test_digest_distinguishes_lookalike_primitives():
+    """The encoder is type-tagged: 1, 1.0, True and "1" differ."""
+    keys = {fingerprint_digest((value,))
+            for value in (1, 1.0, True, "1", None)}
+    assert len(keys) == 5
+    # nesting matters too
+    assert fingerprint_digest((("a",), "b")) != \
+        fingerprint_digest(("a", ("b",)))
+
+
+def test_digest_rejects_unencodable_components():
+    with pytest.raises(CodecError):
+        fingerprint_digest((object(),))
+
+
+def test_scan_records_round_trip():
+    records = [
+        pack_record(KIND_AREA, b"k" * 32, b"payload-one"),
+        pack_record(KIND_JOURNAL, b"", b'{"x":1}'),
+        pack_record(KIND_AREA, b"j" * 32, b""),
+    ]
+    buf = b"".join(records)
+    parsed, valid = scan_records(buf)
+    assert valid == len(buf)
+    assert [(k, key, payload) for k, key, payload, _ in parsed] == [
+        (KIND_AREA, b"k" * 32, b"payload-one"),
+        (KIND_JOURNAL, b"", b'{"x":1}'),
+        (KIND_AREA, b"j" * 32, b""),
+    ]
+    offsets = [offset for _, _, _, offset in parsed]
+    assert offsets == [0, len(records[0]),
+                       len(records[0]) + len(records[1])]
+
+
+def test_scan_records_truncates_any_torn_tail():
+    """Cutting the last record at *every* byte boundary yields exactly
+    the two whole records and the tear offset — the recovery point."""
+    head = pack_record(KIND_AREA, b"a" * 32, b"first")
+    mid = pack_record(KIND_JOURNAL, b"", b"second")
+    tail = pack_record(KIND_AREA, b"b" * 32, b"third")
+    for cut in range(len(tail)):
+        parsed, valid = scan_records(head + mid + tail[:cut])
+        assert len(parsed) == 2
+        assert valid == len(head) + len(mid)
+
+
+def test_scan_records_stops_at_corruption():
+    first = pack_record(KIND_AREA, b"a" * 32, b"first")
+    second = pack_record(KIND_AREA, b"b" * 32, b"second")
+    corrupted = bytearray(first + second)
+    corrupted[len(first) + 20] ^= 0xFF  # flip one body byte
+    parsed, valid = scan_records(bytes(corrupted))
+    assert len(parsed) == 1
+    assert valid == len(first)
+
+
+def test_block_header_round_trip():
+    raw = pack_block_header(91, 0xDEADBEEF)
+    assert len(raw) == BLOCK_HEADER_SIZE
+    assert unpack_block_header(raw) == (91, 0xDEADBEEF)
+    with pytest.raises(CodecError):
+        unpack_block_header(b"NOPE" + raw[4:])
+    with pytest.raises(CodecError):
+        unpack_block_header(raw[:4])
+
+
+def test_block_key_content_addressing():
+    d1, d2 = b"\x01" * 32, b"\x02" * 32
+    base = block_key(("T", "S"), [d1, d2], token="res=0.05")
+    # partition key is a set: name order is canonicalized away
+    assert block_key(("S", "T"), [d1, d2], token="res=0.05") == base
+    # member order defines the condensed layout: it must matter
+    assert block_key(("T", "S"), [d2, d1], token="res=0.05") != base
+    # metric drift must miss
+    assert block_key(("T", "S"), [d1, d2], token="res=0.1") != base
+    assert block_key(("T", "S"), [d1, d2]) != base

@@ -1,0 +1,69 @@
+"""Buffer-pool caching, invalidation, and delta-based recording."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.store import BufferPool
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    path = tmp_path / "data.bin"
+    path.write_bytes(bytes(range(256)) * 16)  # 4096 bytes
+    return str(path)
+
+
+def test_read_spans_pages_and_caches(data_file):
+    pool = BufferPool(capacity=8, page_size=64)
+    raw = pool.read("t", data_file, 60, 10)  # crosses a page boundary
+    assert raw == bytes(range(60, 70))
+    misses_after_first = pool.stats.misses
+    assert misses_after_first == 2
+    again = pool.read("t", data_file, 60, 10)
+    assert again == raw
+    assert pool.stats.misses == misses_after_first
+    assert pool.stats.hits == 2
+
+
+def test_read_past_eof_returns_none(data_file):
+    pool = BufferPool(capacity=4, page_size=64)
+    assert pool.read("t", data_file, 4090, 100) is None
+    assert pool.read("t", "/nonexistent/file", 0, 10) is None
+
+
+def test_eviction_bounds_residency(data_file):
+    pool = BufferPool(capacity=2, page_size=64)
+    for offset in range(0, 64 * 6, 64):
+        pool.read("t", data_file, offset, 64)
+    assert pool.stats.evictions == 4
+    assert pool.resident_bytes <= 2 * 64
+
+
+def test_invalidate_forces_reread(tmp_path):
+    path = tmp_path / "active.bin"
+    path.write_bytes(b"a" * 64)
+    pool = BufferPool(capacity=4, page_size=64)
+    assert pool.read("t", str(path), 0, 64) == b"a" * 64
+    path.write_bytes(b"b" * 64)
+    # stale without invalidation — that's the cache working
+    assert pool.read("t", str(path), 0, 64) == b"a" * 64
+    pool.invalidate("t")
+    assert pool.read("t", str(path), 0, 64) == b"b" * 64
+
+
+def test_record_is_idempotent(data_file):
+    pool = BufferPool(capacity=4, page_size=64)
+    pool.read("t", data_file, 0, 64)
+    pool.read("t", data_file, 0, 64)
+    registry = MetricsRegistry()
+    pool.record(registry)
+    pool.record(registry)  # double scrape must not double-count
+    assert registry.counter(
+        "repro_store_pool_hits_total").value == pool.stats.hits
+    assert registry.counter(
+        "repro_store_pool_misses_total").value == pool.stats.misses
+    # new activity after a scrape lands as its delta
+    pool.read("t", data_file, 0, 64)
+    pool.record(registry)
+    assert registry.counter(
+        "repro_store_pool_hits_total").value == pool.stats.hits
